@@ -1,0 +1,76 @@
+// Command rmbench regenerates the paper's evaluation: every table and
+// figure of "An Empirical Study of Reliable Multicast Protocols over
+// Ethernet-Connected Networks" (ICPP 2001), plus the ablation
+// experiments documented in DESIGN.md, on the simulated testbed.
+//
+// Usage:
+//
+//	rmbench -list
+//	rmbench -exp fig10
+//	rmbench -exp all -quick
+//	rmbench -exp table3 -receivers 16 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rmcast/internal/exp"
+)
+
+func main() {
+	var (
+		id        = flag.String("exp", "all", "experiment id (see -list) or 'all'")
+		list      = flag.Bool("list", false, "list available experiments")
+		quick     = flag.Bool("quick", false, "reduced sweeps: fewer receivers, smaller messages")
+		receivers = flag.Int("receivers", 0, "override the receiver count (default 30, paper scale)")
+		seed      = flag.Uint64("seed", 1, "simulation random seed")
+		csv       = flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range exp.All() {
+			fmt.Printf("%-18s %-12s %s\n", e.ID, e.PaperRef, e.Title)
+		}
+		return
+	}
+
+	opts := exp.Options{Quick: *quick, Receivers: *receivers, Seed: *seed}
+	var targets []exp.Experiment
+	if *id == "all" {
+		targets = exp.All()
+	} else {
+		e, err := exp.ByID(*id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		targets = []exp.Experiment{e}
+	}
+
+	failed := 0
+	for _, e := range targets {
+		start := time.Now()
+		rep, err := e.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			failed++
+			continue
+		}
+		if *csv {
+			for _, tab := range rep.Tables {
+				fmt.Printf("# %s: %s\n", rep.ID, tab.Title)
+				tab.CSV(os.Stdout)
+			}
+		} else {
+			rep.Fprint(os.Stdout)
+			fmt.Printf("(%s wall time: %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		}
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

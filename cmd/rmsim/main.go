@@ -1,0 +1,138 @@
+// Command rmsim runs one ad-hoc reliable multicast transfer on the
+// simulated Ethernet testbed with every knob exposed, printing timing,
+// throughput, and per-layer statistics.
+//
+// Examples:
+//
+//	rmsim -proto nak -receivers 30 -size 2097152 -packet 8000 -window 50 -poll 43
+//	rmsim -proto tree -height 6 -size 512000
+//	rmsim -proto ack -topology bus -loss 0.001
+//	rmsim -proto tcp -size 426502 -receivers 30
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rmcast/internal/cluster"
+	"rmcast/internal/core"
+	"rmcast/internal/trace"
+	"rmcast/internal/unicast"
+)
+
+func main() {
+	var (
+		proto     = flag.String("proto", "nak", "protocol: ack | nak | ring | tree | rawudp | tcp")
+		receivers = flag.Int("receivers", 30, "number of receivers")
+		size      = flag.Int("size", 512000, "message size in bytes")
+		pktSize   = flag.Int("packet", 8000, "packet payload size in bytes")
+		window    = flag.Int("window", 0, "window size in packets (0 = protocol-appropriate default)")
+		poll      = flag.Int("poll", 0, "NAK poll interval (0 = 85% of window)")
+		height    = flag.Int("height", 6, "flat-tree height")
+		topology  = flag.String("topology", "two-switch", "two-switch | single-switch | bus")
+		loss      = flag.Float64("loss", 0, "injected frame loss rate (0..1)")
+		seed      = flag.Uint64("seed", 1, "simulation seed")
+		verbose   = flag.Bool("v", false, "print per-host statistics")
+		selective = flag.Bool("selective", false, "use selective repeat instead of Go-Back-N")
+		naksupp   = flag.Bool("naksupp", false, "use receiver-side multicast NAK suppression")
+		pace      = flag.Duration("pace", 0, "rate-pace first transmissions (e.g. 700us; 0 = window only)")
+		traceN    = flag.Int("trace", 0, "print the last N protocol packet events")
+	)
+	flag.Parse()
+
+	ccfg := cluster.Default(*receivers)
+	ccfg.Seed = *seed
+	ccfg.LossRate = *loss
+	switch *topology {
+	case "two-switch":
+	case "single-switch":
+		ccfg.Topology = cluster.SingleSwitch
+	case "bus":
+		ccfg.Topology = cluster.SharedBus
+	default:
+		fatalf("unknown topology %q", *topology)
+	}
+
+	if *proto == "tcp" {
+		res, err := cluster.RunTCP(ccfg, unicast.DefaultConfig(), *size)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("tcp (sequential unicast): %d bytes to %d receivers in %v (%.1f Mbps aggregate)\n",
+			*size, *receivers, res.Elapsed.Round(time.Microsecond), res.ThroughputMbps)
+		return
+	}
+
+	p, err := core.ParseProtocol(*proto)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	w := *window
+	if w == 0 {
+		switch p {
+		case core.ProtoRing:
+			w = *receivers + 20
+		case core.ProtoACK:
+			w = 2
+		default:
+			w = 20
+		}
+	}
+	pi := *poll
+	if pi == 0 {
+		pi = w * 85 / 100
+		if pi < 1 {
+			pi = 1
+		}
+	}
+	pcfg := core.Config{
+		Protocol:        p,
+		NumReceivers:    *receivers,
+		PacketSize:      *pktSize,
+		WindowSize:      w,
+		PollInterval:    pi,
+		TreeHeight:      *height,
+		SelectiveRepeat: *selective,
+		NakSuppression:  *naksupp,
+		PaceInterval:    *pace,
+	}
+	var traceBuf *trace.Buffer
+	if *traceN > 0 {
+		traceBuf = trace.New(*traceN)
+		ccfg.Trace = traceBuf
+	}
+	res, err := cluster.Run(ccfg, pcfg, *size)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("%v: %d bytes to %d receivers in %v (%.1f Mbps)\n",
+		p, *size, *receivers, res.Elapsed.Round(time.Microsecond), res.ThroughputMbps)
+	fmt.Printf("verified: %v\n", res.Verified)
+	s := res.SenderStats
+	fmt.Printf("sender: data=%d retrans=%d acksIn=%d naksIn=%d timeouts=%d suppressed=%d\n",
+		s.DataSent, s.Retransmissions, s.AcksReceived, s.NaksReceived, s.Timeouts, s.SuppressedNaks)
+	if ccfg.Topology == cluster.SharedBus {
+		fmt.Printf("bus: delivered=%d collisions=%d aborted=%d\n",
+			res.BusStats.Delivered, res.BusStats.Collisions, res.BusStats.Aborted)
+	}
+	for i, sw := range res.SwitchStats {
+		fmt.Printf("switch%d: forwarded=%d flooded=%d queueDrops=%d\n", i, sw.Forwarded, sw.Flooded, sw.QueueDrops)
+	}
+	if *verbose {
+		for i, h := range res.HostStats {
+			fmt.Printf("host%-3d sent=%-6d recv=%-6d sockDrops=%-4d reasmDrops=%-4d cpu=%v\n",
+				i, h.SentDatagrams, h.RecvDatagrams, h.SocketDrops, h.ReasmDrops, h.CPUBusy.Round(time.Microsecond))
+		}
+	}
+	if traceBuf != nil {
+		fmt.Printf("--- packet trace (%d events total) ---\n", traceBuf.Total())
+		traceBuf.Fprint(os.Stdout)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "rmsim: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,115 @@
+// Livedemo runs the protocols over REAL UDP/IP multicast: it spins up a
+// sender and several receivers in one process (loopback multicast) and
+// transfers messages through actual sockets — the same code path
+// cmd/rmnode uses across a LAN.
+//
+//	go run ./examples/livedemo
+//
+// If your environment blocks loopback multicast the demo says so and
+// exits cleanly.
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"rmcast"
+)
+
+const group = "239.77.99.21:7461"
+
+func main() {
+	if !multicastWorks() {
+		fmt.Println("loopback multicast is unavailable in this environment; nothing to demo")
+		return
+	}
+	const receivers = 4
+	cfg := rmcast.Config{
+		Protocol:     rmcast.ProtoNAK,
+		NumReceivers: receivers,
+		PacketSize:   8000,
+		WindowSize:   20,
+		PollInterval: 17,
+	}
+
+	sender, err := rmcast.NewLiveNode(rmcast.LiveConfig{Group: group, Rank: 0, Protocol: cfg})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sender.Close()
+	var nodes []*rmcast.LiveNode
+	for r := 1; r <= receivers; r++ {
+		n, err := rmcast.NewLiveNode(rmcast.LiveConfig{Group: group, Rank: rmcast.NodeID(r), Protocol: cfg})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer n.Close()
+		nodes = append(nodes, n)
+	}
+
+	msg := make([]byte, 1_000_000)
+	for i := range msg {
+		msg[i] = byte(i * 13)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	for i, n := range nodes {
+		i, n := i, n
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, err := n.Recv(ctx)
+			if err != nil {
+				log.Printf("receiver %d: %v", i+1, err)
+				return
+			}
+			fmt.Printf("receiver %d got %d bytes (intact: %v)\n", i+1, len(got), bytes.Equal(got, msg))
+		}()
+	}
+
+	start := time.Now()
+	if err := sender.Send(ctx, msg); err != nil {
+		log.Fatal(err)
+	}
+	d := time.Since(start)
+	wg.Wait()
+	fmt.Printf("sent %d bytes to %d receivers over real UDP multicast in %v (%.1f Mbps)\n",
+		len(msg), receivers, d.Round(time.Millisecond), float64(len(msg))*8/d.Seconds()/1e6)
+}
+
+// multicastWorks probes loopback multicast delivery.
+func multicastWorks() bool {
+	gaddr, err := net.ResolveUDPAddr("udp4", group)
+	if err != nil {
+		return false
+	}
+	recv, err := net.ListenMulticastUDP("udp4", nil, gaddr)
+	if err != nil {
+		return false
+	}
+	defer recv.Close()
+	send, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4zero})
+	if err != nil {
+		return false
+	}
+	defer send.Close()
+	done := make(chan bool, 1)
+	go func() {
+		buf := make([]byte, 16)
+		recv.SetReadDeadline(time.Now().Add(400 * time.Millisecond))
+		_, _, err := recv.ReadFromUDP(buf)
+		done <- err == nil
+	}()
+	for i := 0; i < 4; i++ {
+		send.WriteToUDP([]byte("probe"), gaddr)
+		time.Sleep(20 * time.Millisecond)
+	}
+	return <-done
+}

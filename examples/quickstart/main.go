@@ -1,0 +1,44 @@
+// Quickstart: transfer one 500 KB message to 8 receivers with each of
+// the four reliable multicast protocols on the simulated Ethernet
+// testbed, and print the resulting communication times.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"rmcast"
+)
+
+func main() {
+	const (
+		receivers = 8
+		size      = 500 * 1024
+	)
+	configs := []rmcast.Config{
+		{Protocol: rmcast.ProtoACK, PacketSize: 8000, WindowSize: 2},
+		{Protocol: rmcast.ProtoNAK, PacketSize: 8000, WindowSize: 20, PollInterval: 17},
+		{Protocol: rmcast.ProtoRing, PacketSize: 8000, WindowSize: receivers + 10},
+		{Protocol: rmcast.ProtoTree, PacketSize: 8000, WindowSize: 20, TreeHeight: 4},
+	}
+	fmt.Printf("transferring %d bytes to %d receivers on the simulated 100 Mbps testbed\n\n", size, receivers)
+	fmt.Printf("%-8s %-12s %-12s %s\n", "proto", "time", "throughput", "sender acks processed")
+	for _, cfg := range configs {
+		cfg.NumReceivers = receivers
+		res, err := rmcast.Simulate(rmcast.DefaultSim(receivers), cfg, size)
+		if err != nil {
+			log.Fatalf("%v: %v", cfg.Protocol, err)
+		}
+		if !res.Verified {
+			log.Fatalf("%v: delivery corrupted", cfg.Protocol)
+		}
+		fmt.Printf("%-8v %-12v %6.1f Mbps  %d\n",
+			cfg.Protocol, res.Elapsed.Round(10*time.Microsecond),
+			res.ThroughputMbps, res.SenderStats.AcksReceived)
+	}
+	fmt.Println("\nNAK-based polling avoids the ACK implosion the first row pays for —")
+	fmt.Println("compare the acks-processed column with the communication times.")
+}

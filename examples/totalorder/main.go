@@ -1,0 +1,61 @@
+// Totalorder demonstrates the totally ordered reliable multicast layer:
+// eight cluster nodes all publish events concurrently, and every node
+// observes the exact same global sequence — the building block for
+// replicated state machines, built here on the paper's NAK-based
+// reliable multicast.
+//
+//	go run ./examples/totalorder
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"rmcast"
+)
+
+func main() {
+	const members = 8 // 1 + 7 receivers
+	sys, err := rmcast.NewOrderedSystem(rmcast.DefaultSim(members-1), rmcast.Config{
+		Protocol:     rmcast.ProtoNAK,
+		PacketSize:   8000,
+		WindowSize:   20,
+		PollInterval: 17,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Every member publishes two bank-ledger events at nearly the same
+	// instant; interleaving is decided by the group, not the callers.
+	n := 0
+	for m := 0; m < sys.Size(); m++ {
+		for k := 0; k < 2; k++ {
+			sys.Submit(time.Duration(k)*50*time.Microsecond, m,
+				[]byte(fmt.Sprintf("account[%d] += %d", m, (k+1)*100)))
+			n++
+		}
+	}
+	elapsed, err := sys.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%d events from %d concurrent publishers, ordered in %v:\n\n", n, sys.Size(), elapsed)
+	for _, d := range sys.Deliveries(0) {
+		fmt.Printf("  #%-3d (from member %d, local %d): %s\n", d.GlobalSeq, d.ID.Member, d.ID.LocalSeq, d.Payload)
+	}
+
+	// Prove the point: every member saw the identical sequence.
+	agree := true
+	ref := sys.Deliveries(0)
+	for m := 1; m < sys.Size(); m++ {
+		for i, d := range sys.Deliveries(m) {
+			if d.ID != ref[i].ID {
+				agree = false
+			}
+		}
+	}
+	fmt.Printf("\nall %d members delivered the identical sequence: %v\n", sys.Size(), agree)
+}

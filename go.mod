@@ -1,0 +1,3 @@
+module rmcast
+
+go 1.22

@@ -1,0 +1,260 @@
+// Package cluster builds the paper's experimental testbed in simulation
+// and runs reliable multicast sessions on it.
+//
+// The default topology is Figure 7 of the paper: 31 Pentium III hosts on
+// two 100 Mbps store-and-forward switches — the sender P0 and receivers
+// P1..P15 on switch A, receivers P16..P30 on switch B, with a single
+// 100 Mbps trunk between the switches. A single-switch variant and a
+// shared CSMA/CD bus variant support the ablation experiments.
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"rmcast/internal/core"
+	"rmcast/internal/ethernet"
+	"rmcast/internal/ipnet"
+	"rmcast/internal/rng"
+	"rmcast/internal/sim"
+	"rmcast/internal/trace"
+)
+
+// Port is the UDP port every protocol endpoint binds.
+const Port = 5010
+
+// Topology selects the physical network layout.
+type Topology int
+
+const (
+	// TwoSwitch is the paper's Figure 7 layout.
+	TwoSwitch Topology = iota
+	// SingleSwitch puts every host on one switch.
+	SingleSwitch
+	// SharedBus is a single CSMA/CD collision domain (the paper's
+	// shared-media discussion).
+	SharedBus
+)
+
+func (t Topology) String() string {
+	switch t {
+	case TwoSwitch:
+		return "two-switch"
+	case SingleSwitch:
+		return "single-switch"
+	case SharedBus:
+		return "shared-bus"
+	default:
+		return fmt.Sprintf("topology(%d)", int(t))
+	}
+}
+
+// Config describes the simulated testbed.
+type Config struct {
+	// NumReceivers is the group size; the cluster has NumReceivers+1 hosts.
+	NumReceivers int
+	// Topology is the physical layout.
+	Topology Topology
+	// Costs is the per-host CPU cost model.
+	Costs ipnet.CostModel
+	// ReceiverCosts, when non-nil, overrides Costs on the receiver
+	// hosts (1..N) only — e.g. to model compute-bound applications that
+	// drain their sockets slowly.
+	ReceiverCosts *ipnet.CostModel
+	// LinkRate is the port speed.
+	LinkRate ethernet.Rate
+	// Propagation is the per-link propagation delay.
+	Propagation time.Duration
+	// ForwardDelay is the per-frame switch processing latency.
+	ForwardDelay time.Duration
+	// SwitchQueueCap bounds each switch output queue in wire bytes.
+	SwitchQueueCap int
+	// RecvBuf is the per-socket receive buffer in payload bytes.
+	RecvBuf int
+	// TxQueueCap bounds each host's transmit backlog in wire bytes.
+	TxQueueCap int
+	// LossRate injects uniform random frame loss on every switch output
+	// (zero for the paper's error-free wired LAN).
+	LossRate float64
+	// Seed drives all randomness (loss injection, bus backoff).
+	Seed uint64
+	// Deadline aborts a session after this much virtual time.
+	Deadline time.Duration
+	// Trace, when non-nil, records every protocol packet event.
+	Trace *trace.Buffer
+
+	// hostCosts is the per-host override installed by NewWithHostCosts.
+	hostCosts func(host int) *ipnet.CostModel
+}
+
+// Default returns the calibrated paper testbed for n receivers.
+func Default(n int) Config {
+	return Config{
+		NumReceivers:   n,
+		Topology:       TwoSwitch,
+		Costs:          ipnet.DefaultCosts(),
+		LinkRate:       ethernet.Rate100Mbps,
+		Propagation:    time.Microsecond,
+		ForwardDelay:   5 * time.Microsecond,
+		SwitchQueueCap: 256 * 1024,
+		RecvBuf:        64 * 1024,
+		TxQueueCap:     512 * 1024,
+		Seed:           1,
+		Deadline:       2 * time.Minute,
+	}
+}
+
+// TCPCosts returns the kernel-path cost model used for the TCP baseline:
+// no user-level protocol engine, so per-packet costs are far lower.
+func TCPCosts() ipnet.CostModel {
+	return ipnet.CostModel{
+		SendSyscall:       8 * time.Microsecond,
+		SendPerByteNs:     3.0,
+		RecvSyscall:       6 * time.Microsecond,
+		RecvPerByteNs:     3.0,
+		FragOverhead:      5 * time.Microsecond,
+		UserCopyPerByteNs: 0,
+		TimerOverhead:     5 * time.Microsecond,
+	}
+}
+
+// Cluster is a built testbed.
+type Cluster struct {
+	Sim   *sim.Simulator
+	Cfg   Config
+	Hosts []*ipnet.Host // index = NodeID (0 is the sender)
+
+	Switches []*ethernet.Switch
+	Bus      *ethernet.Bus
+	group    ipnet.Addr
+	rand     *rng.Rand
+}
+
+// Group returns the multicast group address every host joined.
+func (c *Cluster) Group() ipnet.Addr { return c.group }
+
+// NewWithHostCosts builds the testbed with a per-host cost override:
+// costsFor(host) may return a replacement cost model for that host or
+// nil to keep cfg.Costs. Used to model individual stragglers.
+func NewWithHostCosts(cfg Config, costsFor func(host int) *ipnet.CostModel) (*Cluster, error) {
+	cfg.hostCosts = costsFor
+	return New(cfg)
+}
+
+// New builds the testbed: hosts wired to the configured topology, all
+// joined to one multicast group.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.NumReceivers < 1 {
+		return nil, fmt.Errorf("cluster: NumReceivers must be >= 1")
+	}
+	if cfg.Deadline == 0 {
+		cfg.Deadline = 2 * time.Minute
+	}
+	c := &Cluster{
+		Sim:   sim.New(),
+		Cfg:   cfg,
+		group: ipnet.Group(1),
+		rand:  rng.New(rng.Mix(cfg.Seed, 0xC1A5)),
+	}
+	n := cfg.NumReceivers + 1
+	for i := 0; i < n; i++ {
+		costs := cfg.Costs
+		if i > 0 && cfg.ReceiverCosts != nil {
+			costs = *cfg.ReceiverCosts
+		}
+		if cfg.hostCosts != nil {
+			if override := cfg.hostCosts(i); override != nil {
+				costs = *override
+			}
+		}
+		h := ipnet.NewHost(c.Sim, ipnet.HostConfig{
+			Addr:       ipnet.Addr(i),
+			Costs:      costs,
+			TxQueueCap: cfg.TxQueueCap,
+			RecvBuf:    cfg.RecvBuf,
+			Seed:       cfg.Seed,
+		})
+		h.JoinGroup(c.group)
+		c.Hosts = append(c.Hosts, h)
+	}
+	switch cfg.Topology {
+	case SharedBus:
+		c.buildBus()
+	case SingleSwitch:
+		c.buildSwitches(1)
+	default:
+		c.buildSwitches(2)
+	}
+	return c, nil
+}
+
+func (c *Cluster) switchConfig(name string) ethernet.SwitchConfig {
+	return ethernet.SwitchConfig{
+		Name:            name,
+		ForwardDelay:    c.Cfg.ForwardDelay,
+		PortRate:        c.Cfg.LinkRate,
+		PortPropagation: c.Cfg.Propagation,
+		PortQueueCap:    c.Cfg.SwitchQueueCap,
+	}
+}
+
+// buildSwitches wires hosts to one or two switches per Figure 7: with
+// two switches, hosts 0..15 land on A and 16.. on B.
+func (c *Cluster) buildSwitches(count int) {
+	swA := ethernet.NewSwitch(c.Sim, c.switchConfig("A"))
+	c.Switches = append(c.Switches, swA)
+	swB := swA
+	split := len(c.Hosts) // all on A by default
+	if count == 2 && len(c.Hosts) > 16 {
+		swB = ethernet.NewSwitch(c.Sim, c.switchConfig("B"))
+		c.Switches = append(c.Switches, swB)
+		split = 16
+	}
+	var aAddrs, bAddrs []ethernet.Addr
+	for i, h := range c.Hosts {
+		sw := swA
+		if i >= split {
+			sw = swB
+			bAddrs = append(bAddrs, h.EthernetAddr())
+		} else {
+			aAddrs = append(aAddrs, h.EthernetAddr())
+		}
+		h.SetTx(sw.ConnectPort(h.EthernetAddr(), h))
+	}
+	if swB != swA {
+		swA.ConnectSwitch(swB, aAddrs, bAddrs)
+	}
+	if c.Cfg.LossRate > 0 {
+		for _, sw := range c.Switches {
+			for i := 0; i < sw.NumPorts(); i++ {
+				if out := sw.Port(i).Out(); out != nil {
+					out.DropFn = c.lossFn()
+				}
+			}
+		}
+	}
+}
+
+func (c *Cluster) buildBus() {
+	bc := ethernet.DefaultBusConfig()
+	bc.Rate = c.Cfg.LinkRate
+	bc.Seed = c.Cfg.Seed
+	bc.StationQueueCap = c.Cfg.TxQueueCap
+	c.Bus = ethernet.NewBus(c.Sim, bc)
+	for _, h := range c.Hosts {
+		// NIC-level group filtering happens in Host.RecvFrame, so the
+		// station accepts all multicast frames.
+		st := c.Bus.Attach(h.EthernetAddr(), h, nil)
+		h.SetTx(st)
+	}
+}
+
+// lossFn returns a frame-drop function with the configured loss rate.
+func (c *Cluster) lossFn() func(*ethernet.Frame) bool {
+	r := c.rand.Fork()
+	p := c.Cfg.LossRate
+	return func(*ethernet.Frame) bool { return r.Bool(p) }
+}
+
+// HostAddr maps a protocol NodeID to its host address.
+func (c *Cluster) HostAddr(id core.NodeID) ipnet.Addr { return ipnet.Addr(id) }

@@ -1,0 +1,96 @@
+package cluster
+
+import (
+	"time"
+
+	"rmcast/internal/core"
+	"rmcast/internal/ipnet"
+	"rmcast/internal/packet"
+	"rmcast/internal/sim"
+	"rmcast/internal/trace"
+)
+
+// nodeEnv implements core.Env for one simulated host: protocol sends
+// become UDP datagrams through the host's socket (paying syscall and
+// copy costs on the host CPU), timers run on the host, and packets
+// arriving on the socket are decoded and dispatched to the endpoint.
+type nodeEnv struct {
+	c    *Cluster
+	id   core.NodeID
+	host *ipnet.Host
+	sock *ipnet.Socket
+	ep   core.Endpoint
+
+	decodeErrors uint64
+	unknownFrom  uint64
+}
+
+// newNodeEnv binds the endpoint socket on the host for node id. Call
+// setEndpoint before any packet can arrive.
+func (c *Cluster) newNodeEnv(id core.NodeID) *nodeEnv {
+	e := &nodeEnv{c: c, id: id, host: c.Hosts[id]}
+	e.sock = e.host.Bind(Port, e.onDatagram)
+	return e
+}
+
+func (e *nodeEnv) setEndpoint(ep core.Endpoint) { e.ep = ep }
+
+func (e *nodeEnv) onDatagram(dg *ipnet.Datagram) {
+	p, err := packet.Decode(dg.Payload)
+	if err != nil {
+		e.decodeErrors++
+		return
+	}
+	from := core.NodeID(dg.Src)
+	if int(from) < 0 || int(from) >= len(e.c.Hosts) {
+		e.unknownFrom++
+		return
+	}
+	e.trace(trace.Recv, int(from), p)
+	if e.ep != nil {
+		e.ep.OnPacket(from, p)
+	}
+}
+
+// trace records one protocol event if tracing is enabled.
+func (e *nodeEnv) trace(dir trace.Dir, peer int, p *packet.Packet) {
+	buf := e.c.Cfg.Trace
+	if buf == nil {
+		return
+	}
+	buf.Add(trace.Event{
+		At:    e.c.Sim.Now(),
+		Node:  int(e.id),
+		Dir:   dir,
+		Peer:  peer,
+		Type:  p.Type,
+		Flags: p.Flags,
+		MsgID: p.MsgID,
+		Seq:   p.Seq,
+		Len:   len(p.Payload),
+	})
+}
+
+func (e *nodeEnv) Now() time.Duration { return e.c.Sim.Now() }
+
+func (e *nodeEnv) Send(to core.NodeID, p *packet.Packet) {
+	e.trace(trace.Send, int(to), p)
+	e.sock.SendTo(e.c.HostAddr(to), Port, p.Encode())
+}
+
+func (e *nodeEnv) Multicast(p *packet.Packet) {
+	e.trace(trace.SendMC, trace.Multicast, p)
+	e.sock.SendTo(e.c.Group(), Port, p.Encode())
+}
+
+func (e *nodeEnv) SetTimer(d time.Duration, fn func()) core.TimerID {
+	return core.TimerID(e.host.SetTimer(d, fn))
+}
+
+func (e *nodeEnv) CancelTimer(id core.TimerID) {
+	e.host.CancelTimer(sim.EventID(id))
+}
+
+func (e *nodeEnv) UserCopy(n int) {
+	e.host.UserCopy(n, func() {})
+}

@@ -1,0 +1,223 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"rmcast/internal/core"
+	"rmcast/internal/ethernet"
+	"rmcast/internal/ipnet"
+	"rmcast/internal/unicast"
+)
+
+// Result summarizes one simulated multicast session.
+type Result struct {
+	Protocol core.Protocol
+	MsgSize  int
+	// Elapsed is the communication time: session start to sender
+	// completion (all receivers have delivered by then — their final
+	// acknowledgments causally follow delivery).
+	Elapsed time.Duration
+	// Completed is false only when the deadline aborted the session.
+	Completed bool
+	// Verified is true when every receiver delivered a byte-identical
+	// copy of the message.
+	Verified bool
+	// ThroughputMbps is payload goodput in megabits per second.
+	ThroughputMbps float64
+
+	SenderStats   core.SenderStats
+	ReceiverStats []core.ReceiverStats
+	HostStats     []ipnet.HostStats
+	SwitchStats   []ethernet.SwitchStats
+	BusStats      ethernet.BusStats // shared-bus topology only
+}
+
+// MakeMessage builds the deterministic test payload used by every
+// experiment.
+func MakeMessage(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i*131 + 17)
+	}
+	return b
+}
+
+// Run builds a fresh testbed from ccfg and transfers one msgSize-byte
+// message under pcfg. pcfg.NumReceivers is forced to the cluster size.
+func Run(ccfg Config, pcfg core.Config, msgSize int) (*Result, error) {
+	pcfg.NumReceivers = ccfg.NumReceivers
+	c, err := New(ccfg)
+	if err != nil {
+		return nil, err
+	}
+	msg := MakeMessage(msgSize)
+
+	res := &Result{Protocol: pcfg.Protocol, MsgSize: msgSize}
+	senderDone := false
+	delivered := make([][]byte, ccfg.NumReceivers+1)
+
+	envs := make([]*nodeEnv, ccfg.NumReceivers+1)
+	for id := 0; id <= ccfg.NumReceivers; id++ {
+		envs[id] = c.newNodeEnv(core.NodeID(id))
+	}
+
+	var start func()
+	var senderStats func() core.SenderStats
+	var recvStats []func() core.ReceiverStats
+
+	if pcfg.Protocol == core.ProtoRawUDP {
+		snd, err := core.NewRawSender(envs[0], pcfg, func() { senderDone = true })
+		if err != nil {
+			return nil, err
+		}
+		envs[0].setEndpoint(snd)
+		senderStats = snd.Stats
+		start = func() { snd.Start(msg) }
+		for r := 1; r <= ccfg.NumReceivers; r++ {
+			r := r
+			rcv, err := core.NewRawReceiver(envs[r], pcfg, core.NodeID(r), msgSize, func(b []byte) {
+				delivered[r] = b
+			})
+			if err != nil {
+				return nil, err
+			}
+			envs[r].setEndpoint(rcv)
+			recvStats = append(recvStats, rcv.Stats)
+		}
+	} else {
+		snd, err := core.NewSender(envs[0], pcfg, func() { senderDone = true })
+		if err != nil {
+			return nil, err
+		}
+		envs[0].setEndpoint(snd)
+		senderStats = snd.Stats
+		start = func() { snd.Start(msg) }
+		for r := 1; r <= ccfg.NumReceivers; r++ {
+			r := r
+			rcv, err := core.NewReceiver(envs[r], pcfg, core.NodeID(r), func(b []byte) {
+				delivered[r] = b
+			})
+			if err != nil {
+				return nil, err
+			}
+			envs[r].setEndpoint(rcv)
+			recvStats = append(recvStats, rcv.Stats)
+		}
+	}
+
+	c.Sim.After(0, start)
+	begin := c.Sim.Now()
+	for c.Sim.Pending() > 0 && !senderDone {
+		c.Sim.Step()
+		if c.Sim.Now()-begin > c.Cfg.Deadline {
+			break
+		}
+	}
+	res.Completed = senderDone
+	res.Elapsed = c.Sim.Now() - begin
+	if res.Elapsed > 0 {
+		res.ThroughputMbps = float64(msgSize) * 8 / res.Elapsed.Seconds() / 1e6
+	}
+	res.Verified = true
+	for r := 1; r <= ccfg.NumReceivers; r++ {
+		if !bytes.Equal(delivered[r], msg) {
+			res.Verified = false
+			break
+		}
+	}
+	res.SenderStats = senderStats()
+	for _, f := range recvStats {
+		res.ReceiverStats = append(res.ReceiverStats, f())
+	}
+	for _, h := range c.Hosts {
+		res.HostStats = append(res.HostStats, h.Stats())
+	}
+	for _, sw := range c.Switches {
+		res.SwitchStats = append(res.SwitchStats, sw.Stats())
+	}
+	if c.Bus != nil {
+		res.BusStats = c.Bus.Stats()
+	}
+	if !res.Completed {
+		return res, fmt.Errorf("cluster: %v session exceeded deadline %v (size=%d)",
+			pcfg.Protocol, c.Cfg.Deadline, msgSize)
+	}
+	return res, nil
+}
+
+// RunTCP models the Figure 8 baseline: the sender transfers the message
+// to each receiver in turn over a TCP-like reliable unicast stream (what
+// a TCP-based broadcast in an MPI library amounts to). The returned
+// Result's Elapsed covers all transfers end to end.
+func RunTCP(ccfg Config, ucfg unicast.Config, msgSize int) (*Result, error) {
+	ccfg.Costs = TCPCosts()
+	c, err := New(ccfg)
+	if err != nil {
+		return nil, err
+	}
+	msg := MakeMessage(msgSize)
+	// Protocol -1 marks the TCP baseline; callers label it "tcp".
+	res := &Result{Protocol: -1, MsgSize: msgSize}
+
+	delivered := make([][]byte, ccfg.NumReceivers+1)
+	envs := make([]*nodeEnv, ccfg.NumReceivers+1)
+	for id := 0; id <= ccfg.NumReceivers; id++ {
+		envs[id] = c.newNodeEnv(core.NodeID(id))
+	}
+	for r := 1; r <= ccfg.NumReceivers; r++ {
+		r := r
+		rcv, err := unicast.NewReceiver(envs[r], ucfg, core.SenderID, func(b []byte) {
+			delivered[r] = b
+		})
+		if err != nil {
+			return nil, err
+		}
+		envs[r].setEndpoint(rcv)
+	}
+
+	begin := c.Sim.Now()
+	for r := 1; r <= ccfg.NumReceivers; r++ {
+		done := false
+		snd, err := unicast.NewSender(envs[0], ucfg, core.NodeID(r), func() { done = true })
+		if err != nil {
+			return nil, err
+		}
+		envs[0].setEndpoint(snd)
+		c.Sim.After(0, func() { snd.Start(msg) })
+		for c.Sim.Pending() > 0 && !done {
+			c.Sim.Step()
+			if c.Sim.Now()-begin > c.Cfg.Deadline {
+				return res, fmt.Errorf("cluster: tcp session exceeded deadline after receiver %d", r)
+			}
+		}
+		if !done {
+			return res, fmt.Errorf("cluster: tcp transfer to receiver %d stalled", r)
+		}
+	}
+	res.Completed = true
+	res.Elapsed = c.Sim.Now() - begin
+	if res.Elapsed > 0 {
+		res.ThroughputMbps = float64(msgSize) * 8 / res.Elapsed.Seconds() / 1e6
+	}
+	res.Verified = true
+	for r := 1; r <= ccfg.NumReceivers; r++ {
+		if !bytes.Equal(delivered[r], msg) {
+			res.Verified = false
+		}
+	}
+	for _, h := range c.Hosts {
+		res.HostStats = append(res.HostStats, h.Stats())
+	}
+	return res, nil
+}
+
+// RunRawUDP is a convenience wrapper running the unreliable baseline.
+func RunRawUDP(ccfg Config, packetSize, msgSize int) (*Result, error) {
+	return Run(ccfg, core.Config{
+		Protocol:     core.ProtoRawUDP,
+		NumReceivers: ccfg.NumReceivers,
+		PacketSize:   packetSize,
+	}, msgSize)
+}

@@ -1,0 +1,231 @@
+// Package core implements the four families of reliable multicast
+// protocols studied in the paper — ACK-based, NAK-based with polling,
+// ring-based, and tree-based over flat trees — as transport-agnostic
+// event-driven state machines, plus the raw-UDP baseline.
+//
+// Protocol endpoints are driven through the Env interface by a runner:
+// the simulated cluster (internal/cluster) runs many endpoints in one
+// discrete-event process, and the live transport (internal/live) runs
+// one endpoint per real UDP multicast socket. Protocol logic is written
+// once and shared.
+//
+// All protocols share the paper's Section 4 machinery: the two-phase
+// buffer-allocation handshake (Figure 6), window-based Go-Back-N flow
+// control, sender-driven error control with a retransmission timer, and
+// a retransmission-suppression interval so a burst of NAKs triggers at
+// most one Go-Back-N resend.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"rmcast/internal/packet"
+)
+
+// NodeID identifies a node in the multicast session. The sender is node
+// 0; receivers are ranked 1..NumReceivers.
+type NodeID int
+
+// SenderID is the sender's NodeID.
+const SenderID NodeID = 0
+
+// Protocol selects one of the studied reliable multicast protocols.
+type Protocol int
+
+const (
+	// ProtoACK: every receiver positively acknowledges every packet.
+	ProtoACK Protocol = iota
+	// ProtoNAK: receivers NAK gaps; the sender polls every i'th packet
+	// for positive acknowledgment to bound buffer occupancy.
+	ProtoNAK
+	// ProtoRing: receivers acknowledge in round-robin rotation; receiver
+	// k ACKs packets k, k+N, k+2N, ... The last packet is ACKed by all.
+	ProtoRing
+	// ProtoTree: receivers form flat-tree chains of height H; ACKs
+	// aggregate along each chain and only chain heads talk to the sender.
+	ProtoTree
+	// ProtoRawUDP: the unreliable baseline — blast and a single reply on
+	// the last packet.
+	ProtoRawUDP
+)
+
+var protoNames = [...]string{"ack", "nak", "ring", "tree", "rawudp"}
+
+func (p Protocol) String() string {
+	if int(p) < len(protoNames) {
+		return protoNames[p]
+	}
+	return fmt.Sprintf("protocol(%d)", int(p))
+}
+
+// ParseProtocol converts a protocol name to its Protocol value.
+func ParseProtocol(s string) (Protocol, error) {
+	for i, n := range protoNames {
+		if n == s {
+			return Protocol(i), nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown protocol %q", s)
+}
+
+// TimerID names a pending Env timer; the zero value means "no timer".
+type TimerID uint64
+
+// Env is the runtime a protocol endpoint executes in. Implementations:
+// the simulated cluster node and the live UDP node. All methods are
+// non-blocking; time-consuming effects (CPU charges, wire time) happen
+// behind the scenes.
+type Env interface {
+	// Now returns the node-local notion of elapsed time.
+	Now() time.Duration
+	// Send unicasts p to node to.
+	Send(to NodeID, p *packet.Packet)
+	// Multicast sends p to the whole group (the sender's data channel).
+	Multicast(p *packet.Packet)
+	// SetTimer runs fn after d. Cancelling an already-fired timer is a
+	// no-op, so endpoints guard handlers with generation counters.
+	SetTimer(d time.Duration, fn func()) TimerID
+	// CancelTimer cancels a pending timer.
+	CancelTimer(id TimerID)
+	// UserCopy charges the cost of copying n bytes between the
+	// application message and the protocol buffer (a no-op on the live
+	// transport, where the copy physically happens in Send).
+	UserCopy(n int)
+}
+
+// Config parameterizes a multicast session. The same Config must be used
+// by the sender and all receivers.
+type Config struct {
+	// Protocol selects the reliability scheme.
+	Protocol Protocol
+	// NumReceivers is the group size (receivers are ranked 1..N).
+	NumReceivers int
+	// PacketSize is the data payload carried per packet, 1..MaxDatagram
+	// minus header.
+	PacketSize int
+	// WindowSize is the Go-Back-N window in packets.
+	WindowSize int
+	// PollInterval i flags every i'th packet for acknowledgment
+	// (NAK-based protocol only). The last packet is always flagged.
+	PollInterval int
+	// TreeHeight H is the flat-tree chain length (tree protocol only).
+	// H=1 degenerates to the ACK-based protocol; H=NumReceivers is a
+	// single chain.
+	TreeHeight int
+	// RetransTimeout is the sender-driven retransmission timeout.
+	RetransTimeout time.Duration
+	// AllocTimeout is the retransmission timeout for the buffer
+	// allocation handshake.
+	AllocTimeout time.Duration
+	// SuppressInterval is the paper's sender-side NAK/retransmission
+	// suppression: at most one Go-Back-N retransmission per interval.
+	SuppressInterval time.Duration
+	// NakInterval rate-limits each receiver's NAK generation.
+	NakInterval time.Duration
+	// NoUserCopy skips the user-space copy into the protocol buffer —
+	// the deliberately incorrect variant of the paper's Figure 9.
+	NoUserCopy bool
+	// SelectiveRepeat switches error recovery from Go-Back-N to
+	// selective repeat: receivers buffer out-of-order packets (directly
+	// into the preallocated message buffer) and the sender retransmits
+	// only NAKed/timed-out packets. The paper chose Go-Back-N because
+	// wired-LAN error rates make the schemes perform identically while
+	// Go-Back-N is simpler; this option exists to test that claim
+	// (ablation_gobackn).
+	SelectiveRepeat bool
+	// NakSuppression enables the receiver-side multicast NAK
+	// suppression scheme of Pingali [16] that the paper describes but
+	// does not use: a receiver detecting a gap waits a random delay and
+	// then multicasts its NAK; receivers that overhear a NAK covering
+	// their own gap behave as if they had sent it. The paper's
+	// implementation relies on sender-side suppression instead
+	// (SuppressInterval); this option exists for the comparison
+	// (ablation_naksupp).
+	NakSuppression bool
+	// PaceInterval, when positive, adds rate-based pacing on top of the
+	// window: the sender spaces first transmissions of data packets at
+	// least this far apart. The paper notes flow control "can either be
+	// rate-based or window-based"; this implements the hybrid.
+	PaceInterval time.Duration
+}
+
+// Defaults for the timing knobs, chosen for a sub-millisecond-RTT LAN.
+// The retransmission timeout must exceed the protocol's longest natural
+// acknowledgment silence — for the NAK protocol that is the poll
+// interval times the per-packet transmit time (43 polls × 4 ms for
+// 50 KB packets ≈ 180 ms), so the default is generous; on an error-free
+// LAN it never fires and costs nothing.
+const (
+	DefaultRetransTimeout   = 250 * time.Millisecond
+	DefaultAllocTimeout     = 10 * time.Millisecond
+	DefaultSuppressInterval = 5 * time.Millisecond
+	DefaultNakInterval      = 2 * time.Millisecond
+)
+
+// MaxPacketSize is the largest data payload per packet (the UDP maximum
+// minus the protocol header), ~64 KB as in the paper.
+const MaxPacketSize = 65507 - packet.HeaderLen
+
+// Normalize fills zero timing fields with defaults and returns an error
+// for invalid configurations.
+func (c Config) Normalize() (Config, error) {
+	if c.NumReceivers < 1 {
+		return c, errors.New("core: NumReceivers must be >= 1")
+	}
+	if c.PacketSize < 1 || c.PacketSize > MaxPacketSize {
+		return c, fmt.Errorf("core: PacketSize %d out of range [1,%d]", c.PacketSize, MaxPacketSize)
+	}
+	if c.WindowSize < 1 && c.Protocol != ProtoRawUDP {
+		return c, errors.New("core: WindowSize must be >= 1")
+	}
+	switch c.Protocol {
+	case ProtoNAK:
+		if c.PollInterval < 1 {
+			return c, errors.New("core: NAK protocol requires PollInterval >= 1")
+		}
+		if c.PollInterval > c.WindowSize {
+			return c, fmt.Errorf("core: PollInterval %d exceeds WindowSize %d (the window could deadlock)",
+				c.PollInterval, c.WindowSize)
+		}
+	case ProtoRing:
+		if c.WindowSize <= c.NumReceivers {
+			return c, fmt.Errorf("core: ring protocol requires WindowSize > NumReceivers (%d <= %d): "+
+				"an ACK for packet X only frees packet X-N", c.WindowSize, c.NumReceivers)
+		}
+	case ProtoTree:
+		if c.TreeHeight < 1 || c.TreeHeight > c.NumReceivers {
+			return c, fmt.Errorf("core: TreeHeight %d out of range [1,%d]", c.TreeHeight, c.NumReceivers)
+		}
+	}
+	if c.RetransTimeout == 0 {
+		c.RetransTimeout = DefaultRetransTimeout
+	}
+	if c.AllocTimeout == 0 {
+		c.AllocTimeout = DefaultAllocTimeout
+	}
+	if c.SuppressInterval == 0 {
+		c.SuppressInterval = DefaultSuppressInterval
+	}
+	if c.NakInterval == 0 {
+		c.NakInterval = DefaultNakInterval
+	}
+	return c, nil
+}
+
+// PacketCount returns the number of data packets for a message of size
+// bytes under config c (at least 1: a zero-byte message still sends one
+// empty packet so the handshake and completion logic are uniform).
+func (c Config) PacketCount(size int) uint32 {
+	if size <= 0 {
+		return 1
+	}
+	return uint32((size + c.PacketSize - 1) / c.PacketSize)
+}
+
+// Endpoint is the packet-input side of any protocol endpoint.
+type Endpoint interface {
+	// OnPacket handles a decoded packet from node from.
+	OnPacket(from NodeID, p *packet.Packet)
+}

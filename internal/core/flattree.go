@@ -1,0 +1,77 @@
+package core
+
+// FlatTree is the paper's logical receiver structure for the tree-based
+// protocol (Figure 5): N receivers partitioned into ceil(N/H) chains of
+// length at most H. Within a chain, a node acknowledges its predecessor
+// only after hearing from its successor, so each chain produces a single
+// aggregated acknowledgment stream and has at most one control
+// transmission in flight — the maximum number of simultaneous
+// transmissions is N/H.
+//
+// Receivers rank 1..N are assigned round-robin: chain c (0-based)
+// contains ranks c+1, c+1+numChains, c+1+2·numChains, ...
+//
+// H=1 yields N single-node chains: every receiver reports directly to
+// the sender, which is exactly the ACK-based protocol. H=N yields one
+// chain through every receiver.
+type FlatTree struct {
+	N int // number of receivers
+	H int // chain height
+}
+
+// NewFlatTree builds the structure, panicking on invalid shapes (the
+// Config.Normalize path reports them as errors first).
+func NewFlatTree(n, h int) FlatTree {
+	if n < 1 || h < 1 || h > n {
+		panic("core: invalid flat tree shape")
+	}
+	return FlatTree{N: n, H: h}
+}
+
+// NumChains returns ceil(N/H), the number of chains (and the number of
+// acknowledgment streams the sender processes).
+func (t FlatTree) NumChains() int { return (t.N + t.H - 1) / t.H }
+
+// Chain returns the 0-based chain index of receiver rank.
+func (t FlatTree) Chain(rank NodeID) int { return (int(rank) - 1) % t.NumChains() }
+
+// Depth returns the 0-based position of rank within its chain (0 is the
+// chain head, reporting directly to the sender).
+func (t FlatTree) Depth(rank NodeID) int { return (int(rank) - 1) / t.NumChains() }
+
+// Pred returns the node rank acknowledges to: the sender for chain
+// heads, otherwise the previous node in the chain.
+func (t FlatTree) Pred(rank NodeID) NodeID {
+	if t.Depth(rank) == 0 {
+		return SenderID
+	}
+	return rank - NodeID(t.NumChains())
+}
+
+// Succ returns the chain successor of rank, or false if rank is the
+// chain tail.
+func (t FlatTree) Succ(rank NodeID) (NodeID, bool) {
+	s := rank + NodeID(t.NumChains())
+	if int(s) > t.N {
+		return 0, false
+	}
+	return s, true
+}
+
+// Heads returns the chain-head ranks — the only receivers whose
+// acknowledgments the sender processes.
+func (t FlatTree) Heads() []NodeID {
+	nc := t.NumChains()
+	heads := make([]NodeID, nc)
+	for c := 0; c < nc; c++ {
+		heads[c] = NodeID(c + 1)
+	}
+	return heads
+}
+
+// ChainLen returns the length of chain c. Members are the ranks
+// c+1, c+1+nc, c+1+2·nc, ... up to N.
+func (t FlatTree) ChainLen(c int) int {
+	nc := t.NumChains()
+	return (t.N-(c+1))/nc + 1
+}

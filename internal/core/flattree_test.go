@@ -1,0 +1,184 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFlatTreeExamplesFromPaper(t *testing.T) {
+	// Figure 5: N=16 with H=16 (one chain), H=3, H=1.
+	one := NewFlatTree(16, 16)
+	if one.NumChains() != 1 {
+		t.Errorf("H=N: NumChains = %d, want 1", one.NumChains())
+	}
+	flat := NewFlatTree(16, 1)
+	if flat.NumChains() != 16 {
+		t.Errorf("H=1: NumChains = %d, want 16", flat.NumChains())
+	}
+	for r := NodeID(1); r <= 16; r++ {
+		if flat.Pred(r) != SenderID {
+			t.Errorf("H=1: Pred(%d) = %d, want sender", r, flat.Pred(r))
+		}
+		if _, ok := flat.Succ(r); ok {
+			t.Errorf("H=1: rank %d has a successor", r)
+		}
+	}
+	mid := NewFlatTree(16, 3)
+	if mid.NumChains() != 6 {
+		t.Errorf("N=16,H=3: NumChains = %d, want 6", mid.NumChains())
+	}
+}
+
+func TestFlatTreeSingleChain(t *testing.T) {
+	tr := NewFlatTree(5, 5)
+	// One chain: 1 → 2 → 3 → 4 → 5 (1 is head).
+	if tr.Pred(1) != SenderID {
+		t.Error("head pred not sender")
+	}
+	for r := NodeID(2); r <= 5; r++ {
+		if tr.Pred(r) != r-1 {
+			t.Errorf("Pred(%d) = %d, want %d", r, tr.Pred(r), r-1)
+		}
+	}
+	if s, ok := tr.Succ(3); !ok || s != 4 {
+		t.Errorf("Succ(3) = %d,%v", s, ok)
+	}
+	if _, ok := tr.Succ(5); ok {
+		t.Error("tail has a successor")
+	}
+	if len(tr.Heads()) != 1 || tr.Heads()[0] != 1 {
+		t.Errorf("Heads = %v, want [1]", tr.Heads())
+	}
+}
+
+// TestFlatTreeStructureQuick checks the structural invariants for
+// arbitrary (N, H).
+func TestFlatTreeStructureQuick(t *testing.T) {
+	f := func(nRaw, hRaw uint8) bool {
+		n := int(nRaw%40) + 1
+		h := int(hRaw)%n + 1
+		tr := NewFlatTree(n, h)
+		nc := tr.NumChains()
+		if nc != (n+h-1)/h {
+			return false
+		}
+		// Every rank appears in exactly one chain; chain lengths ≤ H;
+		// pred/succ are mutually consistent; following Pred reaches the
+		// sender within H hops.
+		seen := make(map[NodeID]bool)
+		total := 0
+		for c := 0; c < nc; c++ {
+			l := tr.ChainLen(c)
+			if l < 1 || l > h {
+				return false
+			}
+			total += l
+		}
+		if total != n {
+			return false
+		}
+		for r := NodeID(1); int(r) <= n; r++ {
+			if seen[r] {
+				return false
+			}
+			seen[r] = true
+			if s, ok := tr.Succ(r); ok {
+				if tr.Pred(s) != r {
+					return false
+				}
+				if tr.Chain(s) != tr.Chain(r) {
+					return false
+				}
+			}
+			hops := 0
+			for node := r; node != SenderID; node = tr.Pred(node) {
+				hops++
+				if hops > h {
+					return false
+				}
+			}
+			if tr.Depth(r) != hops-1 {
+				return false
+			}
+		}
+		// Heads are exactly the depth-0 nodes.
+		heads := tr.Heads()
+		if len(heads) != nc {
+			return false
+		}
+		for _, hd := range heads {
+			if tr.Depth(hd) != 0 || tr.Pred(hd) != SenderID {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlatTreeInvalidPanics(t *testing.T) {
+	for _, c := range []struct{ n, h int }{{0, 1}, {4, 0}, {4, 5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewFlatTree(%d,%d) did not panic", c.n, c.h)
+				}
+			}()
+			NewFlatTree(c.n, c.h)
+		}()
+	}
+}
+
+func TestTable1MatchesPaper(t *testing.T) {
+	rows := Table1()
+	want := map[Protocol][2]Requirement{
+		ProtoACK:  {Low, Low},
+		ProtoNAK:  {High, Low},
+		ProtoRing: {High, High},
+		ProtoTree: {Low, High},
+	}
+	if len(rows) != 4 {
+		t.Fatalf("Table1 has %d rows, want 4", len(rows))
+	}
+	for _, r := range rows {
+		w := want[r.Protocol]
+		if r.Memory != w[0] || r.Complexity != w[1] {
+			t.Errorf("%v: got (%v,%v), want (%v,%v)", r.Protocol, r.Memory, r.Complexity, w[0], w[1])
+		}
+	}
+}
+
+func TestTable2Formulas(t *testing.T) {
+	rows := Table2(30, 10, 6)
+	byProto := map[Protocol]Load{}
+	for _, r := range rows {
+		byProto[r.Protocol] = r
+	}
+	if got := byProto[ProtoACK]; got.SenderRecvs != 30 || got.ControlPackets != 30 {
+		t.Errorf("ACK row: %+v", got)
+	}
+	if got := byProto[ProtoNAK]; got.SenderRecvs != 3 || got.ControlPackets != 3 {
+		t.Errorf("NAK row: %+v", got)
+	}
+	if got := byProto[ProtoRing]; got.SenderRecvs != 1 || got.ControlPackets != 1 {
+		t.Errorf("ring row: %+v", got)
+	}
+	if got := byProto[ProtoTree]; got.SenderRecvs != 5 || got.ControlPackets != 30 {
+		t.Errorf("tree row: %+v", got)
+	}
+}
+
+func TestLoadFor(t *testing.T) {
+	cfg := Config{Protocol: ProtoTree, NumReceivers: 30, TreeHeight: 15}
+	l := LoadFor(cfg)
+	if l.SenderRecvs != 2 {
+		t.Errorf("tree H=15 sender recvs = %v, want 2", l.SenderRecvs)
+	}
+	// Zero poll/height fall back to 1 rather than dividing by zero.
+	l = LoadFor(Config{Protocol: ProtoNAK, NumReceivers: 10})
+	if l.SenderRecvs != 10 {
+		t.Errorf("NAK i=0 fallback: %v", l.SenderRecvs)
+	}
+}

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"fmt"
+
+	"rmcast/internal/packet"
+)
+
+// RawSender is the paper's Figure 9 baseline: raw UDP over IP multicast.
+// It blasts every packet once with no allocation handshake, no window,
+// no copies, and no retransmission; receivers reply once upon receipt of
+// the last packet. It is deliberately unreliable — under loss it simply
+// never completes — and exists to measure the reliable protocols'
+// overhead against.
+type RawSender struct {
+	env    Env
+	cfg    Config
+	onDone func()
+
+	msgID uint32
+	count uint32
+	acks  map[NodeID]bool
+	done  bool
+
+	stats SenderStats
+}
+
+// NewRawSender creates the baseline sender. Only NumReceivers and
+// PacketSize are used from cfg.
+func NewRawSender(env Env, cfg Config, onDone func()) (*RawSender, error) {
+	if cfg.NumReceivers < 1 {
+		return nil, fmt.Errorf("core: NumReceivers must be >= 1")
+	}
+	if cfg.PacketSize < 1 || cfg.PacketSize > MaxPacketSize {
+		return nil, fmt.Errorf("core: PacketSize %d out of range", cfg.PacketSize)
+	}
+	return &RawSender{env: env, cfg: cfg, onDone: onDone}, nil
+}
+
+// Stats returns the sender counters.
+func (s *RawSender) Stats() SenderStats { return s.stats }
+
+// Done reports whether every receiver has replied.
+func (s *RawSender) Done() bool { return s.done }
+
+// Start blasts msg to the group.
+func (s *RawSender) Start(msg []byte) {
+	s.msgID++
+	s.count = s.cfg.PacketCount(len(msg))
+	s.acks = make(map[NodeID]bool, s.cfg.NumReceivers)
+	s.done = false
+	for seq := uint32(0); seq < s.count; seq++ {
+		off := int(seq) * s.cfg.PacketSize
+		end := off + s.cfg.PacketSize
+		if end > len(msg) {
+			end = len(msg)
+		}
+		var chunk []byte
+		if off < len(msg) {
+			chunk = msg[off:end]
+		}
+		var flags packet.Flags
+		if seq == s.count-1 {
+			flags |= packet.FlagLast
+		}
+		s.stats.DataSent++
+		s.env.Multicast(&packet.Packet{
+			Type:    packet.TypeData,
+			Flags:   flags,
+			MsgID:   s.msgID,
+			Seq:     seq,
+			Aux:     uint32(off),
+			Payload: chunk,
+		})
+	}
+}
+
+// OnPacket collects the single reply each receiver sends.
+func (s *RawSender) OnPacket(from NodeID, p *packet.Packet) {
+	if p.Type != packet.TypeAck || p.MsgID != s.msgID || s.done {
+		return
+	}
+	if from < 1 || int(from) > s.cfg.NumReceivers {
+		return
+	}
+	s.stats.AcksReceived++
+	if s.acks[from] {
+		return
+	}
+	s.acks[from] = true
+	if len(s.acks) == s.cfg.NumReceivers {
+		s.done = true
+		if s.onDone != nil {
+			s.onDone()
+		}
+	}
+}
+
+// RawReceiver is the baseline receiver: it must be told the expected
+// message size out of band (the paper's measurement pre-arranged it),
+// replies once when the last packet arrives, and delivers only if every
+// packet actually made it.
+type RawReceiver struct {
+	env       Env
+	cfg       Config
+	rank      NodeID
+	size      int
+	onDeliver func([]byte)
+
+	msgID     uint32
+	buf       []byte
+	have      []bool
+	got       uint32
+	count     uint32
+	delivered bool
+
+	stats ReceiverStats
+}
+
+// NewRawReceiver creates the baseline receiver expecting messages of
+// exactly size bytes.
+func NewRawReceiver(env Env, cfg Config, rank NodeID, size int, onDeliver func([]byte)) (*RawReceiver, error) {
+	if rank < 1 || int(rank) > cfg.NumReceivers {
+		return nil, fmt.Errorf("core: rank %d out of range [1,%d]", rank, cfg.NumReceivers)
+	}
+	return &RawReceiver{env: env, cfg: cfg, rank: rank, size: size, onDeliver: onDeliver}, nil
+}
+
+// Stats returns the receiver counters.
+func (r *RawReceiver) Stats() ReceiverStats { return r.stats }
+
+// Delivered reports whether the full message arrived.
+func (r *RawReceiver) Delivered() bool { return r.delivered }
+
+// OnPacket handles one blasted data packet.
+func (r *RawReceiver) OnPacket(from NodeID, p *packet.Packet) {
+	if p.Type != packet.TypeData {
+		return
+	}
+	if p.MsgID != r.msgID || r.buf == nil {
+		r.msgID = p.MsgID
+		r.buf = make([]byte, r.size)
+		r.count = r.cfg.PacketCount(r.size)
+		r.have = make([]bool, r.count)
+		r.got = 0
+		r.delivered = false
+	}
+	if int(p.Seq) < len(r.have) && !r.have[p.Seq] {
+		r.have[p.Seq] = true
+		r.got++
+		off := int(p.Aux)
+		if off+len(p.Payload) <= len(r.buf) {
+			copy(r.buf[off:], p.Payload)
+		}
+		r.stats.DataReceived++
+	} else {
+		r.stats.Duplicates++
+	}
+	if p.Flags&packet.FlagLast != 0 {
+		// Reply on receipt of the last packet, complete or not: this is
+		// exactly how the paper measured raw UDP.
+		r.stats.AcksSent++
+		r.env.Send(SenderID, &packet.Packet{Type: packet.TypeAck, MsgID: r.msgID, Seq: r.count})
+	}
+	if r.got == r.count && !r.delivered {
+		r.delivered = true
+		if r.onDeliver != nil {
+			r.onDeliver(r.buf)
+		}
+	}
+}

@@ -1,0 +1,428 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"rmcast/internal/packet"
+	"rmcast/internal/rng"
+)
+
+// ReceiverStats counts a receiver's protocol activity.
+type ReceiverStats struct {
+	DataReceived  uint64 // in-order data packets accepted
+	Duplicates    uint64 // data packets below the expected sequence
+	Gaps          uint64 // data packets above the expected sequence (dropped, Go-Back-N)
+	AcksSent      uint64 // acknowledgments sent (to the sender or a tree predecessor)
+	NaksSent      uint64 // NAKs sent
+	NaksThrottled uint64 // NAK opportunities absorbed by rate limiting
+	AcksRelayed   uint64 // tree only: successor acknowledgments processed
+}
+
+// Receiver is the receiver-side state machine for all four reliable
+// protocols. The protocol differences are concentrated in ackOnAccept
+// and ackOnDuplicate; everything else — allocation, in-order assembly,
+// gap NAKs, delivery — is shared.
+type Receiver struct {
+	env       Env
+	cfg       Config
+	rank      NodeID
+	onDeliver func(msg []byte)
+
+	active     bool
+	msgID      uint32
+	buf        []byte
+	count      uint32
+	next       uint32 // next expected sequence
+	have       []bool // selective repeat: per-packet receipt map
+	delivered  bool
+	lastNak    time.Duration
+	lastDupAck time.Duration
+
+	// Receiver-side NAK suppression state (Config.NakSuppression).
+	nakTimer   TimerID
+	nakGen     uint64
+	nakPending bool
+	rand       *rng.Rand
+
+	// Selective repeat: sequences stored out of order whose
+	// acknowledgment duty (poll flag, ring rotation slot) is still owed
+	// and falls due when the in-order run passes them.
+	owedAcks []uint32
+
+	// Tree-protocol chain state.
+	tree    FlatTree
+	isTree  bool
+	pred    NodeID
+	succ    NodeID
+	hasSucc bool
+	succAck uint32 // cumulative ack received from the successor
+	ackSent uint32 // cumulative ack last propagated to the predecessor
+
+	stats ReceiverStats
+}
+
+// NewReceiver creates the receiver ranked rank (1..NumReceivers).
+// onDeliver runs once per message with the fully assembled payload.
+func NewReceiver(env Env, cfg Config, rank NodeID, onDeliver func([]byte)) (*Receiver, error) {
+	cfg, err := cfg.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Protocol == ProtoRawUDP {
+		return nil, fmt.Errorf("core: use NewRawReceiver for the raw UDP baseline")
+	}
+	if rank < 1 || int(rank) > cfg.NumReceivers {
+		return nil, fmt.Errorf("core: rank %d out of range [1,%d]", rank, cfg.NumReceivers)
+	}
+	r := &Receiver{
+		env:        env,
+		cfg:        cfg,
+		rank:       rank,
+		onDeliver:  onDeliver,
+		lastNak:    -time.Hour,
+		lastDupAck: -time.Hour,
+		rand:       rng.New(rng.Mix(uint64(rank), 0x4E414B)),
+	}
+	if cfg.Protocol == ProtoTree {
+		r.tree = NewFlatTree(cfg.NumReceivers, cfg.TreeHeight)
+		r.isTree = true
+		r.pred = r.tree.Pred(rank)
+		r.succ, r.hasSucc = r.tree.Succ(rank)
+	}
+	return r, nil
+}
+
+// Stats returns a snapshot of the receiver counters.
+func (r *Receiver) Stats() ReceiverStats { return r.stats }
+
+// Delivered reports whether the current message has been delivered.
+func (r *Receiver) Delivered() bool { return r.delivered }
+
+// OnPacket dispatches an incoming packet.
+func (r *Receiver) OnPacket(from NodeID, p *packet.Packet) {
+	switch p.Type {
+	case packet.TypeAllocReq:
+		r.onAllocReq(p)
+	case packet.TypeData:
+		r.onData(p)
+	case packet.TypeAck:
+		r.onSuccessorAck(from, p)
+	case packet.TypeNak:
+		// Only multicast NAKs from other receivers reach us, and only
+		// under the receiver-side suppression scheme.
+		if from != SenderID {
+			r.onOverheardNak(p)
+		}
+	}
+}
+
+// onAllocReq handles phase 1 of the session: allocate the message buffer
+// and confirm. Duplicate requests (the sender retransmits them until
+// every confirmation arrives) are re-confirmed idempotently.
+func (r *Receiver) onAllocReq(p *packet.Packet) {
+	if !r.active || r.msgID != p.MsgID {
+		size := int(p.Aux)
+		r.active = true
+		r.msgID = p.MsgID
+		r.buf = make([]byte, size)
+		r.count = r.cfg.PacketCount(size)
+		r.next = 0
+		r.delivered = false
+		r.succAck = 0
+		r.ackSent = 0
+		r.nakPending = false
+		r.nakGen++
+		r.owedAcks = r.owedAcks[:0]
+		if r.cfg.SelectiveRepeat {
+			r.have = make([]bool, r.count)
+		} else {
+			r.have = nil
+		}
+	}
+	r.send(SenderID, &packet.Packet{Type: packet.TypeAllocOK, MsgID: r.msgID, Aux: p.Aux})
+}
+
+func (r *Receiver) onData(p *packet.Packet) {
+	if !r.active || p.MsgID != r.msgID {
+		// Data for a session we never saw the allocation for: the
+		// allocation retransmission will repair this; drop meanwhile.
+		return
+	}
+	switch {
+	case p.Seq == r.next:
+		r.accept(p)
+	case p.Seq > r.next:
+		r.stats.Gaps++
+		if r.cfg.SelectiveRepeat && int(p.Seq) < len(r.have) && !r.have[p.Seq] {
+			// Selective repeat: keep the out-of-order packet (writing
+			// straight into the preallocated message buffer) and report
+			// only the missing sequence.
+			if r.store(p) && r.owesAckFor(p) {
+				r.owedAcks = append(r.owedAcks, p.Seq)
+			}
+		}
+		r.maybeNak()
+	default:
+		r.stats.Duplicates++
+		r.ackOnDuplicate(p)
+	}
+}
+
+// store writes p's payload into the message buffer (selective repeat).
+func (r *Receiver) store(p *packet.Packet) bool {
+	off := int(p.Aux)
+	if off+len(p.Payload) > len(r.buf) {
+		// Corrupt or inconsistent packet; drop. (Cannot happen with a
+		// well-behaved sender; guards the live transport.)
+		return false
+	}
+	copy(r.buf[off:], p.Payload)
+	if r.have != nil {
+		r.have[p.Seq] = true
+	}
+	return true
+}
+
+// accept consumes the in-order packet p.
+func (r *Receiver) accept(p *packet.Packet) {
+	if !r.store(p) {
+		return
+	}
+	r.next++
+	// Selective repeat: packets buffered ahead extend the run.
+	for r.have != nil && int(r.next) < len(r.have) && r.have[r.next] {
+		r.next++
+	}
+	r.stats.DataReceived++
+	if r.nakPending && !r.missingAnything() {
+		// The gap healed; withdraw the pending suppressed NAK.
+		r.cancelNak()
+	}
+	r.ackOnAccept(p)
+	r.settleOwedAcks()
+	if r.next == r.count && !r.delivered {
+		r.delivered = true
+		if r.onDeliver != nil {
+			r.onDeliver(r.buf)
+		}
+	}
+}
+
+// owesAckFor reports whether packet p, were it received in order, would
+// oblige this receiver to acknowledge (poll flag, ring rotation slot,
+// last-packet rule). ACK-based and tree acks are cumulative per packet
+// and need no deferred bookkeeping.
+func (r *Receiver) owesAckFor(p *packet.Packet) bool {
+	switch r.cfg.Protocol {
+	case ProtoNAK:
+		return p.Flags&packet.FlagPoll != 0
+	case ProtoRing:
+		return r.ringResponsible(p.Seq) || p.Flags&packet.FlagLast != 0
+	default:
+		return false
+	}
+}
+
+// settleOwedAcks pays acknowledgment duties for out-of-order packets the
+// in-order run has now covered. One cumulative ack covers all of them.
+func (r *Receiver) settleOwedAcks() {
+	if len(r.owedAcks) == 0 {
+		return
+	}
+	due := false
+	kept := r.owedAcks[:0]
+	for _, seq := range r.owedAcks {
+		if seq < r.next {
+			due = true
+		} else {
+			kept = append(kept, seq)
+		}
+	}
+	r.owedAcks = kept
+	if due {
+		r.sendAck(SenderID, r.next)
+	}
+}
+
+// missingAnything reports whether a gap remains below the highest
+// received sequence.
+func (r *Receiver) missingAnything() bool {
+	if r.have == nil {
+		return false // Go-Back-N tracks only r.next
+	}
+	for s := int(r.next); s < len(r.have); s++ {
+		if r.have[s] {
+			return true // something beyond next arrived: next is a gap
+		}
+	}
+	return false
+}
+
+// ackOnAccept implements each protocol's acknowledgment rule for a newly
+// accepted in-order packet.
+func (r *Receiver) ackOnAccept(p *packet.Packet) {
+	switch r.cfg.Protocol {
+	case ProtoACK:
+		// Every receiver ACKs every packet: the ACK implosion source.
+		r.sendAck(SenderID, r.next)
+	case ProtoNAK:
+		// Only polled packets are acknowledged.
+		if p.Flags&packet.FlagPoll != 0 {
+			r.sendAck(SenderID, r.next)
+		}
+	case ProtoRing:
+		// Rotating responsibility: receiver k ACKs packets with
+		// seq ≡ k-1 (mod N), cumulatively; the last packet is ACKed by
+		// everyone (the paper's second LAN modification).
+		if r.ringResponsible(p.Seq) || p.Flags&packet.FlagLast != 0 {
+			r.sendAck(SenderID, r.next)
+		}
+	case ProtoTree:
+		r.propagateTreeAck(false)
+	}
+}
+
+// ackOnDuplicate re-acknowledges retransmitted packets so lost
+// acknowledgments cannot stall the sender. Re-acks are cumulative, so
+// one per NakInterval suffices no matter how large the retransmission
+// burst was — without the limit a Go-Back-N burst provokes a burst of
+// identical re-acks, which on a shared CSMA/CD segment feeds the very
+// collision storm that caused the timeout.
+func (r *Receiver) ackOnDuplicate(p *packet.Packet) {
+	wantAck := false
+	switch r.cfg.Protocol {
+	case ProtoACK:
+		wantAck = true
+	case ProtoNAK:
+		wantAck = p.Flags&packet.FlagPoll != 0
+	case ProtoRing:
+		wantAck = r.ringResponsible(p.Seq) || p.Flags&packet.FlagLast != 0
+	case ProtoTree:
+		// Re-propagate the current aggregate so a lost chain ACK is
+		// repaired hop by hop on each retransmission round.
+		wantAck = true
+	}
+	if !wantAck {
+		return
+	}
+	now := r.env.Now()
+	if now-r.lastDupAck < r.cfg.NakInterval {
+		return
+	}
+	r.lastDupAck = now
+	if r.cfg.Protocol == ProtoTree {
+		r.propagateTreeAck(true)
+	} else {
+		r.sendAck(SenderID, r.next)
+	}
+}
+
+// ringResponsible reports whether this receiver's rotation slot covers
+// sequence seq.
+func (r *Receiver) ringResponsible(seq uint32) bool {
+	return int(seq)%r.cfg.NumReceivers == int(r.rank)-1
+}
+
+// onSuccessorAck handles the tree protocol's chain aggregation: a
+// cumulative acknowledgment from our successor raises the aggregate we
+// may report upstream.
+func (r *Receiver) onSuccessorAck(from NodeID, p *packet.Packet) {
+	if !r.isTree || !r.active || p.MsgID != r.msgID {
+		return
+	}
+	if !r.hasSucc || from != r.succ {
+		return // not from our successor; ignore
+	}
+	r.stats.AcksRelayed++
+	if p.Seq > r.succAck {
+		r.succAck = p.Seq
+		r.propagateTreeAck(false)
+	}
+}
+
+// propagateTreeAck sends min(own progress, successor aggregate) to the
+// predecessor when it has grown — or unconditionally when force is set
+// (duplicate-data repair).
+func (r *Receiver) propagateTreeAck(force bool) {
+	agg := r.next
+	if r.hasSucc && r.succAck < agg {
+		agg = r.succAck
+	}
+	if agg > r.ackSent || (force && agg > 0) {
+		r.ackSent = agg
+		r.sendAck(r.pred, agg)
+	}
+}
+
+// maybeNak reports the gap at r.next: directly to the sender
+// (rate-limited) by default, or via the randomized multicast
+// suppression scheme when Config.NakSuppression is set.
+func (r *Receiver) maybeNak() {
+	if r.cfg.NakSuppression {
+		r.scheduleSuppressedNak()
+		return
+	}
+	now := r.env.Now()
+	if now-r.lastNak < r.cfg.NakInterval {
+		r.stats.NaksThrottled++
+		return
+	}
+	r.lastNak = now
+	r.stats.NaksSent++
+	r.send(SenderID, &packet.Packet{Type: packet.TypeNak, MsgID: r.msgID, Seq: r.next})
+}
+
+// scheduleSuppressedNak implements the Pingali-style scheme: wait a
+// random fraction of NakInterval, then multicast the NAK — unless an
+// overheard NAK covering our gap arrives first.
+func (r *Receiver) scheduleSuppressedNak() {
+	if r.nakPending {
+		return
+	}
+	r.nakPending = true
+	r.nakGen++
+	gen := r.nakGen
+	delay := time.Duration(r.rand.Float64() * float64(r.cfg.NakInterval))
+	r.nakTimer = r.env.SetTimer(delay, func() {
+		if gen != r.nakGen || !r.nakPending {
+			return
+		}
+		r.nakPending = false
+		r.lastNak = r.env.Now()
+		r.stats.NaksSent++
+		r.env.Multicast(&packet.Packet{Type: packet.TypeNak, MsgID: r.msgID, Seq: r.next})
+	})
+}
+
+// cancelNak withdraws a pending suppressed NAK.
+func (r *Receiver) cancelNak() {
+	if !r.nakPending {
+		return
+	}
+	r.nakPending = false
+	r.nakGen++
+	r.env.CancelTimer(r.nakTimer)
+}
+
+// onOverheardNak handles a multicast NAK from another receiver: if it
+// covers our own gap, behave as if we had sent ours.
+func (r *Receiver) onOverheardNak(p *packet.Packet) {
+	if !r.cfg.NakSuppression || !r.active || p.MsgID != r.msgID {
+		return
+	}
+	if r.nakPending && p.Seq <= r.next {
+		r.stats.NaksThrottled++
+		r.cancelNak()
+		r.lastNak = r.env.Now()
+	}
+}
+
+func (r *Receiver) sendAck(to NodeID, cum uint32) {
+	r.stats.AcksSent++
+	r.send(to, &packet.Packet{Type: packet.TypeAck, MsgID: r.msgID, Seq: cum})
+}
+
+func (r *Receiver) send(to NodeID, p *packet.Packet) {
+	r.env.Send(to, p)
+}

@@ -1,0 +1,420 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"rmcast/internal/packet"
+	"rmcast/internal/window"
+)
+
+// SenderStats counts the sender's protocol activity. The Table 2
+// validation tests check these against the paper's analytic per-packet
+// control costs.
+type SenderStats struct {
+	AllocSent       uint64 // allocation requests multicast
+	DataSent        uint64 // first transmissions of data packets
+	Retransmissions uint64 // data packets re-multicast
+	AcksReceived    uint64 // acknowledgment packets processed
+	NaksReceived    uint64 // NAK packets processed
+	Timeouts        uint64 // retransmission-timer firings
+	SuppressedNaks  uint64 // NAKs absorbed by the suppression interval
+}
+
+type senderPhase int
+
+const (
+	phaseIdle senderPhase = iota
+	phaseAlloc
+	phaseData
+	phaseDone
+)
+
+// Sender is the source-side state machine, shared by all four reliable
+// protocols: the differences between ACK/NAK/ring/tree live in which
+// packets carry the poll flag, which peers the cumulative-ack minimum
+// tracks, and how the receivers respond — the sender's window, timer,
+// and retransmission logic are identical, exactly as in the paper's
+// implementation, which reuses the window-based flow control and
+// sender-driven error control across protocols.
+type Sender struct {
+	env    Env
+	cfg    Config
+	onDone func()
+
+	msg      []byte
+	msgID    uint32
+	count    uint32
+	phase    senderPhase
+	win      *window.Sender
+	acks     *window.MinTracker
+	allocOK  map[NodeID]bool
+	tree     FlatTree
+	isTree   bool
+	timer    TimerID
+	timerGen uint64
+	// rtoMult implements exponential timeout backoff: consecutive
+	// timeouts without progress double the effective timeout (capped),
+	// so a congested or contended medium is not hammered with
+	// Go-Back-N bursts — essential on shared CSMA/CD segments, where a
+	// saturating sender starves the very acknowledgments it is waiting
+	// for (the Ethernet capture effect).
+	rtoMult time.Duration
+	// lastRetrans implements retransmission suppression; set so far in
+	// the past that the first retransmission is never suppressed.
+	lastRetrans time.Duration
+	// noProgress counts consecutive retransmission rounds that did not
+	// advance the window base; the suppression interval doubles with it
+	// (capped). Without this, a stream of NAKs from a slow receiver
+	// keeps the sender blasting full windows every SuppressInterval —
+	// each burst overflows the receiver's buffer again and the transfer
+	// collapses, with the retransmission timer never firing (every
+	// NAK-driven resend re-arms it) and so never backing off.
+	noProgress      uint32
+	lastRetransBase uint32
+	// lastResent tracks per-packet resend times for selective repeat's
+	// per-packet suppression. Entries below the window base are pruned
+	// as the base advances.
+	lastResent map[uint32]time.Duration
+	// nextSendAt implements optional rate pacing of first transmissions.
+	nextSendAt time.Duration
+	paceTimer  TimerID
+	paceGen    uint64
+
+	stats SenderStats
+}
+
+// NewSender creates a sender over env. onDone runs once when every
+// receiver has acknowledged the entire message. The config must already
+// be normalized.
+func NewSender(env Env, cfg Config, onDone func()) (*Sender, error) {
+	cfg, err := cfg.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Protocol == ProtoRawUDP {
+		return nil, fmt.Errorf("core: use NewRawSender for the raw UDP baseline")
+	}
+	s := &Sender{
+		env:         env,
+		cfg:         cfg,
+		onDone:      onDone,
+		rtoMult:     1,
+		lastRetrans: -time.Hour,
+		lastResent:  make(map[uint32]time.Duration),
+	}
+	if cfg.Protocol == ProtoTree {
+		s.tree = NewFlatTree(cfg.NumReceivers, cfg.TreeHeight)
+		s.isTree = true
+	}
+	return s, nil
+}
+
+// Stats returns a snapshot of the sender counters.
+func (s *Sender) Stats() SenderStats { return s.stats }
+
+// Done reports whether the current message is fully acknowledged.
+func (s *Sender) Done() bool { return s.phase == phaseDone }
+
+// Config returns the normalized session configuration.
+func (s *Sender) Config() Config { return s.cfg }
+
+// Start begins transferring msg. It panics if a transfer is already in
+// progress (sessions are sequential, as in the paper's experiments).
+func (s *Sender) Start(msg []byte) {
+	if s.phase == phaseAlloc || s.phase == phaseData {
+		panic("core: Sender.Start while a transfer is in progress")
+	}
+	s.msg = msg
+	s.msgID++
+	s.count = s.cfg.PacketCount(len(msg))
+	s.win = window.NewSender(s.cfg.WindowSize, s.count)
+	// The cumulative-ack minimum is tracked over chain heads for the
+	// tree protocol and over every receiver otherwise.
+	var peers []int
+	if s.isTree {
+		for _, h := range s.tree.Heads() {
+			peers = append(peers, int(h))
+		}
+	} else {
+		for r := 1; r <= s.cfg.NumReceivers; r++ {
+			peers = append(peers, r)
+		}
+	}
+	s.acks = window.NewMinTracker(peers)
+	s.allocOK = make(map[NodeID]bool, s.cfg.NumReceivers)
+	s.lastResent = make(map[uint32]time.Duration)
+	s.nextSendAt = 0
+	s.paceGen++
+	s.paceTimer = 0
+	s.noProgress = 0
+	s.lastRetransBase = ^uint32(0)
+	s.phase = phaseAlloc
+	s.sendAlloc()
+}
+
+// sendAlloc multicasts the buffer-allocation request (Figure 6, phase 1)
+// and arms its retransmission timer.
+func (s *Sender) sendAlloc() {
+	s.stats.AllocSent++
+	s.env.Multicast(&packet.Packet{
+		Type:  packet.TypeAllocReq,
+		MsgID: s.msgID,
+		Aux:   uint32(len(s.msg)),
+	})
+	s.armTimer(s.cfg.AllocTimeout * s.rtoMult)
+}
+
+// OnPacket dispatches an incoming control packet.
+func (s *Sender) OnPacket(from NodeID, p *packet.Packet) {
+	if p.MsgID != s.msgID {
+		return // stale or future session
+	}
+	switch p.Type {
+	case packet.TypeAllocOK:
+		s.onAllocOK(from)
+	case packet.TypeAck:
+		s.onAck(from, p.Seq)
+	case packet.TypeNak:
+		s.onNak(from, p.Seq)
+	}
+}
+
+func (s *Sender) onAllocOK(from NodeID) {
+	if s.phase != phaseAlloc {
+		return // duplicate after the data phase began
+	}
+	if from < 1 || int(from) > s.cfg.NumReceivers {
+		return
+	}
+	if s.allocOK[from] {
+		return
+	}
+	s.allocOK[from] = true
+	s.rtoMult = 1
+	if len(s.allocOK) < s.cfg.NumReceivers {
+		return
+	}
+	// Every receiver has a buffer: enter the data phase. The alloc
+	// timer is cancelled so it cannot fire as a spurious data timeout.
+	s.phase = phaseData
+	s.cancelTimer()
+	s.pump()
+}
+
+func (s *Sender) onAck(from NodeID, cum uint32) {
+	if s.phase != phaseData {
+		return
+	}
+	s.stats.AcksReceived++
+	if !s.acks.Update(int(from), cum) {
+		return
+	}
+	if s.win.Ack(s.acks.Min()) {
+		if s.win.Done() {
+			s.finish()
+			return
+		}
+		// Progress: reset the timeout backoff and the retransmission
+		// timer, prune stale selective-repeat bookkeeping, and refill
+		// the window.
+		s.rtoMult = 1
+		s.noProgress = 0
+		for seq := range s.lastResent {
+			if seq < s.win.Base {
+				delete(s.lastResent, seq)
+			}
+		}
+		s.armTimer(s.cfg.RetransTimeout)
+		s.pump()
+	}
+}
+
+func (s *Sender) onNak(from NodeID, seq uint32) {
+	s.stats.NaksReceived++
+	if s.phase != phaseData {
+		return
+	}
+	if seq < s.win.Base || seq >= s.win.Next {
+		return // already acknowledged everywhere, or never sent
+	}
+	if s.cfg.SelectiveRepeat {
+		// Resend exactly the missing packet, with per-packet suppression
+		// so a burst of NAKs for one loss triggers one resend.
+		now := s.env.Now()
+		if last, ok := s.lastResent[seq]; ok && now-last < s.cfg.SuppressInterval {
+			s.stats.SuppressedNaks++
+			return
+		}
+		s.lastResent[seq] = now
+		s.sendData(seq, true)
+		return
+	}
+	// Go-Back-N: a NAK for anything outstanding triggers a full-window
+	// retransmission (cumulative semantics), subject to suppression.
+	s.retransmit()
+}
+
+// pump transmits new packets while the window (and, if configured, the
+// rate pacer) allow.
+func (s *Sender) pump() {
+	for s.win.CanSend() {
+		if s.cfg.PaceInterval > 0 {
+			now := s.env.Now()
+			if now < s.nextSendAt {
+				s.schedulePump(s.nextSendAt - now)
+				break
+			}
+			s.nextSendAt = now + s.cfg.PaceInterval
+		}
+		seq := s.win.Sent()
+		s.sendData(seq, false)
+	}
+	if s.win.Outstanding() > 0 && s.timer == 0 {
+		s.armTimer(s.cfg.RetransTimeout)
+	}
+}
+
+// schedulePump resumes pump after the pacing gap.
+func (s *Sender) schedulePump(d time.Duration) {
+	if s.paceTimer != 0 {
+		return // already scheduled
+	}
+	s.paceGen++
+	gen := s.paceGen
+	s.paceTimer = s.env.SetTimer(d, func() {
+		if gen != s.paceGen {
+			return
+		}
+		s.paceTimer = 0
+		if s.phase == phaseData {
+			s.pump()
+		}
+	})
+}
+
+// sendData multicasts packet seq. retrans marks Go-Back-N resends, which
+// skip the user copy (the protocol buffer already holds the bytes).
+func (s *Sender) sendData(seq uint32, retrans bool) {
+	off := int(seq) * s.cfg.PacketSize
+	end := off + s.cfg.PacketSize
+	if end > len(s.msg) {
+		end = len(s.msg)
+	}
+	var chunk []byte
+	if off < len(s.msg) {
+		chunk = s.msg[off:end]
+	}
+	var flags packet.Flags
+	if seq == s.count-1 {
+		flags |= packet.FlagLast
+	}
+	if s.cfg.Protocol == ProtoNAK && (int(seq+1)%s.cfg.PollInterval == 0 || seq == s.count-1) {
+		flags |= packet.FlagPoll
+	}
+	if !retrans {
+		if !s.cfg.NoUserCopy {
+			// Copy from the user message into the protocol buffer. This
+			// is the copy Figure 9 isolates; retransmissions reuse the
+			// protocol buffer and never pay it again.
+			s.env.UserCopy(len(chunk))
+		}
+		s.stats.DataSent++
+	} else {
+		s.stats.Retransmissions++
+	}
+	s.env.Multicast(&packet.Packet{
+		Type:    packet.TypeData,
+		Flags:   flags,
+		MsgID:   s.msgID,
+		Seq:     seq,
+		Aux:     uint32(off),
+		Payload: chunk,
+	})
+}
+
+// retransmit performs one suppressed resend. Under Go-Back-N the whole
+// outstanding window goes out. Under selective repeat the first timeout
+// resends only the window base (NAKs cover data losses precisely), but
+// repeated timeouts without progress escalate to a full-window resend:
+// a lost *acknowledgment* stalls the window without any receiver owing
+// a NAK, and only re-offering the packets each receiver is responsible
+// for (ring rotation slots, polled packets) provokes the missing
+// cumulative acks again.
+func (s *Sender) retransmit() {
+	now := s.env.Now()
+	suppress := s.cfg.SuppressInterval << s.noProgress
+	if now-s.lastRetrans < suppress {
+		s.stats.SuppressedNaks++
+		return
+	}
+	if s.win.Base == s.lastRetransBase {
+		if s.noProgress < 6 {
+			s.noProgress++
+		}
+	} else {
+		s.noProgress = 0
+	}
+	s.lastRetransBase = s.win.Base
+	s.lastRetrans = now
+	firstTimeout := s.rtoMult <= 2
+	if s.cfg.SelectiveRepeat && firstTimeout {
+		if s.win.Outstanding() > 0 {
+			s.lastResent[s.win.Base] = now
+			s.sendData(s.win.Base, true)
+		}
+	} else {
+		for seq := s.win.Base; seq < s.win.Next; seq++ {
+			s.sendData(seq, true)
+		}
+	}
+	s.armTimer(s.cfg.RetransTimeout * s.rtoMult)
+}
+
+func (s *Sender) finish() {
+	s.phase = phaseDone
+	s.cancelTimer()
+	if s.onDone != nil {
+		s.onDone()
+	}
+}
+
+// armTimer (re)sets the single sender timer. Generation counters guard
+// against firings that were already queued when the timer was reset.
+func (s *Sender) armTimer(d time.Duration) {
+	s.cancelTimer()
+	s.timerGen++
+	gen := s.timerGen
+	s.timer = s.env.SetTimer(d, func() {
+		if gen != s.timerGen {
+			return
+		}
+		s.timer = 0
+		s.onTimeout()
+	})
+}
+
+func (s *Sender) cancelTimer() {
+	if s.timer != 0 {
+		s.env.CancelTimer(s.timer)
+		s.timer = 0
+	}
+	s.timerGen++
+}
+
+func (s *Sender) onTimeout() {
+	s.stats.Timeouts++
+	if s.rtoMult < 64 {
+		s.rtoMult *= 2
+	}
+	switch s.phase {
+	case phaseAlloc:
+		s.sendAlloc()
+	case phaseData:
+		s.retransmit()
+		if s.timer == 0 {
+			// retransmit was suppressed; keep the timer alive.
+			s.armTimer(s.cfg.RetransTimeout * s.rtoMult)
+		}
+	}
+}

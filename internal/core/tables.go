@@ -1,0 +1,117 @@
+package core
+
+// This file encodes the paper's analytic protocol characterizations:
+// Table 1 (memory requirement and implementation complexity) and
+// Table 2 (per-data-packet processing and control-packet counts).
+// The cluster integration tests validate the Table 2 formulas against
+// simulation counters; cmd/rmbench prints both tables.
+
+// Requirement is a qualitative low/high rating, as in Table 1.
+type Requirement int
+
+const (
+	// Low requirement/complexity.
+	Low Requirement = iota
+	// High requirement/complexity.
+	High
+)
+
+func (r Requirement) String() string {
+	if r == Low {
+		return "low"
+	}
+	return "high"
+}
+
+// Characteristics is one row of the paper's Table 1.
+type Characteristics struct {
+	Protocol   Protocol
+	Memory     Requirement // buffer requirement at the sender
+	Complexity Requirement // implementation complexity
+}
+
+// Table1 returns the paper's Table 1 verbatim: the qualitative memory
+// and complexity ratings of the four protocols.
+func Table1() []Characteristics {
+	return []Characteristics{
+		{ProtoACK, Low, Low},
+		{ProtoNAK, High, Low},
+		{ProtoRing, High, High},
+		{ProtoTree, Low, High},
+	}
+}
+
+// Load is one row of the paper's Table 2: the processing and network
+// load per data packet sent, in the error-free case.
+type Load struct {
+	Protocol Protocol
+	// SenderRecvs is the number of control packets the sender processes
+	// per data packet.
+	SenderRecvs float64
+	// ReceiverSends is the number of control packets each receiver
+	// sends per data packet.
+	ReceiverSends float64
+	// ReceiverRecvs is the number of control packets each receiver
+	// receives per data packet (tree chains relay acknowledgments).
+	ReceiverRecvs float64
+	// ControlPackets is the total number of control packets generated
+	// per data packet across the whole group.
+	ControlPackets float64
+}
+
+// Table2 returns the paper's Table 2 formulas instantiated for a group
+// of n receivers, poll interval i, and flat-tree height h.
+func Table2(n, i, h int) []Load {
+	fn := float64(n)
+	fi := float64(i)
+	fh := float64(h)
+	return []Load{
+		{
+			Protocol:       ProtoACK,
+			SenderRecvs:    fn,
+			ReceiverSends:  1,
+			ReceiverRecvs:  0,
+			ControlPackets: fn,
+		},
+		{
+			Protocol:       ProtoNAK,
+			SenderRecvs:    fn / fi,
+			ReceiverSends:  1 / fi,
+			ReceiverRecvs:  0,
+			ControlPackets: fn / fi,
+		},
+		{
+			Protocol:       ProtoRing,
+			SenderRecvs:    1,
+			ReceiverSends:  1 / fn,
+			ReceiverRecvs:  0,
+			ControlPackets: 1,
+		},
+		{
+			Protocol:       ProtoTree,
+			SenderRecvs:    fn / fh,
+			ReceiverSends:  1,
+			ReceiverRecvs:  1,
+			ControlPackets: fn,
+		},
+	}
+}
+
+// LoadFor returns the Table 2 row for one protocol under cfg.
+func LoadFor(cfg Config) Load {
+	i := cfg.PollInterval
+	if i == 0 {
+		i = 1
+	}
+	h := cfg.TreeHeight
+	if h == 0 {
+		h = 1
+	}
+	rows := Table2(cfg.NumReceivers, i, h)
+	for _, r := range rows {
+		if r.Protocol == cfg.Protocol {
+			return r
+		}
+	}
+	return Load{Protocol: cfg.Protocol}
+}

@@ -1,0 +1,176 @@
+package ethernet
+
+import (
+	"testing"
+	"time"
+
+	"rmcast/internal/sim"
+)
+
+func TestBusSingleStationNoCollisions(t *testing.T) {
+	s := sim.New()
+	b := NewBus(s, DefaultBusConfig())
+	c0 := &collector{s: s}
+	c1 := &collector{s: s}
+	st0 := b.Attach(0, c0, nil)
+	b.Attach(1, c1, nil)
+	for i := 0; i < 5; i++ {
+		st0.Send(&Frame{Src: 0, Dst: 1, WireBytes: 1538})
+	}
+	s.Run()
+	if len(c1.frames) != 5 {
+		t.Fatalf("delivered %d, want 5", len(c1.frames))
+	}
+	if st := b.Stats(); st.Collisions != 0 {
+		t.Errorf("collisions = %d, want 0", st.Collisions)
+	}
+}
+
+func TestBusSenderDoesNotHearItself(t *testing.T) {
+	s := sim.New()
+	b := NewBus(s, DefaultBusConfig())
+	c0 := &collector{s: s}
+	st0 := b.Attach(0, c0, nil)
+	b.Attach(1, &collector{s: s}, nil)
+	st0.Send(&Frame{Src: 0, Dst: Broadcast, WireBytes: 100})
+	s.Run()
+	if len(c0.frames) != 0 {
+		t.Fatal("station received its own broadcast")
+	}
+}
+
+func TestBusAddressFiltering(t *testing.T) {
+	s := sim.New()
+	b := NewBus(s, DefaultBusConfig())
+	st0 := b.Attach(0, &collector{s: s}, nil)
+	c1 := &collector{s: s}
+	c2 := &collector{s: s}
+	b.Attach(1, c1, nil)
+	b.Attach(2, c2, nil)
+	st0.Send(&Frame{Src: 0, Dst: 1, WireBytes: 100})
+	s.Run()
+	if len(c1.frames) != 1 || len(c2.frames) != 0 {
+		t.Fatalf("filtering broken: host1=%d host2=%d", len(c1.frames), len(c2.frames))
+	}
+}
+
+func TestBusMulticastGroupFilter(t *testing.T) {
+	s := sim.New()
+	b := NewBus(s, DefaultBusConfig())
+	st0 := b.Attach(0, &collector{s: s}, nil)
+	cIn := &collector{s: s}
+	cOut := &collector{s: s}
+	b.Attach(1, cIn, func(*Frame) bool { return true })
+	b.Attach(2, cOut, func(*Frame) bool { return false })
+	st0.Send(&Frame{Src: 0, Dst: Broadcast, Multicast: true, WireBytes: 100})
+	s.Run()
+	if len(cIn.frames) != 1 {
+		t.Error("group member did not receive multicast")
+	}
+	if len(cOut.frames) != 0 {
+		t.Error("non-member received multicast")
+	}
+}
+
+func TestBusCollisionAndBackoffResolve(t *testing.T) {
+	s := sim.New()
+	cfg := DefaultBusConfig()
+	cfg.Seed = 7
+	b := NewBus(s, cfg)
+	c := &collector{s: s}
+	b.Attach(99, c, nil)
+	const n = 5
+	sts := make([]*Station, n)
+	for i := 0; i < n; i++ {
+		sts[i] = b.Attach(Addr(i), &collector{s: s}, nil)
+	}
+	// All stations transmit at t=0: guaranteed collision, then backoff
+	// must eventually deliver every frame.
+	for i := 0; i < n; i++ {
+		sts[i].Send(&Frame{Src: Addr(i), Dst: 99, WireBytes: 1538})
+	}
+	s.Run()
+	if len(c.frames) != n {
+		t.Fatalf("delivered %d, want %d", len(c.frames), n)
+	}
+	if st := b.Stats(); st.Collisions == 0 {
+		t.Error("no collisions despite simultaneous start")
+	}
+}
+
+func TestBusCarrierSenseDefers(t *testing.T) {
+	s := sim.New()
+	b := NewBus(s, DefaultBusConfig())
+	c := &collector{s: s}
+	b.Attach(99, c, nil)
+	st0 := b.Attach(0, &collector{s: s}, nil)
+	st1 := b.Attach(1, &collector{s: s}, nil)
+	st0.Send(&Frame{Src: 0, Dst: 99, WireBytes: 12500}) // 1 ms on the wire
+	// Station 1 starts mid-transmission: must defer, not collide.
+	s.After(500*time.Microsecond, func() {
+		st1.Send(&Frame{Src: 1, Dst: 99, WireBytes: 1250})
+	})
+	s.Run()
+	if st := b.Stats(); st.Collisions != 0 {
+		t.Errorf("collisions = %d, want 0 (carrier sense should defer)", st.Collisions)
+	}
+	if len(c.frames) != 2 {
+		t.Fatalf("delivered %d, want 2", len(c.frames))
+	}
+	if c.frames[0].Src != 0 || c.frames[1].Src != 1 {
+		t.Error("frames delivered out of order")
+	}
+}
+
+func TestBusThroughputDegradesUnderContention(t *testing.T) {
+	// The property the paper leans on: many stations blasting a shared
+	// segment waste capacity on collisions, so total goodput time is
+	// strictly worse than the serialized ideal.
+	run := func(stations int) sim.Time {
+		s := sim.New()
+		cfg := DefaultBusConfig()
+		cfg.Seed = 42
+		b := NewBus(s, cfg)
+		c := &collector{s: s}
+		b.Attach(999, c, nil)
+		perStation := 20
+		for i := 0; i < stations; i++ {
+			st := b.Attach(Addr(i), &collector{s: s}, nil)
+			for j := 0; j < perStation; j++ {
+				st.Send(&Frame{Src: Addr(i), Dst: 999, WireBytes: 1538})
+			}
+		}
+		return s.Run()
+	}
+	t1 := run(1)
+	t16 := run(16)
+	// Same total frames per station count × stations — normalize.
+	perFrame1 := float64(t1) / 20
+	perFrame16 := float64(t16) / (16 * 20)
+	if perFrame16 <= perFrame1 {
+		t.Errorf("per-frame time with 16 contenders (%v) not worse than alone (%v)",
+			time.Duration(perFrame16), time.Duration(perFrame1))
+	}
+}
+
+func TestBusStationQueueCap(t *testing.T) {
+	s := sim.New()
+	cfg := DefaultBusConfig()
+	cfg.StationQueueCap = 2 * 1538
+	b := NewBus(s, cfg)
+	b.Attach(1, &collector{s: s}, nil)
+	st := b.Attach(0, &collector{s: s}, nil)
+	ok := 0
+	for i := 0; i < 5; i++ {
+		if st.Send(&Frame{Src: 0, Dst: 1, WireBytes: 1538}) {
+			ok++
+		}
+	}
+	if ok != 2 {
+		t.Errorf("accepted %d frames, want 2", ok)
+	}
+	if st2 := b.Stats(); st2.QueueDrops != 3 {
+		t.Errorf("QueueDrops = %d, want 3", st2.QueueDrops)
+	}
+	s.Run()
+}

@@ -1,0 +1,181 @@
+package ethernet
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"rmcast/internal/sim"
+)
+
+// collector records delivered frames with their arrival times.
+type collector struct {
+	s      *sim.Simulator
+	frames []*Frame
+	times  []sim.Time
+}
+
+func (c *collector) RecvFrame(f *Frame) {
+	c.frames = append(c.frames, f)
+	c.times = append(c.times, c.s.Now())
+}
+
+func TestWireSize(t *testing.T) {
+	cases := []struct{ payload, want int }{
+		{1500, 1538},
+		{46, 84},
+		{1, 84}, // padded to minimum
+		{0, 84}, // padded to minimum
+		{100, 138},
+	}
+	for _, c := range cases {
+		if got := WireSize(c.payload); got != c.want {
+			t.Errorf("WireSize(%d) = %d, want %d", c.payload, got, c.want)
+		}
+	}
+}
+
+func TestRateSerialize(t *testing.T) {
+	// 1538 bytes at 100 Mbps = 123.04 µs.
+	got := Rate100Mbps.Serialize(1538)
+	want := 123040 * time.Nanosecond
+	if got != want {
+		t.Errorf("Serialize(1538) = %v, want %v", got, want)
+	}
+	if got := Rate10Mbps.Serialize(1000); got != 800*time.Microsecond {
+		t.Errorf("10Mbps Serialize(1000) = %v, want 800µs", got)
+	}
+}
+
+func TestTxSerializationAndPropagation(t *testing.T) {
+	s := sim.New()
+	c := &collector{s: s}
+	tx := NewTx(s, TxConfig{Rate: Rate100Mbps, Propagation: time.Microsecond}, c)
+	f := &Frame{Src: 1, Dst: 2, WireBytes: 1250} // 100 µs at 100 Mbps
+	tx.Send(f)
+	s.Run()
+	if len(c.frames) != 1 {
+		t.Fatalf("delivered %d frames, want 1", len(c.frames))
+	}
+	if want := 101 * time.Microsecond; c.times[0] != want {
+		t.Errorf("arrival at %v, want %v", c.times[0], want)
+	}
+}
+
+func TestTxBackToBackFramesPipeline(t *testing.T) {
+	s := sim.New()
+	c := &collector{s: s}
+	tx := NewTx(s, TxConfig{Rate: Rate100Mbps}, c)
+	// Two frames sent at t=0 serialize back to back.
+	tx.Send(&Frame{WireBytes: 1250})
+	tx.Send(&Frame{WireBytes: 1250})
+	s.Run()
+	if len(c.times) != 2 {
+		t.Fatalf("delivered %d frames, want 2", len(c.times))
+	}
+	if c.times[0] != 100*time.Microsecond || c.times[1] != 200*time.Microsecond {
+		t.Errorf("arrivals %v, want [100µs 200µs]", c.times)
+	}
+}
+
+func TestTxQueueCapDrops(t *testing.T) {
+	s := sim.New()
+	c := &collector{s: s}
+	tx := NewTx(s, TxConfig{Rate: Rate100Mbps, QueueCap: 3000}, c)
+	ok1 := tx.Send(&Frame{WireBytes: 1500})
+	ok2 := tx.Send(&Frame{WireBytes: 1500})
+	ok3 := tx.Send(&Frame{WireBytes: 1500}) // exceeds 3000-byte cap
+	if !ok1 || !ok2 {
+		t.Fatal("frames within cap were rejected")
+	}
+	if ok3 {
+		t.Fatal("frame exceeding cap was accepted")
+	}
+	s.Run()
+	if len(c.frames) != 2 {
+		t.Errorf("delivered %d, want 2", len(c.frames))
+	}
+	if st := tx.Stats(); st.QueueDrops != 1 || st.Sent != 2 {
+		t.Errorf("stats = %+v, want 1 drop, 2 sent", st)
+	}
+}
+
+func TestTxQueueDrainsThenAcceptsMore(t *testing.T) {
+	s := sim.New()
+	c := &collector{s: s}
+	tx := NewTx(s, TxConfig{Rate: Rate100Mbps, QueueCap: 2000}, c)
+	tx.Send(&Frame{WireBytes: 1500})
+	// After the first frame serializes, capacity is free again.
+	s.After(200*time.Microsecond, func() {
+		if !tx.Send(&Frame{WireBytes: 1500}) {
+			t.Error("send after drain rejected")
+		}
+	})
+	s.Run()
+	if len(c.frames) != 2 {
+		t.Errorf("delivered %d, want 2", len(c.frames))
+	}
+}
+
+func TestTxDropFn(t *testing.T) {
+	s := sim.New()
+	c := &collector{s: s}
+	tx := NewTx(s, TxConfig{Rate: Rate100Mbps}, c)
+	n := 0
+	tx.DropFn = func(*Frame) bool { n++; return n%2 == 1 } // drop odd frames
+	for i := 0; i < 4; i++ {
+		tx.Send(&Frame{WireBytes: 100})
+	}
+	s.Run()
+	if len(c.frames) != 2 {
+		t.Errorf("delivered %d, want 2", len(c.frames))
+	}
+	if st := tx.Stats(); st.ErrorDrops != 2 {
+		t.Errorf("ErrorDrops = %d, want 2", st.ErrorDrops)
+	}
+}
+
+func TestTxThroughputAtLineRate(t *testing.T) {
+	// 1000 MTU frames at 100 Mbps should take exactly 1000 × 123.04 µs.
+	s := sim.New()
+	c := &collector{s: s}
+	tx := NewTx(s, TxConfig{Rate: Rate100Mbps}, c)
+	const n = 1000
+	for i := 0; i < n; i++ {
+		tx.Send(&Frame{WireBytes: WireSize(MTU)})
+	}
+	end := s.Run()
+	want := time.Duration(n) * Rate100Mbps.Serialize(1538)
+	if end != want {
+		t.Errorf("drained at %v, want %v", end, want)
+	}
+	if len(c.frames) != n {
+		t.Errorf("delivered %d, want %d", len(c.frames), n)
+	}
+}
+
+// TestTxOrderPreservedQuick: frames on one Tx always arrive in send
+// order regardless of sizes.
+func TestTxOrderPreservedQuick(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		s := sim.New()
+		c := &collector{s: s}
+		tx := NewTx(s, TxConfig{Rate: Rate100Mbps, Propagation: 500 * time.Nanosecond}, c)
+		for i, sz := range sizes {
+			tx.Send(&Frame{WireBytes: int(sz)%3000 + 64, Payload: i})
+		}
+		s.Run()
+		if len(c.frames) != len(sizes) {
+			return false
+		}
+		for i, fr := range c.frames {
+			if fr.Payload.(int) != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,131 @@
+package ethernet
+
+import (
+	"testing"
+	"time"
+
+	"rmcast/internal/sim"
+)
+
+// TestTrunkIsTheBottleneck: cross-switch flows share the single
+// inter-switch trunk, so two flows that would each run at line rate on
+// their own switch take twice as long when both must cross the trunk.
+func TestTrunkIsTheBottleneck(t *testing.T) {
+	build := func() (*sim.Simulator, []*Tx, []*collector) {
+		s := sim.New()
+		swA := NewSwitch(s, SwitchConfig{Name: "A", PortRate: Rate100Mbps})
+		swB := NewSwitch(s, SwitchConfig{Name: "B", PortRate: Rate100Mbps})
+		// Hosts 0,1 on A; hosts 2,3 on B.
+		txs := make([]*Tx, 4)
+		cols := make([]*collector, 4)
+		for i := 0; i < 2; i++ {
+			cols[i] = &collector{s: s}
+			txs[i] = swA.ConnectPort(Addr(i), cols[i])
+		}
+		for i := 2; i < 4; i++ {
+			cols[i] = &collector{s: s}
+			txs[i] = swB.ConnectPort(Addr(i), cols[i])
+		}
+		swA.ConnectSwitch(swB, []Addr{0, 1}, []Addr{2, 3})
+		return s, txs, cols
+	}
+
+	const frames = 50
+	blast := func(tx *Tx, dst Addr, src Addr) {
+		for i := 0; i < frames; i++ {
+			tx.Send(&Frame{Src: src, Dst: dst, WireBytes: 1538})
+		}
+	}
+
+	// One cross-switch flow alone.
+	s, txs, cols := build()
+	blast(txs[0], 2, 0)
+	soloEnd := s.Run()
+	if len(cols[2].frames) != frames {
+		t.Fatalf("solo flow delivered %d/%d", len(cols[2].frames), frames)
+	}
+
+	// Two cross-switch flows from different sources: they serialize on
+	// the trunk, so the finish time roughly doubles.
+	s2, txs2, cols2 := build()
+	blast(txs2[0], 2, 0)
+	blast(txs2[1], 3, 1)
+	bothEnd := s2.Run()
+	if len(cols2[2].frames) != frames || len(cols2[3].frames) != frames {
+		t.Fatal("contended flows lost frames (unbounded queues should not drop)")
+	}
+	ratio := float64(bothEnd) / float64(soloEnd)
+	if ratio < 1.7 || ratio > 2.3 {
+		t.Errorf("two trunk flows took %.2fx one flow, want ≈2x (trunk serialization)", ratio)
+	}
+
+	// Control: two same-switch flows do NOT contend.
+	s3, txs3, cols3 := build()
+	blast(txs3[0], 1, 0) // A-local
+	blast(txs3[2], 3, 2) // B-local
+	localEnd := s3.Run()
+	if len(cols3[1].frames) != frames || len(cols3[3].frames) != frames {
+		t.Fatal("local flows lost frames")
+	}
+	if float64(localEnd) > 1.1*float64(soloEnd) {
+		t.Errorf("independent same-switch flows took %v vs solo %v; switching should isolate them",
+			localEnd, soloEnd)
+	}
+}
+
+// TestSwitchForwardDelayAddsPerHop: the forwarding latency is charged
+// once per switch traversal, so a cross-switch path pays it twice.
+func TestSwitchForwardDelayAddsPerHop(t *testing.T) {
+	s := sim.New()
+	fwd := 10 * time.Microsecond
+	swA := NewSwitch(s, SwitchConfig{PortRate: Rate100Mbps, ForwardDelay: fwd})
+	swB := NewSwitch(s, SwitchConfig{PortRate: Rate100Mbps, ForwardDelay: fwd})
+	colLocal := &collector{s: s}
+	colRemote := &collector{s: s}
+	tx := swA.ConnectPort(0, &collector{s: s})
+	swA.ConnectPort(1, colLocal)
+	swB.ConnectPort(2, colRemote)
+	swA.ConnectSwitch(swB, []Addr{0, 1}, []Addr{2})
+
+	tx.Send(&Frame{Src: 0, Dst: 1, WireBytes: 1250}) // 1 switch hop
+	s.Run()
+	local := colLocal.times[0]
+
+	s2 := sim.New()
+	swA2 := NewSwitch(s2, SwitchConfig{PortRate: Rate100Mbps, ForwardDelay: fwd})
+	swB2 := NewSwitch(s2, SwitchConfig{PortRate: Rate100Mbps, ForwardDelay: fwd})
+	colRemote2 := &collector{s: s2}
+	tx2 := swA2.ConnectPort(0, &collector{s: s2})
+	swB2.ConnectPort(2, colRemote2)
+	swA2.ConnectSwitch(swB2, []Addr{0}, []Addr{2})
+	tx2.Send(&Frame{Src: 0, Dst: 2, WireBytes: 1250}) // 2 switch hops
+	s2.Run()
+	remote := colRemote2.times[0]
+
+	// Cross-switch adds one extra serialization (100 µs) plus one extra
+	// forward delay (10 µs) over the local path.
+	extra := remote - local
+	want := 100*time.Microsecond + fwd
+	if extra != want {
+		t.Errorf("cross-switch extra latency = %v, want %v", extra, want)
+	}
+	_ = colRemote
+}
+
+func BenchmarkSwitchFanout(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := sim.New()
+		sw := NewSwitch(s, SwitchConfig{PortRate: Rate100Mbps})
+		var tx *Tx
+		for h := 0; h < 32; h++ {
+			t := sw.ConnectPort(Addr(h), &collector{s: s})
+			if h == 0 {
+				tx = t
+			}
+		}
+		for j := 0; j < 50; j++ {
+			tx.Send(&Frame{Src: 0, Dst: Broadcast, Multicast: true, WireBytes: 1538})
+		}
+		s.Run()
+	}
+}

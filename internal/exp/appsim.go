@@ -1,0 +1,84 @@
+package exp
+
+import (
+	"fmt"
+
+	"rmcast/internal/cluster"
+	"rmcast/internal/stats"
+	"rmcast/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:       "ext_appsim",
+		Title:    "A BSP-style parallel application over each protocol",
+		PaperRef: "Section 1 (message passing libraries motivation)",
+		Run:      runExtAppSim,
+	})
+}
+
+// runExtAppSim runs the communication skeleton of a bulk-synchronous
+// parallel application — per iteration: the master broadcasts updated
+// parameters, workers exchange halo contributions via allgather, and a
+// barrier closes the superstep — over each reliable multicast protocol,
+// measuring the end-to-end communication time the protocol choice is
+// worth at the application level.
+func runExtAppSim(o Options) (*Report, error) {
+	n := o.receivers()
+	iterations := 10
+	paramBytes := 128 * KB
+	haloBytes := 2 * KB
+	if o.Quick {
+		iterations = 3
+		paramBytes = 32 * KB
+	}
+	t := &stats.Table{
+		Title: fmt.Sprintf("%d supersteps, %d ranks: bcast %dB + allgather %dB/rank + barrier",
+			iterations, n+1, paramBytes, haloBytes),
+		Header: []string{"protocol", "total comm time (s)", "per superstep (ms)"},
+	}
+	var times []float64
+	var protos []string
+	for _, pcfg := range ablationConfigs(n) {
+		comm, err := workload.NewComm(o.clusterConfig(n), pcfg)
+		if err != nil {
+			return nil, err
+		}
+		params := cluster.MakeMessage(paramBytes)
+		contribs := make([][]byte, comm.Size())
+		for i := range contribs {
+			contribs[i] = cluster.MakeMessage(haloBytes)
+		}
+		for it := 0; it < iterations; it++ {
+			if _, err := comm.Bcast(0, params); err != nil {
+				return nil, fmt.Errorf("%v iteration %d bcast: %w", pcfg.Protocol, it, err)
+			}
+			if _, _, err := comm.Allgather(contribs); err != nil {
+				return nil, fmt.Errorf("%v iteration %d allgather: %w", pcfg.Protocol, it, err)
+			}
+			if _, err := comm.Barrier(); err != nil {
+				return nil, fmt.Errorf("%v iteration %d barrier: %w", pcfg.Protocol, it, err)
+			}
+		}
+		total := comm.Elapsed()
+		t.AddRow(pcfg.Protocol.String(), secs(total), 1e3*secs(total)/float64(iterations))
+		times = append(times, secs(total))
+		protos = append(protos, pcfg.Protocol.String())
+	}
+	best, worst := 0, 0
+	for i := range times {
+		if times[i] < times[best] {
+			best = i
+		}
+		if times[i] > times[worst] {
+			worst = i
+		}
+	}
+	findings := []string{fmt.Sprintf(
+		"the protocol choice is worth %.2fx of application communication time (%s %.3fs vs %s %.3fs): "+
+			"the paper's per-transfer differences compound over supersteps, and the small allgather/barrier "+
+			"messages favor the protocols that are cheap for single-packet transfers",
+		times[worst]/times[best], protos[best], times[best], protos[worst], times[worst])}
+	return &Report{ID: "ext_appsim", Title: "Application-level impact", PaperRef: "Section 1",
+		Tables: []*stats.Table{t}, Findings: findings}, nil
+}

@@ -1,0 +1,147 @@
+// Package exp defines one reproducible experiment per table and figure
+// of the paper's evaluation (Section 5), plus ablation experiments for
+// the design choices DESIGN.md calls out. Each experiment sweeps the
+// same parameters as the paper on the simulated Figure 7 testbed and
+// renders the same rows or curves the paper reports.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"rmcast/internal/cluster"
+	"rmcast/internal/core"
+	"rmcast/internal/stats"
+)
+
+// Options tunes an experiment run.
+type Options struct {
+	// Receivers overrides the group size (default: the paper's 30).
+	Receivers int
+	// Seed drives all simulation randomness.
+	Seed uint64
+	// Quick shrinks sweeps for tests and smoke runs: fewer receivers,
+	// smaller messages, coarser grids. Shapes remain, absolute values
+	// shift.
+	Quick bool
+}
+
+func (o Options) receivers() int {
+	if o.Receivers > 0 {
+		return o.Receivers
+	}
+	if o.Quick {
+		return 8
+	}
+	return 30
+}
+
+func (o Options) seed() uint64 {
+	if o.Seed == 0 {
+		return 1
+	}
+	return o.Seed
+}
+
+// clusterConfig builds the testbed config for n receivers.
+func (o Options) clusterConfig(n int) cluster.Config {
+	c := cluster.Default(n)
+	c.Seed = o.seed()
+	return c
+}
+
+// Report is an experiment's rendered result.
+type Report struct {
+	ID       string
+	Title    string
+	PaperRef string
+	Tables   []*stats.Table
+	// Findings are programmatically checked restatements of the paper's
+	// qualitative claims for this experiment, with the measured values.
+	Findings []string
+}
+
+// Fprint renders the report as text.
+func (r *Report) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s — %s (%s) ==\n", r.ID, r.Title, r.PaperRef)
+	for _, t := range r.Tables {
+		fmt.Fprintln(w)
+		t.Fprint(w)
+	}
+	if len(r.Findings) > 0 {
+		fmt.Fprintln(w)
+		for _, f := range r.Findings {
+			fmt.Fprintf(w, "finding: %s\n", f)
+		}
+	}
+}
+
+// Experiment is one registered, runnable experiment.
+type Experiment struct {
+	ID       string
+	Title    string
+	PaperRef string
+	Run      func(Options) (*Report, error)
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// All returns every registered experiment in a stable order: paper
+// tables and figures first (in paper order), then ablations.
+func All() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	sort.SliceStable(out, func(i, j int) bool { return orderKey(out[i].ID) < orderKey(out[j].ID) })
+	return out
+}
+
+func orderKey(id string) string {
+	// figNN and tableN sort naturally enough with zero padding.
+	var n int
+	if _, err := fmt.Sscanf(id, "fig%d", &n); err == nil {
+		return fmt.Sprintf("1-%02d", n)
+	}
+	if _, err := fmt.Sscanf(id, "table%d", &n); err == nil {
+		if n <= 2 {
+			return fmt.Sprintf("0-%02d", n)
+		}
+		return fmt.Sprintf("2-%02d", n)
+	}
+	return "3-" + id
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, error) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("exp: unknown experiment %q (try `rmbench -list`)", id)
+}
+
+// secs converts a duration to float seconds.
+func secs(d time.Duration) float64 { return d.Seconds() }
+
+// runTime executes one multicast session and returns its elapsed
+// communication time in seconds.
+func runTime(ccfg cluster.Config, pcfg core.Config, size int) (float64, error) {
+	res, err := cluster.Run(ccfg, pcfg, size)
+	if err != nil {
+		return 0, err
+	}
+	if !res.Verified {
+		return 0, fmt.Errorf("exp: %v run delivered corrupted data", pcfg.Protocol)
+	}
+	return secs(res.Elapsed), nil
+}
+
+// KB and MB are the paper's (binary) size units.
+const (
+	KB = 1024
+	MB = 1024 * 1024
+)

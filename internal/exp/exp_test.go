@@ -1,0 +1,98 @@
+package exp
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestEveryExperimentRunsQuick executes every registered experiment in
+// quick mode and checks the reports are well-formed.
+func TestEveryExperimentRunsQuick(t *testing.T) {
+	exps := All()
+	if len(exps) < 18 {
+		t.Fatalf("only %d experiments registered; expected all tables, figures and ablations", len(exps))
+	}
+	for _, e := range exps {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			rep, err := e.Run(Options{Quick: true})
+			if err != nil {
+				t.Fatalf("%s failed: %v", e.ID, err)
+			}
+			if rep.ID != e.ID {
+				t.Errorf("report id %q != experiment id %q", rep.ID, e.ID)
+			}
+			if len(rep.Tables) == 0 {
+				t.Error("report has no tables")
+			}
+			for _, tab := range rep.Tables {
+				if len(tab.Rows) == 0 {
+					t.Errorf("table %q has no rows", tab.Title)
+				}
+			}
+			var buf bytes.Buffer
+			rep.Fprint(&buf)
+			if !strings.Contains(buf.String(), e.ID) {
+				t.Error("rendered report does not mention its id")
+			}
+		})
+	}
+}
+
+func TestRegistryOrderAndLookup(t *testing.T) {
+	exps := All()
+	// Tables 1-2 first, then figures in paper order, then table3, then
+	// ablations.
+	var ids []string
+	for _, e := range exps {
+		ids = append(ids, e.ID)
+	}
+	pos := map[string]int{}
+	for i, id := range ids {
+		pos[id] = i
+	}
+	if !(pos["table1"] < pos["fig8"] && pos["fig8"] < pos["fig21"] && pos["fig21"] < pos["table3"]) {
+		t.Errorf("unexpected experiment order: %v", ids)
+	}
+	for _, id := range ids {
+		if _, err := ByID(id); err != nil {
+			t.Errorf("ByID(%q): %v", id, err)
+		}
+	}
+	if _, err := ByID("nonsense"); err == nil {
+		t.Error("ByID accepted an unknown id")
+	}
+}
+
+// TestFig8Shape verifies the headline claim end to end in quick mode:
+// TCP linear, multicast flat.
+func TestFig8Shape(t *testing.T) {
+	rep, err := runFig8(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := rep.Tables[0]
+	// Columns: receivers, TCP, ACK-based. Compare first and last rows.
+	first := tab.Rows[0]
+	last := tab.Rows[len(tab.Rows)-1]
+	tcp1, tcpN := atof(t, first[1]), atof(t, last[1])
+	mc1, mcN := atof(t, first[2]), atof(t, last[2])
+	if tcpN/tcp1 < 3 {
+		t.Errorf("TCP not linear-ish: %v -> %v", tcp1, tcpN)
+	}
+	if mcN/mc1 > 1.6 {
+		t.Errorf("multicast not flat-ish: %v -> %v", mc1, mcN)
+	}
+}
+
+func atof(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("bad float %q", s)
+	}
+	return v
+}

@@ -1,0 +1,196 @@
+package exp
+
+import (
+	"fmt"
+
+	"rmcast/internal/cluster"
+	"rmcast/internal/core"
+	"rmcast/internal/stats"
+	"rmcast/internal/unicast"
+)
+
+func init() {
+	register(Experiment{ID: "fig8", Title: "ACK-based protocol vs TCP", PaperRef: "Figure 8", Run: runFig8})
+	register(Experiment{ID: "fig9", Title: "ACK-based protocol vs raw UDP", PaperRef: "Figure 9", Run: runFig9})
+	register(Experiment{ID: "fig10", Title: "ACK-based: packet size × window size", PaperRef: "Figure 10", Run: runFig10})
+	register(Experiment{ID: "fig11", Title: "ACK-based scalability", PaperRef: "Figure 11", Run: runFig11})
+}
+
+// receiverSweep returns the receiver counts for scalability figures.
+func receiverSweep(o Options) []int {
+	if o.Quick {
+		return []int{1, 4, 8}
+	}
+	return []int{1, 5, 10, 15, 20, 25, 30}
+}
+
+// runFig8 transfers the paper's 426502-byte file to 1..30 receivers via
+// sequential TCP streams and via the ACK-based multicast protocol.
+func runFig8(o Options) (*Report, error) {
+	const fileSize = 426502
+	tcp := &stats.Series{Label: "TCP (s)"}
+	mc := &stats.Series{Label: "ACK-based (s)"}
+	for _, n := range receiverSweep(o) {
+		res, err := cluster.RunTCP(o.clusterConfig(n), unicast.DefaultConfig(), fileSize)
+		if err != nil {
+			return nil, err
+		}
+		tcp.Add(float64(n), secs(res.Elapsed))
+		t, err := runTime(o.clusterConfig(n),
+			core.Config{Protocol: core.ProtoACK, NumReceivers: n, PacketSize: 50000, WindowSize: 2}, fileSize)
+		if err != nil {
+			return nil, err
+		}
+		mc.Add(float64(n), t)
+	}
+	nMax := float64(receiverSweep(o)[len(receiverSweep(o))-1])
+	findings := []string{
+		fmt.Sprintf("TCP grows ~linearly: %.3fs at 1 receiver vs %.3fs at %.0f (%.1fx)",
+			tcp.At(1), tcp.At(nMax), nMax, tcp.At(nMax)/tcp.At(1)),
+		fmt.Sprintf("multicast stays ~flat: %.3fs at 1 receiver vs %.3fs at %.0f (+%.0f%%)",
+			mc.At(1), mc.At(nMax), nMax, 100*(mc.At(nMax)/mc.At(1)-1)),
+	}
+	return &Report{ID: "fig8", Title: "Transferring a 426502-byte file", PaperRef: "Figure 8",
+		Tables:   []*stats.Table{stats.SeriesTable("Communication time vs number of receivers", "receivers", tcp, mc)},
+		Findings: findings}, nil
+}
+
+// runFig9 compares raw UDP, the ACK-based protocol, and the (incorrect)
+// no-copy variant across message sizes up to 35 KB.
+func runFig9(o Options) (*Report, error) {
+	n := o.receivers()
+	sizes := []int{1, 2000, 5000, 10000, 15000, 20000, 25000, 30000, 35000}
+	if o.Quick {
+		sizes = []int{1, 10000, 35000}
+	}
+	udp := &stats.Series{Label: "UDP (s)"}
+	ack := &stats.Series{Label: "ACK-based (s)"}
+	noCopy := &stats.Series{Label: "ACK-based w/o copy (s)"}
+	for _, sz := range sizes {
+		res, err := cluster.RunRawUDP(o.clusterConfig(n), 50000, sz)
+		if err != nil {
+			return nil, err
+		}
+		udp.Add(float64(sz), secs(res.Elapsed))
+		base := core.Config{Protocol: core.ProtoACK, NumReceivers: n, PacketSize: 50000, WindowSize: 2}
+		t, err := runTime(o.clusterConfig(n), base, sz)
+		if err != nil {
+			return nil, err
+		}
+		ack.Add(float64(sz), t)
+		base.NoUserCopy = true
+		t, err = runTime(o.clusterConfig(n), base, sz)
+		if err != nil {
+			return nil, err
+		}
+		noCopy.Add(float64(sz), t)
+	}
+	last := float64(sizes[len(sizes)-1])
+	findings := []string{
+		fmt.Sprintf("the reliable protocol adds substantial overhead over raw UDP: %.1fms vs %.1fms at %.0fB",
+			1e3*ack.At(last), 1e3*udp.At(last), last),
+		fmt.Sprintf("the user-space copy accounts for most of the large-message overhead: removing it saves %.1fms at %.0fB",
+			1e3*(ack.At(last)-noCopy.At(last)), last),
+		"small messages pay two handshake round trips before any data moves (Figure 6)",
+	}
+	return &Report{ID: "fig9", Title: "Protocol overhead vs raw UDP", PaperRef: "Figure 9",
+		Tables:   []*stats.Table{stats.SeriesTable("Communication time vs message size", "message bytes", udp, ack, noCopy)},
+		Findings: findings}, nil
+}
+
+// runFig10 sweeps window size 1..5 for five packet sizes, 500 KB to the
+// full receiver set, under the ACK-based protocol.
+func runFig10(o Options) (*Report, error) {
+	n := o.receivers()
+	size := 500 * KB
+	packetSizes := []int{500, 1300, 3125, 6250, 50000}
+	windows := []int{1, 2, 3, 4, 5}
+	if o.Quick {
+		size = 120 * KB
+		packetSizes = []int{1300, 50000}
+		windows = []int{1, 2, 4}
+	}
+	var series []*stats.Series
+	findings := []string{}
+	for _, ps := range packetSizes {
+		s := &stats.Series{Label: fmt.Sprintf("pkt=%dB (s)", ps)}
+		for _, w := range windows {
+			t, err := runTime(o.clusterConfig(n),
+				core.Config{Protocol: core.ProtoACK, NumReceivers: n, PacketSize: ps, WindowSize: w}, size)
+			if err != nil {
+				return nil, err
+			}
+			s.Add(float64(w), t)
+		}
+		series = append(series, s)
+		bestW, bestT := s.MinY()
+		findings = append(findings, fmt.Sprintf("pkt=%dB: best window %d (%.3fs); window 2 within %.0f%% of best",
+			ps, int(bestW), bestT, 100*(s.At(2)/bestT-1)))
+	}
+	// Larger packets beat smaller ones across the board.
+	small := series[0]
+	large := series[len(series)-1]
+	_, smallBest := small.MinY()
+	_, largeBest := large.MinY()
+	findings = append(findings, fmt.Sprintf(
+		"larger packets win: best %.3fs at %dB vs %.3fs at %dB (fewer acks to process)",
+		largeBest, packetSizes[len(packetSizes)-1], smallBest, packetSizes[0]))
+	return &Report{ID: "fig10", Title: "ACK-based: window and packet size", PaperRef: "Figure 10",
+		Tables:   []*stats.Table{stats.SeriesTable(fmt.Sprintf("Communication time, %dB to %d receivers", size, n), "window", series...)},
+		Findings: findings}, nil
+}
+
+// runFig11 measures ACK-based scalability for small (a) and large (b)
+// message sizes.
+func runFig11(o Options) (*Report, error) {
+	smallSizes := []int{1, 256, 4096}
+	largeSizes := []int{8 * KB, 64 * KB, 500 * KB}
+	if o.Quick {
+		smallSizes = []int{1, 4096}
+		largeSizes = []int{64 * KB}
+	}
+	cfg := core.Config{Protocol: core.ProtoACK, PacketSize: 50000, WindowSize: 2}
+	var smallSeries, largeSeries []*stats.Series
+	for _, sz := range smallSizes {
+		s := &stats.Series{Label: fmt.Sprintf("size=%d (s)", sz)}
+		for _, n := range receiverSweep(o) {
+			c := cfg
+			c.NumReceivers = n
+			t, err := runTime(o.clusterConfig(n), c, sz)
+			if err != nil {
+				return nil, err
+			}
+			s.Add(float64(n), t)
+		}
+		smallSeries = append(smallSeries, s)
+	}
+	for _, sz := range largeSizes {
+		s := &stats.Series{Label: fmt.Sprintf("size=%d (s)", sz)}
+		for _, n := range receiverSweep(o) {
+			c := cfg
+			c.NumReceivers = n
+			t, err := runTime(o.clusterConfig(n), c, sz)
+			if err != nil {
+				return nil, err
+			}
+			s.Add(float64(n), t)
+		}
+		largeSeries = append(largeSeries, s)
+	}
+	sweep := receiverSweep(o)
+	nMax := float64(sweep[len(sweep)-1])
+	tiny := smallSeries[0]
+	big := largeSeries[len(largeSeries)-1]
+	findings := []string{
+		fmt.Sprintf("small messages scale ~linearly with receivers: 1B grows %.1fx from 1 to %.0f receivers (ack processing dominates)",
+			tiny.At(nMax)/tiny.At(1), nMax),
+		fmt.Sprintf("large messages are scalable: %s grows only %.0f%% from 1 to %.0f receivers (data transmission dominates)",
+			big.Label, 100*(big.At(nMax)/big.At(1)-1), nMax),
+	}
+	return &Report{ID: "fig11", Title: "ACK-based scalability", PaperRef: "Figure 11",
+		Tables: []*stats.Table{
+			stats.SeriesTable("(a) small message sizes", "receivers", smallSeries...),
+			stats.SeriesTable("(b) large message sizes", "receivers", largeSeries...),
+		},
+		Findings: findings}, nil
+}

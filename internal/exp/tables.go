@@ -1,0 +1,145 @@
+package exp
+
+import (
+	"fmt"
+
+	"rmcast/internal/cluster"
+	"rmcast/internal/core"
+	"rmcast/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:       "table1",
+		Title:    "Memory requirement and implementation complexity",
+		PaperRef: "Table 1",
+		Run:      runTable1,
+	})
+	register(Experiment{
+		ID:       "table2",
+		Title:    "Processing and network requirement per data packet",
+		PaperRef: "Table 2",
+		Run:      runTable2,
+	})
+	register(Experiment{
+		ID:       "table3",
+		Title:    "Throughput achieved when sending 2MB of data",
+		PaperRef: "Table 3",
+		Run:      runTable3,
+	})
+}
+
+// runTable1 renders the paper's qualitative Table 1 and backs the
+// memory column with measured peak buffer requirements.
+func runTable1(o Options) (*Report, error) {
+	t := &stats.Table{
+		Title:  "Memory requirement and implementation complexity",
+		Header: []string{"protocol", "memory requirement", "implementation complexity"},
+	}
+	for _, row := range core.Table1() {
+		t.AddRow(row.Protocol.String(), row.Memory.String(), row.Complexity.String())
+	}
+	t.Notes = append(t.Notes,
+		"memory: NAK/ring need window buffers far larger than ACK's ~2 packets (Figures 10, 13, 16)",
+		"complexity: ring's rotation and tree's chain relay dwarf the ACK/NAK state machines")
+	return &Report{ID: "table1", Title: "Protocol characteristics", PaperRef: "Table 1",
+		Tables: []*stats.Table{t}}, nil
+}
+
+// runTable2 prints the analytic Table 2 and validates it against
+// simulation counters from an error-free run of each protocol.
+func runTable2(o Options) (*Report, error) {
+	n := o.receivers()
+	poll := 10
+	h := 6
+	if h > n {
+		h = n
+	}
+	analytic := &stats.Table{
+		Title:  fmt.Sprintf("Analytic (N=%d, poll i=%d, tree H=%d)", n, poll, h),
+		Header: []string{"protocol", "sender recvs/pkt", "rcvr sends/pkt", "rcvr recvs/pkt", "control pkts/pkt"},
+	}
+	for _, row := range core.Table2(n, poll, h) {
+		analytic.AddRow(row.Protocol.String(), row.SenderRecvs, row.ReceiverSends, row.ReceiverRecvs, row.ControlPackets)
+	}
+
+	// Measured: control packets the sender actually processed per data
+	// packet in an error-free transfer.
+	size := 60 * 8000
+	if o.Quick {
+		size = 20 * 8000
+	}
+	measured := &stats.Table{
+		Title:  "Measured on the simulated testbed (acks processed by sender / data packets)",
+		Header: []string{"protocol", "analytic", "measured"},
+	}
+	var findings []string
+	for _, pcfg := range []core.Config{
+		{Protocol: core.ProtoACK, PacketSize: 8000, WindowSize: 8},
+		{Protocol: core.ProtoNAK, PacketSize: 8000, WindowSize: 20, PollInterval: poll},
+		{Protocol: core.ProtoRing, PacketSize: 8000, WindowSize: n + 10},
+		{Protocol: core.ProtoTree, PacketSize: 8000, WindowSize: 20, TreeHeight: h},
+	} {
+		pcfg.NumReceivers = n
+		res, err := cluster.Run(o.clusterConfig(n), pcfg, size)
+		if err != nil {
+			return nil, err
+		}
+		ratio := float64(res.SenderStats.AcksReceived) / float64(res.SenderStats.DataSent)
+		want := core.LoadFor(pcfg).SenderRecvs
+		measured.AddRow(pcfg.Protocol.String(), want, ratio)
+		findings = append(findings, fmt.Sprintf("%v: sender processed %.2f acks per data packet (Table 2 predicts %.2f)",
+			pcfg.Protocol, ratio, want))
+	}
+	return &Report{ID: "table2", Title: "Per-packet load", PaperRef: "Table 2",
+		Tables: []*stats.Table{analytic, measured}, Findings: findings}, nil
+}
+
+// runTable3 reruns the paper's headline comparison: 2 MB at each
+// protocol's best parameters.
+func runTable3(o Options) (*Report, error) {
+	n := o.receivers()
+	size := 2 * MB
+	if o.Quick {
+		size = 512 * KB
+	}
+	type row struct {
+		name  string
+		cfg   core.Config
+		paper float64
+	}
+	h6, h15 := 6, 15
+	if h6 > n {
+		h6 = n
+	}
+	if h15 > n {
+		h15 = n
+	}
+	rows := []row{
+		{"ACK-based", core.Config{Protocol: core.ProtoACK, PacketSize: 50000, WindowSize: 5}, 68.0},
+		{"NAK-based", core.Config{Protocol: core.ProtoNAK, PacketSize: 8000, WindowSize: 50, PollInterval: 43}, 89.7},
+		{"Ring-based", core.Config{Protocol: core.ProtoRing, PacketSize: 8000, WindowSize: n + 20}, 84.6},
+		{fmt.Sprintf("Tree-based (H=%d)", h6), core.Config{Protocol: core.ProtoTree, PacketSize: 8000, WindowSize: 20, TreeHeight: h6}, 77.3},
+		{fmt.Sprintf("Tree-based (H=%d)", h15), core.Config{Protocol: core.ProtoTree, PacketSize: 8000, WindowSize: 20, TreeHeight: h15}, 81.2},
+	}
+	t := &stats.Table{
+		Title:  fmt.Sprintf("Throughput sending %d bytes to %d receivers", size, n),
+		Header: []string{"protocol", "throughput (Mbps)", "paper (Mbps)"},
+	}
+	got := map[string]float64{}
+	for _, r := range rows {
+		r.cfg.NumReceivers = n
+		res, err := cluster.Run(o.clusterConfig(n), r.cfg, size)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(r.name, res.ThroughputMbps, r.paper)
+		got[r.name] = res.ThroughputMbps
+	}
+	treeBest := got[fmt.Sprintf("Tree-based (H=%d)", h15)]
+	findings := []string{fmt.Sprintf(
+		"large-message ordering NAK >= ring >= tree >= ACK: NAK=%.1f ring=%.1f tree(H=%d)=%.1f ACK=%.1f",
+		got["NAK-based"], got["Ring-based"], h15, treeBest, got["ACK-based"])}
+	return &Report{ID: "table3", Title: "2 MB throughput comparison", PaperRef: "Table 3",
+		Tables: []*stats.Table{t}, Findings: findings}, nil
+}

@@ -1,0 +1,337 @@
+package ipnet
+
+import (
+	"fmt"
+	"time"
+
+	"rmcast/internal/ethernet"
+	"rmcast/internal/rng"
+	"rmcast/internal/sim"
+)
+
+// FrameSender is the host's attachment to the network: either an
+// ethernet.Tx (switched) or an *ethernet.Station (shared bus).
+type FrameSender interface {
+	// Send queues a frame; false means it was dropped at the queue.
+	Send(f *ethernet.Frame) bool
+	// Queued returns the bytes currently queued for transmission.
+	Queued() int
+	// DrainTime estimates how long the medium needs to transmit n wire
+	// bytes; the host uses it to wait for transmit-queue space.
+	DrainTime(n int) time.Duration
+}
+
+// HostConfig configures one simulated end host.
+type HostConfig struct {
+	Addr  Addr
+	Costs CostModel
+	// TxQueueCap bounds the NIC/socket transmit backlog in wire bytes.
+	// A datagram that does not fit waits, in order, for the queue to
+	// drain — blocking sendto semantics, which is what Linux UDP does
+	// with a full socket send buffer. Zero means unbounded.
+	TxQueueCap int
+	// RecvBuf is the default socket receive buffer in payload bytes.
+	// Linux 2.2's default was 64 KB; the paper-era experiments ran with
+	// the kernel default.
+	RecvBuf int
+	// ReasmTimeout discards incomplete fragment groups. Zero means a
+	// 1-second default.
+	ReasmTimeout time.Duration
+	// Seed drives the host's receive-jitter randomness.
+	Seed uint64
+}
+
+// HostStats counts per-host activity.
+type HostStats struct {
+	SentDatagrams uint64
+	SentBytes     uint64 // payload bytes
+	RecvDatagrams uint64
+	RecvBytes     uint64 // payload bytes
+	SocketDrops   uint64 // datagrams lost to full socket receive buffers
+	TxBlocked     uint64 // sends that had to wait for transmit-queue space
+	ReasmDrops    uint64 // datagrams lost to incomplete reassembly
+	Filtered      uint64 // multicast frames filtered by the NIC (not a member)
+	NoPortDrops   uint64 // datagrams to unbound ports
+	CPUBusy       time.Duration
+}
+
+type reasmKey struct {
+	src Addr
+	id  uint64
+}
+
+type reasmBuf struct {
+	have  []bool
+	count int
+}
+
+// Host is one end host: a NIC, an IP input path with reassembly, UDP
+// sockets, and a serial CPU.
+type Host struct {
+	sim   *sim.Simulator
+	cfg   HostConfig
+	tx    FrameSender
+	eaddr ethernet.Addr
+
+	cpuFree  sim.Time
+	groups   map[Addr]bool
+	sockets  map[int]*Socket
+	reasm    map[reasmKey]*reasmBuf
+	nextIPID uint64
+	outQ     []*Datagram // datagrams awaiting transmit-queue space
+	outBusy  bool
+	jitter   *rng.Rand
+	// phase is the host's constant interrupt-phase offset, drawn once
+	// from [0, RecvJitterNs). A constant offset desynchronizes otherwise
+	// identical hosts without ever reordering frames within one host; a
+	// small per-frame component (≤ 2 µs, below the minimum frame gap)
+	// adds round-to-round variation.
+	phase time.Duration
+
+	stats HostStats
+}
+
+// NewHost creates a host. Attach it to a switch or bus and then call
+// SetTx with the resulting transmitter.
+func NewHost(s *sim.Simulator, cfg HostConfig) *Host {
+	if cfg.ReasmTimeout == 0 {
+		cfg.ReasmTimeout = time.Second
+	}
+	if cfg.RecvBuf == 0 {
+		cfg.RecvBuf = 64 * 1024
+	}
+	h := &Host{
+		sim:     s,
+		cfg:     cfg,
+		eaddr:   ethernet.Addr(cfg.Addr),
+		groups:  make(map[Addr]bool),
+		sockets: make(map[int]*Socket),
+		reasm:   make(map[reasmKey]*reasmBuf),
+		jitter:  rng.New(rng.Mix(cfg.Seed, uint64(cfg.Addr)+1)),
+	}
+	if j := cfg.Costs.RecvJitterNs; j > 0 {
+		h.phase = time.Duration(h.jitter.Float64() * j)
+	}
+	return h
+}
+
+// SetTx wires the host's outbound path.
+func (h *Host) SetTx(tx FrameSender) { h.tx = tx }
+
+// Addr returns the host address.
+func (h *Host) Addr() Addr { return h.cfg.Addr }
+
+// EthernetAddr returns the station address for wiring.
+func (h *Host) EthernetAddr() ethernet.Addr { return h.eaddr }
+
+// Sim returns the simulator the host runs on.
+func (h *Host) Sim() *sim.Simulator { return h.sim }
+
+// Costs returns the host's CPU cost model.
+func (h *Host) Costs() CostModel { return h.cfg.Costs }
+
+// Stats returns a snapshot of the host counters.
+func (h *Host) Stats() HostStats { return h.stats }
+
+// JoinGroup subscribes the host's NIC to a multicast group.
+func (h *Host) JoinGroup(g Addr) {
+	if !g.IsMulticast() {
+		panic(fmt.Sprintf("ipnet: JoinGroup(%d): not a multicast address", g))
+	}
+	h.groups[g] = true
+}
+
+// LeaveGroup unsubscribes from a group.
+func (h *Host) LeaveGroup(g Addr) { delete(h.groups, g) }
+
+// InGroup reports group membership.
+func (h *Host) InGroup(g Addr) bool { return h.groups[g] }
+
+// Exec charges cost to the host CPU and runs fn when it completes. The
+// CPU is a serial resource: work queues behind whatever the host is
+// already doing. This is the mechanism behind every CPU-bound effect in
+// the study (ACK implosion, user-level relay latency, copy overhead).
+func (h *Host) Exec(cost time.Duration, fn func()) {
+	now := h.sim.Now()
+	start := h.cpuFree
+	if start < now {
+		start = now
+	}
+	end := start + cost
+	h.cpuFree = end
+	h.stats.CPUBusy += cost
+	h.sim.At(end, fn)
+}
+
+// UserCopy charges the user-space copy cost for n bytes (message buffer
+// → protocol buffer or the reverse) and runs fn when done.
+func (h *Host) UserCopy(n int, fn func()) {
+	h.Exec(PerByte(n, h.cfg.Costs.UserCopyPerByteNs), fn)
+}
+
+// SetTimer schedules fn after d of virtual time; when it fires it charges
+// TimerOverhead to the CPU before running fn. The returned EventID can be
+// passed to CancelTimer. Note that a timer that has fired but is waiting
+// for the CPU can no longer be cancelled; protocol code guards against
+// stale firings with generation counters.
+func (h *Host) SetTimer(d time.Duration, fn func()) sim.EventID {
+	return h.sim.After(d, func() {
+		h.Exec(h.cfg.Costs.TimerOverhead, fn)
+	})
+}
+
+// CancelTimer cancels a pending timer.
+func (h *Host) CancelTimer(id sim.EventID) { h.sim.Cancel(id) }
+
+// Now returns the current virtual time.
+func (h *Host) Now() sim.Time { return h.sim.Now() }
+
+// RecvFrame implements ethernet.Receiver: the NIC input path.
+func (h *Host) RecvFrame(f *ethernet.Frame) {
+	frag, ok := f.Payload.(*fragment)
+	if !ok {
+		panic("ipnet: frame payload is not an IP fragment")
+	}
+	if f.Multicast {
+		// Hardware multicast filtering: frames for groups the host has
+		// not joined cost no CPU at all, as with the paper's 3C905 NICs.
+		if !h.groups[frag.dg.Dst] {
+			h.stats.Filtered++
+			return
+		}
+		if frag.src == h.cfg.Addr {
+			// No multicast loopback (IP_MULTICAST_LOOP off).
+			return
+		}
+	} else if f.Dst != h.eaddr {
+		h.stats.Filtered++
+		return
+	}
+	if j := h.cfg.Costs.RecvJitterNs; j > 0 {
+		perFrame := j / 10
+		if perFrame > 2000 {
+			perFrame = 2000
+		}
+		d := h.phase + time.Duration(h.jitter.Float64()*perFrame)
+		h.sim.After(d, func() {
+			h.Exec(h.cfg.Costs.FragOverhead, func() { h.ipInput(frag) })
+		})
+		return
+	}
+	h.Exec(h.cfg.Costs.FragOverhead, func() { h.ipInput(frag) })
+}
+
+// ipInput runs after the kernel has processed one received fragment.
+func (h *Host) ipInput(frag *fragment) {
+	if frag.count == 1 {
+		h.deliver(frag.dg)
+		return
+	}
+	key := reasmKey{src: frag.src, id: frag.id}
+	buf, ok := h.reasm[key]
+	if !ok {
+		buf = &reasmBuf{have: make([]bool, frag.count)}
+		h.reasm[key] = buf
+		h.sim.After(h.cfg.ReasmTimeout, func() {
+			if _, still := h.reasm[key]; still {
+				delete(h.reasm, key)
+				h.stats.ReasmDrops++
+			}
+		})
+	}
+	if buf.have[frag.index] {
+		return // duplicate fragment
+	}
+	buf.have[frag.index] = true
+	buf.count++
+	if buf.count == frag.count {
+		delete(h.reasm, key)
+		h.deliver(frag.dg)
+	}
+}
+
+// deliver hands a complete datagram to its socket.
+func (h *Host) deliver(dg *Datagram) {
+	sock, ok := h.sockets[dg.DstPort]
+	if !ok {
+		h.stats.NoPortDrops++
+		return
+	}
+	sock.enqueue(dg)
+}
+
+// output queues a datagram for the wire, in order, waiting for
+// transmit-queue space as a blocking sendto would. Called after the
+// send syscall cost has been charged.
+func (h *Host) output(dg *Datagram) {
+	if h.tx == nil {
+		panic("ipnet: host has no transmitter; call SetTx")
+	}
+	h.outQ = append(h.outQ, dg)
+	if !h.outBusy {
+		h.outBusy = true
+		h.drainOut()
+	}
+}
+
+// drainOut moves queued datagrams onto the wire while the transmit
+// queue has room; when it does not, it waits for the estimated drain
+// time and retries. Ordering is preserved — a blocked datagram blocks
+// everything behind it, exactly like a full UDP socket send buffer.
+func (h *Host) drainOut() {
+	for len(h.outQ) > 0 {
+		dg := h.outQ[0]
+		total := WireBytes(len(dg.Payload))
+		if cap := h.cfg.TxQueueCap; cap > 0 && h.tx.Queued()+total > cap {
+			h.stats.TxBlocked++
+			need := h.tx.Queued() + total - cap
+			wait := h.tx.DrainTime(need)
+			if wait < time.Microsecond {
+				wait = time.Microsecond
+			}
+			h.sim.After(wait, h.drainOut)
+			return
+		}
+		h.outQ = h.outQ[1:]
+		h.transmit(dg)
+	}
+	h.outBusy = false
+}
+
+// transmit fragments one datagram onto the wire.
+func (h *Host) transmit(dg *Datagram) {
+	mc := dg.Dst.IsMulticast()
+	var edst ethernet.Addr
+	if mc {
+		edst = ethernet.Broadcast
+	} else {
+		edst = ethernet.Addr(dg.Dst)
+	}
+	id := h.nextIPID
+	h.nextIPID++
+	udp := len(dg.Payload) + UDPHeader
+	count := FragmentCount(len(dg.Payload))
+
+	for i := 0; i < count; i++ {
+		chunk := udp - i*FragPayload
+		if chunk > FragPayload {
+			chunk = FragPayload
+		}
+		f := &ethernet.Frame{
+			Src:       h.eaddr,
+			Dst:       edst,
+			Multicast: mc,
+			WireBytes: ethernet.WireSize(chunk + IPHeader),
+			Payload: &fragment{
+				dg:    dg,
+				src:   h.cfg.Addr,
+				id:    id,
+				index: i,
+				count: count,
+			},
+		}
+		h.tx.Send(f)
+	}
+	h.stats.SentDatagrams++
+	h.stats.SentBytes += uint64(len(dg.Payload))
+}

@@ -1,0 +1,367 @@
+package ipnet
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"rmcast/internal/ethernet"
+	"rmcast/internal/sim"
+)
+
+const testPort = 5000
+
+// rig is a small switched network of hosts for tests.
+type rig struct {
+	s     *sim.Simulator
+	sw    *ethernet.Switch
+	hosts []*Host
+	got   [][]*Datagram
+}
+
+func newRig(t *testing.T, n int, cfg HostConfig) *rig {
+	if t != nil {
+		t.Helper()
+	}
+	r := &rig{s: sim.New()}
+	r.sw = ethernet.NewSwitch(r.s, ethernet.SwitchConfig{
+		PortRate:        ethernet.Rate100Mbps,
+		ForwardDelay:    5 * time.Microsecond,
+		PortPropagation: time.Microsecond,
+		PortQueueCap:    256 * 1024,
+	})
+	r.got = make([][]*Datagram, n)
+	for i := 0; i < n; i++ {
+		i := i
+		hc := cfg
+		hc.Addr = Addr(i)
+		h := NewHost(r.s, hc)
+		h.SetTx(r.sw.ConnectPort(h.EthernetAddr(), h))
+		h.Bind(testPort, func(dg *Datagram) { r.got[i] = append(r.got[i], dg) })
+		r.hosts = append(r.hosts, h)
+	}
+	return r
+}
+
+func TestUnicastDatagramDelivery(t *testing.T) {
+	r := newRig(t, 3, HostConfig{Costs: DefaultCosts()})
+	payload := []byte("hello multicast world")
+	r.hosts[0].sockets[testPort].SendTo(2, testPort, payload)
+	r.s.Run()
+	if len(r.got[2]) != 1 {
+		t.Fatalf("host 2 got %d datagrams, want 1", len(r.got[2]))
+	}
+	dg := r.got[2][0]
+	if !bytes.Equal(dg.Payload, payload) {
+		t.Errorf("payload corrupted: %q", dg.Payload)
+	}
+	if dg.Src != 0 || dg.SrcPort != testPort {
+		t.Errorf("source identity wrong: %+v", dg)
+	}
+	if len(r.got[1]) != 0 {
+		t.Error("bystander received unicast datagram")
+	}
+}
+
+func TestLargeDatagramFragmentsAndReassembles(t *testing.T) {
+	r := newRig(t, 2, HostConfig{Costs: DefaultCosts(), RecvBuf: 128 * 1024})
+	payload := make([]byte, 50000)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	r.hosts[0].sockets[testPort].SendTo(1, testPort, payload)
+	r.s.Run()
+	if len(r.got[1]) != 1 {
+		t.Fatalf("got %d datagrams, want 1", len(r.got[1]))
+	}
+	if !bytes.Equal(r.got[1][0].Payload, payload) {
+		t.Fatal("50 KB payload corrupted in fragmentation/reassembly")
+	}
+}
+
+func TestFragmentCountAndWireBytes(t *testing.T) {
+	cases := []struct {
+		payload int
+		frags   int
+	}{
+		{0, 1}, {1, 1}, {1472, 1}, {1473, 2}, {2952, 2}, {2953, 3},
+		{8000, 6}, {50000, 34}, {65507, 45},
+	}
+	for _, c := range cases {
+		if got := FragmentCount(c.payload); got != c.frags {
+			t.Errorf("FragmentCount(%d) = %d, want %d", c.payload, got, c.frags)
+		}
+	}
+	// One MTU-filling fragment: 1480 IP payload + 20 header + overhead.
+	if got, want := WireBytes(1472), 1538; got != want {
+		t.Errorf("WireBytes(1472) = %d, want %d", got, want)
+	}
+	// Wire bytes must be at least payload plus per-fragment overheads.
+	if got := WireBytes(8000); got <= 8000 {
+		t.Errorf("WireBytes(8000) = %d, too small", got)
+	}
+}
+
+func TestMulticastDeliveryToMembersOnly(t *testing.T) {
+	r := newRig(t, 4, HostConfig{Costs: DefaultCosts()})
+	g := Group(0)
+	r.hosts[1].JoinGroup(g)
+	r.hosts[2].JoinGroup(g)
+	// Host 3 is not a member.
+	r.hosts[0].sockets[testPort].SendTo(g, testPort, []byte("to the group"))
+	r.s.Run()
+	if len(r.got[1]) != 1 || len(r.got[2]) != 1 {
+		t.Errorf("members got %d/%d datagrams, want 1/1", len(r.got[1]), len(r.got[2]))
+	}
+	if len(r.got[3]) != 0 {
+		t.Error("non-member received multicast")
+	}
+	if r.hosts[3].Stats().Filtered == 0 {
+		t.Error("non-member NIC did not record a filtered frame")
+	}
+	if len(r.got[0]) != 0 {
+		t.Error("sender received its own multicast (loopback should be off)")
+	}
+}
+
+func TestMulticastSenderAsMemberNoLoopback(t *testing.T) {
+	r := newRig(t, 2, HostConfig{Costs: DefaultCosts()})
+	g := Group(0)
+	r.hosts[0].JoinGroup(g)
+	r.hosts[1].JoinGroup(g)
+	r.hosts[0].sockets[testPort].SendTo(g, testPort, []byte("x"))
+	r.s.Run()
+	if len(r.got[0]) != 0 {
+		t.Error("member sender looped back its own multicast")
+	}
+	if len(r.got[1]) != 1 {
+		t.Error("other member missed the multicast")
+	}
+}
+
+func TestSocketBufferOverflowDrops(t *testing.T) {
+	// A receiver with a tiny socket buffer and an expensive read loop
+	// must drop datagrams under a burst.
+	costs := DefaultCosts()
+	costs.RecvSyscall = 2 * time.Millisecond // pathologically slow app
+	r := newRig(t, 2, HostConfig{Costs: costs, RecvBuf: 4 * 1024})
+	for i := 0; i < 20; i++ {
+		r.hosts[0].sockets[testPort].SendTo(1, testPort, make([]byte, 1000))
+	}
+	r.s.Run()
+	st := r.hosts[1].Stats()
+	if st.SocketDrops == 0 {
+		t.Fatal("no socket drops despite 20 KB burst into a 4 KB buffer")
+	}
+	if int(st.SocketDrops)+len(r.got[1]) != 20 {
+		t.Errorf("drops %d + delivered %d != 20", st.SocketDrops, len(r.got[1]))
+	}
+}
+
+func TestFragmentLossDropsWholeDatagram(t *testing.T) {
+	r := newRig(t, 2, HostConfig{Costs: DefaultCosts(), ReasmTimeout: 50 * time.Millisecond})
+	// Drop exactly one frame in the middle of the fragment train,
+	// injected on the switch's output port toward host 1.
+	n := 0
+	port1out := findOutTx(r, 1)
+	port1out.DropFn = func(f *ethernet.Frame) bool {
+		n++
+		return n == 3
+	}
+	r.hosts[0].sockets[testPort].SendTo(1, testPort, make([]byte, 10000))
+	r.s.Run()
+	if len(r.got[1]) != 0 {
+		t.Fatal("datagram delivered despite a lost fragment")
+	}
+	if r.hosts[1].Stats().ReasmDrops != 1 {
+		t.Errorf("ReasmDrops = %d, want 1", r.hosts[1].Stats().ReasmDrops)
+	}
+}
+
+// findOutTx digs out the switch-side transmitter toward host addr.
+// ConnectPort allocates ports in host order, so port index == addr here.
+func findOutTx(r *rig, addr int) *ethernet.Tx {
+	return r.sw.Port(addr).Out()
+}
+
+func TestTxQueueCapBlocksWithoutLoss(t *testing.T) {
+	r := newRig(t, 2, HostConfig{Costs: DefaultCosts(), TxQueueCap: 20000, RecvBuf: 1 << 20})
+	// Blast five 10 KB datagrams back to back; the later ones exceed the
+	// 20 KB transmit queue while the first is still serializing, so the
+	// sender must block (like a full UDP send buffer) — and nothing may
+	// be lost or reordered.
+	for i := 0; i < 5; i++ {
+		r.hosts[0].sockets[testPort].SendTo(1, testPort, append(make([]byte, 9999), byte(i)))
+	}
+	r.s.Run()
+	st := r.hosts[0].Stats()
+	if st.TxBlocked == 0 {
+		t.Fatal("sends never blocked despite a tiny transmit queue")
+	}
+	if st.SentDatagrams != 5 {
+		t.Errorf("sent %d datagrams, want all 5", st.SentDatagrams)
+	}
+	if len(r.got[1]) != 5 {
+		t.Fatalf("delivered %d, want 5", len(r.got[1]))
+	}
+	for i, dg := range r.got[1] {
+		if dg.Payload[len(dg.Payload)-1] != byte(i) {
+			t.Fatalf("datagram %d out of order", i)
+		}
+	}
+}
+
+func TestCPUSerializesWork(t *testing.T) {
+	s := sim.New()
+	h := NewHost(s, HostConfig{Costs: DefaultCosts()})
+	var done []sim.Time
+	h.Exec(10*time.Microsecond, func() { done = append(done, s.Now()) })
+	h.Exec(10*time.Microsecond, func() { done = append(done, s.Now()) })
+	s.Run()
+	if done[0] != 10*time.Microsecond || done[1] != 20*time.Microsecond {
+		t.Errorf("CPU completions %v, want [10µs 20µs]", done)
+	}
+}
+
+func TestSetTimerChargesCPU(t *testing.T) {
+	s := sim.New()
+	costs := DefaultCosts()
+	h := NewHost(s, HostConfig{Costs: costs})
+	var fired sim.Time
+	h.SetTimer(time.Millisecond, func() { fired = s.Now() })
+	s.Run()
+	want := time.Millisecond + costs.TimerOverhead
+	if fired != want {
+		t.Errorf("timer ran at %v, want %v", fired, want)
+	}
+}
+
+func TestCancelTimer(t *testing.T) {
+	s := sim.New()
+	h := NewHost(s, HostConfig{Costs: DefaultCosts()})
+	fired := false
+	id := h.SetTimer(time.Millisecond, func() { fired = true })
+	h.CancelTimer(id)
+	s.Run()
+	if fired {
+		t.Fatal("cancelled timer fired")
+	}
+}
+
+func TestBindDuplicatePortPanics(t *testing.T) {
+	s := sim.New()
+	h := NewHost(s, HostConfig{Costs: DefaultCosts()})
+	h.Bind(1, func(*Datagram) {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Bind did not panic")
+		}
+	}()
+	h.Bind(1, func(*Datagram) {})
+}
+
+func TestOversizeDatagramPanics(t *testing.T) {
+	s := sim.New()
+	h := NewHost(s, HostConfig{Costs: DefaultCosts()})
+	sock := h.Bind(1, func(*Datagram) {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversize SendTo did not panic")
+		}
+	}()
+	sock.SendTo(1, 1, make([]byte, MaxDatagram+1))
+}
+
+func TestUDPThroughputNearLineRate(t *testing.T) {
+	// Blasting 500 KB in 1472-byte datagrams should approach but not
+	// exceed 100 Mbps of wire time.
+	r := newRig(t, 2, HostConfig{Costs: DefaultCosts(), RecvBuf: 1 << 20})
+	const dgSize = 1472
+	const total = 500 * 1024
+	n := total / dgSize
+	for i := 0; i < n; i++ {
+		r.hosts[0].sockets[testPort].SendTo(1, testPort, make([]byte, dgSize))
+	}
+	end := r.s.Run()
+	if len(r.got[1]) != n {
+		t.Fatalf("delivered %d/%d", len(r.got[1]), n)
+	}
+	wire := time.Duration(n) * ethernet.Rate100Mbps.Serialize(1538)
+	if end < wire {
+		t.Errorf("finished in %v, faster than wire-rate bound %v", end, wire)
+	}
+	if end > 2*wire {
+		t.Errorf("finished in %v, way slower than wire-rate bound %v", end, wire)
+	}
+}
+
+// Property: any payload survives fragmentation/reassembly byte-for-byte.
+func TestRoundTripQuick(t *testing.T) {
+	f := func(data []byte) bool {
+		if len(data) > MaxDatagram {
+			data = data[:MaxDatagram]
+		}
+		r := newRig(nil, 2, HostConfig{Costs: DefaultCosts(), RecvBuf: 1 << 20})
+		r.hosts[0].sockets[testPort].SendTo(1, testPort, data)
+		r.s.Run()
+		return len(r.got[1]) == 1 && bytes.Equal(r.got[1][0].Payload, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInterleavedReassemblyFromTwoSenders(t *testing.T) {
+	// Two senders fragment large datagrams toward one receiver at the
+	// same time; their fragments interleave on the receiver's link and
+	// must reassemble into the correct, uncorrupted datagrams (keyed by
+	// source and IP id).
+	r := newRig(t, 3, HostConfig{Costs: DefaultCosts(), RecvBuf: 1 << 20})
+	a := make([]byte, 30000)
+	b := make([]byte, 30000)
+	for i := range a {
+		a[i] = byte(i * 3)
+		b[i] = byte(i*5 + 1)
+	}
+	r.hosts[0].sockets[testPort].SendTo(2, testPort, a)
+	r.hosts[1].sockets[testPort].SendTo(2, testPort, b)
+	r.s.Run()
+	if len(r.got[2]) != 2 {
+		t.Fatalf("delivered %d datagrams, want 2", len(r.got[2]))
+	}
+	bysrc := map[Addr][]byte{}
+	for _, dg := range r.got[2] {
+		bysrc[dg.Src] = dg.Payload
+	}
+	if !bytes.Equal(bysrc[0], a) {
+		t.Error("sender 0's datagram corrupted by interleaved reassembly")
+	}
+	if !bytes.Equal(bysrc[1], b) {
+		t.Error("sender 1's datagram corrupted by interleaved reassembly")
+	}
+}
+
+func TestBackToBackDatagramsFromOneSenderKeepDistinctIDs(t *testing.T) {
+	// Consecutive fragmented datagrams from one sender must not be
+	// confused with each other (per-datagram IP identification).
+	r := newRig(t, 2, HostConfig{Costs: DefaultCosts(), RecvBuf: 1 << 20})
+	var want [][]byte
+	for k := 0; k < 5; k++ {
+		msg := make([]byte, 9000)
+		for i := range msg {
+			msg[i] = byte(i*7 + k*13)
+		}
+		want = append(want, msg)
+		r.hosts[0].sockets[testPort].SendTo(1, testPort, msg)
+	}
+	r.s.Run()
+	if len(r.got[1]) != 5 {
+		t.Fatalf("delivered %d datagrams, want 5", len(r.got[1]))
+	}
+	for k, dg := range r.got[1] {
+		if !bytes.Equal(dg.Payload, want[k]) {
+			t.Fatalf("datagram %d corrupted or out of order", k)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package ipnet
+
+import "fmt"
+
+// Socket is a UDP socket: a bounded receive queue drained by the
+// application handler at CPU speed. Arrivals beyond the buffer are
+// dropped silently, exactly as UDP does — on the paper's wired LAN this
+// is where essentially all packet loss comes from.
+type Socket struct {
+	host    *Host
+	port    int
+	bufCap  int // payload bytes
+	handler func(dg *Datagram)
+
+	queue    []*Datagram
+	queued   int
+	draining bool
+}
+
+// Bind creates a socket on port with the host's default receive buffer.
+// handler runs (on the host CPU) for every datagram the application
+// reads. Binding a bound port panics: it is always a wiring bug.
+func (h *Host) Bind(port int, handler func(dg *Datagram)) *Socket {
+	return h.BindBuf(port, h.cfg.RecvBuf, handler)
+}
+
+// BindBuf is Bind with an explicit receive buffer size in bytes
+// (the SO_RCVBUF of the model).
+func (h *Host) BindBuf(port, bufBytes int, handler func(dg *Datagram)) *Socket {
+	if _, dup := h.sockets[port]; dup {
+		panic(fmt.Sprintf("ipnet: port %d already bound on host %d", port, h.cfg.Addr))
+	}
+	if handler == nil {
+		panic("ipnet: Bind with nil handler")
+	}
+	s := &Socket{host: h, port: port, bufCap: bufBytes, handler: handler}
+	h.sockets[port] = s
+	return s
+}
+
+// Close unbinds the socket and discards queued datagrams.
+func (s *Socket) Close() {
+	delete(s.host.sockets, s.port)
+	s.queue = nil
+	s.queued = 0
+}
+
+// Port returns the bound port.
+func (s *Socket) Port() int { return s.port }
+
+// SendTo transmits payload to dst:dstPort. The send syscall cost is
+// charged to the host CPU; the datagram enters the wire when it
+// completes. The payload slice is not copied — callers must not mutate
+// it afterwards (protocol code allocates per-packet buffers).
+func (s *Socket) SendTo(dst Addr, dstPort int, payload []byte) {
+	if len(payload) > MaxDatagram {
+		panic(fmt.Sprintf("ipnet: datagram of %d bytes exceeds max %d", len(payload), MaxDatagram))
+	}
+	h := s.host
+	dg := &Datagram{
+		Src:     h.cfg.Addr,
+		Dst:     dst,
+		SrcPort: s.port,
+		DstPort: dstPort,
+		Payload: payload,
+	}
+	cost := h.cfg.Costs.SendSyscall + PerByte(len(payload), h.cfg.Costs.SendPerByteNs)
+	h.Exec(cost, func() { h.output(dg) })
+}
+
+// enqueue admits a datagram that completed reassembly.
+func (s *Socket) enqueue(dg *Datagram) {
+	if s.bufCap > 0 && s.queued+len(dg.Payload) > s.bufCap {
+		s.host.stats.SocketDrops++
+		return
+	}
+	s.queue = append(s.queue, dg)
+	s.queued += len(dg.Payload)
+	if !s.draining {
+		s.draining = true
+		s.drainNext()
+	}
+}
+
+// drainNext models the application's read loop: one recvfrom per queued
+// datagram, serialized on the host CPU.
+func (s *Socket) drainNext() {
+	if len(s.queue) == 0 {
+		s.draining = false
+		return
+	}
+	dg := s.queue[0]
+	h := s.host
+	cost := h.cfg.Costs.RecvSyscall + PerByte(len(dg.Payload), h.cfg.Costs.RecvPerByteNs)
+	h.Exec(cost, func() {
+		// The socket may have been closed while the read was charged.
+		if len(s.queue) == 0 || s.queue[0] != dg {
+			s.draining = false
+			return
+		}
+		// The datagram leaves the socket buffer when the read completes.
+		s.queue = s.queue[1:]
+		s.queued -= len(dg.Payload)
+		h.stats.RecvDatagrams++
+		h.stats.RecvBytes += uint64(len(dg.Payload))
+		s.handler(dg)
+		s.drainNext()
+	})
+}

@@ -1,0 +1,68 @@
+package live
+
+import (
+	"time"
+
+	"rmcast/internal/core"
+	"rmcast/internal/packet"
+)
+
+// liveEnv implements core.Env on top of the node's sockets and event
+// loop. All methods are invoked from the event loop goroutine (the
+// protocol endpoints only run there), so no extra locking is needed.
+type liveEnv struct {
+	n *Node
+}
+
+func (n *Node) env() core.Env { return &liveEnv{n: n} }
+
+func (e *liveEnv) Now() time.Duration { return time.Since(e.n.start) }
+
+func (e *liveEnv) Send(to core.NodeID, p *packet.Packet) {
+	addr, ok := e.n.addrs[to]
+	if !ok {
+		// Peer not discovered yet; the protocol's retransmission
+		// machinery will retry after discovery converges.
+		return
+	}
+	if drop := e.n.cfg.DropSend; drop != nil && drop(p) {
+		return
+	}
+	p.Src = uint16(e.n.cfg.Rank)
+	e.n.uconn.WriteToUDP(p.Encode(), addr)
+}
+
+func (e *liveEnv) Multicast(p *packet.Packet) {
+	if drop := e.n.cfg.DropSend; drop != nil && drop(p) {
+		return
+	}
+	p.Src = uint16(e.n.cfg.Rank)
+	e.n.uconn.WriteToUDP(p.Encode(), e.n.group)
+}
+
+func (e *liveEnv) SetTimer(d time.Duration, fn func()) core.TimerID {
+	n := e.n
+	n.nextTimer++
+	id := n.nextTimer
+	n.timers[id] = time.AfterFunc(d, func() {
+		n.post(func() {
+			if _, live := n.timers[id]; !live {
+				return // cancelled after firing, before the loop ran it
+			}
+			delete(n.timers, id)
+			fn()
+		})
+	})
+	return id
+}
+
+func (e *liveEnv) CancelTimer(id core.TimerID) {
+	if t, ok := e.n.timers[id]; ok {
+		t.Stop()
+		delete(e.n.timers, id)
+	}
+}
+
+// UserCopy is a no-op on the live transport: the copy physically
+// happens when the packet is encoded and written.
+func (e *liveEnv) UserCopy(int) {}

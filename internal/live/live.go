@@ -1,0 +1,408 @@
+// Package live runs the reliable multicast protocol state machines over
+// real UDP/IP multicast using the standard library's net package — the
+// same configuration the paper deployed on its cluster. The protocol
+// logic in internal/core is shared verbatim with the simulator; this
+// package supplies the core.Env runtime: real sockets, real timers, a
+// serialized event loop, and rank↔address discovery.
+//
+// Each node opens two sockets: a multicast listener joined to the group
+// (for data and allocation requests) and a unicast socket on an
+// ephemeral port (for acknowledgments, NAKs, and as the source of all
+// transmissions, so every peer learns a node's unicast address from any
+// packet it sends). Nodes announce themselves with periodic HELLO
+// packets until every expected peer is known.
+package live
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"rmcast/internal/core"
+	"rmcast/internal/packet"
+)
+
+// Config describes one live node.
+type Config struct {
+	// Group is the multicast group "address:port", e.g. "239.77.12.5:7412".
+	Group string
+	// Interface optionally names the interface for multicast reception
+	// (e.g. "lo" for same-host demos); empty lets the kernel choose.
+	Interface string
+	// Rank is this node's identity: 0 is the sender, 1..NumReceivers
+	// are receivers.
+	Rank core.NodeID
+	// Protocol carries the shared protocol parameters. NumReceivers
+	// must match across all nodes.
+	Protocol core.Config
+	// HelloInterval is the discovery announcement period (default 200ms).
+	HelloInterval time.Duration
+	// ReadBuffer sizes the sockets' kernel receive buffers (default 1 MB).
+	ReadBuffer int
+	// DropSend, when non-nil, discards outgoing packets for which it
+	// returns true before they reach the socket — deterministic loss
+	// injection so the retransmission paths can be tested over real
+	// sockets. Hello packets are never dropped. Leave nil in production.
+	DropSend func(p *packet.Packet) bool
+}
+
+// Node is one live protocol endpoint.
+type Node struct {
+	cfg   Config
+	group *net.UDPAddr
+	mconn *net.UDPConn // multicast receive
+	uconn *net.UDPConn // unicast send+receive; source of all packets
+
+	loop    chan func()
+	closing chan struct{}
+	wg      sync.WaitGroup
+	start   time.Time
+
+	// Everything below is owned by the event loop goroutine.
+	addrs     map[core.NodeID]*net.UDPAddr
+	ep        core.Endpoint
+	timers    map[core.TimerID]*time.Timer
+	nextTimer core.TimerID
+	readyWait []readyWaiter
+
+	recvQ chan []byte // delivered messages (receiver ranks)
+
+	// snd is the persistent sender state machine (rank 0 only); it is
+	// reused across Send calls so message ids stay unique for the
+	// receivers. sendDone is the completion hook of the Send in flight.
+	snd      *core.Sender
+	sendDone func()
+	sending  bool
+
+	closeOnce sync.Once
+}
+
+type readyWaiter struct {
+	want int
+	ch   chan struct{}
+}
+
+// NewNode opens the sockets and starts the event loop and discovery.
+// Receiver nodes are immediately able to participate in sessions; the
+// sender should call WaitReady (or just Send, which waits) first.
+func NewNode(cfg Config) (*Node, error) {
+	if cfg.Rank < 0 || int(cfg.Rank) > cfg.Protocol.NumReceivers {
+		return nil, fmt.Errorf("live: rank %d out of range [0,%d]", cfg.Rank, cfg.Protocol.NumReceivers)
+	}
+	if cfg.HelloInterval == 0 {
+		cfg.HelloInterval = 200 * time.Millisecond
+	}
+	if cfg.ReadBuffer == 0 {
+		cfg.ReadBuffer = 1 << 20
+	}
+	group, err := net.ResolveUDPAddr("udp4", cfg.Group)
+	if err != nil {
+		return nil, fmt.Errorf("live: bad group address %q: %w", cfg.Group, err)
+	}
+	if !group.IP.IsMulticast() {
+		return nil, fmt.Errorf("live: %v is not a multicast address", group.IP)
+	}
+	var ifi *net.Interface
+	if cfg.Interface != "" {
+		ifi, err = net.InterfaceByName(cfg.Interface)
+		if err != nil {
+			return nil, fmt.Errorf("live: interface %q: %w", cfg.Interface, err)
+		}
+	}
+	mconn, err := net.ListenMulticastUDP("udp4", ifi, group)
+	if err != nil {
+		return nil, fmt.Errorf("live: joining %v: %w", group, err)
+	}
+	uconn, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4zero, Port: 0})
+	if err != nil {
+		mconn.Close()
+		return nil, fmt.Errorf("live: unicast socket: %w", err)
+	}
+	_ = mconn.SetReadBuffer(cfg.ReadBuffer)
+	_ = uconn.SetReadBuffer(cfg.ReadBuffer)
+
+	n := &Node{
+		cfg:     cfg,
+		group:   group,
+		mconn:   mconn,
+		uconn:   uconn,
+		loop:    make(chan func(), 1024),
+		closing: make(chan struct{}),
+		start:   time.Now(),
+		addrs:   make(map[core.NodeID]*net.UDPAddr),
+		timers:  make(map[core.TimerID]*time.Timer),
+		recvQ:   make(chan []byte, 16),
+	}
+	if cfg.Rank != core.SenderID {
+		rcv, err := core.NewReceiver(n.env(), cfg.Protocol, cfg.Rank, func(msg []byte) {
+			// Deliver a stable copy: the protocol buffer is reused for
+			// duplicate handling.
+			out := make([]byte, len(msg))
+			copy(out, msg)
+			select {
+			case n.recvQ <- out:
+			default:
+				// Receiver application is not consuming; drop the oldest.
+				select {
+				case <-n.recvQ:
+				default:
+				}
+				n.recvQ <- out
+			}
+		})
+		if err != nil {
+			n.closeSockets()
+			return nil, err
+		}
+		n.ep = rcv
+	}
+	n.wg.Add(3)
+	go n.runLoop()
+	go n.reader(n.mconn, true)
+	go n.reader(n.uconn, false)
+	n.helloTicker()
+	return n, nil
+}
+
+// Rank returns the node's rank.
+func (n *Node) Rank() core.NodeID { return n.cfg.Rank }
+
+// LocalAddr returns the node's unicast address.
+func (n *Node) LocalAddr() *net.UDPAddr { return n.uconn.LocalAddr().(*net.UDPAddr) }
+
+// Close shuts the node down. Pending Send/Recv calls fail.
+func (n *Node) Close() error {
+	n.closeOnce.Do(func() {
+		close(n.closing)
+		n.closeSockets()
+	})
+	n.wg.Wait()
+	return nil
+}
+
+func (n *Node) closeSockets() {
+	n.mconn.Close()
+	n.uconn.Close()
+}
+
+// post runs fn on the event loop (no-op after Close).
+func (n *Node) post(fn func()) {
+	select {
+	case n.loop <- fn:
+	case <-n.closing:
+	}
+}
+
+func (n *Node) runLoop() {
+	defer n.wg.Done()
+	for {
+		select {
+		case fn := <-n.loop:
+			fn()
+		case <-n.closing:
+			// Drain whatever is queued, then stop timers.
+			for {
+				select {
+				case fn := <-n.loop:
+					fn()
+				default:
+					for _, t := range n.timers {
+						t.Stop()
+					}
+					return
+				}
+			}
+		}
+	}
+}
+
+// reader pumps one socket into the event loop.
+func (n *Node) reader(conn *net.UDPConn, multicast bool) {
+	defer n.wg.Done()
+	buf := make([]byte, 65536)
+	for {
+		nr, src, err := conn.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-n.closing:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		wire := make([]byte, nr)
+		copy(wire, buf[:nr])
+		srcAddr := &net.UDPAddr{IP: append(net.IP(nil), src.IP...), Port: src.Port}
+		n.post(func() { n.onWire(wire, srcAddr) })
+	}
+}
+
+// onWire decodes and dispatches one received datagram (event loop).
+func (n *Node) onWire(wire []byte, src *net.UDPAddr) {
+	p, err := packet.Decode(wire)
+	if err != nil {
+		return // stray traffic on the port
+	}
+	from := core.NodeID(p.Src)
+	if from == n.cfg.Rank {
+		return // our own multicast looped back
+	}
+	if int(from) > n.cfg.Protocol.NumReceivers {
+		return
+	}
+	// Every packet teaches us its sender's unicast address.
+	n.learn(from, src)
+	switch p.Type {
+	case packet.TypeHello:
+		// Learning was the point; answer new peers promptly so
+		// discovery converges in one round trip rather than a period.
+		if p.Aux == 1 {
+			n.sendHello(false)
+		}
+	default:
+		if n.ep != nil {
+			n.ep.OnPacket(from, p)
+		}
+	}
+}
+
+func (n *Node) learn(id core.NodeID, addr *net.UDPAddr) {
+	old, ok := n.addrs[id]
+	if ok && old.IP.Equal(addr.IP) && old.Port == addr.Port {
+		return
+	}
+	n.addrs[id] = addr
+	for i := 0; i < len(n.readyWait); {
+		w := n.readyWait[i]
+		if len(n.addrs) >= w.want {
+			close(w.ch)
+			n.readyWait = append(n.readyWait[:i], n.readyWait[i+1:]...)
+			continue
+		}
+		i++
+	}
+}
+
+// helloTicker announces this node until the process closes.
+func (n *Node) helloTicker() {
+	n.post(func() { n.sendHello(true) })
+	t := time.AfterFunc(n.cfg.HelloInterval, func() {})
+	t.Stop()
+	go func() {
+		tick := time.NewTicker(n.cfg.HelloInterval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				n.post(func() { n.sendHello(true) })
+			case <-n.closing:
+				return
+			}
+		}
+	}()
+}
+
+// sendHello multicasts a discovery announcement. wantReply asks peers
+// to announce back immediately (Aux=1).
+func (n *Node) sendHello(wantReply bool) {
+	aux := uint32(0)
+	if wantReply {
+		aux = 1
+	}
+	p := &packet.Packet{Type: packet.TypeHello, Src: uint16(n.cfg.Rank), Aux: aux}
+	n.uconn.WriteToUDP(p.Encode(), n.group)
+}
+
+// WaitReady blocks until this node knows the unicast address of `peers`
+// other nodes (use Protocol.NumReceivers for a sender; 1 suffices for a
+// plain receiver that only talks to the sender).
+func (n *Node) WaitReady(ctx context.Context, peers int) error {
+	ch := make(chan struct{})
+	n.post(func() {
+		if len(n.addrs) >= peers {
+			close(ch)
+			return
+		}
+		n.readyWait = append(n.readyWait, readyWaiter{want: peers, ch: ch})
+	})
+	select {
+	case <-ch:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("live: waiting for %d peers: %w", peers, ctx.Err())
+	case <-n.closing:
+		return errors.New("live: node closed")
+	}
+}
+
+// Send multicasts msg reliably to every receiver. Only rank 0 may call
+// it, one transfer at a time. It waits for discovery of all receivers,
+// runs the session, and returns when every receiver has acknowledged
+// the full message.
+func (n *Node) Send(ctx context.Context, msg []byte) error {
+	if n.cfg.Rank != core.SenderID {
+		return fmt.Errorf("live: Send on rank %d (only rank 0 sends)", n.cfg.Rank)
+	}
+	if err := n.WaitReady(ctx, n.cfg.Protocol.NumReceivers); err != nil {
+		return err
+	}
+	done := make(chan struct{})
+	errCh := make(chan error, 1)
+	n.post(func() {
+		if n.sending {
+			errCh <- errors.New("live: a Send is already in progress")
+			return
+		}
+		if n.snd == nil {
+			snd, err := core.NewSender(n.env(), n.cfg.Protocol, func() {
+				n.sending = false
+				if n.sendDone != nil {
+					n.sendDone()
+				}
+			})
+			if err != nil {
+				errCh <- err
+				return
+			}
+			n.snd = snd
+			n.ep = snd
+		}
+		n.sending = true
+		n.sendDone = func() { close(done) }
+		n.snd.Start(msg)
+	})
+	select {
+	case err := <-errCh:
+		return err
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		// Abandon the session: the next Send will fail until the
+		// current one completes, mirroring a blocked sendto.
+		n.post(func() { n.sendDone = nil })
+		return ctx.Err()
+	case <-n.closing:
+		return errors.New("live: node closed")
+	}
+}
+
+// Recv returns the next fully delivered message on a receiver node.
+func (n *Node) Recv(ctx context.Context) ([]byte, error) {
+	if n.cfg.Rank == core.SenderID {
+		return nil, errors.New("live: Recv on the sender rank")
+	}
+	select {
+	case msg := <-n.recvQ:
+		return msg, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-n.closing:
+		return nil, errors.New("live: node closed")
+	}
+}

@@ -1,0 +1,363 @@
+// Package order builds totally ordered reliable multicast on top of the
+// 1→N reliable multicast sessions the paper studies. The paper's
+// related-work lineage — Chang-Maxemchuk [3] and the totally ordered
+// protocol of Whetten et al. [25] — is about exactly this layer: many
+// senders, one agreed delivery order at every member.
+//
+// The design is the classic fixed-sequencer scheme, chosen for the same
+// reason the paper adapts its protocols to LANs: on a single-switch
+// cluster the sequencer is one hop from everyone, so the coordination
+// cost is a small constant, not a scaling bottleneck.
+//
+//   - Any member disseminates its message to the whole group with an
+//     ordinary reliable multicast session (its own root, its own port).
+//   - The sequencer (member 0) assigns global sequence numbers in the
+//     order it *receives* disseminated messages, and announces
+//     assignments — batched — with reliable multicast sessions of its
+//     own.
+//   - Every member holds back received messages until the sequencer's
+//     assignment arrives, then delivers strictly in global order.
+//
+// Reliability of both dissemination and announcements is inherited from
+// the underlying protocol (any of ACK/NAK/ring/tree), so total order
+// holds under packet loss too — asserted by the package tests.
+package order
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"rmcast/internal/cluster"
+	"rmcast/internal/core"
+)
+
+// MsgID identifies a submitted message before ordering: the submitting
+// member and its local sequence number.
+type MsgID struct {
+	Member   int
+	LocalSeq uint32
+}
+
+// Delivery is one totally ordered delivery at one member.
+type Delivery struct {
+	GlobalSeq uint32
+	ID        MsgID
+	Payload   []byte
+}
+
+// System is a totally ordered multicast group over a simulated cluster.
+// Build it, enqueue submissions with Submit, then Run.
+type System struct {
+	c        *cluster.Cluster
+	pcfg     core.Config
+	nextPort int
+
+	members []*member
+	subs    []submission
+
+	// Sequencer state (member 0).
+	nextGlobal   uint32
+	pendingAsgn  []assignment
+	asgnInFlight bool
+
+	totalSubmitted int
+	deadline       time.Duration
+}
+
+type submission struct {
+	at     time.Duration
+	member int
+	msg    []byte
+}
+
+type assignment struct {
+	id     MsgID
+	global uint32
+}
+
+// member is the per-host ordering state.
+type member struct {
+	sys  *System
+	host int
+
+	nextLocal uint32
+	// undelivered messages keyed by pre-order id.
+	data map[MsgID][]byte
+	// assignments known, keyed by global sequence.
+	order map[uint32]MsgID
+	// nextDeliver is the next global sequence to deliver.
+	nextDeliver uint32
+
+	Deliveries []Delivery
+}
+
+// NewSystem builds the group over a fresh cluster. pcfg is the
+// underlying reliable multicast configuration (any protocol).
+func NewSystem(ccfg cluster.Config, pcfg core.Config) (*System, error) {
+	pcfg.NumReceivers = ccfg.NumReceivers
+	if _, err := pcfg.Normalize(); err != nil {
+		return nil, err
+	}
+	c, err := cluster.New(ccfg)
+	if err != nil {
+		return nil, err
+	}
+	s := &System{
+		c:        c,
+		pcfg:     pcfg,
+		nextPort: 7100,
+		deadline: ccfg.Deadline,
+	}
+	for h := 0; h <= ccfg.NumReceivers; h++ {
+		s.members = append(s.members, &member{
+			sys:   s,
+			host:  h,
+			data:  make(map[MsgID][]byte),
+			order: map[uint32]MsgID{},
+		})
+	}
+	return s, nil
+}
+
+// Size returns the number of members.
+func (s *System) Size() int { return len(s.members) }
+
+// Deliveries returns member m's ordered deliveries so far.
+func (s *System) Deliveries(m int) []Delivery { return s.members[m].Deliveries }
+
+// Submit enqueues msg for total-order multicast by member m at virtual
+// time at (relative to Run's start). Call before Run.
+func (s *System) Submit(at time.Duration, m int, msg []byte) {
+	if m < 0 || m >= len(s.members) {
+		panic(fmt.Sprintf("order: member %d out of range", m))
+	}
+	s.subs = append(s.subs, submission{at: at, member: m, msg: msg})
+}
+
+// Run disseminates and orders every submitted message, returning the
+// total virtual time once every member has delivered all of them.
+func (s *System) Run() (time.Duration, error) {
+	s.totalSubmitted = len(s.subs)
+	begin := s.c.Sim.Now()
+	for _, sub := range s.subs {
+		sub := sub
+		s.c.Sim.After(sub.at, func() { s.disseminate(sub.member, sub.msg) })
+	}
+	s.subs = nil
+	for s.c.Sim.Pending() > 0 && !s.allDelivered() {
+		s.c.Sim.Step()
+		if s.c.Sim.Now()-begin > s.deadline {
+			return s.c.Sim.Now() - begin, fmt.Errorf("order: run exceeded deadline %v", s.deadline)
+		}
+	}
+	if !s.allDelivered() {
+		return s.c.Sim.Now() - begin, fmt.Errorf("order: stalled with no pending events")
+	}
+	return s.c.Sim.Now() - begin, nil
+}
+
+func (s *System) allDelivered() bool {
+	for _, m := range s.members {
+		if len(m.Deliveries) < s.totalSubmitted {
+			return false
+		}
+	}
+	return true
+}
+
+// wire format for disseminated payloads: member(4) localSeq(4) body.
+func encodeData(id MsgID, body []byte) []byte {
+	out := make([]byte, 8+len(body))
+	binary.BigEndian.PutUint32(out[0:4], uint32(id.Member))
+	binary.BigEndian.PutUint32(out[4:8], id.LocalSeq)
+	copy(out[8:], body)
+	return out
+}
+
+func decodeData(b []byte) (MsgID, []byte, error) {
+	if len(b) < 8 {
+		return MsgID{}, nil, fmt.Errorf("order: short data payload (%d bytes)", len(b))
+	}
+	id := MsgID{
+		Member:   int(binary.BigEndian.Uint32(b[0:4])),
+		LocalSeq: binary.BigEndian.Uint32(b[4:8]),
+	}
+	return id, b[8:], nil
+}
+
+// wire format for assignment announcements: repeated
+// member(4) localSeq(4) globalSeq(4); a leading 0xFFFFFFFF marks the
+// announcement type (a data payload never starts with member 2^32-1).
+const asgnMagic = 0xFFFFFFFF
+
+func encodeAssignments(asgns []assignment) []byte {
+	out := make([]byte, 4+12*len(asgns))
+	binary.BigEndian.PutUint32(out[0:4], asgnMagic)
+	for i, a := range asgns {
+		off := 4 + 12*i
+		binary.BigEndian.PutUint32(out[off:off+4], uint32(a.id.Member))
+		binary.BigEndian.PutUint32(out[off+4:off+8], a.id.LocalSeq)
+		binary.BigEndian.PutUint32(out[off+8:off+12], a.global)
+	}
+	return out
+}
+
+func isAssignments(b []byte) bool {
+	return len(b) >= 4 && binary.BigEndian.Uint32(b[0:4]) == asgnMagic
+}
+
+func decodeAssignments(b []byte) ([]assignment, error) {
+	if (len(b)-4)%12 != 0 {
+		return nil, fmt.Errorf("order: malformed assignment payload (%d bytes)", len(b))
+	}
+	n := (len(b) - 4) / 12
+	out := make([]assignment, n)
+	for i := 0; i < n; i++ {
+		off := 4 + 12*i
+		out[i] = assignment{
+			id: MsgID{
+				Member:   int(binary.BigEndian.Uint32(b[off : off+4])),
+				LocalSeq: binary.BigEndian.Uint32(b[off+4 : off+8]),
+			},
+			global: binary.BigEndian.Uint32(b[off+8 : off+12]),
+		}
+	}
+	return out, nil
+}
+
+// disseminate multicasts member m's message to the group and feeds the
+// local copies into the ordering layer.
+func (s *System) disseminate(m int, body []byte) {
+	mem := s.members[m]
+	id := MsgID{Member: m, LocalSeq: mem.nextLocal}
+	mem.nextLocal++
+	payload := encodeData(id, body)
+
+	s.startSession(m, payload)
+	// The submitter has its own message immediately.
+	mem.onData(id, body)
+	// If the submitter is the sequencer, it also orders it now;
+	// otherwise the sequencer orders on reception.
+	if m == 0 {
+		s.assign(id)
+	}
+}
+
+// startSession launches one reliable multicast session from root and
+// routes deliveries into the ordering layer.
+func (s *System) startSession(root int, payload []byte) {
+	s.nextPort++
+	ses, err := cluster.NewSession(s.c, core.NodeID(root), s.nextPort, s.pcfg, payload)
+	if err != nil {
+		// Configuration was validated in NewSystem; a failure here is a
+		// programming error.
+		panic(err)
+	}
+	ses.OnDeliver = func(host core.NodeID, msg []byte) {
+		s.onSessionDelivery(int(host), msg)
+	}
+}
+
+// onSessionDelivery handles a reliably delivered payload at a host:
+// either a data message or a sequencer announcement.
+func (s *System) onSessionDelivery(host int, payload []byte) {
+	mem := s.members[host]
+	if isAssignments(payload) {
+		asgns, err := decodeAssignments(payload)
+		if err != nil {
+			return
+		}
+		for _, a := range asgns {
+			mem.onAssignment(a)
+		}
+		return
+	}
+	id, body, err := decodeData(payload)
+	if err != nil {
+		return
+	}
+	mem.onData(id, body)
+	if host == 0 {
+		s.assign(id)
+	}
+}
+
+// assign gives id the next global sequence number and schedules its
+// announcement (sequencer only).
+func (s *System) assign(id MsgID) {
+	a := assignment{id: id, global: s.nextGlobal}
+	s.nextGlobal++
+	// The sequencer learns its own assignment immediately.
+	s.members[0].onAssignment(a)
+	s.pendingAsgn = append(s.pendingAsgn, a)
+	s.flushAssignments()
+}
+
+// flushAssignments announces pending assignments when no announcement
+// session is in flight; assignments arriving meanwhile batch into the
+// next session.
+func (s *System) flushAssignments() {
+	if s.asgnInFlight || len(s.pendingAsgn) == 0 {
+		return
+	}
+	batch := s.pendingAsgn
+	s.pendingAsgn = nil
+	s.asgnInFlight = true
+	s.nextPort++
+	ses, err := cluster.NewSession(s.c, 0, s.nextPort, s.pcfg, encodeAssignments(batch))
+	if err != nil {
+		panic(err)
+	}
+	delivered := 0
+	ses.OnDeliver = func(host core.NodeID, msg []byte) {
+		s.onSessionDelivery(int(host), msg)
+		delivered++
+		if delivered == s.c.Cfg.NumReceivers {
+			// Announcement fully delivered: the next batch may go out.
+			s.asgnInFlight = false
+			s.flushAssignments()
+		}
+	}
+}
+
+// onData stores a received message and tries to deliver.
+func (m *member) onData(id MsgID, body []byte) {
+	if _, dup := m.data[id]; dup {
+		return
+	}
+	m.data[id] = body
+	m.tryDeliver()
+}
+
+// onAssignment records a global ordering decision and tries to deliver.
+func (m *member) onAssignment(a assignment) {
+	if _, dup := m.order[a.global]; dup {
+		return
+	}
+	m.order[a.global] = a.id
+	m.tryDeliver()
+}
+
+// tryDeliver delivers consecutively ordered messages whose data has
+// arrived. Total order: every member walks global sequences 0,1,2,...
+func (m *member) tryDeliver() {
+	for {
+		id, ok := m.order[m.nextDeliver]
+		if !ok {
+			return
+		}
+		body, ok := m.data[id]
+		if !ok {
+			return
+		}
+		m.Deliveries = append(m.Deliveries, Delivery{
+			GlobalSeq: m.nextDeliver,
+			ID:        id,
+			Payload:   body,
+		})
+		delete(m.order, m.nextDeliver)
+		delete(m.data, id)
+		m.nextDeliver++
+	}
+}

@@ -1,0 +1,193 @@
+package order
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"rmcast/internal/cluster"
+	"rmcast/internal/core"
+)
+
+func orderConfig(p core.Protocol, n int) core.Config {
+	cfg := core.Config{Protocol: p, PacketSize: 4000, WindowSize: 8}
+	switch p {
+	case core.ProtoNAK:
+		cfg.PollInterval = 6
+	case core.ProtoRing:
+		cfg.WindowSize = n + 8
+	case core.ProtoTree:
+		cfg.TreeHeight = 2
+	}
+	return cfg
+}
+
+// checkTotalOrder asserts the defining property: every member delivered
+// the same sequence of (id, payload).
+func checkTotalOrder(t *testing.T, s *System, wantCount int) {
+	t.Helper()
+	ref := s.Deliveries(0)
+	if len(ref) != wantCount {
+		t.Fatalf("member 0 delivered %d messages, want %d", len(ref), wantCount)
+	}
+	for g, d := range ref {
+		if d.GlobalSeq != uint32(g) {
+			t.Fatalf("member 0: delivery %d has global seq %d", g, d.GlobalSeq)
+		}
+	}
+	for m := 1; m < s.Size(); m++ {
+		got := s.Deliveries(m)
+		if len(got) != wantCount {
+			t.Fatalf("member %d delivered %d messages, want %d", m, len(got), wantCount)
+		}
+		for i := range ref {
+			if got[i].ID != ref[i].ID || !bytes.Equal(got[i].Payload, ref[i].Payload) {
+				t.Fatalf("member %d delivery %d = %v, member 0 saw %v — total order violated",
+					m, i, got[i].ID, ref[i].ID)
+			}
+		}
+	}
+}
+
+func TestSingleSubmitterOrdered(t *testing.T) {
+	s, err := NewSystem(cluster.Default(4), orderConfig(core.ProtoNAK, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const count = 5
+	for i := 0; i < count; i++ {
+		s.Submit(time.Duration(i)*time.Millisecond, 2, []byte(fmt.Sprintf("msg-%d", i)))
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	checkTotalOrder(t, s, count)
+	// A single submitter's messages must additionally respect FIFO.
+	for i, d := range s.Deliveries(0) {
+		if d.ID.LocalSeq != uint32(i) {
+			t.Fatalf("FIFO violated: position %d has local seq %d", i, d.ID.LocalSeq)
+		}
+	}
+}
+
+func TestConcurrentSubmittersAgree(t *testing.T) {
+	for _, p := range []core.Protocol{core.ProtoACK, core.ProtoNAK, core.ProtoRing, core.ProtoTree} {
+		t.Run(p.String(), func(t *testing.T) {
+			n := 5
+			s, err := NewSystem(cluster.Default(n), orderConfig(p, n))
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Every member submits two messages at nearly the same time:
+			// the racing dissemination sessions force real ordering work.
+			count := 0
+			for m := 0; m <= n; m++ {
+				for k := 0; k < 2; k++ {
+					s.Submit(time.Duration(k*100)*time.Microsecond, m,
+						[]byte(fmt.Sprintf("from-%d-#%d", m, k)))
+					count++
+				}
+			}
+			if _, err := s.Run(); err != nil {
+				t.Fatal(err)
+			}
+			checkTotalOrder(t, s, count)
+		})
+	}
+}
+
+func TestTotalOrderSurvivesLoss(t *testing.T) {
+	n := 4
+	ccfg := cluster.Default(n)
+	ccfg.LossRate = 0.005
+	ccfg.Seed = 31
+	ccfg.Deadline = 5 * time.Minute
+	s, err := NewSystem(ccfg, orderConfig(core.ProtoNAK, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for m := 0; m <= n; m++ {
+		s.Submit(time.Duration(m)*200*time.Microsecond, m, cluster.MakeMessage(9000+m))
+		count++
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	checkTotalOrder(t, s, count)
+}
+
+func TestSequencerReceptionOrderRespected(t *testing.T) {
+	// The sequencer's own early submission must order before a remote
+	// member's later one (the sequencer has its message instantly).
+	s, err := NewSystem(cluster.Default(3), orderConfig(core.ProtoACK, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Submit(0, 0, []byte("sequencer-first"))
+	s.Submit(5*time.Millisecond, 3, []byte("remote-later"))
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	checkTotalOrder(t, s, 2)
+	d := s.Deliveries(1)
+	if string(d[0].Payload) != "sequencer-first" {
+		t.Fatalf("order inverted: %q first", d[0].Payload)
+	}
+}
+
+func TestLargePayloadsOrdered(t *testing.T) {
+	n := 3
+	s, err := NewSystem(cluster.Default(n), orderConfig(core.ProtoRing, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m := 0; m <= n; m++ {
+		s.Submit(0, m, cluster.MakeMessage(60000+m*7))
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	checkTotalOrder(t, s, n+1)
+	// Payload sizes identify the submitters uniquely; verify integrity.
+	for _, d := range s.Deliveries(2) {
+		want := cluster.MakeMessage(60000 + d.ID.Member*7)
+		if !bytes.Equal(d.Payload, want) {
+			t.Fatalf("member %d payload corrupted in ordered delivery", d.ID.Member)
+		}
+	}
+}
+
+func TestSubmitOutOfRangePanics(t *testing.T) {
+	s, err := NewSystem(cluster.Default(2), orderConfig(core.ProtoACK, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Submit(99) did not panic")
+		}
+	}()
+	s.Submit(0, 99, []byte("x"))
+}
+
+func BenchmarkTotalOrderThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := NewSystem(cluster.Default(7), orderConfig(core.ProtoNAK, 7))
+		if err != nil {
+			b.Fatal(err)
+		}
+		count := 0
+		for m := 0; m < s.Size(); m++ {
+			s.Submit(0, m, cluster.MakeMessage(8000))
+			count++
+		}
+		if _, err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+		if len(s.Deliveries(0)) != count {
+			b.Fatal("missing deliveries")
+		}
+	}
+}

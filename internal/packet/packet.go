@@ -1,0 +1,162 @@
+// Package packet defines the reliable-multicast wire format shared by the
+// simulated and live transports.
+//
+// Following the paper's Section 4, sender/receiver identity comes from
+// the UDP/IP header; the protocol header adds a packet type and a
+// four-byte sequence number, plus a message id and an auxiliary word
+// (message size for allocation requests, byte offset for data packets)
+// that make the implementation robust to reordered sessions.
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Type identifies a protocol packet.
+type Type uint8
+
+// Packet types. Alloc packets implement the paper's Figure 6 buffer
+// allocation handshake; Data/Ack/Nak are the three types of Section 4.
+const (
+	TypeInvalid Type = iota
+	TypeAllocReq
+	TypeAllocOK
+	TypeData
+	TypeAck
+	TypeNak
+	// TypeHello announces a node on the live transport: Aux carries the
+	// node's rank so peers can map UDP source addresses to ranks. The
+	// simulator does not use it (addresses are ranks there).
+	TypeHello
+)
+
+var typeNames = [...]string{"invalid", "alloc-req", "alloc-ok", "data", "ack", "nak", "hello"}
+
+func (t Type) String() string {
+	if int(t) < len(typeNames) {
+		return typeNames[t]
+	}
+	return fmt.Sprintf("type(%d)", uint8(t))
+}
+
+// Valid reports whether t is a known packet type.
+func (t Type) Valid() bool { return t > TypeInvalid && t <= TypeHello }
+
+// Flags annotate data packets.
+type Flags uint8
+
+const (
+	// FlagPoll asks every receiver to acknowledge this packet (the
+	// NAK-based protocol's polling mechanism).
+	FlagPoll Flags = 1 << iota
+	// FlagLast marks the final data packet of a message.
+	FlagLast
+)
+
+// Header and size constants.
+const (
+	// Magic guards against stray datagrams on the live transport.
+	Magic = 0xA7
+	// Version of the wire format.
+	Version = 1
+	// HeaderLen is the fixed encoded header size.
+	HeaderLen = 18
+	// MaxSeq bounds sequence numbers (they fit a uint32 and never wrap:
+	// a message has at most MaxDatagram-sized packets).
+	MaxSeq = 1<<32 - 1
+)
+
+// Packet is one protocol packet.
+//
+// Field use by type:
+//
+//	AllocReq: Aux = message size in bytes
+//	AllocOK:  Aux = echoed message size
+//	Data:     Seq = packet sequence, Aux = byte offset, Payload = data
+//	Ack:      Seq = cumulative acknowledgment (next sequence expected)
+//	Nak:      Seq = first missing sequence
+type Packet struct {
+	Type  Type
+	Flags Flags
+	// Src is the sending node's rank (0 = sender). The simulator
+	// derives identity from the simulated UDP header instead; the live
+	// transport relies on this field for identity and to filter its own
+	// looped-back multicast.
+	Src     uint16
+	MsgID   uint32
+	Seq     uint32
+	Aux     uint32
+	Payload []byte
+}
+
+// WireLen returns the encoded length in bytes.
+func (p *Packet) WireLen() int { return HeaderLen + len(p.Payload) }
+
+// Encode serializes the packet into a fresh buffer.
+func (p *Packet) Encode() []byte {
+	b := make([]byte, p.WireLen())
+	p.EncodeTo(b)
+	return b
+}
+
+// EncodeTo serializes into b, which must be at least WireLen() long, and
+// returns the number of bytes written.
+func (p *Packet) EncodeTo(b []byte) int {
+	if len(b) < p.WireLen() {
+		panic("packet: EncodeTo buffer too small")
+	}
+	b[0] = Magic
+	b[1] = Version
+	b[2] = byte(p.Type)
+	b[3] = byte(p.Flags)
+	binary.BigEndian.PutUint32(b[4:8], p.MsgID)
+	binary.BigEndian.PutUint32(b[8:12], p.Seq)
+	binary.BigEndian.PutUint32(b[12:16], p.Aux)
+	binary.BigEndian.PutUint16(b[16:18], p.Src)
+	copy(b[HeaderLen:], p.Payload)
+	return p.WireLen()
+}
+
+// Decoding errors.
+var (
+	ErrTruncated  = errors.New("packet: truncated header")
+	ErrBadMagic   = errors.New("packet: bad magic byte")
+	ErrBadVersion = errors.New("packet: unsupported version")
+	ErrBadType    = errors.New("packet: unknown packet type")
+)
+
+// Decode parses an encoded packet. The returned packet's Payload aliases
+// b's storage.
+func Decode(b []byte) (*Packet, error) {
+	if len(b) < HeaderLen {
+		return nil, ErrTruncated
+	}
+	if b[0] != Magic {
+		return nil, ErrBadMagic
+	}
+	if b[1] != Version {
+		return nil, ErrBadVersion
+	}
+	p := &Packet{
+		Type:  Type(b[2]),
+		Flags: Flags(b[3]),
+		MsgID: binary.BigEndian.Uint32(b[4:8]),
+		Seq:   binary.BigEndian.Uint32(b[8:12]),
+		Aux:   binary.BigEndian.Uint32(b[12:16]),
+		Src:   binary.BigEndian.Uint16(b[16:18]),
+	}
+	if !p.Type.Valid() {
+		return nil, ErrBadType
+	}
+	if len(b) > HeaderLen {
+		p.Payload = b[HeaderLen:]
+	}
+	return p, nil
+}
+
+func (p *Packet) String() string {
+	return fmt.Sprintf("%s msg=%d seq=%d aux=%d flags=%02x len=%d",
+		p.Type, p.MsgID, p.Seq, p.Aux, uint8(p.Flags), len(p.Payload))
+}

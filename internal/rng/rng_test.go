@@ -1,0 +1,139 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if got, want := a.Uint64(), b.Uint64(); got != want {
+			t.Fatalf("step %d: streams diverged: %d != %d", i, got, want)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical outputs in 100 draws", same)
+	}
+}
+
+func TestKnownVector(t *testing.T) {
+	// Pin the SplitMix64 algorithm: these values come from the reference
+	// implementation with seed 1234567. If this test fails, reproducibility
+	// of every recorded experiment is broken.
+	r := New(1234567)
+	want := []uint64{
+		0x599ed017fb08fc85, 0x2c73f08458540fa5, 0x883ebce5a3f27c77,
+	}
+	for i, w := range want {
+		if got := r.Uint64(); got != w {
+			t.Fatalf("draw %d: got %#x, want %#x", i, got, w)
+		}
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(7)
+	for _, n := range []int{1, 2, 3, 10, 31, 1000} {
+		seen := make(map[int]bool)
+		for i := 0; i < 200*n && len(seen) < n; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+			seen[v] = true
+		}
+		if len(seen) != n && n <= 31 {
+			t.Errorf("Intn(%d) never produced all values; saw %d", n, len(seen))
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(99)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("mean of %d draws = %v, want ~0.5", n, mean)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := New(5)
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if r.Bool(0.25) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if math.Abs(frac-0.25) > 0.01 {
+		t.Errorf("Bool(0.25) hit fraction %v, want ~0.25", frac)
+	}
+}
+
+func TestForkIndependent(t *testing.T) {
+	r := New(11)
+	f := r.Fork()
+	// The fork must not share state with the parent: interleaving draws
+	// from the parent must not change the fork's stream.
+	f2 := New(11)
+	f2 = f2.Fork()
+	a := f.Uint64()
+	r.Uint64()
+	r.Uint64()
+	b := f.Uint64()
+	wantA := f2.Uint64()
+	wantB := f2.Uint64()
+	if a != wantA || b != wantB {
+		t.Fatal("fork stream affected by parent draws")
+	}
+}
+
+func TestIntnUniformQuick(t *testing.T) {
+	// Property: for arbitrary seeds, Intn(n) stays in range.
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		r := New(seed)
+		for i := 0; i < 50; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

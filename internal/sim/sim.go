@@ -1,0 +1,173 @@
+// Package sim implements a minimal discrete-event simulation engine.
+//
+// A Simulator owns a virtual clock and a priority queue of events. Events
+// scheduled for the same instant fire in scheduling order, which makes runs
+// fully deterministic. All simulated network and host behavior in this
+// repository is expressed as events on one Simulator; nothing in the
+// simulated world reads the wall clock.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is a virtual timestamp, measured as a duration since the start of
+// the simulation. Using time.Duration keeps arithmetic and formatting
+// familiar while making it impossible to confuse virtual and wall time.
+type Time = time.Duration
+
+// EventID identifies a scheduled event so it can be cancelled. The zero
+// EventID is never issued and is safe to use as "no event".
+type EventID uint64
+
+// event is a single queue entry. seq breaks ties between events scheduled
+// for the same instant: lower seq (scheduled earlier) fires first.
+type event struct {
+	at    Time
+	seq   uint64
+	id    EventID
+	fn    func()
+	index int // heap index, maintained by eventQueue
+}
+
+// eventQueue is a min-heap of events ordered by (at, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// Simulator is a discrete-event scheduler. The zero value is not usable;
+// call New.
+type Simulator struct {
+	now     Time
+	queue   eventQueue
+	nextSeq uint64
+	nextID  EventID
+	live    map[EventID]*event
+	fired   uint64
+}
+
+// New returns an empty simulator with the clock at zero.
+func New() *Simulator {
+	return &Simulator{live: make(map[EventID]*event)}
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() Time { return s.now }
+
+// Pending returns the number of events waiting to fire.
+func (s *Simulator) Pending() int { return len(s.queue) }
+
+// Fired returns the total number of events executed so far.
+func (s *Simulator) Fired() uint64 { return s.fired }
+
+// At schedules fn to run at the absolute virtual time at. Scheduling in
+// the past panics: it always indicates a bug in the caller, and silently
+// clamping would hide causality violations.
+func (s *Simulator) At(at Time, fn func()) EventID {
+	if at < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, s.now))
+	}
+	if fn == nil {
+		panic("sim: scheduling nil event func")
+	}
+	s.nextSeq++
+	s.nextID++
+	ev := &event{at: at, seq: s.nextSeq, id: s.nextID, fn: fn}
+	heap.Push(&s.queue, ev)
+	s.live[ev.id] = ev
+	return ev.id
+}
+
+// After schedules fn to run d from now. Negative d panics via At.
+func (s *Simulator) After(d time.Duration, fn func()) EventID {
+	return s.At(s.now+d, fn)
+}
+
+// Cancel removes a pending event. It reports whether the event was still
+// pending; cancelling an already-fired or already-cancelled event is a
+// harmless no-op, which lets protocol code cancel timers unconditionally.
+func (s *Simulator) Cancel(id EventID) bool {
+	ev, ok := s.live[id]
+	if !ok {
+		return false
+	}
+	delete(s.live, id)
+	heap.Remove(&s.queue, ev.index)
+	return true
+}
+
+// Step fires the single next event, advancing the clock to it. It reports
+// whether an event was fired (false means the queue was empty).
+func (s *Simulator) Step() bool {
+	if len(s.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&s.queue).(*event)
+	delete(s.live, ev.id)
+	s.now = ev.at
+	s.fired++
+	ev.fn()
+	return true
+}
+
+// Run fires events until the queue is empty and returns the final clock.
+func (s *Simulator) Run() Time {
+	for s.Step() {
+	}
+	return s.now
+}
+
+// RunUntil fires events with timestamps <= deadline. Events scheduled for
+// exactly deadline do fire. It returns true if the queue drained before
+// the deadline, false if events remain beyond it (the clock is then left
+// at the last fired event, not advanced to the deadline).
+func (s *Simulator) RunUntil(deadline Time) bool {
+	for len(s.queue) > 0 {
+		if s.queue[0].at > deadline {
+			return false
+		}
+		s.Step()
+	}
+	return true
+}
+
+// RunFor is RunUntil(Now()+d).
+func (s *Simulator) RunFor(d time.Duration) bool {
+	return s.RunUntil(s.now + d)
+}
+
+// MaxTime is the largest representable virtual time, usable as an
+// effectively infinite deadline.
+const MaxTime = Time(math.MaxInt64)

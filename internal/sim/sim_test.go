@@ -1,0 +1,217 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	s := New()
+	var order []int
+	s.After(30*time.Millisecond, func() { order = append(order, 3) })
+	s.After(10*time.Millisecond, func() { order = append(order, 1) })
+	s.After(20*time.Millisecond, func() { order = append(order, 2) })
+	end := s.Run()
+	if end != 30*time.Millisecond {
+		t.Errorf("final clock = %v, want 30ms", end)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(time.Second, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i := 0; i < 10; i++ {
+		if order[i] != i {
+			t.Fatalf("same-instant events fired out of scheduling order: %v", order)
+		}
+	}
+}
+
+func TestClockAdvancesDuringEvent(t *testing.T) {
+	s := New()
+	var seen Time
+	s.After(5*time.Millisecond, func() { seen = s.Now() })
+	s.Run()
+	if seen != 5*time.Millisecond {
+		t.Errorf("Now() inside event = %v, want 5ms", seen)
+	}
+}
+
+func TestEventsCanScheduleEvents(t *testing.T) {
+	s := New()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 5 {
+			s.After(time.Millisecond, tick)
+		}
+	}
+	s.After(time.Millisecond, tick)
+	end := s.Run()
+	if count != 5 {
+		t.Errorf("count = %d, want 5", count)
+	}
+	if end != 5*time.Millisecond {
+		t.Errorf("final clock = %v, want 5ms", end)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := New()
+	fired := false
+	id := s.After(time.Millisecond, func() { fired = true })
+	if !s.Cancel(id) {
+		t.Fatal("Cancel returned false for a pending event")
+	}
+	if s.Cancel(id) {
+		t.Fatal("second Cancel returned true")
+	}
+	s.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestCancelMiddleOfQueue(t *testing.T) {
+	s := New()
+	var order []int
+	s.After(1*time.Millisecond, func() { order = append(order, 1) })
+	id := s.After(2*time.Millisecond, func() { order = append(order, 2) })
+	s.After(3*time.Millisecond, func() { order = append(order, 3) })
+	s.Cancel(id)
+	s.Run()
+	if len(order) != 2 || order[0] != 1 || order[1] != 3 {
+		t.Fatalf("order = %v, want [1 3]", order)
+	}
+}
+
+func TestCancelFiredEventIsNoop(t *testing.T) {
+	s := New()
+	id := s.After(time.Millisecond, func() {})
+	s.Run()
+	if s.Cancel(id) {
+		t.Fatal("Cancel of a fired event returned true")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New()
+	var fired []int
+	s.After(1*time.Millisecond, func() { fired = append(fired, 1) })
+	s.After(2*time.Millisecond, func() { fired = append(fired, 2) })
+	s.After(5*time.Millisecond, func() { fired = append(fired, 5) })
+	drained := s.RunUntil(2 * time.Millisecond)
+	if drained {
+		t.Fatal("RunUntil reported drained with events pending")
+	}
+	if len(fired) != 2 {
+		t.Fatalf("fired = %v, want exactly events at 1ms and 2ms", fired)
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", s.Pending())
+	}
+	if !s.RunUntil(10 * time.Millisecond) {
+		t.Fatal("second RunUntil did not drain")
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	s := New()
+	s.After(time.Millisecond, func() {})
+	s.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	s.At(0, func() {})
+}
+
+func TestNilFuncPanics(t *testing.T) {
+	s := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling nil func did not panic")
+		}
+	}()
+	s.After(time.Millisecond, nil)
+}
+
+func TestStepEmptyQueue(t *testing.T) {
+	s := New()
+	if s.Step() {
+		t.Fatal("Step on empty queue returned true")
+	}
+}
+
+func TestFiredCounter(t *testing.T) {
+	s := New()
+	for i := 0; i < 7; i++ {
+		s.After(time.Duration(i)*time.Millisecond, func() {})
+	}
+	s.Run()
+	if s.Fired() != 7 {
+		t.Errorf("Fired = %d, want 7", s.Fired())
+	}
+}
+
+// TestOrderingQuick checks the core heap property with arbitrary delays:
+// events always fire in non-decreasing time order, and ties fire in
+// scheduling order.
+func TestOrderingQuick(t *testing.T) {
+	f := func(delays []uint16) bool {
+		if len(delays) == 0 {
+			return true
+		}
+		s := New()
+		type rec struct {
+			at  Time
+			seq int
+		}
+		var fired []rec
+		for i, d := range delays {
+			at := Time(d) * time.Microsecond
+			i := i
+			s.At(at, func() { fired = append(fired, rec{s.Now(), i}) })
+		}
+		s.Run()
+		if len(fired) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i].at < fired[i-1].at {
+				return false
+			}
+			if fired[i].at == fired[i-1].at && fired[i].seq < fired[i-1].seq {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := New()
+		for j := 0; j < 1000; j++ {
+			s.After(time.Duration(j%97)*time.Microsecond, func() {})
+		}
+		s.Run()
+	}
+}

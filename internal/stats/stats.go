@@ -1,0 +1,217 @@
+// Package stats provides the small result-presentation toolkit the
+// experiment harness uses: aligned text tables, numeric series, CSV
+// output, and a few aggregation helpers.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table is a titled grid of cells rendered with aligned columns.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a row of cells formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = FormatFloat(v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// FormatFloat renders a float compactly: integers without decimals,
+// small values with enough precision to be useful.
+func FormatFloat(v float64) string {
+	switch {
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 100:
+		return fmt.Sprintf("%.1f", v)
+	case math.Abs(v) >= 1:
+		return fmt.Sprintf("%.2f", v)
+	default:
+		return fmt.Sprintf("%.4f", v)
+	}
+}
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	widths := make([]int, 0, len(t.Header))
+	grow := func(row []string) {
+		for i, c := range row {
+			if i == len(widths) {
+				widths = append(widths, 0)
+			}
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	grow(t.Header)
+	for _, r := range t.Rows {
+		grow(r)
+	}
+	printRow := func(row []string) {
+		var b strings.Builder
+		for i, c := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(pad(c, widths[i]))
+		}
+		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	}
+	if len(t.Header) > 0 {
+		printRow(t.Header)
+		var rule []string
+		for i := range t.Header {
+			rule = append(rule, strings.Repeat("-", widths[i]))
+		}
+		printRow(rule)
+	}
+	for _, r := range t.Rows {
+		printRow(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+}
+
+// CSV renders the table as comma-separated values (quoting is not
+// needed: cells never contain commas).
+func (t *Table) CSV(w io.Writer) {
+	if len(t.Header) > 0 {
+		fmt.Fprintln(w, strings.Join(t.Header, ","))
+	}
+	for _, r := range t.Rows {
+		fmt.Fprintln(w, strings.Join(r, ","))
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Series is one labeled curve: y(x).
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+}
+
+// Add appends one point.
+func (s *Series) Add(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// MinY returns the minimum y value and its x (the "best" sweep point).
+// It panics on an empty series — every experiment produces points.
+func (s *Series) MinY() (x, y float64) {
+	if len(s.Y) == 0 {
+		panic("stats: MinY on empty series")
+	}
+	x, y = s.X[0], s.Y[0]
+	for i := range s.Y {
+		if s.Y[i] < y {
+			x, y = s.X[i], s.Y[i]
+		}
+	}
+	return x, y
+}
+
+// MaxY returns the maximum y value and its x.
+func (s *Series) MaxY() (x, y float64) {
+	if len(s.Y) == 0 {
+		panic("stats: MaxY on empty series")
+	}
+	x, y = s.X[0], s.Y[0]
+	for i := range s.Y {
+		if s.Y[i] > y {
+			x, y = s.X[i], s.Y[i]
+		}
+	}
+	return x, y
+}
+
+// At returns y at the given x, or NaN if absent.
+func (s *Series) At(x float64) float64 {
+	for i := range s.X {
+		if s.X[i] == x {
+			return s.Y[i]
+		}
+	}
+	return math.NaN()
+}
+
+// SeriesTable renders a set of series sharing an x axis as a table with
+// one column per series. Missing points print as "-".
+func SeriesTable(title, xLabel string, series ...*Series) *Table {
+	t := &Table{Title: title, Header: []string{xLabel}}
+	seen := map[float64]bool{}
+	var xs []float64
+	for _, s := range series {
+		t.Header = append(t.Header, s.Label)
+		for _, x := range s.X {
+			if !seen[x] {
+				seen[x] = true
+				xs = append(xs, x)
+			}
+		}
+	}
+	sortFloats(xs)
+	for _, x := range xs {
+		row := []string{FormatFloat(x)}
+		for _, s := range series {
+			y := s.At(x)
+			if math.IsNaN(y) {
+				row = append(row, "-")
+			} else {
+				row = append(row, FormatFloat(y))
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+func sortFloats(xs []float64) {
+	// Insertion sort: sweeps are tiny and this avoids importing sort for
+	// one call site.
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// Mean returns the arithmetic mean of xs (NaN for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}

@@ -1,0 +1,152 @@
+package stats
+
+import (
+	"bytes"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTableFprintAlignment(t *testing.T) {
+	tab := &Table{
+		Title:  "demo",
+		Header: []string{"name", "value"},
+	}
+	tab.AddRow("short", 1.0)
+	tab.AddRow("much-longer-name", 123.456)
+	var buf bytes.Buffer
+	tab.Fprint(&buf)
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("got %d lines: %q", len(lines), buf.String())
+	}
+	// The value column must start at the same offset in both data rows.
+	off1 := strings.Index(lines[3], "1")
+	off2 := strings.Index(lines[4], "123.5")
+	if off1 != off2 {
+		t.Errorf("columns misaligned:\n%s", buf.String())
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := &Table{Header: []string{"a", "b"}}
+	tab.AddRow(1.0, 2.0)
+	var buf bytes.Buffer
+	tab.CSV(&buf)
+	want := "a,b\n1,2\n"
+	if buf.String() != want {
+		t.Errorf("CSV = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{1, "1"}, {42, "42"}, {-3, "-3"},
+		{123.456, "123.5"}, {1.5, "1.50"}, {0.0123, "0.0123"},
+	}
+	for _, c := range cases {
+		if got := FormatFloat(c.v); got != c.want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestSeriesMinMaxAt(t *testing.T) {
+	s := &Series{Label: "x"}
+	s.Add(1, 10)
+	s.Add(2, 5)
+	s.Add(3, 8)
+	if x, y := s.MinY(); x != 2 || y != 5 {
+		t.Errorf("MinY = (%v,%v), want (2,5)", x, y)
+	}
+	if x, y := s.MaxY(); x != 1 || y != 10 {
+		t.Errorf("MaxY = (%v,%v), want (1,10)", x, y)
+	}
+	if s.At(3) != 8 {
+		t.Errorf("At(3) = %v", s.At(3))
+	}
+	if !math.IsNaN(s.At(99)) {
+		t.Error("At(missing) not NaN")
+	}
+}
+
+func TestSeriesTableMergesXs(t *testing.T) {
+	a := &Series{Label: "a"}
+	a.Add(1, 10)
+	a.Add(3, 30)
+	b := &Series{Label: "b"}
+	b.Add(2, 20)
+	b.Add(3, 33)
+	tab := SeriesTable("t", "x", a, b)
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 (union of x values)", len(tab.Rows))
+	}
+	// x=1 has no b value.
+	if tab.Rows[0][2] != "-" {
+		t.Errorf("missing point not rendered as '-': %v", tab.Rows[0])
+	}
+	// Rows sorted by x.
+	if tab.Rows[0][0] != "1" || tab.Rows[1][0] != "2" || tab.Rows[2][0] != "3" {
+		t.Errorf("rows not sorted: %v", tab.Rows)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if m := Mean([]float64{1, 2, 3}); m != 2 {
+		t.Errorf("Mean = %v", m)
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("Mean(nil) not NaN")
+	}
+}
+
+func TestEmptySeriesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MinY on empty series did not panic")
+		}
+	}()
+	(&Series{}).MinY()
+}
+
+// Property: SeriesTable always emits rows sorted by x, one per distinct
+// x, regardless of insertion order.
+func TestSeriesTableSortedQuick(t *testing.T) {
+	f := func(xs []uint8) bool {
+		s := &Series{Label: "s"}
+		seen := map[float64]bool{}
+		distinct := 0
+		for _, x := range xs {
+			fx := float64(x)
+			if !seen[fx] {
+				distinct++
+				seen[fx] = true
+				s.Add(fx, fx*2)
+			}
+		}
+		tab := SeriesTable("t", "x", s)
+		if len(tab.Rows) != distinct {
+			return false
+		}
+		prev := math.Inf(-1)
+		for _, r := range tab.Rows {
+			v, err := strconv.ParseFloat(r[0], 64)
+			if err != nil {
+				return false
+			}
+			if v <= prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

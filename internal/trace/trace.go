@@ -1,0 +1,135 @@
+// Package trace records protocol-level packet events from a simulated
+// session into a bounded ring buffer, for debugging protocol behavior
+// and for the -trace mode of cmd/rmsim. Tracing is pull-based and
+// allocation-light so it can stay enabled for large runs.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"rmcast/internal/packet"
+)
+
+// Dir is the event direction relative to the traced node.
+type Dir uint8
+
+const (
+	// Send is a unicast transmission.
+	Send Dir = iota
+	// SendMC is a multicast transmission.
+	SendMC
+	// Recv is a reception.
+	Recv
+	// Drop is a reception discarded before the protocol saw it
+	// (decode failure, unknown peer).
+	Drop
+)
+
+var dirNames = [...]string{"send", "mcast", "recv", "drop"}
+
+func (d Dir) String() string {
+	if int(d) < len(dirNames) {
+		return dirNames[d]
+	}
+	return fmt.Sprintf("dir(%d)", uint8(d))
+}
+
+// Event is one traced packet event.
+type Event struct {
+	At    time.Duration // virtual time
+	Node  int           // the node the event happened at
+	Dir   Dir
+	Peer  int // destination (sends) or source (recvs); -1 for multicast
+	Type  packet.Type
+	Flags packet.Flags
+	MsgID uint32
+	Seq   uint32
+	Len   int // payload bytes
+}
+
+// Multicast is the Peer value of group-addressed events.
+const Multicast = -1
+
+func (e Event) String() string {
+	peer := fmt.Sprintf("%d", e.Peer)
+	if e.Peer == Multicast {
+		peer = "*"
+	}
+	arrow := "->"
+	if e.Dir == Recv || e.Dir == Drop {
+		arrow = "<-"
+	}
+	flags := ""
+	if e.Flags&packet.FlagPoll != 0 {
+		flags += "P"
+	}
+	if e.Flags&packet.FlagLast != 0 {
+		flags += "L"
+	}
+	return fmt.Sprintf("%12v n%-3d %-5s %s %-3s %-9s msg=%d seq=%-6d%2s len=%d",
+		e.At, e.Node, e.Dir, arrow, peer, e.Type, e.MsgID, e.Seq, flags, e.Len)
+}
+
+// Buffer is a bounded ring of events. The zero value is unusable; call
+// New. Buffer is not safe for concurrent use — the simulator is
+// single-threaded.
+type Buffer struct {
+	events  []Event
+	next    int
+	wrapped bool
+	total   uint64
+	// Filter, when non-nil, drops events for which it returns false.
+	Filter func(Event) bool
+}
+
+// New creates a buffer retaining the last cap events.
+func New(cap int) *Buffer {
+	if cap < 1 {
+		panic("trace: non-positive capacity")
+	}
+	return &Buffer{events: make([]Event, 0, cap)}
+}
+
+// Add records one event.
+func (b *Buffer) Add(e Event) {
+	if b.Filter != nil && !b.Filter(e) {
+		return
+	}
+	b.total++
+	if len(b.events) < cap(b.events) {
+		b.events = append(b.events, e)
+		return
+	}
+	b.events[b.next] = e
+	b.next = (b.next + 1) % cap(b.events)
+	b.wrapped = true
+}
+
+// Total returns how many events were recorded (including ones that have
+// since been overwritten).
+func (b *Buffer) Total() uint64 { return b.total }
+
+// Events returns the retained events in chronological order.
+func (b *Buffer) Events() []Event {
+	if !b.wrapped {
+		out := make([]Event, len(b.events))
+		copy(out, b.events)
+		return out
+	}
+	out := make([]Event, 0, cap(b.events))
+	out = append(out, b.events[b.next:]...)
+	out = append(out, b.events[:b.next]...)
+	return out
+}
+
+// Fprint writes the retained events, one per line.
+func (b *Buffer) Fprint(w io.Writer) {
+	if b.wrapped {
+		fmt.Fprintf(w, "... %d earlier events dropped ...\n", b.total-uint64(cap(b.events)))
+	}
+	for _, e := range b.Events() {
+		fmt.Fprintln(w, e.String())
+	}
+}

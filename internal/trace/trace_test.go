@@ -1,0 +1,136 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"rmcast/internal/packet"
+)
+
+func ev(i int) Event {
+	return Event{
+		At:   time.Duration(i) * time.Microsecond,
+		Node: i % 4, Dir: Dir(i % 3), Peer: i % 5,
+		Type: packet.TypeData, Seq: uint32(i),
+	}
+}
+
+func TestBufferRetainsInOrder(t *testing.T) {
+	b := New(10)
+	for i := 0; i < 5; i++ {
+		b.Add(ev(i))
+	}
+	got := b.Events()
+	if len(got) != 5 {
+		t.Fatalf("len = %d, want 5", len(got))
+	}
+	for i, e := range got {
+		if e.Seq != uint32(i) {
+			t.Fatalf("out of order: %v", got)
+		}
+	}
+	if b.Total() != 5 {
+		t.Errorf("Total = %d", b.Total())
+	}
+}
+
+func TestBufferWraps(t *testing.T) {
+	b := New(4)
+	for i := 0; i < 10; i++ {
+		b.Add(ev(i))
+	}
+	got := b.Events()
+	if len(got) != 4 {
+		t.Fatalf("len = %d, want 4", len(got))
+	}
+	for i, e := range got {
+		if e.Seq != uint32(6+i) {
+			t.Fatalf("wrong retained window: %v", got)
+		}
+	}
+	if b.Total() != 10 {
+		t.Errorf("Total = %d, want 10", b.Total())
+	}
+}
+
+func TestBufferFilter(t *testing.T) {
+	b := New(16)
+	b.Filter = func(e Event) bool { return e.Seq%2 == 0 }
+	for i := 0; i < 8; i++ {
+		b.Add(ev(i))
+	}
+	if len(b.Events()) != 4 {
+		t.Errorf("filter kept %d events, want 4", len(b.Events()))
+	}
+}
+
+func TestFprintMentionsDropped(t *testing.T) {
+	b := New(2)
+	for i := 0; i < 5; i++ {
+		b.Add(ev(i))
+	}
+	var buf bytes.Buffer
+	b.Fprint(&buf)
+	if !strings.Contains(buf.String(), "3 earlier events dropped") {
+		t.Errorf("missing drop notice:\n%s", buf.String())
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != 3 {
+		t.Errorf("printed %d lines, want 3", lines)
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{
+		At: time.Millisecond, Node: 2, Dir: SendMC, Peer: Multicast,
+		Type: packet.TypeData, Flags: packet.FlagLast | packet.FlagPoll,
+		MsgID: 1, Seq: 42, Len: 100,
+	}
+	s := e.String()
+	for _, want := range []string{"n2", "mcast", "*", "data", "seq=42", "PL", "len=100"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestZeroCapPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New(0)
+}
+
+// Property: after any sequence of adds, Events() returns the most
+// recent min(n, cap) events in order.
+func TestRingPropertyQuick(t *testing.T) {
+	f := func(nRaw uint8, capRaw uint8) bool {
+		n := int(nRaw)
+		c := int(capRaw)%16 + 1
+		b := New(c)
+		for i := 0; i < n; i++ {
+			b.Add(ev(i))
+		}
+		got := b.Events()
+		want := n
+		if want > c {
+			want = c
+		}
+		if len(got) != want {
+			return false
+		}
+		for i, e := range got {
+			if e.Seq != uint32(n-want+i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

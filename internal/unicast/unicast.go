@@ -1,0 +1,337 @@
+// Package unicast implements a TCP-like reliable unicast byte stream
+// over the simulated network. It is the baseline the paper's Figure 8
+// compares reliable multicast against: distributing a file to N
+// receivers by N sequential reliable unicast transfers, which is what an
+// MPI implementation layered on TCP point-to-point effectively does.
+//
+// The model is deliberately simple — fixed MSS segmentation, a fixed
+// window (no slow start: LAN transfers of interest are far longer than
+// one RTT), cumulative ACKs with delayed acking every second segment,
+// and Go-Back-N recovery — because the baseline only needs to saturate
+// the link like 2001-era kernel TCP did.
+package unicast
+
+import (
+	"errors"
+	"time"
+
+	"rmcast/internal/core"
+	"rmcast/internal/packet"
+	"rmcast/internal/window"
+)
+
+// Config parameterizes a stream.
+type Config struct {
+	// MSS is the maximum segment size in payload bytes (1448 ≈ Ethernet
+	// MTU minus IP/TCP headers and options).
+	MSS int
+	// WindowSegments is the send window in segments (22 × 1448 ≈ the
+	// 32 KB default window of Linux 2.2).
+	WindowSegments int
+	// AckEvery makes the receiver acknowledge every k'th in-order
+	// segment (delayed ACK; the last segment is always acknowledged).
+	AckEvery int
+	// RetransTimeout is the Go-Back-N retransmission timeout.
+	RetransTimeout time.Duration
+}
+
+// DefaultConfig returns the Linux-2.2-flavored defaults.
+func DefaultConfig() Config {
+	return Config{
+		MSS:            1448,
+		WindowSegments: 22,
+		AckEvery:       2,
+		RetransTimeout: 20 * time.Millisecond,
+	}
+}
+
+func (c Config) normalize() (Config, error) {
+	if c.MSS < 1 {
+		return c, errors.New("unicast: MSS must be >= 1")
+	}
+	if c.WindowSegments < 1 {
+		return c, errors.New("unicast: WindowSegments must be >= 1")
+	}
+	if c.AckEvery < 1 {
+		c.AckEvery = 1
+	}
+	if c.AckEvery >= c.WindowSegments {
+		// The window must stay ahead of the delayed-ack stride or the
+		// stream stalls until timeout on every window's worth of data.
+		return c, errors.New("unicast: AckEvery must be smaller than WindowSegments")
+	}
+	if c.RetransTimeout == 0 {
+		c.RetransTimeout = 20 * time.Millisecond
+	}
+	return c, nil
+}
+
+// Stats counts stream activity.
+type Stats struct {
+	Segments        uint64
+	Retransmissions uint64
+	AcksReceived    uint64
+	AcksSent        uint64
+	Timeouts        uint64
+}
+
+// Sender streams one message to a single peer.
+type Sender struct {
+	env    core.Env
+	cfg    Config
+	peer   core.NodeID
+	onDone func()
+
+	msg      []byte
+	msgID    uint32
+	count    uint32
+	win      *window.Sender
+	phase    int // 0 idle, 1 connect, 2 stream, 3 done
+	timer    core.TimerID
+	timerGen uint64
+	lastGBN  time.Duration
+
+	stats Stats
+}
+
+// NewSender creates a stream sender toward peer.
+func NewSender(env core.Env, cfg Config, peer core.NodeID, onDone func()) (*Sender, error) {
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return nil, err
+	}
+	return &Sender{env: env, cfg: cfg, peer: peer, onDone: onDone, lastGBN: -time.Hour}, nil
+}
+
+// Stats returns the stream counters.
+func (s *Sender) Stats() Stats { return s.stats }
+
+// Done reports whether the transfer completed.
+func (s *Sender) Done() bool { return s.phase == 3 }
+
+// Start begins transferring msg (connection setup, then the stream).
+func (s *Sender) Start(msg []byte) {
+	if s.phase == 1 || s.phase == 2 {
+		panic("unicast: Start while a transfer is in progress")
+	}
+	s.msg = msg
+	s.msgID++
+	s.count = uint32((len(msg) + s.cfg.MSS - 1) / s.cfg.MSS)
+	if s.count == 0 {
+		s.count = 1
+	}
+	s.win = window.NewSender(s.cfg.WindowSegments, s.count)
+	s.phase = 1
+	s.sendSyn()
+}
+
+func (s *Sender) sendSyn() {
+	s.env.Send(s.peer, &packet.Packet{Type: packet.TypeAllocReq, MsgID: s.msgID, Aux: uint32(len(s.msg))})
+	s.armTimer()
+}
+
+// OnPacket handles control packets from the peer.
+func (s *Sender) OnPacket(from core.NodeID, p *packet.Packet) {
+	if from != s.peer || p.MsgID != s.msgID {
+		return
+	}
+	switch p.Type {
+	case packet.TypeAllocOK:
+		if s.phase == 1 {
+			s.phase = 2
+			s.pump()
+		}
+	case packet.TypeAck:
+		if s.phase != 2 {
+			return
+		}
+		s.stats.AcksReceived++
+		if s.win.Ack(p.Seq) {
+			if s.win.Done() {
+				s.phase = 3
+				s.cancelTimer()
+				if s.onDone != nil {
+					s.onDone()
+				}
+				return
+			}
+			s.armTimer()
+			s.pump()
+		}
+	case packet.TypeNak:
+		if s.phase == 2 {
+			s.goBackN()
+		}
+	}
+}
+
+func (s *Sender) pump() {
+	for s.win.CanSend() {
+		seq := s.win.Sent()
+		s.sendSegment(seq, false)
+	}
+}
+
+func (s *Sender) sendSegment(seq uint32, retrans bool) {
+	off := int(seq) * s.cfg.MSS
+	end := off + s.cfg.MSS
+	if end > len(s.msg) {
+		end = len(s.msg)
+	}
+	var chunk []byte
+	if off < len(s.msg) {
+		chunk = s.msg[off:end]
+	}
+	var flags packet.Flags
+	if seq == s.count-1 {
+		flags |= packet.FlagLast
+	}
+	if retrans {
+		s.stats.Retransmissions++
+	} else {
+		s.stats.Segments++
+	}
+	s.env.Send(s.peer, &packet.Packet{
+		Type: packet.TypeData, Flags: flags, MsgID: s.msgID,
+		Seq: seq, Aux: uint32(off), Payload: chunk,
+	})
+}
+
+// goBackN resends the outstanding window, suppressed so that the storm
+// of duplicate-ACK NAKs a single drop provokes triggers only one resend.
+func (s *Sender) goBackN() {
+	now := s.env.Now()
+	if now-s.lastGBN < s.cfg.RetransTimeout/4 {
+		return
+	}
+	s.lastGBN = now
+	for seq := s.win.Base; seq < s.win.Next; seq++ {
+		s.sendSegment(seq, true)
+	}
+	s.armTimer()
+}
+
+func (s *Sender) armTimer() {
+	s.cancelTimer()
+	s.timerGen++
+	gen := s.timerGen
+	s.timer = s.env.SetTimer(s.cfg.RetransTimeout, func() {
+		if gen != s.timerGen {
+			return
+		}
+		s.timer = 0
+		s.stats.Timeouts++
+		switch s.phase {
+		case 1:
+			s.sendSyn()
+		case 2:
+			s.goBackN()
+			if s.timer == 0 {
+				s.armTimer() // resend was suppressed; keep the timer alive
+			}
+		}
+	})
+}
+
+func (s *Sender) cancelTimer() {
+	if s.timer != 0 {
+		s.env.CancelTimer(s.timer)
+		s.timer = 0
+	}
+	s.timerGen++
+}
+
+// Receiver accepts one stream from a single peer.
+type Receiver struct {
+	env       core.Env
+	cfg       Config
+	peer      core.NodeID
+	onDeliver func([]byte)
+
+	msgID     uint32
+	active    bool
+	buf       []byte
+	count     uint32
+	next      uint32
+	sinceAck  int
+	delivered bool
+
+	stats Stats
+}
+
+// NewReceiver creates a stream receiver for transfers from peer.
+func NewReceiver(env core.Env, cfg Config, peer core.NodeID, onDeliver func([]byte)) (*Receiver, error) {
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return nil, err
+	}
+	return &Receiver{env: env, cfg: cfg, peer: peer, onDeliver: onDeliver}, nil
+}
+
+// Stats returns the stream counters.
+func (r *Receiver) Stats() Stats { return r.stats }
+
+// Delivered reports whether the current message was delivered.
+func (r *Receiver) Delivered() bool { return r.delivered }
+
+// OnPacket handles one packet from the peer.
+func (r *Receiver) OnPacket(from core.NodeID, p *packet.Packet) {
+	if from != r.peer {
+		return
+	}
+	switch p.Type {
+	case packet.TypeAllocReq:
+		if !r.active || r.msgID != p.MsgID {
+			r.active = true
+			r.msgID = p.MsgID
+			r.buf = make([]byte, int(p.Aux))
+			r.count = uint32((int(p.Aux) + r.cfg.MSS - 1) / r.cfg.MSS)
+			if r.count == 0 {
+				r.count = 1
+			}
+			r.next = 0
+			r.sinceAck = 0
+			r.delivered = false
+		}
+		r.env.Send(r.peer, &packet.Packet{Type: packet.TypeAllocOK, MsgID: r.msgID, Aux: p.Aux})
+	case packet.TypeData:
+		if !r.active || p.MsgID != r.msgID {
+			return
+		}
+		r.onData(p)
+	}
+}
+
+func (r *Receiver) onData(p *packet.Packet) {
+	switch {
+	case p.Seq == r.next:
+		off := int(p.Aux)
+		if off+len(p.Payload) <= len(r.buf) {
+			copy(r.buf[off:], p.Payload)
+		}
+		r.next++
+		r.sinceAck++
+		last := p.Flags&packet.FlagLast != 0
+		if r.sinceAck >= r.cfg.AckEvery || last {
+			r.sendAck()
+		}
+		if r.next == r.count && !r.delivered {
+			r.delivered = true
+			if r.onDeliver != nil {
+				r.onDeliver(r.buf)
+			}
+		}
+	case p.Seq > r.next:
+		// Gap: duplicate-ACK equivalent — tell the sender where we are.
+		r.env.Send(r.peer, &packet.Packet{Type: packet.TypeNak, MsgID: r.msgID, Seq: r.next})
+	default:
+		// Duplicate segment (Go-Back-N resend): re-ack cumulatively.
+		r.sendAck()
+	}
+}
+
+func (r *Receiver) sendAck() {
+	r.sinceAck = 0
+	r.stats.AcksSent++
+	r.env.Send(r.peer, &packet.Packet{Type: packet.TypeAck, MsgID: r.msgID, Seq: r.next})
+}

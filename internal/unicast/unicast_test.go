@@ -1,0 +1,237 @@
+package unicast
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"rmcast/internal/core"
+	"rmcast/internal/packet"
+	"rmcast/internal/rng"
+	"rmcast/internal/sim"
+)
+
+// pipe is a two-endpoint mock network implementing core.Env for stream
+// tests: fixed latency, optional drops, codec round-trip per hop.
+type pipe struct {
+	s       *sim.Simulator
+	latency time.Duration
+	ends    map[core.NodeID]core.Endpoint
+	drop    func(p *packet.Packet) bool
+	dropped uint64
+}
+
+func newPipe() *pipe {
+	return &pipe{s: sim.New(), latency: 150 * time.Microsecond, ends: map[core.NodeID]core.Endpoint{}}
+}
+
+type pipeEnv struct {
+	p    *pipe
+	self core.NodeID
+}
+
+func (e *pipeEnv) Now() time.Duration { return e.p.s.Now() }
+func (e *pipeEnv) Send(to core.NodeID, pk *packet.Packet) {
+	if e.p.drop != nil && e.p.drop(pk) {
+		e.p.dropped++
+		return
+	}
+	wire := pk.Encode()
+	from := e.self
+	e.p.s.After(e.p.latency, func() {
+		if ep := e.p.ends[to]; ep != nil {
+			q, err := packet.Decode(wire)
+			if err != nil {
+				panic(err)
+			}
+			ep.OnPacket(from, q)
+		}
+	})
+}
+func (e *pipeEnv) Multicast(pk *packet.Packet) { panic("unicast streams never multicast") }
+func (e *pipeEnv) SetTimer(d time.Duration, fn func()) core.TimerID {
+	return core.TimerID(e.p.s.After(d, fn))
+}
+func (e *pipeEnv) CancelTimer(id core.TimerID) { e.p.s.Cancel(sim.EventID(id)) }
+func (e *pipeEnv) UserCopy(int)                {}
+
+// transfer runs one stream transfer over a pipe and returns delivery.
+func transfer(t *testing.T, cfg Config, msg []byte, drop func(*packet.Packet) bool) ([]byte, *Sender, *Receiver) {
+	t.Helper()
+	p := newPipe()
+	p.drop = drop
+	var delivered []byte
+	done := false
+	snd, err := NewSender(&pipeEnv{p: p, self: 0}, cfg, 1, func() { done = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcv, err := NewReceiver(&pipeEnv{p: p, self: 1}, cfg, 0, func(b []byte) { delivered = b })
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.ends[0] = snd
+	p.ends[1] = rcv
+	p.s.After(0, func() { snd.Start(msg) })
+	for p.s.Pending() > 0 && !done {
+		p.s.Step()
+		if p.s.Now() > 2*time.Minute {
+			t.Fatal("stream did not complete within the deadline")
+		}
+	}
+	if !done {
+		t.Fatal("stream stalled")
+	}
+	return delivered, snd, rcv
+}
+
+func streamPattern(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i*251 + 3)
+	}
+	return b
+}
+
+func TestStreamDeliversIntact(t *testing.T) {
+	for _, size := range []int{0, 1, 1447, 1448, 1449, 100_000, 426_502} {
+		msg := streamPattern(size)
+		got, _, _ := transfer(t, DefaultConfig(), msg, nil)
+		if !bytes.Equal(got, msg) {
+			t.Fatalf("size %d: corrupted delivery", size)
+		}
+	}
+}
+
+func TestStreamNoRetransmissionsWithoutLoss(t *testing.T) {
+	_, snd, _ := transfer(t, DefaultConfig(), streamPattern(200_000), nil)
+	st := snd.Stats()
+	if st.Retransmissions != 0 || st.Timeouts != 0 {
+		t.Errorf("clean run had %d retransmissions, %d timeouts", st.Retransmissions, st.Timeouts)
+	}
+}
+
+func TestStreamDelayedAcks(t *testing.T) {
+	cfg := DefaultConfig()
+	_, snd, rcv := transfer(t, cfg, streamPattern(100*1448), nil)
+	segs := snd.Stats().Segments
+	acks := rcv.Stats().AcksSent
+	// Delayed acks: about one ack per AckEvery segments.
+	want := segs / uint64(cfg.AckEvery)
+	if acks < want || acks > want+2 {
+		t.Errorf("acks = %d for %d segments, want ≈ %d (AckEvery=%d)", acks, segs, want, cfg.AckEvery)
+	}
+}
+
+func TestStreamSurvivesLoss(t *testing.T) {
+	r := rng.New(99)
+	msg := streamPattern(150_000)
+	got, snd, _ := transfer(t, DefaultConfig(), msg, func(*packet.Packet) bool { return r.Bool(0.03) })
+	if !bytes.Equal(got, msg) {
+		t.Fatal("corrupted under loss")
+	}
+	if snd.Stats().Retransmissions == 0 {
+		t.Error("no retransmissions despite 3% loss")
+	}
+}
+
+func TestStreamSurvivesSynLoss(t *testing.T) {
+	first := true
+	msg := streamPattern(5000)
+	got, _, _ := transfer(t, DefaultConfig(), msg, func(p *packet.Packet) bool {
+		if p.Type == packet.TypeAllocReq && first {
+			first = false
+			return true
+		}
+		return false
+	})
+	if !bytes.Equal(got, msg) {
+		t.Fatal("corrupted after SYN loss")
+	}
+}
+
+func TestStreamSequentialTransfers(t *testing.T) {
+	p := newPipe()
+	var delivered []byte
+	done := false
+	cfg := DefaultConfig()
+	snd, _ := NewSender(&pipeEnv{p: p, self: 0}, cfg, 1, func() { done = true })
+	rcv, _ := NewReceiver(&pipeEnv{p: p, self: 1}, cfg, 0, func(b []byte) { delivered = b })
+	p.ends[0] = snd
+	p.ends[1] = rcv
+	for round := 0; round < 3; round++ {
+		msg := streamPattern(10_000 + round*777)
+		done = false
+		p.s.After(0, func() { snd.Start(msg) })
+		for p.s.Pending() > 0 && !done {
+			p.s.Step()
+		}
+		if !done || !bytes.Equal(delivered, msg) {
+			t.Fatalf("round %d failed", round)
+		}
+	}
+}
+
+func TestStreamConfigValidation(t *testing.T) {
+	bad := []Config{
+		{MSS: 0, WindowSegments: 10, AckEvery: 2},
+		{MSS: 1448, WindowSegments: 0, AckEvery: 2},
+		{MSS: 1448, WindowSegments: 4, AckEvery: 4}, // AckEvery >= window stalls
+	}
+	for i, cfg := range bad {
+		if _, err := NewSender(&pipeEnv{p: newPipe(), self: 0}, cfg, 1, nil); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestStreamStartWhileActivePanics(t *testing.T) {
+	p := newPipe()
+	snd, _ := NewSender(&pipeEnv{p: p, self: 0}, DefaultConfig(), 1, nil)
+	p.ends[0] = snd
+	p.s.After(0, func() { snd.Start([]byte("x")) })
+	p.s.Step()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Start did not panic")
+		}
+	}()
+	snd.Start([]byte("y"))
+}
+
+// Property: arbitrary sizes and loss seeds still deliver byte-identical
+// content.
+func TestStreamRobustQuick(t *testing.T) {
+	f := func(sizeRaw uint16, seed uint64, lossPct uint8) bool {
+		size := int(sizeRaw) * 7
+		loss := float64(lossPct%5) / 100
+		r := rng.New(seed)
+		p := newPipe()
+		p.drop = func(*packet.Packet) bool { return r.Bool(loss) }
+		msg := streamPattern(size)
+		var delivered []byte
+		done := false
+		snd, err := NewSender(&pipeEnv{p: p, self: 0}, DefaultConfig(), 1, func() { done = true })
+		if err != nil {
+			return false
+		}
+		rcv, err := NewReceiver(&pipeEnv{p: p, self: 1}, DefaultConfig(), 0, func(b []byte) { delivered = b })
+		if err != nil {
+			return false
+		}
+		p.ends[0] = snd
+		p.ends[1] = rcv
+		p.s.After(0, func() { snd.Start(msg) })
+		for p.s.Pending() > 0 && !done {
+			p.s.Step()
+			if p.s.Now() > 5*time.Minute {
+				return false
+			}
+		}
+		return done && bytes.Equal(delivered, msg)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,151 @@
+// Package window implements the Go-Back-N sliding-window bookkeeping
+// shared by all four reliable multicast protocols: the sender window over
+// a fixed packet count, and a cumulative-acknowledgment minimum tracker
+// over a set of peers.
+//
+// The paper chose Go-Back-N over selective repeat because wired-LAN
+// error rates make the simpler scheme perform identically (Section 4);
+// the same trade-off is made here.
+package window
+
+import "fmt"
+
+// Sender tracks the Go-Back-N send window for a message of Count packets.
+//
+// Invariants (checked by Check and exercised by property tests):
+//
+//	Base <= Next <= Base+Size
+//	Next <= Count
+//	Base <= Count
+type Sender struct {
+	// Size is the window size in packets.
+	Size int
+	// Count is the total number of packets in the message.
+	Count uint32
+	// Base is the oldest unacknowledged sequence number.
+	Base uint32
+	// Next is the next sequence number to transmit for the first time.
+	Next uint32
+}
+
+// NewSender returns a window of size w for a message of count packets.
+func NewSender(w int, count uint32) *Sender {
+	if w <= 0 {
+		panic("window: non-positive window size")
+	}
+	return &Sender{Size: w, Count: count}
+}
+
+// CanSend reports whether a new (never-sent) packet may be transmitted.
+func (s *Sender) CanSend() bool {
+	return s.Next < s.Count && s.Next < s.Base+uint32(s.Size)
+}
+
+// Sent records the transmission of sequence Next and returns it.
+func (s *Sender) Sent() uint32 {
+	if !s.CanSend() {
+		panic("window: Sent called with window closed")
+	}
+	seq := s.Next
+	s.Next++
+	return seq
+}
+
+// Ack advances Base to cum (a cumulative acknowledgment: the smallest
+// sequence not yet acknowledged by every required peer). It reports
+// whether the window actually advanced. Regressions are ignored.
+func (s *Sender) Ack(cum uint32) bool {
+	if cum > s.Count {
+		cum = s.Count
+	}
+	if cum <= s.Base {
+		return false
+	}
+	if cum > s.Next {
+		// Acknowledging packets never sent indicates a protocol bug.
+		panic(fmt.Sprintf("window: ack %d beyond next %d", cum, s.Next))
+	}
+	s.Base = cum
+	return true
+}
+
+// Outstanding returns the number of sent-but-unacknowledged packets.
+func (s *Sender) Outstanding() int { return int(s.Next - s.Base) }
+
+// Done reports whether every packet has been acknowledged.
+func (s *Sender) Done() bool { return s.Base == s.Count }
+
+// Check panics if the window invariants are violated; used in tests and
+// cheap enough to call from protocol code under debug builds.
+func (s *Sender) Check() {
+	if s.Base > s.Next {
+		panic(fmt.Sprintf("window: base %d > next %d", s.Base, s.Next))
+	}
+	if s.Next > s.Base+uint32(s.Size) {
+		panic(fmt.Sprintf("window: next %d beyond base %d + size %d", s.Next, s.Base, s.Size))
+	}
+	if s.Next > s.Count {
+		panic(fmt.Sprintf("window: next %d > count %d", s.Next, s.Count))
+	}
+}
+
+// MinTracker tracks the minimum of monotonically non-decreasing
+// cumulative acknowledgments across a fixed peer set. Peers are dense
+// small integers (receiver ranks or chain-head ranks).
+type MinTracker struct {
+	vals map[int]uint32
+	min  uint32
+	ok   bool // min cache valid
+}
+
+// NewMinTracker creates a tracker over peers, all starting at zero.
+func NewMinTracker(peers []int) *MinTracker {
+	if len(peers) == 0 {
+		panic("window: MinTracker with no peers")
+	}
+	m := &MinTracker{vals: make(map[int]uint32, len(peers))}
+	for _, p := range peers {
+		m.vals[p] = 0
+	}
+	return m
+}
+
+// Update raises peer's cumulative value to v (ignored if lower, or if the
+// peer is not tracked — e.g. a non-head receiver in the tree protocol).
+// It returns true if the overall minimum may have changed.
+func (m *MinTracker) Update(peer int, v uint32) bool {
+	old, tracked := m.vals[peer]
+	if !tracked || v <= old {
+		return false
+	}
+	m.vals[peer] = v
+	if old == m.min {
+		m.ok = false // the old minimum held the floor; recompute lazily
+	}
+	return true
+}
+
+// Value returns peer's current cumulative value and whether it is tracked.
+func (m *MinTracker) Value(peer int) (uint32, bool) {
+	v, ok := m.vals[peer]
+	return v, ok
+}
+
+// Min returns the minimum cumulative value across all peers.
+func (m *MinTracker) Min() uint32 {
+	if m.ok {
+		return m.min
+	}
+	first := true
+	for _, v := range m.vals {
+		if first || v < m.min {
+			m.min = v
+			first = false
+		}
+	}
+	m.ok = true
+	return m.min
+}
+
+// Peers returns the number of tracked peers.
+func (m *MinTracker) Peers() int { return len(m.vals) }

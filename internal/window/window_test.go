@@ -1,0 +1,213 @@
+package window
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSenderBasicFlow(t *testing.T) {
+	w := NewSender(3, 10)
+	var sent []uint32
+	for w.CanSend() {
+		sent = append(sent, w.Sent())
+	}
+	if len(sent) != 3 {
+		t.Fatalf("sent %d packets with window 3, want 3", len(sent))
+	}
+	if w.Outstanding() != 3 {
+		t.Errorf("Outstanding = %d, want 3", w.Outstanding())
+	}
+	if !w.Ack(2) {
+		t.Fatal("Ack(2) did not advance")
+	}
+	if w.Base != 2 {
+		t.Errorf("Base = %d, want 2", w.Base)
+	}
+	n := 0
+	for w.CanSend() {
+		w.Sent()
+		n++
+	}
+	if n != 2 {
+		t.Errorf("freed %d slots after Ack(2), want 2", n)
+	}
+}
+
+func TestSenderCompletes(t *testing.T) {
+	w := NewSender(5, 3)
+	for w.CanSend() {
+		w.Sent()
+	}
+	if w.Next != 3 {
+		t.Errorf("Next = %d, want 3 (count-limited)", w.Next)
+	}
+	w.Ack(3)
+	if !w.Done() {
+		t.Error("window not done after full ack")
+	}
+	if w.CanSend() {
+		t.Error("CanSend true after done")
+	}
+}
+
+func TestSenderAckClampAndRegression(t *testing.T) {
+	w := NewSender(5, 4)
+	for w.CanSend() {
+		w.Sent()
+	}
+	w.Ack(3)
+	if w.Ack(2) {
+		t.Error("regressive ack advanced the window")
+	}
+	if w.Base != 3 {
+		t.Errorf("Base = %d after regression, want 3", w.Base)
+	}
+	// Acks beyond Count clamp rather than panic (receivers echo the
+	// count as their final cumulative ack).
+	w.Ack(100)
+	if w.Base != 4 || !w.Done() {
+		t.Errorf("clamped ack: Base = %d, want 4", w.Base)
+	}
+}
+
+func TestSenderAckBeyondNextPanics(t *testing.T) {
+	w := NewSender(5, 10)
+	w.Sent()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ack beyond Next did not panic")
+		}
+	}()
+	w.Ack(5)
+}
+
+func TestSenderSentClosedPanics(t *testing.T) {
+	w := NewSender(1, 10)
+	w.Sent()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Sent with closed window did not panic")
+		}
+	}()
+	w.Sent()
+}
+
+func TestZeroWindowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewSender(0) did not panic")
+		}
+	}()
+	NewSender(0, 5)
+}
+
+func TestEmptyMessage(t *testing.T) {
+	w := NewSender(4, 0)
+	if w.CanSend() {
+		t.Error("CanSend true for zero-packet message")
+	}
+	if !w.Done() {
+		t.Error("zero-packet message not immediately done")
+	}
+}
+
+// Property: under arbitrary interleavings of sends and (valid) acks the
+// invariants hold and progress is monotone.
+func TestSenderInvariantsQuick(t *testing.T) {
+	f := func(ops []bool, size uint8, count uint8) bool {
+		w := NewSender(int(size%16)+1, uint32(count))
+		lastBase := uint32(0)
+		for _, send := range ops {
+			if send {
+				if w.CanSend() {
+					w.Sent()
+				}
+			} else if w.Next > w.Base {
+				// Ack one more packet than currently acked.
+				w.Ack(w.Base + 1)
+			}
+			w.Check()
+			if w.Base < lastBase {
+				return false
+			}
+			lastBase = w.Base
+			if w.Outstanding() > w.Size {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinTracker(t *testing.T) {
+	m := NewMinTracker([]int{1, 2, 3})
+	if m.Min() != 0 {
+		t.Fatalf("initial Min = %d, want 0", m.Min())
+	}
+	m.Update(1, 5)
+	m.Update(2, 3)
+	if m.Min() != 0 {
+		t.Errorf("Min = %d with peer 3 unacked, want 0", m.Min())
+	}
+	m.Update(3, 4)
+	if m.Min() != 3 {
+		t.Errorf("Min = %d, want 3", m.Min())
+	}
+	// Regression ignored.
+	m.Update(2, 1)
+	if v, _ := m.Value(2); v != 3 {
+		t.Errorf("Value(2) = %d after regression, want 3", v)
+	}
+	// Untracked peer ignored.
+	if m.Update(99, 100) {
+		t.Error("untracked peer reported as changing the min")
+	}
+	m.Update(2, 10)
+	m.Update(1, 10)
+	m.Update(3, 10)
+	if m.Min() != 10 {
+		t.Errorf("Min = %d, want 10", m.Min())
+	}
+}
+
+func TestMinTrackerNoPeersPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty MinTracker did not panic")
+		}
+	}()
+	NewMinTracker(nil)
+}
+
+// Property: Min always equals the true minimum after arbitrary updates.
+func TestMinTrackerQuick(t *testing.T) {
+	f := func(updates []uint16) bool {
+		peers := []int{0, 1, 2, 3, 4}
+		m := NewMinTracker(peers)
+		truth := make([]uint32, len(peers))
+		for _, u := range updates {
+			p := int(u) % len(peers)
+			v := uint32(u) / 5
+			m.Update(p, v)
+			if v > truth[p] {
+				truth[p] = v
+			}
+			want := truth[0]
+			for _, tv := range truth {
+				if tv < want {
+					want = tv
+				}
+			}
+			if m.Min() != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

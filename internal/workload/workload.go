@@ -1,0 +1,230 @@
+// Package workload builds the message-passing workloads the paper's
+// introduction motivates — MPI-style collective operations — on top of
+// the reliable multicast protocols, running on the simulated cluster.
+// Communication patterns in parallel applications are static (the
+// paper's Section 3), so a Comm is created once over a fixed group and
+// reused for many operations.
+//
+// Every collective is realized with 1→N reliable multicast sessions
+// only, the primitive the paper studies:
+//
+//	Bcast     one session from the root
+//	Scatter   one session carrying the concatenation; host i keeps chunk i
+//	Allgather N+1 rotating-root sessions (ring algorithm over multicast)
+//	Barrier   a zero-payload Allgather
+//	Reduce    an Allgather followed by local reduction at the root
+package workload
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"rmcast/internal/cluster"
+	"rmcast/internal/core"
+)
+
+// Comm is a communicator: a simulated cluster plus a protocol
+// configuration, supporting collective operations among all hosts
+// (ranks 0..Size-1, where every rank may be a multicast root).
+type Comm struct {
+	c        *cluster.Cluster
+	pcfg     core.Config
+	nextPort int
+}
+
+// NewComm builds a communicator over a fresh simulated cluster.
+func NewComm(ccfg cluster.Config, pcfg core.Config) (*Comm, error) {
+	pcfg.NumReceivers = ccfg.NumReceivers
+	if _, err := pcfg.Normalize(); err != nil {
+		return nil, err
+	}
+	c, err := cluster.New(ccfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Comm{c: c, pcfg: pcfg, nextPort: 6000}, nil
+}
+
+// Size returns the number of ranks (hosts).
+func (m *Comm) Size() int { return m.c.Cfg.NumReceivers + 1 }
+
+// Elapsed returns the total virtual time consumed so far.
+func (m *Comm) Elapsed() time.Duration { return m.c.Sim.Now() }
+
+// bcastSession runs one root→all session and returns the deliveries
+// indexed by host.
+func (m *Comm) bcastSession(root int, msg []byte) ([][]byte, time.Duration, error) {
+	m.nextPort++
+	ses, err := cluster.NewSession(m.c, core.NodeID(root), m.nextPort, m.pcfg, msg)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer ses.Close()
+	d, err := ses.RunToCompletion()
+	if err != nil {
+		return nil, d, err
+	}
+	return ses.Delivered, d, nil
+}
+
+// Bcast transfers msg from root to every other rank and returns the
+// virtual time the operation took.
+func (m *Comm) Bcast(root int, msg []byte) (time.Duration, error) {
+	delivered, d, err := m.bcastSession(root, msg)
+	if err != nil {
+		return d, err
+	}
+	for h, got := range delivered {
+		if h == root {
+			continue
+		}
+		if !bytes.Equal(got, msg) {
+			return d, fmt.Errorf("workload: bcast delivered corrupt data at rank %d", h)
+		}
+	}
+	return d, nil
+}
+
+// Scatter distributes chunks[i] to rank i (the root keeps its own chunk
+// locally). It multicasts the concatenation once — on broadcast LAN
+// hardware one multicast of the whole buffer costs the same wire time
+// as any single unicast of it, which is the paper's core argument.
+// All chunks must have equal length. It returns each rank's chunk and
+// the elapsed virtual time.
+func (m *Comm) Scatter(root int, chunks [][]byte) ([][]byte, time.Duration, error) {
+	if len(chunks) != m.Size() {
+		return nil, 0, fmt.Errorf("workload: scatter needs %d chunks, got %d", m.Size(), len(chunks))
+	}
+	sz := len(chunks[0])
+	var all []byte
+	for i, c := range chunks {
+		if len(c) != sz {
+			return nil, 0, fmt.Errorf("workload: scatter chunk %d has length %d, want %d", i, len(c), sz)
+		}
+		all = append(all, c...)
+	}
+	delivered, d, err := m.bcastSession(root, all)
+	if err != nil {
+		return nil, d, err
+	}
+	out := make([][]byte, m.Size())
+	for h := 0; h < m.Size(); h++ {
+		if h == root {
+			out[h] = chunks[h]
+			continue
+		}
+		buf := delivered[h]
+		if len(buf) != len(all) {
+			return nil, d, fmt.Errorf("workload: scatter delivery at rank %d truncated", h)
+		}
+		out[h] = buf[h*sz : (h+1)*sz]
+	}
+	return out, d, nil
+}
+
+// Allgather shares contribs[i] (rank i's contribution, equal sizes)
+// with every rank via Size rotating-root multicast sessions. It returns
+// the gathered buffers per rank (identical contents) and the elapsed
+// virtual time.
+func (m *Comm) Allgather(contribs [][]byte) ([][]byte, time.Duration, error) {
+	if len(contribs) != m.Size() {
+		return nil, 0, fmt.Errorf("workload: allgather needs %d contributions, got %d", m.Size(), len(contribs))
+	}
+	total := time.Duration(0)
+	gathered := make([][]byte, m.Size())
+	for root := 0; root < m.Size(); root++ {
+		delivered, d, err := m.bcastSession(root, contribs[root])
+		if err != nil {
+			return nil, total, err
+		}
+		total += d
+		for h := 0; h < m.Size(); h++ {
+			var part []byte
+			if h == root {
+				part = contribs[root]
+			} else {
+				part = delivered[h]
+			}
+			gathered[h] = append(gathered[h], part...)
+		}
+	}
+	return gathered, total, nil
+}
+
+// Barrier synchronizes all ranks: every rank's presence is confirmed to
+// every other via rotating one-byte multicasts. It returns the elapsed
+// virtual time.
+func (m *Comm) Barrier() (time.Duration, error) {
+	contribs := make([][]byte, m.Size())
+	for i := range contribs {
+		contribs[i] = []byte{byte(i)}
+	}
+	_, d, err := m.Allgather(contribs)
+	return d, err
+}
+
+// Gather collects contribs[i] (rank i's contribution, equal sizes) at
+// the root: every non-root rank multicasts its contribution in turn and
+// the root concatenates. On a multicast-only substrate a gather costs
+// the same as an allgather — the other ranks simply ignore what they
+// overhear. It returns the concatenation in rank order and the elapsed
+// virtual time.
+func (m *Comm) Gather(root int, contribs [][]byte) ([]byte, time.Duration, error) {
+	if len(contribs) != m.Size() {
+		return nil, 0, fmt.Errorf("workload: gather needs %d contributions, got %d", m.Size(), len(contribs))
+	}
+	total := time.Duration(0)
+	var out []byte
+	for r := 0; r < m.Size(); r++ {
+		if r == root {
+			out = append(out, contribs[r]...)
+			continue
+		}
+		delivered, d, err := m.bcastSession(r, contribs[r])
+		if err != nil {
+			return nil, total, err
+		}
+		total += d
+		out = append(out, delivered[root]...)
+	}
+	return out, total, nil
+}
+
+// Allreduce combines every rank's fixed-size contribution with fn at
+// every rank (Allgather + local reduction everywhere) and returns each
+// rank's result (identical contents) and the elapsed virtual time.
+func (m *Comm) Allreduce(contribs [][]byte, fn func(acc, x []byte) []byte) ([][]byte, time.Duration, error) {
+	gathered, d, err := m.Allgather(contribs)
+	if err != nil {
+		return nil, d, err
+	}
+	sz := len(contribs[0])
+	out := make([][]byte, m.Size())
+	for rank, buf := range gathered {
+		acc := append([]byte(nil), buf[:sz]...)
+		for i := 1; i < m.Size(); i++ {
+			acc = fn(acc, buf[i*sz:(i+1)*sz])
+		}
+		out[rank] = acc
+	}
+	return out, d, nil
+}
+
+// Reduce combines every rank's fixed-size contribution at the root with
+// fn (a local, associative reduction) and returns the result and the
+// elapsed virtual time. It is realized as Allgather + local reduce,
+// which is how multicast-only substrates implement it.
+func (m *Comm) Reduce(root int, contribs [][]byte, fn func(acc, x []byte) []byte) ([]byte, time.Duration, error) {
+	gathered, d, err := m.Allgather(contribs)
+	if err != nil {
+		return nil, d, err
+	}
+	sz := len(contribs[0])
+	buf := gathered[root]
+	acc := append([]byte(nil), buf[:sz]...)
+	for i := 1; i < m.Size(); i++ {
+		acc = fn(acc, buf[i*sz:(i+1)*sz])
+	}
+	return acc, d, nil
+}

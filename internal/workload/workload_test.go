@@ -1,0 +1,218 @@
+package workload
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"rmcast/internal/cluster"
+	"rmcast/internal/core"
+)
+
+func testComm(t *testing.T, proto core.Protocol, n int) *Comm {
+	t.Helper()
+	pcfg := core.Config{Protocol: proto, PacketSize: 4000, WindowSize: 8}
+	switch proto {
+	case core.ProtoNAK:
+		pcfg.PollInterval = 6
+	case core.ProtoRing:
+		pcfg.WindowSize = n + 8
+	case core.ProtoTree:
+		pcfg.TreeHeight = 2
+	}
+	m, err := NewComm(cluster.Default(n), pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestBcastAllProtocols(t *testing.T) {
+	for _, p := range []core.Protocol{core.ProtoACK, core.ProtoNAK, core.ProtoRing, core.ProtoTree} {
+		t.Run(p.String(), func(t *testing.T) {
+			m := testComm(t, p, 5)
+			msg := cluster.MakeMessage(30000)
+			d, err := m.Bcast(0, msg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d <= 0 {
+				t.Error("non-positive elapsed time")
+			}
+		})
+	}
+}
+
+func TestBcastNonZeroRoot(t *testing.T) {
+	m := testComm(t, core.ProtoNAK, 5)
+	// Any rank can be a multicast root.
+	for _, root := range []int{0, 2, 5} {
+		if _, err := m.Bcast(root, cluster.MakeMessage(12345)); err != nil {
+			t.Fatalf("root %d: %v", root, err)
+		}
+	}
+}
+
+func TestScatter(t *testing.T) {
+	m := testComm(t, core.ProtoNAK, 4)
+	chunks := make([][]byte, m.Size())
+	for i := range chunks {
+		chunks[i] = bytes.Repeat([]byte{byte(i + 1)}, 2000)
+	}
+	out, d, err := m.Scatter(0, chunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= 0 {
+		t.Error("non-positive elapsed time")
+	}
+	for i, got := range out {
+		if !bytes.Equal(got, chunks[i]) {
+			t.Errorf("rank %d got wrong chunk", i)
+		}
+	}
+}
+
+func TestScatterValidation(t *testing.T) {
+	m := testComm(t, core.ProtoACK, 3)
+	if _, _, err := m.Scatter(0, [][]byte{{1}, {2}}); err == nil {
+		t.Error("wrong chunk count accepted")
+	}
+	if _, _, err := m.Scatter(0, [][]byte{{1}, {2, 3}, {4}, {5}}); err == nil {
+		t.Error("ragged chunks accepted")
+	}
+}
+
+func TestAllgather(t *testing.T) {
+	m := testComm(t, core.ProtoRing, 4)
+	contribs := make([][]byte, m.Size())
+	var want []byte
+	for i := range contribs {
+		contribs[i] = []byte(fmt.Sprintf("rank-%02d", i))
+		want = append(want, contribs[i]...)
+	}
+	gathered, d, err := m.Allgather(contribs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= 0 {
+		t.Error("non-positive elapsed time")
+	}
+	for i, got := range gathered {
+		if !bytes.Equal(got, want) {
+			t.Errorf("rank %d gathered %q, want %q", i, got, want)
+		}
+	}
+}
+
+func TestBarrier(t *testing.T) {
+	m := testComm(t, core.ProtoACK, 3)
+	d, err := m.Barrier()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= 0 {
+		t.Error("non-positive barrier time")
+	}
+}
+
+func TestReduceSum(t *testing.T) {
+	m := testComm(t, core.ProtoNAK, 4)
+	contribs := make([][]byte, m.Size())
+	for i := range contribs {
+		contribs[i] = []byte{byte(i + 1), 0}
+	}
+	sum, _, err := m.Reduce(0, contribs, func(acc, x []byte) []byte {
+		acc[0] += x[0]
+		return acc
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := byte(1 + 2 + 3 + 4 + 5)
+	if sum[0] != want {
+		t.Errorf("reduce sum = %d, want %d", sum[0], want)
+	}
+}
+
+func TestGather(t *testing.T) {
+	m := testComm(t, core.ProtoNAK, 4)
+	contribs := make([][]byte, m.Size())
+	var want []byte
+	for i := range contribs {
+		contribs[i] = bytes.Repeat([]byte{byte(i + 10)}, 500)
+		want = append(want, contribs[i]...)
+	}
+	for _, root := range []int{0, 2} {
+		got, d, err := m.Gather(root, contribs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d <= 0 {
+			t.Error("non-positive elapsed time")
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("root %d gathered wrong data", root)
+		}
+	}
+	if _, _, err := m.Gather(0, contribs[:2]); err == nil {
+		t.Error("wrong contribution count accepted")
+	}
+}
+
+func TestAllreduce(t *testing.T) {
+	m := testComm(t, core.ProtoRing, 3)
+	contribs := make([][]byte, m.Size())
+	for i := range contribs {
+		contribs[i] = []byte{byte(i + 1)}
+	}
+	out, _, err := m.Allreduce(contribs, func(acc, x []byte) []byte {
+		acc[0] += x[0]
+		return acc
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := byte(1 + 2 + 3 + 4)
+	for rank, v := range out {
+		if v[0] != want {
+			t.Errorf("rank %d allreduce = %d, want %d", rank, v[0], want)
+		}
+	}
+}
+
+func TestManyOperationsReuseComm(t *testing.T) {
+	// A communicator survives many back-to-back collectives (the
+	// paper's static-group assumption) without port or state leaks.
+	m := testComm(t, core.ProtoNAK, 3)
+	for i := 0; i < 10; i++ {
+		if _, err := m.Bcast(i%m.Size(), cluster.MakeMessage(5000+i)); err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+	}
+	if _, err := m.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulticastScatterBeatsNaiveCost(t *testing.T) {
+	// The motivation claim: scatter-by-multicast moves the whole buffer
+	// once, so its cost resembles one bcast of N·chunk rather than N
+	// sequential unicasts.
+	m := testComm(t, core.ProtoNAK, 7)
+	chunks := make([][]byte, m.Size())
+	for i := range chunks {
+		chunks[i] = cluster.MakeMessage(8000)
+	}
+	_, dScatter, err := m.Scatter(0, chunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dBcast, err := m.Bcast(0, cluster.MakeMessage(8000*m.Size()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dScatter > 2*dBcast {
+		t.Errorf("scatter (%v) costs much more than one equal-size bcast (%v)", dScatter, dBcast)
+	}
+}

@@ -1,0 +1,166 @@
+// Package rmcast is a Go library reproducing "An Empirical Study of
+// Reliable Multicast Protocols over Ethernet-Connected Networks"
+// (Lane, Scott, Yuan — ICPP 2001): four families of reliable multicast
+// protocols implemented over IP multicast/UDP, a discrete-event
+// simulator of the paper's 31-host two-switch 100 Mbps testbed, a live
+// transport over real UDP multicast, and a benchmark harness that
+// regenerates every table and figure of the paper's evaluation.
+//
+// The four protocols (see DESIGN.md for their mechanics):
+//
+//   - ProtoACK:  every receiver acknowledges every packet
+//   - ProtoNAK:  negative acknowledgments plus periodic polling
+//   - ProtoRing: rotating acknowledgment responsibility
+//   - ProtoTree: flat-tree acknowledgment aggregation of height H
+//
+// Two ways to run them:
+//
+// Simulated (deterministic, laptop-scale, the paper's testbed):
+//
+//	cfg := rmcast.Config{Protocol: rmcast.ProtoNAK, PacketSize: 8000,
+//		WindowSize: 50, PollInterval: 43}
+//	res, err := rmcast.Simulate(rmcast.DefaultSim(30), cfg, 2<<20)
+//	fmt.Println(res.Elapsed, res.ThroughputMbps)
+//
+// Live (real UDP multicast on a LAN; one process per node):
+//
+//	node, err := rmcast.NewLiveNode(rmcast.LiveConfig{
+//		Group: "239.77.12.5:7412", Rank: 0, Protocol: cfg})
+//	err = node.Send(ctx, payload) // rank 0
+//	msg, err := node.Recv(ctx)    // ranks 1..N
+//
+// The experiment harness behind cmd/rmbench is exposed via
+// Experiments and RunExperiment.
+package rmcast
+
+import (
+	"rmcast/internal/cluster"
+	"rmcast/internal/core"
+	"rmcast/internal/exp"
+	"rmcast/internal/live"
+	"rmcast/internal/order"
+	"rmcast/internal/unicast"
+	"rmcast/internal/workload"
+)
+
+// Protocol selects a reliable multicast protocol family.
+type Protocol = core.Protocol
+
+// The studied protocols.
+const (
+	ProtoACK    = core.ProtoACK
+	ProtoNAK    = core.ProtoNAK
+	ProtoRing   = core.ProtoRing
+	ProtoTree   = core.ProtoTree
+	ProtoRawUDP = core.ProtoRawUDP
+)
+
+// ParseProtocol converts a protocol name ("ack", "nak", "ring", "tree",
+// "rawudp") to its Protocol value.
+func ParseProtocol(s string) (Protocol, error) { return core.ParseProtocol(s) }
+
+// Config carries the protocol parameters shared by the sender and all
+// receivers of a session.
+type Config = core.Config
+
+// NodeID identifies a session participant; 0 is the sender.
+type NodeID = core.NodeID
+
+// SimConfig describes the simulated testbed (topology, link rate, CPU
+// cost model, buffer sizes, loss injection).
+type SimConfig = cluster.Config
+
+// SimResult reports one simulated transfer.
+type SimResult = cluster.Result
+
+// Simulated topologies.
+const (
+	TopologyTwoSwitch    = cluster.TwoSwitch
+	TopologySingleSwitch = cluster.SingleSwitch
+	TopologySharedBus    = cluster.SharedBus
+)
+
+// DefaultSim returns the paper's calibrated Figure 7 testbed with n
+// receivers.
+func DefaultSim(n int) SimConfig { return cluster.Default(n) }
+
+// Simulate transfers one size-byte message under cfg on a fresh
+// simulated testbed and reports timing, throughput, and per-layer
+// statistics.
+func Simulate(sim SimConfig, cfg Config, size int) (*SimResult, error) {
+	return cluster.Run(sim, cfg, size)
+}
+
+// TCPConfig parameterizes the TCP-like reliable unicast baseline.
+type TCPConfig = unicast.Config
+
+// DefaultTCP returns Linux-2.2-flavored TCP baseline parameters.
+func DefaultTCP() TCPConfig { return unicast.DefaultConfig() }
+
+// SimulateTCP transfers one message to every receiver sequentially over
+// TCP-like unicast streams — the Figure 8 baseline.
+func SimulateTCP(sim SimConfig, tcp TCPConfig, size int) (*SimResult, error) {
+	return cluster.RunTCP(sim, tcp, size)
+}
+
+// SimulateRawUDP blasts one message over unreliable UDP multicast — the
+// Figure 9 baseline.
+func SimulateRawUDP(sim SimConfig, packetSize, size int) (*SimResult, error) {
+	return cluster.RunRawUDP(sim, packetSize, size)
+}
+
+// LiveConfig describes a node on the live UDP-multicast transport.
+type LiveConfig = live.Config
+
+// LiveNode is a live protocol endpoint; see NewLiveNode.
+type LiveNode = live.Node
+
+// NewLiveNode opens a live node: rank 0 sends with Send, other ranks
+// receive with Recv. All nodes of a session must share the group
+// address and protocol configuration.
+func NewLiveNode(cfg LiveConfig) (*LiveNode, error) { return live.NewNode(cfg) }
+
+// Comm provides MPI-style collective operations (Bcast, Scatter,
+// Allgather, Barrier, Reduce) built purely on reliable multicast,
+// running on the simulated cluster.
+type Comm = workload.Comm
+
+// NewComm builds a communicator over a fresh simulated cluster.
+func NewComm(sim SimConfig, cfg Config) (*Comm, error) { return workload.NewComm(sim, cfg) }
+
+// OrderedSystem provides totally ordered reliable multicast — many
+// senders, one agreed delivery order at every member — built on the
+// studied protocols (the Chang-Maxemchuk / Whetten lineage the paper's
+// ring protocol descends from). Simulated-cluster only.
+type OrderedSystem = order.System
+
+// OrderedDelivery is one total-order delivery.
+type OrderedDelivery = order.Delivery
+
+// NewOrderedSystem builds a total-order group over a fresh simulated
+// cluster using cfg's reliability scheme underneath.
+func NewOrderedSystem(sim SimConfig, cfg Config) (*OrderedSystem, error) {
+	return order.NewSystem(sim, cfg)
+}
+
+// Experiment is one reproducible paper experiment (a table or figure).
+type Experiment = exp.Experiment
+
+// ExperimentOptions tunes an experiment run.
+type ExperimentOptions = exp.Options
+
+// ExperimentReport is a rendered experiment result.
+type ExperimentReport = exp.Report
+
+// Experiments lists every registered experiment: the paper's Tables 1-3
+// and Figures 8-21, plus the ablations in DESIGN.md.
+func Experiments() []Experiment { return exp.All() }
+
+// RunExperiment executes one experiment by id ("fig10", "table3", ...).
+func RunExperiment(id string, opts ExperimentOptions) (*ExperimentReport, error) {
+	e, err := exp.ByID(id)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(opts)
+}
