@@ -15,6 +15,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -37,6 +38,8 @@ func main() {
 		size      = flag.Int("size", 1_000_000, "message size in bytes (sender)")
 		count     = flag.Int("count", 1, "number of messages to transfer (sender)")
 		timeout   = flag.Duration("timeout", 60*time.Second, "per-transfer timeout")
+		retries   = flag.Int("maxretries", 0, "no-progress timeout rounds before the sender probes and ejects a receiver (0 = wait forever, as in the paper)")
+		peerTO    = flag.Duration("peer-timeout", 0, "declare a receiver dead after this much total silence (0 = 5x the hello interval; needs -maxretries)")
 	)
 	flag.Parse()
 
@@ -69,12 +72,14 @@ func main() {
 		WindowSize:   w,
 		PollInterval: pi,
 		TreeHeight:   *height,
+		MaxRetries:   *retries,
 	}
 	node, err := rmcast.NewLiveNode(rmcast.LiveConfig{
-		Group:     *group,
-		Interface: *iface,
-		Rank:      rmcast.NodeID(*rank),
-		Protocol:  cfg,
+		Group:       *group,
+		Interface:   *iface,
+		Rank:        rmcast.NodeID(*rank),
+		Protocol:    cfg,
+		PeerTimeout: *peerTO,
 	})
 	if err != nil {
 		fatalf("%v", err)
@@ -89,6 +94,12 @@ func main() {
 			start := time.Now()
 			if err := node.Send(ctx, msg); err != nil {
 				cancel()
+				var partial *rmcast.PartialResult
+				if errors.As(err, &partial) {
+					fmt.Printf("transfer %d degraded: delivered=%v failed=%v\n",
+						i, partial.Delivered, partial.Failed)
+					continue
+				}
 				fatalf("transfer %d: %v", i, err)
 			}
 			cancel()

@@ -8,16 +8,20 @@
 //	rmsim -proto tree -height 6 -size 512000
 //	rmsim -proto ack -topology bus -loss 0.001
 //	rmsim -proto tcp -size 426502 -receivers 30
+//	rmsim -proto ack -crash 7@0.5 -maxretries 3
+//	rmsim -proto tree -faults "crash:3@0,stall:5@10ms+40ms" -maxretries 3
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"rmcast/internal/cluster"
 	"rmcast/internal/core"
+	"rmcast/internal/faults"
 	"rmcast/internal/trace"
 	"rmcast/internal/unicast"
 )
@@ -39,12 +43,32 @@ func main() {
 		naksupp   = flag.Bool("naksupp", false, "use receiver-side multicast NAK suppression")
 		pace      = flag.Duration("pace", 0, "rate-pace first transmissions (e.g. 700us; 0 = window only)")
 		traceN    = flag.Int("trace", 0, "print the last N protocol packet events")
+		crash     = flag.String("crash", "", "crash receivers, e.g. 7@0.5 (rank@progress) or 3@20ms,5@0; shorthand for -faults crash:...")
+		faultSpec = flag.String("faults", "", "full fault schedule, e.g. crash:7@0.5,stall:3@20ms+40ms,burst:*@0.5+5ms:0.3")
+		maxRetry  = flag.Int("maxretries", 0, "no-progress timeout rounds before the sender probes and ejects a receiver (0 = wait forever, as in the paper)")
+		sessionDl = flag.Duration("session-deadline", 0, "protocol-level session deadline; at expiry unfinished receivers are declared failed (0 = none)")
 	)
 	flag.Parse()
 
 	ccfg := cluster.Default(*receivers)
 	ccfg.Seed = *seed
 	ccfg.LossRate = *loss
+	spec := *faultSpec
+	if *crash != "" {
+		for _, part := range strings.Split(*crash, ",") {
+			if spec != "" {
+				spec += ","
+			}
+			spec += "crash:" + strings.TrimSpace(part)
+		}
+	}
+	if spec != "" {
+		sched, err := faults.Parse(spec)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		ccfg.Faults = sched
+	}
 	switch *topology {
 	case "two-switch":
 	case "single-switch":
@@ -97,6 +121,8 @@ func main() {
 		SelectiveRepeat: *selective,
 		NakSuppression:  *naksupp,
 		PaceInterval:    *pace,
+		MaxRetries:      *maxRetry,
+		SessionDeadline: *sessionDl,
 	}
 	var traceBuf *trace.Buffer
 	if *traceN > 0 {
@@ -105,14 +131,20 @@ func main() {
 	}
 	res, err := cluster.Run(ccfg, pcfg, *size)
 	if err != nil {
+		if pr, ok := err.(*core.PartialResult); ok {
+			fmt.Printf("partial: delivered=%v failed=%v\n", pr.Delivered, pr.Failed)
+		}
 		fatalf("%v", err)
 	}
 	fmt.Printf("%v: %d bytes to %d receivers in %v (%.1f Mbps)\n",
 		p, *size, *receivers, res.Elapsed.Round(time.Microsecond), res.ThroughputMbps)
 	fmt.Printf("verified: %v\n", res.Verified)
+	if len(res.Failed) > 0 {
+		fmt.Printf("degraded: delivered=%v failed=%v\n", res.Delivered, res.Failed)
+	}
 	s := res.SenderStats
-	fmt.Printf("sender: data=%d retrans=%d acksIn=%d naksIn=%d timeouts=%d suppressed=%d\n",
-		s.DataSent, s.Retransmissions, s.AcksReceived, s.NaksReceived, s.Timeouts, s.SuppressedNaks)
+	fmt.Printf("sender: data=%d retrans=%d acksIn=%d naksIn=%d timeouts=%d suppressed=%d probes=%d ejected=%d\n",
+		s.DataSent, s.Retransmissions, s.AcksReceived, s.NaksReceived, s.Timeouts, s.SuppressedNaks, s.ProbesSent, s.Ejected)
 	if ccfg.Topology == cluster.SharedBus {
 		fmt.Printf("bus: delivered=%d collisions=%d aborted=%d\n",
 			res.BusStats.Delivered, res.BusStats.Collisions, res.BusStats.Aborted)

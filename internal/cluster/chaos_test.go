@@ -1,0 +1,217 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"rmcast/internal/core"
+	"rmcast/internal/faults"
+)
+
+// chaosConfig is protoConfig tuned for fast failure detection: short
+// timeouts so probing and ejection happen within milliseconds of
+// virtual time, and MaxRetries enabled.
+func chaosConfig(p core.Protocol, n int) core.Config {
+	cfg := protoConfig(p, n)
+	cfg.PacketSize = 1000
+	cfg.RetransTimeout = 10 * time.Millisecond
+	cfg.AllocTimeout = 2 * time.Millisecond
+	cfg.MaxRetries = 3
+	if p == core.ProtoTree {
+		cfg.TreeHeight = 4 // n=8: two chains of four
+	}
+	return cfg
+}
+
+// TestChaosMatrix is the deterministic crash matrix of the failure
+// model: every protocol survives a receiver crashing before buffer
+// allocation, mid-transfer, and at the tail of the transfer, for two
+// seeds that place the crash at structurally different ranks (3 is
+// mid-chain in the 8-receiver/height-4 tree, 1 is a chain head). The
+// session must terminate, eject exactly the crashed receiver, and
+// deliver a byte-identical message to every survivor.
+func TestChaosMatrix(t *testing.T) {
+	const n = 8
+	// At 0.95 of a 1000-packet message, 50 packets are outstanding —
+	// more than any protocol's window, so the crash provably cuts the
+	// victim off from data it still needs. (With outstanding < window
+	// the whole message is already in flight and a "crash" at the end
+	// races harmlessly with its own final acknowledgments.)
+	points := []struct {
+		name string
+		at   float64
+	}{
+		{"before-alloc", 0},
+		{"mid-transfer", 0.5},
+		{"last-packets", 0.95},
+	}
+	for _, p := range []core.Protocol{core.ProtoACK, core.ProtoNAK, core.ProtoRing, core.ProtoTree} {
+		for _, pt := range points {
+			for seed, crashRank := range map[uint64]core.NodeID{1: 3, 2: 1} {
+				name := fmt.Sprintf("%v/%s/seed=%d", p, pt.name, seed)
+				t.Run(name, func(t *testing.T) {
+					sched, err := faults.Parse(fmt.Sprintf("crash:%d@%g", crashRank, pt.at))
+					if err != nil {
+						t.Fatal(err)
+					}
+					ccfg := Default(n)
+					ccfg.Seed = seed
+					ccfg.Deadline = 10 * time.Second
+					ccfg.Faults = sched
+					res, err := Run(ccfg, chaosConfig(p, n), 1000*1000)
+					if err != nil {
+						t.Fatalf("run: %v", err)
+					}
+					if !res.Completed {
+						t.Fatal("session did not complete")
+					}
+					if len(res.Failed) != 1 || res.Failed[0] != crashRank {
+						t.Fatalf("Failed = %v, want [%d]", res.Failed, crashRank)
+					}
+					if !res.Verified {
+						t.Fatalf("survivors did not all deliver: Delivered=%v", res.Delivered)
+					}
+					if res.SenderStats.Ejected != 1 {
+						t.Errorf("Ejected = %d, want 1", res.SenderStats.Ejected)
+					}
+					if res.Elapsed >= ccfg.Deadline {
+						t.Errorf("elapsed %v ran into the deadline", res.Elapsed)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestChaosDeterminism re-runs one crash scenario and demands an
+// identical outcome: same elapsed virtual time, same ejection.
+func TestChaosDeterminism(t *testing.T) {
+	run := func() *Result {
+		sched, err := faults.Parse("crash:5@0.5")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ccfg := Default(8)
+		ccfg.Deadline = 10 * time.Second
+		ccfg.Faults = sched
+		res, err := Run(ccfg, chaosConfig(core.ProtoNAK, 8), 300*1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Elapsed != b.Elapsed {
+		t.Errorf("elapsed differs across identical runs: %v vs %v", a.Elapsed, b.Elapsed)
+	}
+	if fmt.Sprint(a.Failed) != fmt.Sprint(b.Failed) {
+		t.Errorf("failed set differs: %v vs %v", a.Failed, b.Failed)
+	}
+	if a.SenderStats != b.SenderStats {
+		t.Errorf("sender stats differ:\n%+v\n%+v", a.SenderStats, b.SenderStats)
+	}
+}
+
+// TestStallIsNotDeath ejects nobody: a receiver stalled for less than
+// the detection horizon must be waited out, not ejected, and the run
+// still verifies everywhere.
+func TestStallIsNotDeath(t *testing.T) {
+	sched, err := faults.Parse("stall:4@8ms+12ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccfg := Default(8)
+	ccfg.Deadline = 10 * time.Second
+	ccfg.Faults = sched
+	cfg := chaosConfig(core.ProtoACK, 8)
+	// A stall of 12 ms against a 10 ms RTO and MaxRetries 3 (plus three
+	// probe rounds) is comfortably inside the detection horizon.
+	res, err := Run(ccfg, cfg, 200*1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Failed) != 0 {
+		t.Fatalf("stalled receiver was ejected: %v", res.Failed)
+	}
+	if !res.Verified || len(res.Delivered) != 8 {
+		t.Fatalf("verified=%v delivered=%v", res.Verified, res.Delivered)
+	}
+}
+
+// TestSessionDeadline wedges a receiver permanently with detection off
+// (MaxRetries=0, the paper's wait-forever behavior) and relies on the
+// protocol-level session deadline to cut the transfer loose with a
+// structured partial result.
+func TestSessionDeadline(t *testing.T) {
+	// The crash point matters: at 0.7 of a 100-packet message with
+	// window 20, the victim's acknowledgments carry the window far
+	// enough for survivors to complete, while the victim itself misses
+	// the tail — so the deadline fails exactly one receiver. An earlier
+	// crash wedges the window before the tail is ever transmitted and
+	// every receiver legitimately fails.
+	sched, err := faults.Parse("crash:2@0.7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccfg := Default(4)
+	ccfg.Deadline = 30 * time.Second
+	ccfg.Faults = sched
+	cfg := chaosConfig(core.ProtoACK, 4)
+	cfg.MaxRetries = 0
+	cfg.SessionDeadline = 500 * time.Millisecond
+	res, err := Run(ccfg, cfg, 100*1000)
+	if err != nil {
+		t.Fatalf("session deadline should complete the run, got %v", err)
+	}
+	if !res.Completed {
+		t.Fatal("session did not terminate at its deadline")
+	}
+	if len(res.Failed) != 1 || res.Failed[0] != 2 {
+		t.Fatalf("Failed = %v, want [2]", res.Failed)
+	}
+	if !res.Verified {
+		t.Fatal("survivors did not deliver")
+	}
+	if res.Elapsed < 500*time.Millisecond {
+		t.Fatalf("completed in %v, before the session deadline", res.Elapsed)
+	}
+}
+
+// TestCrashWithoutDetectionTimesOut pins down the seed behavior the
+// failure model fixes: with MaxRetries=0 and no session deadline, a
+// crashed receiver wedges the sender until the run-level deadline, and
+// the error carries the partial-delivery structure.
+func TestCrashWithoutDetectionTimesOut(t *testing.T) {
+	sched, err := faults.Parse("crash:2@0.7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccfg := Default(4)
+	ccfg.Deadline = 300 * time.Millisecond
+	ccfg.Faults = sched
+	cfg := chaosConfig(core.ProtoACK, 4)
+	cfg.MaxRetries = 0
+	res, err := Run(ccfg, cfg, 100*1000)
+	if err == nil {
+		t.Fatal("want a deadline error")
+	}
+	var pr *core.PartialResult
+	if !asPartial(err, &pr) {
+		t.Fatalf("error is %T, want *core.PartialResult", err)
+	}
+	if len(pr.Failed) != 1 || pr.Failed[0] != 2 {
+		t.Fatalf("partial Failed = %v, want [2]", pr.Failed)
+	}
+	if res == nil || res.Completed {
+		t.Fatal("run should have aborted")
+	}
+}
+
+func asPartial(err error, out **core.PartialResult) bool {
+	pr, ok := err.(*core.PartialResult)
+	if ok {
+		*out = pr
+	}
+	return ok
+}

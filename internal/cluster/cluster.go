@@ -14,6 +14,7 @@ import (
 
 	"rmcast/internal/core"
 	"rmcast/internal/ethernet"
+	"rmcast/internal/faults"
 	"rmcast/internal/ipnet"
 	"rmcast/internal/rng"
 	"rmcast/internal/sim"
@@ -80,6 +81,13 @@ type Config struct {
 	Seed uint64
 	// Deadline aborts a session after this much virtual time.
 	Deadline time.Duration
+	// WallLimit aborts a session after this much real time, catching
+	// simulations that livelock (events firing forever without virtual
+	// time passing the Deadline fast enough). Zero means 2 minutes.
+	WallLimit time.Duration
+	// Faults, when non-nil, is the fault schedule applied to the run:
+	// receiver crashes, stalls, link flaps, and burst-loss windows.
+	Faults *faults.Schedule
 	// Trace, when non-nil, records every protocol packet event.
 	Trace *trace.Buffer
 
@@ -101,6 +109,7 @@ func Default(n int) Config {
 		TxQueueCap:     512 * 1024,
 		Seed:           1,
 		Deadline:       2 * time.Minute,
+		WallLimit:      2 * time.Minute,
 	}
 }
 
@@ -128,6 +137,7 @@ type Cluster struct {
 	Bus      *ethernet.Bus
 	group    ipnet.Addr
 	rand     *rng.Rand
+	inj      *injector
 }
 
 // Group returns the multicast group address every host joined.
@@ -150,11 +160,21 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.Deadline == 0 {
 		cfg.Deadline = 2 * time.Minute
 	}
+	if cfg.WallLimit == 0 {
+		cfg.WallLimit = 2 * time.Minute
+	}
 	c := &Cluster{
 		Sim:   sim.New(),
 		Cfg:   cfg,
 		group: ipnet.Group(1),
 		rand:  rng.New(rng.Mix(cfg.Seed, 0xC1A5)),
+	}
+	if cfg.Faults != nil {
+		inj, err := c.newInjector(cfg.Faults)
+		if err != nil {
+			return nil, err
+		}
+		c.inj = inj
 	}
 	n := cfg.NumReceivers + 1
 	for i := 0; i < n; i++ {
@@ -184,6 +204,9 @@ func New(cfg Config) (*Cluster, error) {
 		c.buildSwitches(1)
 	default:
 		c.buildSwitches(2)
+	}
+	if c.inj != nil {
+		c.inj.arm(cfg.Faults)
 	}
 	return c, nil
 }
@@ -219,7 +242,7 @@ func (c *Cluster) buildSwitches(count int) {
 		} else {
 			aAddrs = append(aAddrs, h.EthernetAddr())
 		}
-		h.SetTx(sw.ConnectPort(h.EthernetAddr(), h))
+		h.SetTx(c.attachTx(i, sw.ConnectPort(h.EthernetAddr(), c.attachRecv(i, h))))
 	}
 	if swB != swA {
 		swA.ConnectSwitch(swB, aAddrs, bAddrs)
@@ -241,11 +264,11 @@ func (c *Cluster) buildBus() {
 	bc.Seed = c.Cfg.Seed
 	bc.StationQueueCap = c.Cfg.TxQueueCap
 	c.Bus = ethernet.NewBus(c.Sim, bc)
-	for _, h := range c.Hosts {
+	for i, h := range c.Hosts {
 		// NIC-level group filtering happens in Host.RecvFrame, so the
 		// station accepts all multicast frames.
-		st := c.Bus.Attach(h.EthernetAddr(), h, nil)
-		h.SetTx(st)
+		st := c.Bus.Attach(h.EthernetAddr(), c.attachRecv(i, h), nil)
+		h.SetTx(c.attachTx(i, st))
 	}
 }
 

@@ -1,0 +1,164 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"rmcast/internal/ethernet"
+	"rmcast/internal/faults"
+	"rmcast/internal/ipnet"
+)
+
+// faultGate interposes between one receiver host and its medium
+// attachment. Inbound frames pass through RecvFrame, outbound frames
+// through the FrameSender side, so crashing or isolating the host is a
+// matter of flipping the gate — the host object itself keeps running,
+// exactly like a dead process whose peers can only observe silence.
+type faultGate struct {
+	host ethernet.Receiver // toward the host NIC
+	tx   ipnet.FrameSender // toward the switch port / bus station
+
+	crashed bool
+	rxDown  int // >0: inbound frames are lost (link flap)
+	txDown  int // >0: outbound frames are lost (stall or flap)
+}
+
+func (g *faultGate) RecvFrame(f *ethernet.Frame) {
+	if g.crashed || g.rxDown > 0 {
+		return
+	}
+	g.host.RecvFrame(f)
+}
+
+// Send drops the frame silently while the gate is down. It reports
+// success: the loss happens past the NIC queue, so the host must not
+// block waiting for queue space that will never signal.
+func (g *faultGate) Send(f *ethernet.Frame) bool {
+	if g.crashed || g.txDown > 0 {
+		return true
+	}
+	return g.tx.Send(f)
+}
+
+func (g *faultGate) Queued() int                   { return g.tx.Queued() }
+func (g *faultGate) DrainTime(n int) time.Duration { return g.tx.DrainTime(n) }
+
+// injector owns the gates and fires the schedule. Time-triggered events
+// are plain simulator events; progress-triggered events are drained by
+// tick, which the run loop calls between simulator steps with the
+// sender's acknowledged fraction — both paths are deterministic.
+type injector struct {
+	c       *Cluster
+	gates   []*faultGate   // indexed by host id; nil on ungated hosts
+	pending []faults.Event // progress-triggered, sorted by Progress
+	burst   int            // active burst-loss windows
+	rate    float64        // drop probability of the innermost window
+}
+
+// newInjector validates the schedule against the topology and creates a
+// gate for every afflicted receiver. Must run before the topology is
+// wired so the gates land between host and medium.
+func (c *Cluster) newInjector(sched *faults.Schedule) (*injector, error) {
+	if err := sched.Validate(c.Cfg.NumReceivers); err != nil {
+		return nil, err
+	}
+	if sched.HasBurst() && c.Cfg.Topology == SharedBus {
+		return nil, fmt.Errorf("cluster: burst loss windows need a switched topology")
+	}
+	inj := &injector{c: c, gates: make([]*faultGate, c.Cfg.NumReceivers+1)}
+	for _, e := range sched.Events {
+		if e.Kind != faults.Burst && inj.gates[e.Node] == nil {
+			inj.gates[e.Node] = &faultGate{}
+		}
+		if e.ByProgress {
+			inj.pending = append(inj.pending, e)
+		}
+	}
+	sort.SliceStable(inj.pending, func(i, j int) bool {
+		return inj.pending[i].Progress < inj.pending[j].Progress
+	})
+	return inj, nil
+}
+
+// arm schedules the time-triggered events. Called once the topology is
+// built (gates wired, switch outputs available for burst windows).
+func (inj *injector) arm(sched *faults.Schedule) {
+	for _, e := range sched.Events {
+		if !e.ByProgress {
+			e := e
+			inj.c.Sim.At(e.At, func() { inj.apply(e) })
+		}
+	}
+	if sched.HasBurst() {
+		for _, sw := range inj.c.Switches {
+			for i := 0; i < sw.NumPorts(); i++ {
+				out := sw.Port(i).Out()
+				if out == nil {
+					continue
+				}
+				prev := out.DropFn
+				r := inj.c.rand.Fork()
+				out.DropFn = func(f *ethernet.Frame) bool {
+					if prev != nil && prev(f) {
+						return true
+					}
+					return inj.burst > 0 && r.Bool(inj.rate)
+				}
+			}
+		}
+	}
+}
+
+// tick fires every pending progress-triggered event whose threshold the
+// transfer has reached.
+func (inj *injector) tick(progress float64) {
+	for len(inj.pending) > 0 && inj.pending[0].Progress <= progress {
+		e := inj.pending[0]
+		inj.pending = inj.pending[1:]
+		inj.apply(e)
+	}
+}
+
+func (inj *injector) apply(e faults.Event) {
+	sim := inj.c.Sim
+	switch e.Kind {
+	case faults.Crash:
+		inj.gates[e.Node].crashed = true
+	case faults.Stall:
+		g := inj.gates[e.Node]
+		g.txDown++
+		sim.After(e.Dur, func() { g.txDown-- })
+	case faults.Flap:
+		g := inj.gates[e.Node]
+		g.txDown++
+		g.rxDown++
+		sim.After(e.Dur, func() { g.txDown--; g.rxDown-- })
+	case faults.Burst:
+		inj.burst++
+		inj.rate = e.Rate
+		sim.After(e.Dur, func() { inj.burst-- })
+	}
+}
+
+// attachRecv returns the receiver the medium should deliver host i's
+// frames to — the host itself, or its fault gate when one exists.
+func (c *Cluster) attachRecv(i int, h *ipnet.Host) ethernet.Receiver {
+	if c.inj != nil && c.inj.gates[i] != nil {
+		g := c.inj.gates[i]
+		g.host = h
+		return g
+	}
+	return h
+}
+
+// attachTx returns the frame sender host i should transmit through,
+// interposing the fault gate when one exists.
+func (c *Cluster) attachTx(i int, tx ipnet.FrameSender) ipnet.FrameSender {
+	if c.inj != nil && c.inj.gates[i] != nil {
+		g := c.inj.gates[i]
+		g.tx = tx
+		return g
+	}
+	return tx
+}

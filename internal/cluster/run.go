@@ -19,11 +19,19 @@ type Result struct {
 	// completion (all receivers have delivered by then — their final
 	// acknowledgments causally follow delivery).
 	Elapsed time.Duration
-	// Completed is false only when the deadline aborted the session.
+	// Completed is false only when a deadline (virtual or wall-clock)
+	// aborted the session.
 	Completed bool
-	// Verified is true when every receiver delivered a byte-identical
-	// copy of the message.
+	// Verified is true when every surviving receiver delivered a
+	// byte-identical copy of the message. Receivers listed in Failed are
+	// exempt: a degraded-but-correct partial delivery still verifies.
 	Verified bool
+	// Delivered lists the receivers that demonstrably delivered the full
+	// message, ascending.
+	Delivered []core.NodeID
+	// Failed lists the receivers the sender ejected (failure detection)
+	// or declared failed (session deadline), in ejection order.
+	Failed []core.NodeID
 	// ThroughputMbps is payload goodput in megabits per second.
 	ThroughputMbps float64
 
@@ -66,8 +74,18 @@ func Run(ccfg Config, pcfg core.Config, msgSize int) (*Result, error) {
 	var start func()
 	var senderStats func() core.SenderStats
 	var recvStats []func() core.ReceiverStats
+	var progress func() float64
+	var senderFailed func() []core.NodeID
 
 	if pcfg.Protocol == core.ProtoRawUDP {
+		if ccfg.Faults != nil {
+			for _, e := range ccfg.Faults.Events {
+				if e.ByProgress {
+					return nil, fmt.Errorf("cluster: raw UDP has no acknowledged progress; "+
+						"use a time trigger instead of %v", e)
+				}
+			}
+		}
 		snd, err := core.NewRawSender(envs[0], pcfg, func() { senderDone = true })
 		if err != nil {
 			return nil, err
@@ -93,6 +111,8 @@ func Run(ccfg Config, pcfg core.Config, msgSize int) (*Result, error) {
 		}
 		envs[0].setEndpoint(snd)
 		senderStats = snd.Stats
+		progress = snd.Progress
+		senderFailed = snd.Failed
 		start = func() { snd.Start(msg) }
 		for r := 1; r <= ccfg.NumReceivers; r++ {
 			r := r
@@ -109,9 +129,30 @@ func Run(ccfg Config, pcfg core.Config, msgSize int) (*Result, error) {
 
 	c.Sim.After(0, start)
 	begin := c.Sim.Now()
-	for c.Sim.Pending() > 0 && !senderDone {
+	wallStart := time.Now()
+	wallExceeded := false
+	tick := func() {
+		if c.inj == nil {
+			return
+		}
+		p := 0.0
+		if progress != nil {
+			p = progress()
+		}
+		c.inj.tick(p)
+	}
+	tick() // progress-0 faults fire before the session starts moving
+	for steps := 0; c.Sim.Pending() > 0 && !senderDone; steps++ {
 		c.Sim.Step()
+		tick()
 		if c.Sim.Now()-begin > c.Cfg.Deadline {
+			break
+		}
+		// The wall-clock guard catches livelocked simulations (events
+		// firing forever while virtual time crawls); the syscall is too
+		// expensive for every step.
+		if steps&4095 == 4095 && time.Since(wallStart) > c.Cfg.WallLimit {
+			wallExceeded = true
 			break
 		}
 	}
@@ -120,11 +161,19 @@ func Run(ccfg Config, pcfg core.Config, msgSize int) (*Result, error) {
 	if res.Elapsed > 0 {
 		res.ThroughputMbps = float64(msgSize) * 8 / res.Elapsed.Seconds() / 1e6
 	}
+	if senderFailed != nil {
+		res.Failed = senderFailed()
+	}
+	failed := make(map[core.NodeID]bool, len(res.Failed))
+	for _, f := range res.Failed {
+		failed[f] = true
+	}
 	res.Verified = true
 	for r := 1; r <= ccfg.NumReceivers; r++ {
-		if !bytes.Equal(delivered[r], msg) {
+		if bytes.Equal(delivered[r], msg) {
+			res.Delivered = append(res.Delivered, core.NodeID(r))
+		} else if !failed[core.NodeID(r)] {
 			res.Verified = false
-			break
 		}
 	}
 	res.SenderStats = senderStats()
@@ -141,8 +190,22 @@ func Run(ccfg Config, pcfg core.Config, msgSize int) (*Result, error) {
 		res.BusStats = c.Bus.Stats()
 	}
 	if !res.Completed {
-		return res, fmt.Errorf("cluster: %v session exceeded deadline %v (size=%d)",
+		cause := fmt.Errorf("cluster: %v session exceeded virtual deadline %v (size=%d)",
 			pcfg.Protocol, c.Cfg.Deadline, msgSize)
+		if wallExceeded {
+			cause = fmt.Errorf("cluster: %v session exceeded wall-clock limit %v (size=%d)",
+				pcfg.Protocol, c.Cfg.WallLimit, msgSize)
+		}
+		// Everything not demonstrably delivered counts as failed in the
+		// structured error, whether or not the sender got as far as
+		// ejecting it.
+		pr := &core.PartialResult{Delivered: res.Delivered, Err: cause}
+		for r := 1; r <= ccfg.NumReceivers; r++ {
+			if !bytes.Equal(delivered[r], msg) {
+				pr.Failed = append(pr.Failed, core.NodeID(r))
+			}
+		}
+		return res, pr
 	}
 	return res, nil
 }

@@ -149,7 +149,26 @@ type Config struct {
 	// least this far apart. The paper notes flow control "can either be
 	// rate-based or window-based"; this implements the hybrid.
 	PaceInterval time.Duration
+	// MaxRetries enables receiver-failure detection. The paper's
+	// protocols assume a fixed healthy membership, so a crashed receiver
+	// wedges the sender in infinite retransmission; with MaxRetries > 0
+	// the sender reacts to that many consecutive no-progress timeout
+	// rounds by probing the stalled peers (unicast ping) and, after
+	// ProbeRounds unanswered rounds, ejecting the silent ones: they are
+	// removed from the acknowledgment minimum, tree chains are spliced
+	// around them, and the transfer completes for the survivors. Zero
+	// (the default) preserves the paper's wait-forever behavior.
+	MaxRetries int
+	// SessionDeadline, when positive, bounds one whole transfer: when it
+	// expires the sender declares every receiver it cannot prove
+	// complete as failed and terminates with a partial result instead of
+	// retransmitting forever. Zero means no deadline.
+	SessionDeadline time.Duration
 }
+
+// ProbeRounds is the number of unanswered ping rounds (each one
+// RetransTimeout long) after which a suspect receiver is ejected.
+const ProbeRounds = 3
 
 // Defaults for the timing knobs, chosen for a sub-millisecond-RTT LAN.
 // The retransmission timeout must exceed the protocol's longest natural
@@ -211,8 +230,43 @@ func (c Config) Normalize() (Config, error) {
 	if c.NakInterval == 0 {
 		c.NakInterval = DefaultNakInterval
 	}
+	if c.MaxRetries < 0 {
+		return c, errors.New("core: MaxRetries must be >= 0")
+	}
+	if c.SessionDeadline < 0 {
+		return c, errors.New("core: SessionDeadline must be >= 0")
+	}
 	return c, nil
 }
+
+// PartialResult describes a session that ended without full delivery to
+// the original membership: receivers ejected by failure detection or
+// outstanding at the session deadline are listed in Failed. It
+// implements error so transports can surface degraded completion
+// without losing the survivor set.
+type PartialResult struct {
+	// Delivered lists the receivers known (or believed) to have received
+	// the complete message.
+	Delivered []NodeID
+	// Failed lists the receivers ejected from the session, in ejection
+	// order.
+	Failed []NodeID
+	// Err is the underlying cause (deadline expiry, simulator stall),
+	// nil when failure detection alone degraded the membership.
+	Err error
+}
+
+func (p *PartialResult) Error() string {
+	msg := fmt.Sprintf("core: partial delivery: %d receivers delivered, %d failed %v",
+		len(p.Delivered), len(p.Failed), p.Failed)
+	if p.Err != nil {
+		msg += ": " + p.Err.Error()
+	}
+	return msg
+}
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (p *PartialResult) Unwrap() error { return p.Err }
 
 // PacketCount returns the number of data packets for a message of size
 // bytes under config c (at least 1: a zero-byte message still sends one

@@ -75,3 +75,50 @@ func (t FlatTree) ChainLen(c int) int {
 	nc := t.NumChains()
 	return (t.N-(c+1))/nc + 1
 }
+
+// Members returns the ranks of chain c in depth order (head first).
+func (t FlatTree) Members(c int) []NodeID {
+	nc := t.NumChains()
+	out := make([]NodeID, 0, t.ChainLen(c))
+	for m := NodeID(c + 1); int(m) <= t.N; m += NodeID(nc) {
+		out = append(out, m)
+	}
+	return out
+}
+
+// The *Alive variants recompute chain links over the surviving
+// membership: ejecting a node splices its chain, with the predecessor
+// adopting the successor. dead maps ejected ranks to true.
+
+// PredAlive returns the closest surviving predecessor of rank in its
+// chain, or the sender when every shallower member is dead (rank acts
+// as chain head).
+func (t FlatTree) PredAlive(rank NodeID, dead map[NodeID]bool) NodeID {
+	p := t.Pred(rank)
+	for p != SenderID && dead[p] {
+		p = t.Pred(p)
+	}
+	return p
+}
+
+// SuccAlive returns the closest surviving successor of rank in its
+// chain, or false if none survive below it (rank acts as chain tail).
+func (t FlatTree) SuccAlive(rank NodeID, dead map[NodeID]bool) (NodeID, bool) {
+	s, ok := t.Succ(rank)
+	for ok && dead[s] {
+		s, ok = t.Succ(s)
+	}
+	return s, ok
+}
+
+// HeadAlive returns the first surviving member of chain c — the rank
+// whose acknowledgments the sender tracks for that chain — or false if
+// the whole chain is dead.
+func (t FlatTree) HeadAlive(c int, dead map[NodeID]bool) (NodeID, bool) {
+	for _, m := range t.Members(c) {
+		if !dead[m] {
+			return m, true
+		}
+	}
+	return 0, false
+}

@@ -59,6 +59,12 @@ type Receiver struct {
 	succAck uint32 // cumulative ack received from the successor
 	ackSent uint32 // cumulative ack last propagated to the predecessor
 
+	// Membership state: ranks the sender has ejected. A receiver that
+	// learns of its own ejection goes quiet (it may have been declared
+	// dead while merely stalled) but keeps assembling whatever it hears.
+	deadPeers map[NodeID]bool
+	ejected   bool
+
 	stats ReceiverStats
 }
 
@@ -83,6 +89,7 @@ func NewReceiver(env Env, cfg Config, rank NodeID, onDeliver func([]byte)) (*Rec
 		lastNak:    -time.Hour,
 		lastDupAck: -time.Hour,
 		rand:       rng.New(rng.Mix(uint64(rank), 0x4E414B)),
+		deadPeers:  make(map[NodeID]bool),
 	}
 	if cfg.Protocol == ProtoTree {
 		r.tree = NewFlatTree(cfg.NumReceivers, cfg.TreeHeight)
@@ -99,6 +106,9 @@ func (r *Receiver) Stats() ReceiverStats { return r.stats }
 // Delivered reports whether the current message has been delivered.
 func (r *Receiver) Delivered() bool { return r.delivered }
 
+// Ejected reports whether the sender has declared this receiver dead.
+func (r *Receiver) Ejected() bool { return r.ejected }
+
 // OnPacket dispatches an incoming packet.
 func (r *Receiver) OnPacket(from NodeID, p *packet.Packet) {
 	switch p.Type {
@@ -114,7 +124,85 @@ func (r *Receiver) OnPacket(from NodeID, p *packet.Packet) {
 		if from != SenderID {
 			r.onOverheardNak(p)
 		}
+	case packet.TypePing:
+		// Liveness probe: answer with our cumulative progress, which
+		// doubles as lost-acknowledgment repair at the sender. An
+		// ejected node stays quiet.
+		if !r.ejected {
+			r.send(from, &packet.Packet{Type: packet.TypePong, MsgID: p.MsgID, Seq: r.pongSeq(p.MsgID)})
+		}
+	case packet.TypeEject:
+		r.onEject(NodeID(p.Aux))
 	}
+}
+
+// pongSeq is the progress a pong may honestly claim for msgID: exactly
+// what this receiver's acknowledgment stream would carry, so the sender
+// can treat a pong as a retransmitted cumulative ack. For a tree member
+// that is the chain aggregate, not its own progress — an acting head
+// answering a probe with its own (possibly complete) progress would
+// mask a dead chain member at the sender's acknowledgment minimum and
+// finish the session before the probe can eject it.
+func (r *Receiver) pongSeq(msgID uint32) uint32 {
+	if !r.active || r.msgID != msgID {
+		return 0
+	}
+	agg := r.next
+	if r.isTree && r.hasSucc && r.succAck < agg {
+		agg = r.succAck
+	}
+	return agg
+}
+
+// onEject applies a membership change announced by the sender:
+// membership is monotonic and outlives individual messages, so it is
+// processed regardless of session state.
+func (r *Receiver) onEject(rank NodeID) {
+	if rank < 1 || int(rank) > r.cfg.NumReceivers || r.deadPeers[rank] {
+		return
+	}
+	if rank == r.rank {
+		// We were declared dead (crashed from the group's view, or
+		// stalled long enough to be indistinguishable from it). Go
+		// quiet so the spliced membership is not confused by a ghost.
+		r.ejected = true
+		r.cancelNak()
+		return
+	}
+	r.deadPeers[rank] = true
+	if r.isTree {
+		r.relink()
+	}
+}
+
+// relink recomputes this node's chain links over the surviving
+// membership — the tree splice: the predecessor of an ejected node
+// adopts its successor.
+func (r *Receiver) relink() {
+	oldPred, oldSucc, oldHas := r.pred, r.succ, r.hasSucc
+	r.pred = r.tree.PredAlive(r.rank, r.deadPeers)
+	r.succ, r.hasSucc = r.tree.SuccAlive(r.rank, r.deadPeers)
+	if !r.active {
+		return
+	}
+	if r.hasSucc != oldHas || r.succ != oldSucc {
+		// Downstream changed: what we knew about the old successor's
+		// progress no longer bounds the new one. Reset and wait for the
+		// adopted successor to report (it will, because its predecessor
+		// changed too).
+		r.succAck = 0
+	}
+	if r.pred != oldPred {
+		// The new predecessor (possibly the sender) has never heard
+		// from us: forget what we last reported so our current
+		// aggregate goes out and its view of the chain resumes where
+		// the ejected node left it.
+		r.ackSent = 0
+	}
+	// Becoming the tail (aggregate = own progress) or gaining a new
+	// predecessor makes the aggregate reportable; otherwise this is a
+	// no-op thanks to the monotonic ackSent guard.
+	r.propagateTreeAck(false)
 }
 
 // onAllocReq handles phase 1 of the session: allocate the message buffer
@@ -385,7 +473,7 @@ func (r *Receiver) scheduleSuppressedNak() {
 	gen := r.nakGen
 	delay := time.Duration(r.rand.Float64() * float64(r.cfg.NakInterval))
 	r.nakTimer = r.env.SetTimer(delay, func() {
-		if gen != r.nakGen || !r.nakPending {
+		if gen != r.nakGen || !r.nakPending || r.ejected {
 			return
 		}
 		r.nakPending = false
@@ -424,5 +512,8 @@ func (r *Receiver) sendAck(to NodeID, cum uint32) {
 }
 
 func (r *Receiver) send(to NodeID, p *packet.Packet) {
+	if r.ejected {
+		return // a ghost stays quiet
+	}
 	r.env.Send(to, p)
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"rmcast/internal/packet"
@@ -19,6 +20,8 @@ type SenderStats struct {
 	NaksReceived    uint64 // NAK packets processed
 	Timeouts        uint64 // retransmission-timer firings
 	SuppressedNaks  uint64 // NAKs absorbed by the suppression interval
+	ProbesSent      uint64 // liveness pings sent during failure detection
+	Ejected         uint64 // receivers declared dead and ejected
 }
 
 type senderPhase int
@@ -81,6 +84,20 @@ type Sender struct {
 	paceTimer  TimerID
 	paceGen    uint64
 
+	// Failure-detection state (Config.MaxRetries > 0). dead and failed
+	// persist across messages: an ejected receiver stays out of the
+	// membership for the sender's lifetime.
+	dead       map[NodeID]bool
+	failed     []NodeID
+	failRounds int // consecutive timeout rounds without window progress
+	probing    bool
+	suspects   map[NodeID]bool
+	probeRound int
+	probeTimer TimerID
+	probeGen   uint64
+	dlTimer    TimerID
+	dlGen      uint64
+
 	stats SenderStats
 }
 
@@ -102,6 +119,7 @@ func NewSender(env Env, cfg Config, onDone func()) (*Sender, error) {
 		rtoMult:     1,
 		lastRetrans: -time.Hour,
 		lastResent:  make(map[uint32]time.Duration),
+		dead:        make(map[NodeID]bool),
 	}
 	if cfg.Protocol == ProtoTree {
 		s.tree = NewFlatTree(cfg.NumReceivers, cfg.TreeHeight)
@@ -119,6 +137,26 @@ func (s *Sender) Done() bool { return s.phase == phaseDone }
 // Config returns the normalized session configuration.
 func (s *Sender) Config() Config { return s.cfg }
 
+// Failed returns the receivers ejected from the membership so far, in
+// ejection order. The slice is shared; callers must not mutate it.
+func (s *Sender) Failed() []NodeID { return s.failed }
+
+// Alive reports whether rank is still part of the membership.
+func (s *Sender) Alive(rank NodeID) bool { return !s.dead[rank] }
+
+// Progress returns the acknowledged fraction of the current message in
+// [0,1]: 0 before and during allocation, 1 when done. Fault injectors
+// use it to trigger events at reproducible points of a transfer.
+func (s *Sender) Progress() float64 {
+	if s.phase == phaseDone {
+		return 1
+	}
+	if s.win == nil || s.count == 0 || s.phase == phaseIdle || s.phase == phaseAlloc {
+		return 0
+	}
+	return float64(s.win.Base) / float64(s.count)
+}
+
 // Start begins transferring msg. It panics if a transfer is already in
 // progress (sessions are sequential, as in the paper's experiments).
 func (s *Sender) Start(msg []byte) {
@@ -129,19 +167,23 @@ func (s *Sender) Start(msg []byte) {
 	s.msgID++
 	s.count = s.cfg.PacketCount(len(msg))
 	s.win = window.NewSender(s.cfg.WindowSize, s.count)
-	// The cumulative-ack minimum is tracked over chain heads for the
-	// tree protocol and over every receiver otherwise.
+	// The cumulative-ack minimum is tracked over the surviving chain
+	// heads for the tree protocol and over every surviving receiver
+	// otherwise (ejections persist across messages).
 	var peers []int
 	if s.isTree {
-		for _, h := range s.tree.Heads() {
-			peers = append(peers, int(h))
+		for c := 0; c < s.tree.NumChains(); c++ {
+			if h, ok := s.tree.HeadAlive(c, s.dead); ok {
+				peers = append(peers, int(h))
+			}
 		}
 	} else {
 		for r := 1; r <= s.cfg.NumReceivers; r++ {
-			peers = append(peers, r)
+			if !s.dead[NodeID(r)] {
+				peers = append(peers, r)
+			}
 		}
 	}
-	s.acks = window.NewMinTracker(peers)
 	s.allocOK = make(map[NodeID]bool, s.cfg.NumReceivers)
 	s.lastResent = make(map[uint32]time.Duration)
 	s.nextSendAt = 0
@@ -149,8 +191,38 @@ func (s *Sender) Start(msg []byte) {
 	s.paceTimer = 0
 	s.noProgress = 0
 	s.lastRetransBase = ^uint32(0)
+	s.failRounds = 0
+	s.endProbe()
+	if len(peers) == 0 {
+		// Every receiver is already dead: the transfer trivially
+		// completes for the (empty) survivor set.
+		s.acks = nil
+		s.phase = phaseDone
+		if s.onDone != nil {
+			s.onDone()
+		}
+		return
+	}
+	s.acks = window.NewMinTracker(peers)
 	s.phase = phaseAlloc
+	s.armDeadline()
 	s.sendAlloc()
+}
+
+// armDeadline starts the session deadline, if configured.
+func (s *Sender) armDeadline() {
+	s.dlGen++
+	if s.cfg.SessionDeadline <= 0 {
+		return
+	}
+	gen := s.dlGen
+	s.dlTimer = s.env.SetTimer(s.cfg.SessionDeadline, func() {
+		if gen != s.dlGen {
+			return
+		}
+		s.dlTimer = 0
+		s.onDeadline()
+	})
 }
 
 // sendAlloc multicasts the buffer-allocation request (Figure 6, phase 1)
@@ -167,6 +239,9 @@ func (s *Sender) sendAlloc() {
 
 // OnPacket dispatches an incoming control packet.
 func (s *Sender) OnPacket(from NodeID, p *packet.Packet) {
+	if s.dead[from] {
+		return // ejected peers no longer participate
+	}
 	if p.MsgID != s.msgID {
 		return // stale or future session
 	}
@@ -177,6 +252,8 @@ func (s *Sender) OnPacket(from NodeID, p *packet.Packet) {
 		s.onAck(from, p.Seq)
 	case packet.TypeNak:
 		s.onNak(from, p.Seq)
+	case packet.TypePong:
+		s.onPong(from, p.Seq)
 	}
 }
 
@@ -192,11 +269,32 @@ func (s *Sender) onAllocOK(from NodeID) {
 	}
 	s.allocOK[from] = true
 	s.rtoMult = 1
-	if len(s.allocOK) < s.cfg.NumReceivers {
+	s.failRounds = 0
+	s.exonerate(from)
+	s.maybeFinishAlloc()
+}
+
+// aliveReceivers counts the surviving membership.
+func (s *Sender) aliveReceivers() int {
+	return s.cfg.NumReceivers - len(s.dead)
+}
+
+// maybeFinishAlloc enters the data phase once every surviving receiver
+// has confirmed a buffer. The alloc timer is cancelled so it cannot
+// fire as a spurious data timeout.
+func (s *Sender) maybeFinishAlloc() {
+	if s.phase != phaseAlloc {
 		return
 	}
-	// Every receiver has a buffer: enter the data phase. The alloc
-	// timer is cancelled so it cannot fire as a spurious data timeout.
+	confirmed := 0
+	for r := range s.allocOK {
+		if !s.dead[r] {
+			confirmed++
+		}
+	}
+	if confirmed < s.aliveReceivers() {
+		return
+	}
 	s.phase = phaseData
 	s.cancelTimer()
 	s.pump()
@@ -220,6 +318,7 @@ func (s *Sender) onAck(from NodeID, cum uint32) {
 		// the window.
 		s.rtoMult = 1
 		s.noProgress = 0
+		s.failRounds = 0
 		for seq := range s.lastResent {
 			if seq < s.win.Base {
 				delete(s.lastResent, seq)
@@ -374,6 +473,12 @@ func (s *Sender) retransmit() {
 func (s *Sender) finish() {
 	s.phase = phaseDone
 	s.cancelTimer()
+	s.endProbe()
+	if s.dlTimer != 0 {
+		s.env.CancelTimer(s.dlTimer)
+		s.dlTimer = 0
+	}
+	s.dlGen++
 	if s.onDone != nil {
 		s.onDone()
 	}
@@ -407,6 +512,7 @@ func (s *Sender) onTimeout() {
 	if s.rtoMult < 64 {
 		s.rtoMult *= 2
 	}
+	s.noteNoProgress()
 	switch s.phase {
 	case phaseAlloc:
 		s.sendAlloc()
@@ -417,4 +523,300 @@ func (s *Sender) onTimeout() {
 			s.armTimer(s.cfg.RetransTimeout * s.rtoMult)
 		}
 	}
+}
+
+// --- receiver-failure detection -------------------------------------
+//
+// The paper's protocols free a buffer only when every receiver has
+// acknowledged it, so one crashed receiver pins the window minimum and
+// the sender retransmits forever. With Config.MaxRetries > 0 the sender
+// treats MaxRetries consecutive timeout rounds without window progress
+// as suspicion, identifies the peers holding the minimum (for the tree
+// protocol: every member of a stalled chain, since a mid-chain death
+// stalls its head's aggregate), and probes them with unicast pings. A
+// suspect that answers within ProbeRounds rounds is exonerated — its
+// pong carries its cumulative progress and doubles as lost-ack repair;
+// one that stays silent is ejected: removed from the acknowledgment
+// minimum, rotated out of scheduling, spliced out of its tree chain
+// (announced to the group so the predecessor adopts the successor), and
+// reported in Failed.
+
+// noteNoProgress advances the suspicion counter on a timeout round and
+// opens a probe once it crosses MaxRetries.
+func (s *Sender) noteNoProgress() {
+	if s.cfg.MaxRetries <= 0 || s.probing {
+		return
+	}
+	s.failRounds++
+	if s.failRounds < s.cfg.MaxRetries {
+		return
+	}
+	s.beginProbe(s.currentSuspects())
+}
+
+// currentSuspects returns the peers that could be responsible for the
+// current stall, sorted for deterministic probing.
+func (s *Sender) currentSuspects() []NodeID {
+	var out []NodeID
+	switch s.phase {
+	case phaseAlloc:
+		// Whoever has not confirmed a buffer is suspect.
+		for r := 1; r <= s.cfg.NumReceivers; r++ {
+			id := NodeID(r)
+			if !s.dead[id] && !s.allocOK[id] {
+				out = append(out, id)
+			}
+		}
+	case phaseData:
+		// The peers holding the acknowledgment minimum block the window.
+		min := s.acks.Min()
+		for r := 1; r <= s.cfg.NumReceivers; r++ {
+			id := NodeID(r)
+			if s.dead[id] {
+				continue
+			}
+			if v, tracked := s.acks.Value(int(id)); tracked && v == min {
+				if s.isTree {
+					// A stalled head aggregate implicates its whole
+					// chain: any member may be the dead one.
+					for _, m := range s.tree.Members(s.tree.Chain(id)) {
+						if !s.dead[m] {
+							out = append(out, m)
+						}
+					}
+				} else {
+					out = append(out, id)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// beginProbe starts pinging the suspects.
+func (s *Sender) beginProbe(suspects []NodeID) {
+	if s.probing || len(suspects) == 0 {
+		return
+	}
+	s.probing = true
+	s.probeRound = 0
+	s.suspects = make(map[NodeID]bool, len(suspects))
+	for _, r := range suspects {
+		s.suspects[r] = true
+	}
+	s.sendProbes()
+}
+
+func (s *Sender) sendProbes() {
+	for _, r := range s.sortedSuspects() {
+		s.stats.ProbesSent++
+		s.env.Send(r, &packet.Packet{Type: packet.TypePing, MsgID: s.msgID})
+	}
+	s.probeGen++
+	gen := s.probeGen
+	s.probeTimer = s.env.SetTimer(s.cfg.RetransTimeout, func() {
+		if gen != s.probeGen {
+			return
+		}
+		s.probeTimer = 0
+		s.onProbeTimeout()
+	})
+}
+
+func (s *Sender) sortedSuspects() []NodeID {
+	out := make([]NodeID, 0, len(s.suspects))
+	for r := range s.suspects {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// exonerate clears a suspect that proved itself alive.
+func (s *Sender) exonerate(from NodeID) {
+	if !s.probing || !s.suspects[from] {
+		return
+	}
+	delete(s.suspects, from)
+	if len(s.suspects) == 0 {
+		// Everyone answered: the stall was slowness or loss, not death.
+		s.endProbe()
+	}
+}
+
+// endProbe abandons a probe in flight (all suspects exonerated, session
+// finished, or a new Start).
+func (s *Sender) endProbe() {
+	s.probing = false
+	s.failRounds = 0
+	s.suspects = nil
+	if s.probeTimer != 0 {
+		s.env.CancelTimer(s.probeTimer)
+		s.probeTimer = 0
+	}
+	s.probeGen++
+}
+
+func (s *Sender) onProbeTimeout() {
+	if !s.probing {
+		return
+	}
+	if len(s.suspects) == 0 {
+		s.endProbe()
+		return
+	}
+	s.probeRound++
+	if s.probeRound < ProbeRounds {
+		s.sendProbes()
+		return
+	}
+	// The remaining suspects never answered: eject them.
+	silent := s.sortedSuspects()
+	s.endProbe()
+	for _, r := range silent {
+		s.eject(r, true)
+	}
+	s.afterEject()
+}
+
+// onPong handles a probe answer: the peer is alive, and its reported
+// progress doubles as a (possibly lost) cumulative acknowledgment.
+func (s *Sender) onPong(from NodeID, cum uint32) {
+	s.exonerate(from)
+	if s.phase == phaseData {
+		s.onAck(from, cum)
+	}
+}
+
+// DeclareDead ejects rank from the membership on external evidence —
+// the live transport's hello-heartbeat expiry, an operator decision —
+// bypassing the probe exchange. Safe to call in any phase; a no-op for
+// already-ejected or out-of-range ranks.
+func (s *Sender) DeclareDead(rank NodeID) {
+	if rank < 1 || int(rank) > s.cfg.NumReceivers || s.dead[rank] {
+		return
+	}
+	s.eject(rank, true)
+	s.afterEject()
+}
+
+// eject removes rank from every structure that waits on it: the
+// acknowledgment minimum (directly, or via its chain head for the tree
+// protocol), the allocation roll call, and — when announce is set — the
+// group's view of the membership, so tree receivers splice their chains
+// around it (predecessor adopts successor).
+func (s *Sender) eject(rank NodeID, announce bool) {
+	if rank < 1 || int(rank) > s.cfg.NumReceivers || s.dead[rank] {
+		return
+	}
+	s.dead[rank] = true
+	s.failed = append(s.failed, rank)
+	s.stats.Ejected++
+	if s.probing {
+		delete(s.suspects, rank)
+	}
+	if announce {
+		s.env.Multicast(&packet.Packet{Type: packet.TypeEject, MsgID: s.msgID, Aux: uint32(rank)})
+	}
+	if s.acks == nil {
+		return
+	}
+	if s.isTree {
+		// Only an acting chain head is tracked. If rank was one, the
+		// next surviving member inherits the acknowledgment stream,
+		// seeded with the head's last reported aggregate (a lower bound
+		// on every surviving member's progress, so monotonicity holds).
+		if v, tracked := s.acks.Value(int(rank)); tracked {
+			s.acks.Remove(int(rank))
+			if nh, ok := s.tree.HeadAlive(s.tree.Chain(rank), s.dead); ok {
+				s.acks.Add(int(nh), v)
+			}
+		}
+	} else {
+		s.acks.Remove(int(rank))
+	}
+}
+
+// afterEject resumes the session around the new membership: the alloc
+// roll call may now be complete, the window minimum may have jumped, and
+// survivors owe acknowledgments that only a retransmission round will
+// provoke again.
+func (s *Sender) afterEject() {
+	switch s.phase {
+	case phaseAlloc:
+		if s.acks.Peers() == 0 || s.aliveReceivers() == 0 {
+			s.finish()
+			return
+		}
+		s.maybeFinishAlloc()
+		if s.phase == phaseData {
+			return
+		}
+		// Still waiting on someone: restart the handshake without the
+		// accumulated backoff.
+		s.rtoMult = 1
+		s.sendAlloc()
+	case phaseData:
+		if s.acks.Peers() == 0 {
+			s.finish()
+			return
+		}
+		if s.win.Ack(s.acks.Min()) && s.win.Done() {
+			s.finish()
+			return
+		}
+		// Re-offer the outstanding window immediately (bypassing the
+		// suppression interval: this is a membership change, not a NAK
+		// burst) so survivors re-acknowledge and the transfer resumes.
+		s.rtoMult = 1
+		s.noProgress = 0
+		s.lastRetrans = s.env.Now()
+		s.lastRetransBase = s.win.Base
+		for seq := s.win.Base; seq < s.win.Next; seq++ {
+			s.sendData(seq, true)
+		}
+		s.pump()
+		s.armTimer(s.cfg.RetransTimeout)
+	}
+}
+
+// onDeadline terminates the session at Config.SessionDeadline: every
+// receiver the sender cannot prove complete is marked failed (without
+// the eject announcement — the session is over) and the transfer ends
+// with whatever the survivors hold.
+func (s *Sender) onDeadline() {
+	if s.phase == phaseIdle || s.phase == phaseDone {
+		return
+	}
+	for r := 1; r <= s.cfg.NumReceivers; r++ {
+		id := NodeID(r)
+		if s.dead[id] || s.peerComplete(id) {
+			continue
+		}
+		s.dead[id] = true
+		s.failed = append(s.failed, id)
+		s.stats.Ejected++
+	}
+	s.finish()
+}
+
+// peerComplete reports whether the sender can prove rank has
+// acknowledged the whole message.
+func (s *Sender) peerComplete(rank NodeID) bool {
+	if s.phase != phaseData || s.acks == nil {
+		return false
+	}
+	tracked := rank
+	if s.isTree {
+		// A chain member is proven complete only through its acting
+		// head's aggregate.
+		h, ok := s.tree.HeadAlive(s.tree.Chain(rank), s.dead)
+		if !ok {
+			return false
+		}
+		tracked = h
+	}
+	v, ok := s.acks.Value(int(tracked))
+	return ok && v >= s.count
 }

@@ -1,0 +1,259 @@
+// Package faults defines declarative, deterministic fault schedules for
+// the simulated testbed: receiver crashes, stall/resume windows, link
+// flaps, and burst-loss windows, each triggered either at an absolute
+// virtual time or at a reproducible point of the transfer (the fraction
+// of the message the sender has seen acknowledged).
+//
+// A schedule is pure data; internal/cluster applies it to a run by
+// gating the affected host's attachment to the medium. Because both the
+// simulator and the triggers are deterministic, a fault schedule turns
+// any benchmark topology into a reproducible chaos scenario.
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Kind is the failure mode of one fault event.
+type Kind int
+
+const (
+	// Crash silences a receiver permanently: from the trigger on, no
+	// frame leaves or reaches it. The process is gone.
+	Crash Kind = iota
+	// Stall pauses a receiver's sending for Dur: frames still reach it
+	// (a SIGSTOP'd process whose kernel keeps receiving) but nothing —
+	// acknowledgments included — leaves. It resumes afterwards, unless
+	// the membership ejected it meanwhile.
+	Stall
+	// Flap takes the receiver's link down for Dur: frames are lost in
+	// both directions, as if the cable were pulled and replugged.
+	Flap
+	// Burst opens a loss window on every switch output: for Dur, each
+	// frame is independently dropped with probability Rate. Node is
+	// ignored.
+	Burst
+)
+
+var kindNames = [...]string{"crash", "stall", "flap", "burst"}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// ParseKind converts a kind name to its Kind value.
+func ParseKind(s string) (Kind, error) {
+	for i, n := range kindNames {
+		if n == s {
+			return Kind(i), nil
+		}
+	}
+	return 0, fmt.Errorf("faults: unknown fault kind %q", s)
+}
+
+// Event is one scheduled fault.
+type Event struct {
+	Kind Kind
+	// Node is the afflicted receiver rank (1..NumReceivers). Ignored
+	// for Burst events.
+	Node int
+	// The trigger: At is an absolute virtual time, used when ByProgress
+	// is false. When ByProgress is true the event fires as soon as the
+	// sender has seen the fraction Progress of the message acknowledged
+	// — 0 fires before the allocation handshake completes, 0.5 halfway,
+	// 0.99 at the last packets. Progress triggers are protocol-agnostic
+	// and survive retuning of timeouts, which absolute times do not.
+	At         time.Duration
+	Progress   float64
+	ByProgress bool
+	// Dur is the length of a Stall, Flap, or Burst window.
+	Dur time.Duration
+	// Rate is the Burst drop probability in (0,1].
+	Rate float64
+}
+
+// String renders the event in the Parse grammar.
+func (e Event) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%v:", e.Kind)
+	if e.Kind == Burst {
+		b.WriteString("*")
+	} else {
+		fmt.Fprintf(&b, "%d", e.Node)
+	}
+	b.WriteString("@")
+	if e.ByProgress {
+		fmt.Fprintf(&b, "%g", e.Progress)
+	} else {
+		fmt.Fprintf(&b, "%v", e.At)
+	}
+	if e.Kind != Crash {
+		fmt.Fprintf(&b, "+%v", e.Dur)
+	}
+	if e.Kind == Burst {
+		fmt.Fprintf(&b, ":%g", e.Rate)
+	}
+	return b.String()
+}
+
+// Schedule is an ordered set of fault events.
+type Schedule struct {
+	Events []Event
+}
+
+// Crashed returns the ranks with a Crash event, ascending.
+func (s *Schedule) Crashed() []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, e := range s.Events {
+		if e.Kind == Crash && !seen[e.Node] {
+			seen[e.Node] = true
+			out = append(out, e.Node)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// HasBurst reports whether the schedule contains burst-loss windows.
+func (s *Schedule) HasBurst() bool {
+	for _, e := range s.Events {
+		if e.Kind == Burst {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the schedule in the Parse grammar.
+func (s *Schedule) String() string {
+	parts := make([]string, len(s.Events))
+	for i, e := range s.Events {
+		parts[i] = e.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+// Validate checks every event against the group size.
+func (s *Schedule) Validate(numReceivers int) error {
+	for _, e := range s.Events {
+		if e.Kind < Crash || e.Kind > Burst {
+			return fmt.Errorf("faults: invalid kind in %v", e)
+		}
+		if e.Kind != Burst && (e.Node < 1 || e.Node > numReceivers) {
+			return fmt.Errorf("faults: %v: rank out of range [1,%d]", e, numReceivers)
+		}
+		if e.ByProgress {
+			if e.Progress < 0 || e.Progress > 1 {
+				return fmt.Errorf("faults: %v: progress out of range [0,1]", e)
+			}
+		} else if e.At < 0 {
+			return fmt.Errorf("faults: %v: negative trigger time", e)
+		}
+		if e.Kind != Crash && e.Dur <= 0 {
+			return fmt.Errorf("faults: %v: %v events need a positive window (+dur)", e, e.Kind)
+		}
+		if e.Kind == Burst && (e.Rate <= 0 || e.Rate > 1) {
+			return fmt.Errorf("faults: %v: burst rate out of range (0,1]", e)
+		}
+	}
+	return nil
+}
+
+// Parse builds a schedule from a comma-separated spec. Each event is
+//
+//	kind:node@when[+dur][:rate]
+//
+// where kind is crash|stall|flap|burst, node is a receiver rank (or *
+// for burst), and when is either a duration of virtual time ("150ms")
+// or a unitless fraction of transfer progress ("0.5" = once half the
+// message is acknowledged, "0" = before the session starts moving).
+// Stall, flap, and burst take a window length after "+"; burst takes a
+// drop probability after a final ":". Examples:
+//
+//	crash:7@0.5              receiver 7 dies halfway through
+//	crash:3@0                receiver 3 is dead before allocation
+//	stall:2@10ms+40ms        receiver 2 freezes at t=10ms for 40ms
+//	flap:5@0.25+2ms          receiver 5's link drops for 2ms at 25%
+//	burst:*@0.5+3ms:0.3      every link drops 30% of frames for 3ms
+func Parse(spec string) (*Schedule, error) {
+	s := &Schedule{}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		ev, err := parseEvent(part)
+		if err != nil {
+			return nil, err
+		}
+		s.Events = append(s.Events, ev)
+	}
+	if len(s.Events) == 0 {
+		return nil, fmt.Errorf("faults: empty schedule %q", spec)
+	}
+	return s, nil
+}
+
+func parseEvent(part string) (Event, error) {
+	var ev Event
+	kindStr, rest, ok := strings.Cut(part, ":")
+	if !ok {
+		return ev, fmt.Errorf("faults: %q: want kind:node@when", part)
+	}
+	kind, err := ParseKind(kindStr)
+	if err != nil {
+		return ev, err
+	}
+	ev.Kind = kind
+	if kind == Burst {
+		// The drop rate rides after the last colon.
+		i := strings.LastIndex(rest, ":")
+		if i < 0 {
+			return ev, fmt.Errorf("faults: %q: burst needs a :rate suffix", part)
+		}
+		if ev.Rate, err = strconv.ParseFloat(rest[i+1:], 64); err != nil {
+			return ev, fmt.Errorf("faults: %q: bad burst rate: %w", part, err)
+		}
+		rest = rest[:i]
+	}
+	nodeStr, when, ok := strings.Cut(rest, "@")
+	if !ok {
+		return ev, fmt.Errorf("faults: %q: missing @when trigger", part)
+	}
+	if kind == Burst {
+		if nodeStr != "*" && nodeStr != "" {
+			return ev, fmt.Errorf("faults: %q: burst afflicts every link; use * as the node", part)
+		}
+	} else if ev.Node, err = strconv.Atoi(nodeStr); err != nil {
+		return ev, fmt.Errorf("faults: %q: bad rank %q", part, nodeStr)
+	}
+	if whenStr, durStr, hasDur := strings.Cut(when, "+"); hasDur {
+		if kind == Crash {
+			return ev, fmt.Errorf("faults: %q: crash is permanent; no +dur", part)
+		}
+		if ev.Dur, err = time.ParseDuration(durStr); err != nil {
+			return ev, fmt.Errorf("faults: %q: bad window %q: %w", part, durStr, err)
+		}
+		when = whenStr
+	} else if kind != Crash {
+		return ev, fmt.Errorf("faults: %q: %v needs a +dur window", part, kind)
+	}
+	if strings.IndexFunc(when, func(r rune) bool { return r != '.' && (r < '0' || r > '9') }) < 0 {
+		// Pure number: a progress fraction.
+		if ev.Progress, err = strconv.ParseFloat(when, 64); err != nil {
+			return ev, fmt.Errorf("faults: %q: bad trigger %q: %w", part, when, err)
+		}
+		ev.ByProgress = true
+	} else if ev.At, err = time.ParseDuration(when); err != nil {
+		return ev, fmt.Errorf("faults: %q: bad trigger %q: %w", part, when, err)
+	}
+	return ev, nil
+}

@@ -1,0 +1,143 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseCrashProgress(t *testing.T) {
+	s, err := Parse("crash:7@0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Events) != 1 {
+		t.Fatalf("got %d events", len(s.Events))
+	}
+	e := s.Events[0]
+	if e.Kind != Crash || e.Node != 7 || !e.ByProgress || e.Progress != 0.5 {
+		t.Fatalf("bad event %+v", e)
+	}
+	if got := s.String(); got != "crash:7@0.5" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestParseCrashAtTime(t *testing.T) {
+	s, err := Parse("crash:3@150ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := s.Events[0]
+	if e.ByProgress || e.At != 150*time.Millisecond {
+		t.Fatalf("bad event %+v", e)
+	}
+}
+
+func TestParseZeroProgress(t *testing.T) {
+	s, err := Parse("crash:1@0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := s.Events[0]; !e.ByProgress || e.Progress != 0 {
+		t.Fatalf("bad event %+v", e)
+	}
+}
+
+func TestParseStallFlapBurst(t *testing.T) {
+	s, err := Parse("stall:2@10ms+40ms, flap:5@0.25+2ms, burst:*@0.5+3ms:0.3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Events) != 3 {
+		t.Fatalf("got %d events", len(s.Events))
+	}
+	st := s.Events[0]
+	if st.Kind != Stall || st.Node != 2 || st.ByProgress || st.At != 10*time.Millisecond || st.Dur != 40*time.Millisecond {
+		t.Fatalf("bad stall %+v", st)
+	}
+	fl := s.Events[1]
+	if fl.Kind != Flap || fl.Node != 5 || !fl.ByProgress || fl.Progress != 0.25 || fl.Dur != 2*time.Millisecond {
+		t.Fatalf("bad flap %+v", fl)
+	}
+	bu := s.Events[2]
+	if bu.Kind != Burst || !bu.ByProgress || bu.Progress != 0.5 || bu.Dur != 3*time.Millisecond || bu.Rate != 0.3 {
+		t.Fatalf("bad burst %+v", bu)
+	}
+	if !s.HasBurst() {
+		t.Fatal("HasBurst() = false")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, spec := range []string{
+		"",
+		"nonsense:1@0",
+		"crash:1",             // no trigger
+		"crash:x@0",           // bad rank
+		"crash:1@0.5+10ms",    // crash takes no window
+		"stall:1@0.5",         // stall needs a window
+		"flap:1@0.5",          // flap needs a window
+		"burst:*@0.5+1ms",     // burst needs a rate
+		"burst:3@0.5+1ms:0.2", // burst takes *
+		"crash:1@zz",
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", spec)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	ok, err := Parse("crash:4@0.5,stall:1@1ms+1ms,burst:*@0+1ms:0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ok.Validate(4); err != nil {
+		t.Fatalf("Validate(4): %v", err)
+	}
+	if err := ok.Validate(3); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("Validate(3) = %v, want rank error", err)
+	}
+	bad := &Schedule{Events: []Event{{Kind: Crash, Node: 1, ByProgress: true, Progress: 1.5}}}
+	if err := bad.Validate(2); err == nil {
+		t.Fatal("want progress range error")
+	}
+	bad = &Schedule{Events: []Event{{Kind: Burst, Dur: time.Millisecond, Rate: 1.5}}}
+	if err := bad.Validate(2); err == nil {
+		t.Fatal("want rate range error")
+	}
+}
+
+func TestCrashed(t *testing.T) {
+	s, err := Parse("crash:5@0.5,crash:2@0,crash:5@0.9,stall:1@1ms+1ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := s.Crashed()
+	if len(got) != 2 || got[0] != 2 || got[1] != 5 {
+		t.Fatalf("Crashed() = %v", got)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, spec := range []string{
+		"crash:7@0.5",
+		"stall:2@10ms+40ms",
+		"flap:5@0.25+2ms",
+		"burst:*@0.5+3ms:0.3",
+		"crash:1@0,crash:2@0.9",
+	} {
+		s, err := Parse(spec)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", spec, err)
+		}
+		s2, err := Parse(s.String())
+		if err != nil {
+			t.Fatalf("re-Parse(%q): %v", s.String(), err)
+		}
+		if s.String() != s2.String() {
+			t.Fatalf("round trip %q -> %q", s.String(), s2.String())
+		}
+	}
+}

@@ -39,7 +39,14 @@ type Config struct {
 	// must match across all nodes.
 	Protocol core.Config
 	// HelloInterval is the discovery announcement period (default 200ms).
+	// Hellos double as liveness heartbeats once a transfer is running.
 	HelloInterval time.Duration
+	// PeerTimeout is how long the sender tolerates total silence from a
+	// receiver (no hello, no acknowledgment) before declaring it dead
+	// and ejecting it from the session — the live counterpart of the
+	// simulator's probe-based failure detection. Only acted on when
+	// Protocol.MaxRetries > 0; default 5×HelloInterval.
+	PeerTimeout time.Duration
 	// ReadBuffer sizes the sockets' kernel receive buffers (default 1 MB).
 	ReadBuffer int
 	// DropSend, when non-nil, discards outgoing packets for which it
@@ -63,6 +70,7 @@ type Node struct {
 
 	// Everything below is owned by the event loop goroutine.
 	addrs     map[core.NodeID]*net.UDPAddr
+	lastSeen  map[core.NodeID]time.Time
 	ep        core.Endpoint
 	timers    map[core.TimerID]*time.Timer
 	nextTimer core.TimerID
@@ -95,6 +103,9 @@ func NewNode(cfg Config) (*Node, error) {
 	if cfg.HelloInterval == 0 {
 		cfg.HelloInterval = 200 * time.Millisecond
 	}
+	if cfg.PeerTimeout == 0 {
+		cfg.PeerTimeout = 5 * cfg.HelloInterval
+	}
 	if cfg.ReadBuffer == 0 {
 		cfg.ReadBuffer = 1 << 20
 	}
@@ -125,16 +136,17 @@ func NewNode(cfg Config) (*Node, error) {
 	_ = uconn.SetReadBuffer(cfg.ReadBuffer)
 
 	n := &Node{
-		cfg:     cfg,
-		group:   group,
-		mconn:   mconn,
-		uconn:   uconn,
-		loop:    make(chan func(), 1024),
-		closing: make(chan struct{}),
-		start:   time.Now(),
-		addrs:   make(map[core.NodeID]*net.UDPAddr),
-		timers:  make(map[core.TimerID]*time.Timer),
-		recvQ:   make(chan []byte, 16),
+		cfg:      cfg,
+		group:    group,
+		mconn:    mconn,
+		uconn:    uconn,
+		loop:     make(chan func(), 1024),
+		closing:  make(chan struct{}),
+		start:    time.Now(),
+		addrs:    make(map[core.NodeID]*net.UDPAddr),
+		lastSeen: make(map[core.NodeID]time.Time),
+		timers:   make(map[core.TimerID]*time.Timer),
+		recvQ:    make(chan []byte, 16),
 	}
 	if cfg.Rank != core.SenderID {
 		rcv, err := core.NewReceiver(n.env(), cfg.Protocol, cfg.Rank, func(msg []byte) {
@@ -256,8 +268,10 @@ func (n *Node) onWire(wire []byte, src *net.UDPAddr) {
 	if int(from) > n.cfg.Protocol.NumReceivers {
 		return
 	}
-	// Every packet teaches us its sender's unicast address.
+	// Every packet teaches us its sender's unicast address and proves
+	// the peer alive.
 	n.learn(from, src)
+	n.lastSeen[from] = time.Now()
 	switch p.Type {
 	case packet.TypeHello:
 		// Learning was the point; answer new peers promptly so
@@ -289,23 +303,48 @@ func (n *Node) learn(id core.NodeID, addr *net.UDPAddr) {
 	}
 }
 
-// helloTicker announces this node until the process closes.
+// helloTicker announces this node until the process closes. Each tick
+// also sweeps the heartbeat table for expired peers.
 func (n *Node) helloTicker() {
 	n.post(func() { n.sendHello(true) })
-	t := time.AfterFunc(n.cfg.HelloInterval, func() {})
-	t.Stop()
 	go func() {
 		tick := time.NewTicker(n.cfg.HelloInterval)
 		defer tick.Stop()
 		for {
 			select {
 			case <-tick.C:
-				n.post(func() { n.sendHello(true) })
+				n.post(func() {
+					n.sendHello(true)
+					n.checkPeers()
+				})
 			case <-n.closing:
 				return
 			}
 		}
 	}()
+}
+
+// checkPeers expires silent receivers (event loop, sender only): a
+// receiver not heard from for PeerTimeout while a transfer is in
+// flight is declared dead and ejected from the session. Hellos arrive
+// every HelloInterval from a healthy peer regardless of its role in
+// the protocol, so silence that long means the process or its network
+// is gone.
+func (n *Node) checkPeers() {
+	if n.snd == nil || !n.sending || n.cfg.Protocol.MaxRetries == 0 {
+		return
+	}
+	now := time.Now()
+	for r := 1; r <= n.cfg.Protocol.NumReceivers; r++ {
+		id := core.NodeID(r)
+		seen, ok := n.lastSeen[id]
+		if !ok || !n.snd.Alive(id) {
+			continue
+		}
+		if now.Sub(seen) > n.cfg.PeerTimeout {
+			n.snd.DeclareDead(id)
+		}
+	}
 }
 
 // sendHello multicasts a discovery announcement. wantReply asks peers
@@ -343,8 +382,11 @@ func (n *Node) WaitReady(ctx context.Context, peers int) error {
 
 // Send multicasts msg reliably to every receiver. Only rank 0 may call
 // it, one transfer at a time. It waits for discovery of all receivers,
-// runs the session, and returns when every receiver has acknowledged
-// the full message.
+// runs the session, and returns when every surviving receiver has
+// acknowledged the full message. If failure detection ejected receivers
+// along the way (Protocol.MaxRetries > 0 and a peer fell silent past
+// PeerTimeout), the transfer still completes for the survivors and Send
+// returns a *core.PartialResult error naming both sets.
 func (n *Node) Send(ctx context.Context, msg []byte) error {
 	if n.cfg.Rank != core.SenderID {
 		return fmt.Errorf("live: Send on rank %d (only rank 0 sends)", n.cfg.Rank)
@@ -354,6 +396,7 @@ func (n *Node) Send(ctx context.Context, msg []byte) error {
 	}
 	done := make(chan struct{})
 	errCh := make(chan error, 1)
+	var partial *core.PartialResult // written on the event loop before done closes
 	n.post(func() {
 		if n.sending {
 			errCh <- errors.New("live: a Send is already in progress")
@@ -374,13 +417,27 @@ func (n *Node) Send(ctx context.Context, msg []byte) error {
 			n.ep = snd
 		}
 		n.sending = true
-		n.sendDone = func() { close(done) }
+		n.sendDone = func() {
+			if failed := n.snd.Failed(); len(failed) > 0 {
+				pr := &core.PartialResult{Failed: append([]core.NodeID(nil), failed...)}
+				for r := 1; r <= n.cfg.Protocol.NumReceivers; r++ {
+					if n.snd.Alive(core.NodeID(r)) {
+						pr.Delivered = append(pr.Delivered, core.NodeID(r))
+					}
+				}
+				partial = pr
+			}
+			close(done)
+		}
 		n.snd.Start(msg)
 	})
 	select {
 	case err := <-errCh:
 		return err
 	case <-done:
+		if partial != nil {
+			return partial
+		}
 		return nil
 	case <-ctx.Done():
 		// Abandon the session: the next Send will fail until the

@@ -3,6 +3,7 @@ package live
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -282,4 +283,78 @@ func TestLiveRecoversFromLoss(t *testing.T) {
 	if dropped.Load() == 0 {
 		t.Error("loss injection never fired; the test proved nothing")
 	}
+}
+
+// TestLiveReceiverCrashEjected kills one receiver process after
+// discovery and expects the hello-heartbeat expiry to eject it: the
+// transfer completes for the survivors and Send reports the partial
+// delivery as a structured error.
+func TestLiveReceiverCrashEjected(t *testing.T) {
+	multicastAvailable(t)
+	group := testGroup()
+	pcfg := core.Config{
+		Protocol:       core.ProtoACK,
+		NumReceivers:   3,
+		PacketSize:     1200,
+		WindowSize:     8,
+		RetransTimeout: 50 * time.Millisecond,
+		MaxRetries:     3,
+	}
+	mk := func(rank core.NodeID) *Node {
+		n, err := NewNode(Config{
+			Group:         group,
+			Rank:          rank,
+			Protocol:      pcfg,
+			HelloInterval: 20 * time.Millisecond,
+			PeerTimeout:   150 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { n.Close() })
+		return n
+	}
+	sender := mk(0)
+	var receivers []*Node
+	for r := 1; r <= 3; r++ {
+		receivers = append(receivers, mk(core.NodeID(r)))
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := sender.WaitReady(ctx, 3); err != nil {
+		t.Fatal(err)
+	}
+
+	msg := livePattern(40000)
+	var wg sync.WaitGroup
+	for _, rn := range []*Node{receivers[0], receivers[2]} {
+		rn := rn
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, err := rn.Recv(ctx)
+			if err != nil || !bytes.Equal(got, msg) {
+				t.Errorf("survivor %d: bad delivery (err=%v)", rn.Rank(), err)
+			}
+		}()
+	}
+	// Rank 2 dies before the transfer: its sockets close, its hellos
+	// stop, and the sender must notice within PeerTimeout.
+	receivers[1].Close()
+
+	err := sender.Send(ctx, msg)
+	if err == nil {
+		t.Fatal("Send succeeded; want a partial-delivery error")
+	}
+	var pr *core.PartialResult
+	if !errors.As(err, &pr) {
+		t.Fatalf("Send error is %T (%v), want *core.PartialResult", err, err)
+	}
+	if len(pr.Failed) != 1 || pr.Failed[0] != 2 {
+		t.Fatalf("Failed = %v, want [2]", pr.Failed)
+	}
+	if len(pr.Delivered) != 2 {
+		t.Fatalf("Delivered = %v, want the two survivors", pr.Delivered)
+	}
+	wg.Wait()
 }

@@ -30,9 +30,21 @@ const (
 	// node's rank so peers can map UDP source addresses to ranks. The
 	// simulator does not use it (addresses are ranks there).
 	TypeHello
+	// TypePing is a liveness probe from the sender to a suspect
+	// receiver during failure detection.
+	TypePing
+	// TypePong answers a ping: Seq carries the receiver's cumulative
+	// progress (its next expected sequence), so a probe doubles as
+	// lost-acknowledgment repair.
+	TypePong
+	// TypeEject announces a membership change: Aux carries the rank the
+	// sender has declared dead. Tree receivers splice their chains
+	// around it; the ejected node, if merely stalled, goes quiet.
+	TypeEject
 )
 
-var typeNames = [...]string{"invalid", "alloc-req", "alloc-ok", "data", "ack", "nak", "hello"}
+var typeNames = [...]string{"invalid", "alloc-req", "alloc-ok", "data", "ack", "nak", "hello",
+	"ping", "pong", "eject"}
 
 func (t Type) String() string {
 	if int(t) < len(typeNames) {
@@ -42,7 +54,7 @@ func (t Type) String() string {
 }
 
 // Valid reports whether t is a known packet type.
-func (t Type) Valid() bool { return t > TypeInvalid && t <= TypeHello }
+func (t Type) Valid() bool { return t > TypeInvalid && t <= TypeEject }
 
 // Flags annotate data packets.
 type Flags uint8

@@ -131,6 +131,36 @@ func (m *MinTracker) Value(peer int) (uint32, bool) {
 	return v, ok
 }
 
+// Remove drops peer from the tracked set (membership ejection). It
+// reports whether the peer was tracked. Removing the peer that held the
+// minimum lets the minimum advance; the caller must handle the tracker
+// becoming empty (Peers() == 0), which means no acknowledgment is owed
+// by anyone.
+func (m *MinTracker) Remove(peer int) bool {
+	old, ok := m.vals[peer]
+	if !ok {
+		return false
+	}
+	delete(m.vals, peer)
+	if old == m.min {
+		m.ok = false // the floor may have been held by the removed peer
+	}
+	return true
+}
+
+// Add starts tracking peer at cumulative value v — used when a tree
+// chain head is ejected and the next surviving chain member takes over
+// its acknowledgment stream. v must lower-bound the new peer's true
+// progress so monotonicity is preserved; the ejected head's last
+// reported aggregate qualifies (a chain's aggregate only grows when a
+// member is removed from the minimum).
+func (m *MinTracker) Add(peer int, v uint32) {
+	m.vals[peer] = v
+	if v < m.min {
+		m.min = v
+	}
+}
+
 // Min returns the minimum cumulative value across all peers.
 func (m *MinTracker) Min() uint32 {
 	if m.ok {

@@ -211,3 +211,54 @@ func TestMinTrackerQuick(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestMinTrackerRemove(t *testing.T) {
+	m := NewMinTracker([]int{1, 2, 3})
+	m.Update(1, 5)
+	m.Update(2, 2)
+	m.Update(3, 7)
+	if m.Min() != 2 {
+		t.Fatalf("Min = %d, want 2", m.Min())
+	}
+	// Removing the floor peer must raise the min.
+	if !m.Remove(2) {
+		t.Fatal("Remove(2) = false for a tracked peer")
+	}
+	if m.Min() != 5 {
+		t.Errorf("Min = %d after removing the floor, want 5", m.Min())
+	}
+	if m.Peers() != 2 {
+		t.Errorf("Peers = %d, want 2", m.Peers())
+	}
+	// Removing a non-floor peer leaves the min alone.
+	m.Remove(3)
+	if m.Min() != 5 {
+		t.Errorf("Min = %d, want 5", m.Min())
+	}
+	if m.Remove(3) {
+		t.Error("Remove of an already-removed peer reported true")
+	}
+	if _, ok := m.Value(2); ok {
+		t.Error("removed peer still tracked")
+	}
+}
+
+func TestMinTrackerAdd(t *testing.T) {
+	m := NewMinTracker([]int{1, 2})
+	m.Update(1, 8)
+	m.Update(2, 6)
+	// A chain-head takeover: peer 2 dies, peer 9 inherits its stream
+	// seeded with the dead head's last aggregate.
+	m.Remove(2)
+	m.Add(9, 6)
+	if m.Min() != 6 {
+		t.Errorf("Min = %d, want 6", m.Min())
+	}
+	m.Update(9, 12)
+	if m.Min() != 8 {
+		t.Errorf("Min = %d, want 8", m.Min())
+	}
+	if v, ok := m.Value(9); !ok || v != 12 {
+		t.Errorf("Value(9) = %d,%v", v, ok)
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"rmcast/internal/cluster"
 	"rmcast/internal/core"
 	"rmcast/internal/exp"
+	"rmcast/internal/faults"
 	"rmcast/internal/live"
 	"rmcast/internal/order"
 	"rmcast/internal/unicast"
@@ -90,6 +91,36 @@ func DefaultSim(n int) SimConfig { return cluster.Default(n) }
 func Simulate(sim SimConfig, cfg Config, size int) (*SimResult, error) {
 	return cluster.Run(sim, cfg, size)
 }
+
+// PartialResult is the structured error a session returns when it ends
+// without full delivery to the original membership: receivers ejected
+// by failure detection (Config.MaxRetries), declared failed at the
+// session deadline (Config.SessionDeadline), or outstanding when the
+// run aborted. Errors returned by Simulate and LiveNode.Send unwrap to
+// it via errors.As.
+type PartialResult = core.PartialResult
+
+// FaultSchedule is a declarative, deterministic set of faults the
+// simulator applies to a run: receiver crashes, stall/resume windows,
+// link flaps, and burst-loss windows, triggered at a virtual time or at
+// a fraction of transfer progress. Assign one to SimConfig.Faults.
+type FaultSchedule = faults.Schedule
+
+// FaultEvent is one scheduled fault.
+type FaultEvent = faults.Event
+
+// Fault kinds.
+const (
+	FaultCrash = faults.Crash
+	FaultStall = faults.Stall
+	FaultFlap  = faults.Flap
+	FaultBurst = faults.Burst
+)
+
+// ParseFaultSchedule parses a comma-separated fault spec, e.g.
+// "crash:7@0.5,stall:3@20ms+40ms,burst:*@0.5+5ms:0.3". See the
+// internal/faults Parse documentation for the grammar.
+func ParseFaultSchedule(spec string) (*FaultSchedule, error) { return faults.Parse(spec) }
 
 // TCPConfig parameterizes the TCP-like reliable unicast baseline.
 type TCPConfig = unicast.Config
