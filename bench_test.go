@@ -8,6 +8,7 @@ package rmcast
 // sweeps.
 
 import (
+	"context"
 	"testing"
 	"time"
 )
@@ -15,7 +16,7 @@ import (
 func benchExperiment(b *testing.B, id string) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
-		rep, err := RunExperiment(id, ExperimentOptions{Quick: true})
+		rep, err := RunExperiment(context.Background(), id, ExperimentOptions{Quick: true})
 		if err != nil {
 			b.Fatal(err)
 		}

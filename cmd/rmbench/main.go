@@ -7,14 +7,23 @@
 //
 //	rmbench -list
 //	rmbench -exp fig10
-//	rmbench -exp all -quick
-//	rmbench -exp table3 -receivers 16 -seed 7
+//	rmbench -exp all -quick -parallel -1
+//	rmbench -exp table3 -receivers 16 -seed 7 -json
+//
+// Independent simulation points fan out across -parallel workers with
+// output byte-identical to a serial run. Ctrl-C cancels cleanly: the
+// current simulations stop at their next checkpoint and rmbench exits
+// nonzero.
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"rmcast/internal/exp"
@@ -28,6 +37,8 @@ func main() {
 		receivers = flag.Int("receivers", 0, "override the receiver count (default 30, paper scale)")
 		seed      = flag.Uint64("seed", 1, "simulation random seed")
 		csv       = flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
+		jsonOut   = flag.Bool("json", false, "emit reports as JSON (one object per experiment)")
+		parallel  = flag.Int("parallel", 0, "simulation workers per experiment: 0/1 serial, -1 = GOMAXPROCS")
 	)
 	flag.Parse()
 
@@ -37,8 +48,15 @@ func main() {
 		}
 		return
 	}
+	if *csv && *jsonOut {
+		fmt.Fprintln(os.Stderr, "rmbench: -csv and -json are mutually exclusive")
+		os.Exit(2)
+	}
 
-	opts := exp.Options{Quick: *quick, Receivers: *receivers, Seed: *seed}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	opts := exp.Options{Quick: *quick, Receivers: *receivers, Seed: *seed, Parallel: *parallel}
 	var targets []exp.Experiment
 	if *id == "all" {
 		targets = exp.All()
@@ -51,21 +69,36 @@ func main() {
 		targets = []exp.Experiment{e}
 	}
 
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
 	failed := 0
 	for _, e := range targets {
 		start := time.Now()
-		rep, err := e.Run(opts)
+		rep, err := e.Run(ctx, opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
 			failed++
+			if errors.Is(err, context.Canceled) {
+				break
+			}
 			continue
 		}
-		if *csv {
+		switch {
+		case *jsonOut:
+			out := struct {
+				*exp.Report
+				WallTime time.Duration `json:"wall_time_ns"`
+			}{rep, time.Since(start)}
+			if err := enc.Encode(out); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+				failed++
+			}
+		case *csv:
 			for _, tab := range rep.Tables {
 				fmt.Printf("# %s: %s\n", rep.ID, tab.Title)
 				tab.CSV(os.Stdout)
 			}
-		} else {
+		default:
 			rep.Fprint(os.Stdout)
 			fmt.Printf("(%s wall time: %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 		}

@@ -40,6 +40,7 @@ func main() {
 		timeout   = flag.Duration("timeout", 60*time.Second, "per-transfer timeout")
 		retries   = flag.Int("maxretries", 0, "no-progress timeout rounds before the sender probes and ejects a receiver (0 = wait forever, as in the paper)")
 		peerTO    = flag.Duration("peer-timeout", 0, "declare a receiver dead after this much total silence (0 = 5x the hello interval; needs -maxretries)")
+		metricsF  = flag.Bool("metrics", false, "print the node's metrics snapshot before exiting")
 	)
 	flag.Parse()
 
@@ -87,8 +88,17 @@ func main() {
 	defer node.Close()
 	fmt.Printf("rmnode rank %d (%v) on %s, unicast %v\n", *rank, p, *group, node.LocalAddr())
 
+	dumpMetrics := func() {
+		if !*metricsF {
+			return
+		}
+		fmt.Println("--- node metrics ---")
+		node.Metrics().Fprint(os.Stdout)
+	}
+
 	if *rank == 0 {
 		msg := pattern(*size)
+		defer dumpMetrics()
 		for i := 0; i < *count; i++ {
 			ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 			start := time.Now()
@@ -110,6 +120,7 @@ func main() {
 		return
 	}
 
+	defer dumpMetrics()
 	for i := 0; i < *count; i++ {
 		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 		msg, err := node.Recv(ctx)

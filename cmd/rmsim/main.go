@@ -10,6 +10,7 @@
 //	rmsim -proto tcp -size 426502 -receivers 30
 //	rmsim -proto ack -crash 7@0.5 -maxretries 3
 //	rmsim -proto tree -faults "crash:3@0,stall:5@10ms+40ms" -maxretries 3
+//	rmsim -proto nak -metrics
 package main
 
 import (
@@ -43,12 +44,15 @@ func main() {
 		naksupp   = flag.Bool("naksupp", false, "use receiver-side multicast NAK suppression")
 		pace      = flag.Duration("pace", 0, "rate-pace first transmissions (e.g. 700us; 0 = window only)")
 		traceN    = flag.Int("trace", 0, "print the last N protocol packet events")
+		metricsF  = flag.Bool("metrics", false, "print the session metrics snapshot (packet counts, retransmissions, completion latency)")
 		crash     = flag.String("crash", "", "crash receivers, e.g. 7@0.5 (rank@progress) or 3@20ms,5@0; shorthand for -faults crash:...")
 		faultSpec = flag.String("faults", "", "full fault schedule, e.g. crash:7@0.5,stall:3@20ms+40ms,burst:*@0.5+5ms:0.3")
 		maxRetry  = flag.Int("maxretries", 0, "no-progress timeout rounds before the sender probes and ejects a receiver (0 = wait forever, as in the paper)")
 		sessionDl = flag.Duration("session-deadline", 0, "protocol-level session deadline; at expiry unfinished receivers are declared failed (0 = none)")
 	)
 	flag.Parse()
+
+	validateFlags(*proto, *loss)
 
 	ccfg := cluster.Default(*receivers)
 	ccfg.Seed = *seed
@@ -86,6 +90,10 @@ func main() {
 		}
 		fmt.Printf("tcp (sequential unicast): %d bytes to %d receivers in %v (%.1f Mbps aggregate)\n",
 			*size, *receivers, res.Elapsed.Round(time.Microsecond), res.ThroughputMbps)
+		if *metricsF {
+			fmt.Println("--- session metrics ---")
+			res.Metrics.Fprint(os.Stdout)
+		}
 		return
 	}
 
@@ -158,10 +166,72 @@ func main() {
 				i, h.SentDatagrams, h.RecvDatagrams, h.SocketDrops, h.ReasmDrops, h.CPUBusy.Round(time.Microsecond))
 		}
 	}
+	if *metricsF {
+		fmt.Println("--- session metrics ---")
+		res.Metrics.Fprint(os.Stdout)
+	}
 	if traceBuf != nil {
 		fmt.Printf("--- packet trace (%d events total) ---\n", traceBuf.Total())
 		traceBuf.Fprint(os.Stdout)
 	}
+}
+
+// validateFlags rejects flag combinations that would otherwise be
+// silently ignored (or normalized away) before any simulation runs.
+// Only flags the user explicitly set are checked, so defaults never
+// trip the validation.
+func validateFlags(proto string, loss float64) {
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+
+	if loss < 0 || loss > 1 {
+		usageError("-loss must be in [0, 1], got %g", loss)
+	}
+	if set["height"] && proto != "tree" {
+		usageError("-height only applies to -proto tree (got -proto %s)", proto)
+	}
+	if proto != "nak" {
+		for _, f := range []string{"poll", "selective", "naksupp"} {
+			if set[f] {
+				usageError("-%s only applies to -proto nak (got -proto %s)", f, proto)
+			}
+		}
+	}
+	if set["poll"] {
+		if v, err := flagInt("poll"); err == nil && v <= 0 {
+			usageError("-poll must be positive when set (the NAK protocol polls every N packets), got %d", v)
+		}
+	}
+	if proto == "tcp" || proto == "rawudp" {
+		for _, f := range []string{"window", "maxretries", "session-deadline", "pace"} {
+			if set[f] {
+				usageError("-%s only applies to the reliable multicast protocols (got -proto %s)", f, proto)
+			}
+		}
+	}
+}
+
+// flagInt reads a set integer flag back out of the flag set.
+func flagInt(name string) (int, error) {
+	f := flag.Lookup(name)
+	if f == nil {
+		return 0, fmt.Errorf("no flag %q", name)
+	}
+	g, ok := f.Value.(flag.Getter)
+	if !ok {
+		return 0, fmt.Errorf("flag %q is not a Getter", name)
+	}
+	v, ok := g.Get().(int)
+	if !ok {
+		return 0, fmt.Errorf("flag %q is not an int", name)
+	}
+	return v, nil
+}
+
+func usageError(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "rmsim: "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
 }
 
 func fatalf(format string, args ...any) {

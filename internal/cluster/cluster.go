@@ -16,6 +16,7 @@ import (
 	"rmcast/internal/ethernet"
 	"rmcast/internal/faults"
 	"rmcast/internal/ipnet"
+	"rmcast/internal/metrics"
 	"rmcast/internal/rng"
 	"rmcast/internal/sim"
 	"rmcast/internal/trace"
@@ -90,6 +91,10 @@ type Config struct {
 	Faults *faults.Schedule
 	// Trace, when non-nil, records every protocol packet event.
 	Trace *trace.Buffer
+	// Metrics, when non-nil, is the metrics session packet-level events
+	// are counted into. Run installs a fresh session when nil, so every
+	// Result carries a populated snapshot.
+	Metrics *metrics.Session
 
 	// hostCosts is the per-host override installed by NewWithHostCosts.
 	hostCosts func(host int) *ipnet.CostModel

@@ -47,6 +47,7 @@ func (e *nodeEnv) onDatagram(dg *ipnet.Datagram) {
 		return
 	}
 	e.trace(trace.Recv, int(from), p)
+	e.c.Cfg.Metrics.CountRecv(p.Type)
 	if e.ep != nil {
 		e.ep.OnPacket(from, p)
 	}
@@ -75,11 +76,13 @@ func (e *nodeEnv) Now() time.Duration { return e.c.Sim.Now() }
 
 func (e *nodeEnv) Send(to core.NodeID, p *packet.Packet) {
 	e.trace(trace.Send, int(to), p)
+	e.c.Cfg.Metrics.CountSend(p.Type)
 	e.sock.SendTo(e.c.HostAddr(to), Port, p.Encode())
 }
 
 func (e *nodeEnv) Multicast(p *packet.Packet) {
 	e.trace(trace.SendMC, trace.Multicast, p)
+	e.c.Cfg.Metrics.CountSend(p.Type)
 	e.sock.SendTo(e.c.Group(), Port, p.Encode())
 }
 

@@ -2,12 +2,14 @@ package cluster
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"time"
 
 	"rmcast/internal/core"
 	"rmcast/internal/ethernet"
 	"rmcast/internal/ipnet"
+	"rmcast/internal/metrics"
 	"rmcast/internal/unicast"
 )
 
@@ -40,6 +42,11 @@ type Result struct {
 	HostStats     []ipnet.HostStats
 	SwitchStats   []ethernet.SwitchStats
 	BusStats      ethernet.BusStats // shared-bus topology only
+
+	// Metrics is the session's metrics snapshot: per-type packet
+	// counts, retransmissions, NAKs, ejections, buffer-overflow drops,
+	// sender CPU-busy time, and per-receiver completion latency.
+	Metrics metrics.Metrics
 }
 
 // MakeMessage builds the deterministic test payload used by every
@@ -55,7 +62,18 @@ func MakeMessage(n int) []byte {
 // Run builds a fresh testbed from ccfg and transfers one msgSize-byte
 // message under pcfg. pcfg.NumReceivers is forced to the cluster size.
 func Run(ccfg Config, pcfg core.Config, msgSize int) (*Result, error) {
+	return RunContext(context.Background(), ccfg, pcfg, msgSize)
+}
+
+// RunContext is Run with cancellation: the simulation loop aborts at the
+// next checkpoint once ctx is done, returning the partial Result and the
+// context's error.
+func RunContext(ctx context.Context, ccfg Config, pcfg core.Config, msgSize int) (*Result, error) {
 	pcfg.NumReceivers = ccfg.NumReceivers
+	if ccfg.Metrics == nil {
+		ccfg.Metrics = metrics.NewSession()
+	}
+	mx := ccfg.Metrics
 	c, err := New(ccfg)
 	if err != nil {
 		return nil, err
@@ -70,6 +88,7 @@ func Run(ccfg Config, pcfg core.Config, msgSize int) (*Result, error) {
 	for id := 0; id <= ccfg.NumReceivers; id++ {
 		envs[id] = c.newNodeEnv(core.NodeID(id))
 	}
+	begin := c.Sim.Now()
 
 	var start func()
 	var senderStats func() core.SenderStats
@@ -97,6 +116,7 @@ func Run(ccfg Config, pcfg core.Config, msgSize int) (*Result, error) {
 			r := r
 			rcv, err := core.NewRawReceiver(envs[r], pcfg, core.NodeID(r), msgSize, func(b []byte) {
 				delivered[r] = b
+				mx.ObserveCompletion(r, c.Sim.Now()-begin)
 			})
 			if err != nil {
 				return nil, err
@@ -109,6 +129,7 @@ func Run(ccfg Config, pcfg core.Config, msgSize int) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		snd.SetMetrics(mx)
 		envs[0].setEndpoint(snd)
 		senderStats = snd.Stats
 		progress = snd.Progress
@@ -118,19 +139,21 @@ func Run(ccfg Config, pcfg core.Config, msgSize int) (*Result, error) {
 			r := r
 			rcv, err := core.NewReceiver(envs[r], pcfg, core.NodeID(r), func(b []byte) {
 				delivered[r] = b
+				mx.ObserveCompletion(r, c.Sim.Now()-begin)
 			})
 			if err != nil {
 				return nil, err
 			}
+			rcv.SetMetrics(mx)
 			envs[r].setEndpoint(rcv)
 			recvStats = append(recvStats, rcv.Stats)
 		}
 	}
 
 	c.Sim.After(0, start)
-	begin := c.Sim.Now()
 	wallStart := time.Now()
 	wallExceeded := false
+	canceled := false
 	tick := func() {
 		if c.inj == nil {
 			return
@@ -150,10 +173,16 @@ func Run(ccfg Config, pcfg core.Config, msgSize int) (*Result, error) {
 		}
 		// The wall-clock guard catches livelocked simulations (events
 		// firing forever while virtual time crawls); the syscall is too
-		// expensive for every step.
-		if steps&4095 == 4095 && time.Since(wallStart) > c.Cfg.WallLimit {
-			wallExceeded = true
-			break
+		// expensive for every step. Cancellation shares the checkpoint.
+		if steps&4095 == 4095 {
+			if time.Since(wallStart) > c.Cfg.WallLimit {
+				wallExceeded = true
+				break
+			}
+			if ctx.Err() != nil {
+				canceled = true
+				break
+			}
 		}
 	}
 	res.Completed = senderDone
@@ -180,14 +209,23 @@ func Run(ccfg Config, pcfg core.Config, msgSize int) (*Result, error) {
 	for _, f := range recvStats {
 		res.ReceiverStats = append(res.ReceiverStats, f())
 	}
+	var overflow uint64
 	for _, h := range c.Hosts {
-		res.HostStats = append(res.HostStats, h.Stats())
+		hs := h.Stats()
+		res.HostStats = append(res.HostStats, hs)
+		overflow += hs.SocketDrops
 	}
 	for _, sw := range c.Switches {
 		res.SwitchStats = append(res.SwitchStats, sw.Stats())
 	}
 	if c.Bus != nil {
 		res.BusStats = c.Bus.Stats()
+	}
+	mx.AddOverflowDrops(overflow)
+	mx.SetSenderBusy(res.HostStats[0].CPUBusy)
+	res.Metrics = mx.Snapshot()
+	if canceled {
+		return res, ctx.Err()
 	}
 	if !res.Completed {
 		cause := fmt.Errorf("cluster: %v session exceeded virtual deadline %v (size=%d)",
@@ -215,7 +253,16 @@ func Run(ccfg Config, pcfg core.Config, msgSize int) (*Result, error) {
 // a TCP-based broadcast in an MPI library amounts to). The returned
 // Result's Elapsed covers all transfers end to end.
 func RunTCP(ccfg Config, ucfg unicast.Config, msgSize int) (*Result, error) {
+	return RunTCPContext(context.Background(), ccfg, ucfg, msgSize)
+}
+
+// RunTCPContext is RunTCP with cancellation.
+func RunTCPContext(ctx context.Context, ccfg Config, ucfg unicast.Config, msgSize int) (*Result, error) {
 	ccfg.Costs = TCPCosts()
+	if ccfg.Metrics == nil {
+		ccfg.Metrics = metrics.NewSession()
+	}
+	mx := ccfg.Metrics
 	c, err := New(ccfg)
 	if err != nil {
 		return nil, err
@@ -229,10 +276,12 @@ func RunTCP(ccfg Config, ucfg unicast.Config, msgSize int) (*Result, error) {
 	for id := 0; id <= ccfg.NumReceivers; id++ {
 		envs[id] = c.newNodeEnv(core.NodeID(id))
 	}
+	begin := c.Sim.Now()
 	for r := 1; r <= ccfg.NumReceivers; r++ {
 		r := r
 		rcv, err := unicast.NewReceiver(envs[r], ucfg, core.SenderID, func(b []byte) {
 			delivered[r] = b
+			mx.ObserveCompletion(r, c.Sim.Now()-begin)
 		})
 		if err != nil {
 			return nil, err
@@ -240,7 +289,17 @@ func RunTCP(ccfg Config, ucfg unicast.Config, msgSize int) (*Result, error) {
 		envs[r].setEndpoint(rcv)
 	}
 
-	begin := c.Sim.Now()
+	finalize := func() {
+		var overflow uint64
+		for _, h := range c.Hosts {
+			hs := h.Stats()
+			res.HostStats = append(res.HostStats, hs)
+			overflow += hs.SocketDrops
+		}
+		mx.AddOverflowDrops(overflow)
+		mx.SetSenderBusy(res.HostStats[0].CPUBusy)
+		res.Metrics = mx.Snapshot()
+	}
 	for r := 1; r <= ccfg.NumReceivers; r++ {
 		done := false
 		snd, err := unicast.NewSender(envs[0], ucfg, core.NodeID(r), func() { done = true })
@@ -249,13 +308,19 @@ func RunTCP(ccfg Config, ucfg unicast.Config, msgSize int) (*Result, error) {
 		}
 		envs[0].setEndpoint(snd)
 		c.Sim.After(0, func() { snd.Start(msg) })
-		for c.Sim.Pending() > 0 && !done {
+		for steps := 0; c.Sim.Pending() > 0 && !done; steps++ {
 			c.Sim.Step()
 			if c.Sim.Now()-begin > c.Cfg.Deadline {
+				finalize()
 				return res, fmt.Errorf("cluster: tcp session exceeded deadline after receiver %d", r)
+			}
+			if steps&4095 == 4095 && ctx.Err() != nil {
+				finalize()
+				return res, ctx.Err()
 			}
 		}
 		if !done {
+			finalize()
 			return res, fmt.Errorf("cluster: tcp transfer to receiver %d stalled", r)
 		}
 	}
@@ -270,15 +335,18 @@ func RunTCP(ccfg Config, ucfg unicast.Config, msgSize int) (*Result, error) {
 			res.Verified = false
 		}
 	}
-	for _, h := range c.Hosts {
-		res.HostStats = append(res.HostStats, h.Stats())
-	}
+	finalize()
 	return res, nil
 }
 
 // RunRawUDP is a convenience wrapper running the unreliable baseline.
 func RunRawUDP(ccfg Config, packetSize, msgSize int) (*Result, error) {
-	return Run(ccfg, core.Config{
+	return RunRawUDPContext(context.Background(), ccfg, packetSize, msgSize)
+}
+
+// RunRawUDPContext is RunRawUDP with cancellation.
+func RunRawUDPContext(ctx context.Context, ccfg Config, packetSize, msgSize int) (*Result, error) {
+	return RunContext(ctx, ccfg, core.Config{
 		Protocol:     core.ProtoRawUDP,
 		NumReceivers: ccfg.NumReceivers,
 		PacketSize:   packetSize,

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"rmcast/internal/metrics"
 	"rmcast/internal/packet"
 	"rmcast/internal/rng"
 )
@@ -66,6 +67,7 @@ type Receiver struct {
 	ejected   bool
 
 	stats ReceiverStats
+	mx    *metrics.Session // optional; nil-safe
 }
 
 // NewReceiver creates the receiver ranked rank (1..NumReceivers).
@@ -102,6 +104,10 @@ func NewReceiver(env Env, cfg Config, rank NodeID, onDeliver func([]byte)) (*Rec
 
 // Stats returns a snapshot of the receiver counters.
 func (r *Receiver) Stats() ReceiverStats { return r.stats }
+
+// SetMetrics attaches a metrics session; NAKs this receiver sends are
+// mirrored into it. A nil session disables mirroring.
+func (r *Receiver) SetMetrics(m *metrics.Session) { r.mx = m }
 
 // Delivered reports whether the current message has been delivered.
 func (r *Receiver) Delivered() bool { return r.delivered }
@@ -458,6 +464,7 @@ func (r *Receiver) maybeNak() {
 	}
 	r.lastNak = now
 	r.stats.NaksSent++
+	r.mx.CountNak()
 	r.send(SenderID, &packet.Packet{Type: packet.TypeNak, MsgID: r.msgID, Seq: r.next})
 }
 
@@ -479,6 +486,7 @@ func (r *Receiver) scheduleSuppressedNak() {
 		r.nakPending = false
 		r.lastNak = r.env.Now()
 		r.stats.NaksSent++
+		r.mx.CountNak()
 		r.env.Multicast(&packet.Packet{Type: packet.TypeNak, MsgID: r.msgID, Seq: r.next})
 	})
 }

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"rmcast/internal/metrics"
 	"rmcast/internal/packet"
 	"rmcast/internal/window"
 )
@@ -99,6 +100,7 @@ type Sender struct {
 	dlGen      uint64
 
 	stats SenderStats
+	mx    *metrics.Session // optional; nil-safe
 }
 
 // NewSender creates a sender over env. onDone runs once when every
@@ -130,6 +132,10 @@ func NewSender(env Env, cfg Config, onDone func()) (*Sender, error) {
 
 // Stats returns a snapshot of the sender counters.
 func (s *Sender) Stats() SenderStats { return s.stats }
+
+// SetMetrics attaches a metrics session; protocol events (retransmissions,
+// ejections) are mirrored into it. A nil session disables mirroring.
+func (s *Sender) SetMetrics(m *metrics.Session) { s.mx = m }
 
 // Done reports whether the current message is fully acknowledged.
 func (s *Sender) Done() bool { return s.phase == phaseDone }
@@ -421,6 +427,7 @@ func (s *Sender) sendData(seq uint32, retrans bool) {
 		s.stats.DataSent++
 	} else {
 		s.stats.Retransmissions++
+		s.mx.CountRetransmission()
 	}
 	s.env.Multicast(&packet.Packet{
 		Type:    packet.TypeData,
@@ -713,6 +720,7 @@ func (s *Sender) eject(rank NodeID, announce bool) {
 	s.dead[rank] = true
 	s.failed = append(s.failed, rank)
 	s.stats.Ejected++
+	s.mx.CountEjection()
 	if s.probing {
 		delete(s.suspects, rank)
 	}
@@ -797,6 +805,7 @@ func (s *Sender) onDeadline() {
 		s.dead[id] = true
 		s.failed = append(s.failed, id)
 		s.stats.Ejected++
+		s.mx.CountEjection()
 	}
 	s.finish()
 }

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"rmcast/internal/cluster"
@@ -33,7 +34,7 @@ func ablationConfigs(n int) []core.Config {
 // single shared CSMA/CD segment. The paper argues shared media may not
 // resolve many simultaneous transmissions efficiently — this quantifies
 // it (collisions, aborted frames, elapsed time).
-func runAblationMedia(o Options) (*Report, error) {
+func runAblationMedia(ctx context.Context, o Options) (*Report, error) {
 	n := o.receivers()
 	if !o.Quick && n > 12 {
 		// A 100 Mbps bus saturates hopelessly at the full 30-receiver
@@ -49,15 +50,23 @@ func runAblationMedia(o Options) (*Report, error) {
 		Title:  fmt.Sprintf("%dB to %d receivers", size, n),
 		Header: []string{"protocol", "switched (s)", "shared bus (s)", "bus/switched", "collisions", "aborted frames"},
 	}
+	cfgs := ablationConfigs(n)
+	r := newRunner(ctx, o)
+	swJobs := make([]*job[*cluster.Result], len(cfgs))
+	busJobs := make([]*job[*cluster.Result], len(cfgs))
+	for i, pcfg := range cfgs {
+		swJobs[i] = r.result(o.clusterConfig(n), pcfg, size)
+		bcfg := o.clusterConfig(n)
+		bcfg.Topology = cluster.SharedBus
+		busJobs[i] = r.result(bcfg, pcfg, size)
+	}
 	var findings []string
-	for _, pcfg := range ablationConfigs(n) {
-		sw, err := cluster.Run(o.clusterConfig(n), pcfg, size)
+	for i, pcfg := range cfgs {
+		sw, err := swJobs[i].wait()
 		if err != nil {
 			return nil, err
 		}
-		bcfg := o.clusterConfig(n)
-		bcfg.Topology = cluster.SharedBus
-		bus, err := cluster.Run(bcfg, pcfg, size)
+		bus, err := busJobs[i].wait()
 		if err != nil {
 			return nil, err
 		}
@@ -75,7 +84,7 @@ func runAblationMedia(o Options) (*Report, error) {
 
 // runAblationSuppress measures what the sender-side retransmission
 // suppression interval is worth when losses do occur.
-func runAblationSuppress(o Options) (*Report, error) {
+func runAblationSuppress(ctx context.Context, o Options) (*Report, error) {
 	n := o.receivers()
 	size := 500 * KB
 	if o.Quick {
@@ -85,27 +94,34 @@ func runAblationSuppress(o Options) (*Report, error) {
 		Title:  fmt.Sprintf("NAK+polling, %dB to %d receivers, 1%% frame loss", size, n),
 		Header: []string{"suppression", "time (s)", "retransmitted pkts", "acks processed"},
 	}
-	var rts []uint64
-	for _, suppress := range []bool{true, false} {
+	modes := []bool{true, false}
+	r := newRunner(ctx, o)
+	jobs := make([]*job[*cluster.Result], len(modes))
+	labels := make([]string, len(modes))
+	for i, suppress := range modes {
 		pcfg := core.Config{
 			Protocol: core.ProtoNAK, NumReceivers: n,
 			PacketSize: 8000, WindowSize: 20, PollInterval: 17,
 		}
-		label := "on (default)"
+		labels[i] = "on (default)"
 		if !suppress {
 			// The interval cannot be zero (Normalize fills the default),
 			// so "off" means vanishingly small.
 			pcfg.SuppressInterval = 1
 			pcfg.NakInterval = 1
-			label = "off"
+			labels[i] = "off"
 		}
 		ccfg := o.clusterConfig(n)
 		ccfg.LossRate = 0.01
-		res, err := cluster.Run(ccfg, pcfg, size)
+		jobs[i] = r.result(ccfg, pcfg, size)
+	}
+	var rts []uint64
+	for i := range modes {
+		res, err := jobs[i].wait()
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(label, secs(res.Elapsed), res.SenderStats.Retransmissions, res.SenderStats.AcksReceived)
+		t.AddRow(labels[i], secs(res.Elapsed), res.SenderStats.Retransmissions, res.SenderStats.AcksReceived)
 		rts = append(rts, res.SenderStats.Retransmissions)
 	}
 	findings := []string{fmt.Sprintf(
@@ -117,7 +133,7 @@ func runAblationSuppress(o Options) (*Report, error) {
 
 // runAblationLoss sweeps injected frame loss and reports the Go-Back-N
 // retransmission volume and completion time per protocol.
-func runAblationLoss(o Options) (*Report, error) {
+func runAblationLoss(ctx context.Context, o Options) (*Report, error) {
 	n := o.receivers()
 	size := 500 * KB
 	rates := []float64{0, 0.001, 0.005, 0.01, 0.02}
@@ -125,14 +141,23 @@ func runAblationLoss(o Options) (*Report, error) {
 		size = 100 * KB
 		rates = []float64{0, 0.01}
 	}
-	var timeSeries, rtSeries []*stats.Series
-	for _, pcfg := range ablationConfigs(n) {
-		ts := &stats.Series{Label: pcfg.Protocol.String() + " (s)"}
-		rs := &stats.Series{Label: pcfg.Protocol.String() + " (pkts)"}
-		for _, rate := range rates {
+	cfgs := ablationConfigs(n)
+	r := newRunner(ctx, o)
+	jobs := make([][]*job[*cluster.Result], len(cfgs))
+	for i, pcfg := range cfgs {
+		jobs[i] = make([]*job[*cluster.Result], len(rates))
+		for j, rate := range rates {
 			ccfg := o.clusterConfig(n)
 			ccfg.LossRate = rate
-			res, err := cluster.Run(ccfg, pcfg, size)
+			jobs[i][j] = r.result(ccfg, pcfg, size)
+		}
+	}
+	var timeSeries, rtSeries []*stats.Series
+	for i, pcfg := range cfgs {
+		ts := &stats.Series{Label: pcfg.Protocol.String() + " (s)"}
+		rs := &stats.Series{Label: pcfg.Protocol.String() + " (pkts)"}
+		for j, rate := range rates {
+			res, err := jobs[i][j].wait()
 			if err != nil {
 				return nil, err
 			}
@@ -158,31 +183,38 @@ func runAblationLoss(o Options) (*Report, error) {
 // the ack-relay costs removed (as if aggregation ran in the kernel or
 // on the NIC), isolating how much of the tall-tree penalty is the
 // user-level relay the paper blames.
-func runAblationRelay(o Options) (*Report, error) {
+func runAblationRelay(ctx context.Context, o Options) (*Report, error) {
 	n := o.receivers()
 	const size = 256
-	user := &stats.Series{Label: "user-level relay (s)"}
-	kernel := &stats.Series{Label: "kernel-cost relay (s)"}
-	for _, h := range heightSweep(n, o.Quick) {
+	heights := heightSweep(n, o.Quick)
+	r := newRunner(ctx, o)
+	userJobs := make([]*job[float64], len(heights))
+	kernelJobs := make([]*job[float64], len(heights))
+	for i, h := range heights {
 		pcfg := core.Config{
 			Protocol: core.ProtoTree, NumReceivers: n,
 			PacketSize: 8000, WindowSize: 20, TreeHeight: h,
 		}
-		t, err := runTime(o.clusterConfig(n), pcfg, size)
+		userJobs[i] = r.time(o.clusterConfig(n), pcfg, size)
+		ccfg := o.clusterConfig(n)
+		ccfg.Costs = cluster.TCPCosts() // kernel-path costs, no user copies
+		kernelJobs[i] = r.time(ccfg, pcfg, size)
+	}
+	user := &stats.Series{Label: "user-level relay (s)"}
+	kernel := &stats.Series{Label: "kernel-cost relay (s)"}
+	for i, h := range heights {
+		t, err := userJobs[i].wait()
 		if err != nil {
 			return nil, err
 		}
 		user.Add(float64(h), t)
-
-		ccfg := o.clusterConfig(n)
-		ccfg.Costs = cluster.TCPCosts() // kernel-path costs, no user copies
-		t, err = runTime(ccfg, pcfg, size)
+		t, err = kernelJobs[i].wait()
 		if err != nil {
 			return nil, err
 		}
 		kernel.Add(float64(h), t)
 	}
-	hMax := float64(heightSweep(n, o.Quick)[len(heightSweep(n, o.Quick))-1])
+	hMax := float64(heights[len(heights)-1])
 	findings := []string{fmt.Sprintf(
 		"at H=%.0f, kernel-cost relaying cuts the small-message delay from %.2fms to %.2fms: the tall-tree penalty is mostly user-level relay processing, as the paper argues",
 		hMax, 1e3*user.At(hMax), 1e3*kernel.At(hMax))}

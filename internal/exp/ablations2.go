@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -19,7 +20,7 @@ func init() {
 // runAblationGoBackN tests the paper's claim that Go-Back-N performs as
 // well as selective repeat on a wired LAN, while quantifying what
 // selective repeat buys back once losses are injected.
-func runAblationGoBackN(o Options) (*Report, error) {
+func runAblationGoBackN(ctx context.Context, o Options) (*Report, error) {
 	n := o.receivers()
 	size := 500 * KB
 	rates := []float64{0, 0.002, 0.005, 0.01, 0.02}
@@ -27,12 +28,12 @@ func runAblationGoBackN(o Options) (*Report, error) {
 		size = 100 * KB
 		rates = []float64{0, 0.01}
 	}
-	gbnTime := &stats.Series{Label: "GBN time (s)"}
-	srTime := &stats.Series{Label: "SR time (s)"}
-	gbnRT := &stats.Series{Label: "GBN resends (pkts)"}
-	srRT := &stats.Series{Label: "SR resends (pkts)"}
-	for _, rate := range rates {
-		for _, selective := range []bool{false, true} {
+	schemes := []bool{false, true}
+	r := newRunner(ctx, o)
+	jobs := make([][]*job[*cluster.Result], len(rates))
+	for i, rate := range rates {
+		jobs[i] = make([]*job[*cluster.Result], len(schemes))
+		for j, selective := range schemes {
 			pcfg := core.Config{
 				Protocol: core.ProtoNAK, NumReceivers: n,
 				PacketSize: 8000, WindowSize: 20, PollInterval: 17,
@@ -40,7 +41,16 @@ func runAblationGoBackN(o Options) (*Report, error) {
 			}
 			ccfg := o.clusterConfig(n)
 			ccfg.LossRate = rate
-			res, err := cluster.Run(ccfg, pcfg, size)
+			jobs[i][j] = r.result(ccfg, pcfg, size)
+		}
+	}
+	gbnTime := &stats.Series{Label: "GBN time (s)"}
+	srTime := &stats.Series{Label: "SR time (s)"}
+	gbnRT := &stats.Series{Label: "GBN resends (pkts)"}
+	srRT := &stats.Series{Label: "SR resends (pkts)"}
+	for i, rate := range rates {
+		for j, selective := range schemes {
+			res, err := jobs[i][j].wait()
 			if err != nil {
 				return nil, err
 			}
@@ -83,7 +93,7 @@ func maxf(a, b float64) float64 {
 // the Pingali-style receiver-side multicast scheme under correlated
 // loss (the case the multicast scheme was designed for: one upstream
 // loss provoking NAKs from every receiver).
-func runAblationNakSupp(o Options) (*Report, error) {
+func runAblationNakSupp(ctx context.Context, o Options) (*Report, error) {
 	n := o.receivers()
 	size := 500 * KB
 	loss := 0.01
@@ -94,8 +104,10 @@ func runAblationNakSupp(o Options) (*Report, error) {
 		Title:  fmt.Sprintf("NAK+polling, %dB to %d receivers, %.1f%% frame loss", size, n, loss*100),
 		Header: []string{"scheme", "time (s)", "naks sent", "naks suppressed", "sender naks processed"},
 	}
-	var naksSent []uint64
-	for _, receiverSide := range []bool{false, true} {
+	schemes := []bool{false, true}
+	r := newRunner(ctx, o)
+	jobs := make([]*job[*cluster.Result], len(schemes))
+	for i, receiverSide := range schemes {
 		pcfg := core.Config{
 			Protocol: core.ProtoNAK, NumReceivers: n,
 			PacketSize: 8000, WindowSize: 20, PollInterval: 17,
@@ -103,14 +115,18 @@ func runAblationNakSupp(o Options) (*Report, error) {
 		}
 		ccfg := o.clusterConfig(n)
 		ccfg.LossRate = loss
-		res, err := cluster.Run(ccfg, pcfg, size)
+		jobs[i] = r.result(ccfg, pcfg, size)
+	}
+	var naksSent []uint64
+	for i, receiverSide := range schemes {
+		res, err := jobs[i].wait()
 		if err != nil {
 			return nil, err
 		}
 		var sent, throttled uint64
-		for _, r := range res.ReceiverStats {
-			sent += r.NaksSent
-			throttled += r.NaksThrottled
+		for _, rs := range res.ReceiverStats {
+			sent += rs.NaksSent
+			throttled += rs.NaksThrottled
 		}
 		naksSent = append(naksSent, sent)
 		label := "sender-side (paper)"
@@ -130,7 +146,7 @@ func runAblationNakSupp(o Options) (*Report, error) {
 // runAblationPacing measures what rate pacing adds on a LAN where the
 // window already self-clocks: nothing in the error-free case, a little
 // loss-avoidance when receiver buffers are tiny.
-func runAblationPacing(o Options) (*Report, error) {
+func runAblationPacing(ctx context.Context, o Options) (*Report, error) {
 	n := o.receivers()
 	size := 500 * KB
 	if o.Quick {
@@ -145,9 +161,13 @@ func runAblationPacing(o Options) (*Report, error) {
 	// bursts overflow the 64 KB socket buffer.
 	slow := ipnet.DefaultCosts()
 	slow.RecvSyscall = 2 * time.Millisecond
-	var findings []string
-	for _, slowApp := range []bool{false, true} {
-		for _, pace := range []time.Duration{0, 2200 * time.Microsecond} {
+	apps := []bool{false, true}
+	paces := []time.Duration{0, 2200 * time.Microsecond}
+	r := newRunner(ctx, o)
+	jobs := make([][]*job[*cluster.Result], len(apps))
+	for i, slowApp := range apps {
+		jobs[i] = make([]*job[*cluster.Result], len(paces))
+		for j, pace := range paces {
 			// Poll every 5 packets: frequent enough that the window base
 			// advances even when the slow receivers shed parts of each
 			// burst (with end-only polling the Go-Back-N resends restart
@@ -162,12 +182,20 @@ func runAblationPacing(o Options) (*Report, error) {
 			// The window-only/compute-bound combination recovers very
 			// slowly by design (that is the finding); give it room.
 			ccfg.Deadline = 2 * time.Minute
-			appLabel := "fast"
 			if slowApp {
 				ccfg.ReceiverCosts = &slow
-				appLabel = "compute-bound"
 			}
-			res, err := cluster.Run(ccfg, pcfg, size)
+			jobs[i][j] = r.result(ccfg, pcfg, size)
+		}
+	}
+	var findings []string
+	for i, slowApp := range apps {
+		appLabel := "fast"
+		if slowApp {
+			appLabel = "compute-bound"
+		}
+		for j, pace := range paces {
+			res, err := jobs[i][j].wait()
 			if err != nil {
 				return nil, err
 			}

@@ -1,7 +1,9 @@
 package exp
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"rmcast/internal/cluster"
 	"rmcast/internal/stats"
@@ -23,7 +25,11 @@ func init() {
 // barrier closes the superstep — over each reliable multicast protocol,
 // measuring the end-to-end communication time the protocol choice is
 // worth at the application level.
-func runExtAppSim(o Options) (*Report, error) {
+//
+// The supersteps within one protocol's run are inherently sequential
+// (they share one simulated cluster), so the fan-out unit is the whole
+// per-protocol run.
+func runExtAppSim(ctx context.Context, o Options) (*Report, error) {
 	n := o.receivers()
 	iterations := 10
 	paramBytes := 128 * KB
@@ -37,30 +43,42 @@ func runExtAppSim(o Options) (*Report, error) {
 			iterations, n+1, paramBytes, haloBytes),
 		Header: []string{"protocol", "total comm time (s)", "per superstep (ms)"},
 	}
+	cfgs := ablationConfigs(n)
+	r := newRunner(ctx, o)
+	jobs := make([]*job[time.Duration], len(cfgs))
+	for i, pcfg := range cfgs {
+		pcfg := pcfg
+		jobs[i] = fork(r, func() (time.Duration, error) {
+			comm, err := workload.NewComm(o.clusterConfig(n), pcfg)
+			if err != nil {
+				return 0, err
+			}
+			params := cluster.MakeMessage(paramBytes)
+			contribs := make([][]byte, comm.Size())
+			for i := range contribs {
+				contribs[i] = cluster.MakeMessage(haloBytes)
+			}
+			for it := 0; it < iterations; it++ {
+				if _, err := comm.Bcast(0, params); err != nil {
+					return 0, fmt.Errorf("%v iteration %d bcast: %w", pcfg.Protocol, it, err)
+				}
+				if _, _, err := comm.Allgather(contribs); err != nil {
+					return 0, fmt.Errorf("%v iteration %d allgather: %w", pcfg.Protocol, it, err)
+				}
+				if _, err := comm.Barrier(); err != nil {
+					return 0, fmt.Errorf("%v iteration %d barrier: %w", pcfg.Protocol, it, err)
+				}
+			}
+			return comm.Elapsed(), nil
+		})
+	}
 	var times []float64
 	var protos []string
-	for _, pcfg := range ablationConfigs(n) {
-		comm, err := workload.NewComm(o.clusterConfig(n), pcfg)
+	for i, pcfg := range cfgs {
+		total, err := jobs[i].wait()
 		if err != nil {
 			return nil, err
 		}
-		params := cluster.MakeMessage(paramBytes)
-		contribs := make([][]byte, comm.Size())
-		for i := range contribs {
-			contribs[i] = cluster.MakeMessage(haloBytes)
-		}
-		for it := 0; it < iterations; it++ {
-			if _, err := comm.Bcast(0, params); err != nil {
-				return nil, fmt.Errorf("%v iteration %d bcast: %w", pcfg.Protocol, it, err)
-			}
-			if _, _, err := comm.Allgather(contribs); err != nil {
-				return nil, fmt.Errorf("%v iteration %d allgather: %w", pcfg.Protocol, it, err)
-			}
-			if _, err := comm.Barrier(); err != nil {
-				return nil, fmt.Errorf("%v iteration %d barrier: %w", pcfg.Protocol, it, err)
-			}
-		}
-		total := comm.Elapsed()
 		t.AddRow(pcfg.Protocol.String(), secs(total), 1e3*secs(total)/float64(iterations))
 		times = append(times, secs(total))
 		protos = append(protos, pcfg.Protocol.String())

@@ -3,17 +3,25 @@
 // the design choices DESIGN.md calls out. Each experiment sweeps the
 // same parameters as the paper on the simulated Figure 7 testbed and
 // renders the same rows or curves the paper reports.
+//
+// Every simulation point is independent (each cluster.Run builds a
+// fresh seeded testbed), so experiments fork their points onto a
+// worker pool and collect results in sweep order: the rendered tables
+// are byte-identical whether the points ran serially or in parallel.
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"time"
 
 	"rmcast/internal/cluster"
 	"rmcast/internal/core"
 	"rmcast/internal/stats"
+	"rmcast/internal/unicast"
 )
 
 // Options tunes an experiment run.
@@ -26,6 +34,10 @@ type Options struct {
 	// smaller messages, coarser grids. Shapes remain, absolute values
 	// shift.
 	Quick bool
+	// Parallel is the worker count for independent simulation points:
+	// 0 or 1 runs serially, negative uses GOMAXPROCS. Output is
+	// byte-identical either way.
+	Parallel int
 }
 
 func (o Options) receivers() int {
@@ -43,6 +55,16 @@ func (o Options) seed() uint64 {
 		return 1
 	}
 	return o.Seed
+}
+
+func (o Options) workers() int {
+	if o.Parallel < 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if o.Parallel == 0 {
+		return 1
+	}
+	return o.Parallel
 }
 
 // clusterConfig builds the testbed config for n receivers.
@@ -83,7 +105,7 @@ type Experiment struct {
 	ID       string
 	Title    string
 	PaperRef string
-	Run      func(Options) (*Report, error)
+	Run      func(context.Context, Options) (*Report, error)
 }
 
 var registry []Experiment
@@ -129,8 +151,8 @@ func secs(d time.Duration) float64 { return d.Seconds() }
 
 // runTime executes one multicast session and returns its elapsed
 // communication time in seconds.
-func runTime(ccfg cluster.Config, pcfg core.Config, size int) (float64, error) {
-	res, err := cluster.Run(ccfg, pcfg, size)
+func runTime(ctx context.Context, ccfg cluster.Config, pcfg core.Config, size int) (float64, error) {
+	res, err := cluster.RunContext(ctx, ccfg, pcfg, size)
 	if err != nil {
 		return 0, err
 	}
@@ -138,6 +160,94 @@ func runTime(ccfg cluster.Config, pcfg core.Config, size int) (float64, error) {
 		return 0, fmt.Errorf("exp: %v run delivered corrupted data", pcfg.Protocol)
 	}
 	return secs(res.Elapsed), nil
+}
+
+// runner fans an experiment's independent simulation points across a
+// worker pool. fork schedules one point; the returned job's wait
+// delivers its result. With one worker the point instead runs lazily
+// inside wait — same call sites, no goroutines — so experiments are
+// written once and collection order alone fixes the output.
+type runner struct {
+	ctx context.Context
+	sem chan struct{} // nil: serial mode
+}
+
+func newRunner(ctx context.Context, o Options) *runner {
+	r := &runner{ctx: ctx}
+	if w := o.workers(); w > 1 {
+		r.sem = make(chan struct{}, w)
+	}
+	return r
+}
+
+// job is one forked simulation point.
+type job[T any] struct {
+	fn   func() (T, error) // serial mode: evaluated at wait
+	done chan struct{}     // parallel mode: closed when v/err are set
+	v    T
+	err  error
+}
+
+// fork schedules fn on the runner's pool (or defers it to wait time in
+// serial mode). A canceled context short-circuits queued work.
+func fork[T any](r *runner, fn func() (T, error)) *job[T] {
+	if r.sem == nil {
+		return &job[T]{fn: func() (T, error) {
+			if err := r.ctx.Err(); err != nil {
+				var zero T
+				return zero, err
+			}
+			return fn()
+		}}
+	}
+	j := &job[T]{done: make(chan struct{})}
+	go func() {
+		defer close(j.done)
+		select {
+		case r.sem <- struct{}{}:
+			defer func() { <-r.sem }()
+		case <-r.ctx.Done():
+			j.err = r.ctx.Err()
+			return
+		}
+		if err := r.ctx.Err(); err != nil {
+			j.err = err
+			return
+		}
+		j.v, j.err = fn()
+	}()
+	return j
+}
+
+// wait blocks until the point has run and returns its result.
+func (j *job[T]) wait() (T, error) {
+	if j.done != nil {
+		<-j.done
+		return j.v, j.err
+	}
+	return j.fn()
+}
+
+// time forks one multicast session, resolving to elapsed seconds.
+func (r *runner) time(ccfg cluster.Config, pcfg core.Config, size int) *job[float64] {
+	return fork(r, func() (float64, error) { return runTime(r.ctx, ccfg, pcfg, size) })
+}
+
+// result forks one multicast session, resolving to the full Result.
+func (r *runner) result(ccfg cluster.Config, pcfg core.Config, size int) *job[*cluster.Result] {
+	return fork(r, func() (*cluster.Result, error) { return cluster.RunContext(r.ctx, ccfg, pcfg, size) })
+}
+
+// tcp forks one sequential-unicast baseline session.
+func (r *runner) tcp(ccfg cluster.Config, ucfg unicast.Config, size int) *job[*cluster.Result] {
+	return fork(r, func() (*cluster.Result, error) { return cluster.RunTCPContext(r.ctx, ccfg, ucfg, size) })
+}
+
+// rawUDP forks one unreliable-baseline session.
+func (r *runner) rawUDP(ccfg cluster.Config, packetSize, size int) *job[*cluster.Result] {
+	return fork(r, func() (*cluster.Result, error) {
+		return cluster.RunRawUDPContext(r.ctx, ccfg, packetSize, size)
+	})
 }
 
 // KB and MB are the paper's (binary) size units.

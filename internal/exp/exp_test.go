@@ -2,6 +2,7 @@ package exp
 
 import (
 	"bytes"
+	"context"
 	"strconv"
 	"strings"
 	"testing"
@@ -18,7 +19,7 @@ func TestEveryExperimentRunsQuick(t *testing.T) {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
 			t.Parallel()
-			rep, err := e.Run(Options{Quick: true})
+			rep, err := e.Run(context.Background(), Options{Quick: true})
 			if err != nil {
 				t.Fatalf("%s failed: %v", e.ID, err)
 			}
@@ -70,7 +71,7 @@ func TestRegistryOrderAndLookup(t *testing.T) {
 // TestFig8Shape verifies the headline claim end to end in quick mode:
 // TCP linear, multicast flat.
 func TestFig8Shape(t *testing.T) {
-	rep, err := runFig8(Options{Quick: true})
+	rep, err := runFig8(context.Background(), Options{Quick: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,6 +86,56 @@ func TestFig8Shape(t *testing.T) {
 	}
 	if mcN/mc1 > 1.6 {
 		t.Errorf("multicast not flat-ish: %v -> %v", mc1, mcN)
+	}
+}
+
+// TestParallelMatchesSerial is the determinism contract of the worker
+// pool: the same experiment rendered from a parallel run must be
+// byte-identical to the serial run. Each simulation point builds its
+// own seeded cluster, so only collection order could differ — and the
+// runner fixes that.
+func TestParallelMatchesSerial(t *testing.T) {
+	for _, id := range []string{"table3", "fig10", "ablation_loss"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			e, err := ByID(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			render := func(parallel int) string {
+				rep, err := e.Run(context.Background(), Options{Quick: true, Parallel: parallel})
+				if err != nil {
+					t.Fatalf("parallel=%d: %v", parallel, err)
+				}
+				var buf bytes.Buffer
+				rep.Fprint(&buf)
+				return buf.String()
+			}
+			serial := render(0)
+			par := render(-1)
+			if serial != par {
+				t.Errorf("parallel output differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, par)
+			}
+		})
+	}
+}
+
+// TestRunCanceled verifies a canceled context aborts an experiment with
+// the context's error rather than a corrupted report.
+func TestRunCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	e, err := ByID("fig10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, parallel := range []int{0, -1} {
+		if _, err := e.Run(ctx, Options{Quick: true, Parallel: parallel}); err == nil {
+			t.Errorf("parallel=%d: canceled run returned no error", parallel)
+		} else if !strings.Contains(err.Error(), context.Canceled.Error()) {
+			t.Errorf("parallel=%d: expected context.Canceled, got %v", parallel, err)
+		}
 	}
 }
 

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -22,7 +23,7 @@ func init() {
 // but by protocol-specific amounts — the ring stalls hardest because
 // the straggler holds a rotation slot, while polling lets the NAK
 // protocol coast between polls.
-func runExtStraggler(o Options) (*Report, error) {
+func runExtStraggler(ctx context.Context, o Options) (*Report, error) {
 	n := o.receivers()
 	size := 500 * KB
 	if o.Quick {
@@ -36,19 +37,30 @@ func runExtStraggler(o Options) (*Report, error) {
 		Title:  fmt.Sprintf("%dB to %d receivers, one compute-bound receiver", size, n),
 		Header: []string{"protocol", "homogeneous (s)", "one straggler (s)", "slowdown"},
 	}
-	var findings []string
-	for _, pcfg := range ablationConfigs(n) {
-		base, err := cluster.Run(o.clusterConfig(n), pcfg, size)
-		if err != nil {
-			return nil, err
-		}
+	cfgs := ablationConfigs(n)
+	r := newRunner(ctx, o)
+	baseJobs := make([]*job[*cluster.Result], len(cfgs))
+	stragJobs := make([]*job[time.Duration], len(cfgs))
+	for i, pcfg := range cfgs {
+		pcfg := pcfg
+		baseJobs[i] = r.result(o.clusterConfig(n), pcfg, size)
 		ccfg := o.clusterConfig(n)
 		ccfg.ReceiverCosts = nil
 		// Build a cluster where only receiver 1 is slow: use the
 		// uniform override for all receivers — too blunt — so instead
 		// run with all-fast and re-run with ReceiverCosts on one host
 		// via the session API below.
-		strag, err := runWithStraggler(ccfg, pcfg, size, slow)
+		stragJobs[i] = fork(r, func() (time.Duration, error) {
+			return runWithStraggler(ccfg, pcfg, size, slow)
+		})
+	}
+	var findings []string
+	for i, pcfg := range cfgs {
+		base, err := baseJobs[i].wait()
+		if err != nil {
+			return nil, err
+		}
+		strag, err := stragJobs[i].wait()
 		if err != nil {
 			return nil, err
 		}
@@ -87,7 +99,7 @@ func runWithStraggler(ccfg cluster.Config, pcfg core.Config, size int, slow ipne
 // per-packet CPU costs do not, so every protocol becomes CPU-bound and
 // the ACK-implosion penalty grows — the paper's conclusions sharpen
 // rather than fade.
-func runExtGigabit(o Options) (*Report, error) {
+func runExtGigabit(ctx context.Context, o Options) (*Report, error) {
 	n := o.receivers()
 	size := 2 * MB
 	if o.Quick {
@@ -106,17 +118,25 @@ func runExtGigabit(o Options) (*Report, error) {
 		Title:  fmt.Sprintf("%dB to %d receivers", size, n),
 		Header: []string{"protocol", "100 Mbps (Mbps)", "1 Gbps + 4x hosts (Mbps)", "wire utilization at 1 Gbps"},
 	}
-	var findings []string
-	var hundred, gig []float64
-	for _, pcfg := range ablationConfigs(n) {
-		base, err := cluster.Run(o.clusterConfig(n), pcfg, size)
-		if err != nil {
-			return nil, err
-		}
+	cfgs := ablationConfigs(n)
+	r := newRunner(ctx, o)
+	baseJobs := make([]*job[*cluster.Result], len(cfgs))
+	gigJobs := make([]*job[*cluster.Result], len(cfgs))
+	for i, pcfg := range cfgs {
+		baseJobs[i] = r.result(o.clusterConfig(n), pcfg, size)
 		ccfg := o.clusterConfig(n)
 		ccfg.LinkRate = ethernet.Rate1Gbps
 		ccfg.Costs = fast
-		res, err := cluster.Run(ccfg, pcfg, size)
+		gigJobs[i] = r.result(ccfg, pcfg, size)
+	}
+	var findings []string
+	var hundred, gig []float64
+	for i, pcfg := range cfgs {
+		base, err := baseJobs[i].wait()
+		if err != nil {
+			return nil, err
+		}
+		res, err := gigJobs[i].wait()
 		if err != nil {
 			return nil, err
 		}

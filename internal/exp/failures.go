@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -39,7 +40,7 @@ func failureConfigs(n int) []core.Config {
 // the dead, splices the acknowledgment structure around them, and
 // completes for the survivors. The table reports the completion time
 // against the fault-free baseline and the detection outcome.
-func runExtFailures(o Options) (*Report, error) {
+func runExtFailures(ctx context.Context, o Options) (*Report, error) {
 	n := o.receivers()
 	size := 1000 * KB
 	if o.Quick {
@@ -64,22 +65,20 @@ func runExtFailures(o Options) (*Report, error) {
 		Title:  fmt.Sprintf("%dB to %d receivers, crash count x crash time per protocol", size, n),
 		Header: []string{"protocol", "faults", "baseline (s)", "degraded (s)", "overhead", "ejected", "survivors ok"},
 	}
-	var findings []string
-	allSurvived := true
-	for _, pcfg := range failureConfigs(n) {
-		base, err := cluster.Run(o.clusterConfig(n), pcfg, size)
-		if err != nil {
-			return nil, err
-		}
-		worst := 0.0
+	cfgs := failureConfigs(n)
+	r := newRunner(ctx, o)
+	baseJobs := make([]*job[*cluster.Result], len(cfgs))
+	crashJobs := make([][]*job[*cluster.Result], len(cfgs))
+	for i, pcfg := range cfgs {
+		baseJobs[i] = r.result(o.clusterConfig(n), pcfg, size)
 		for _, cs := range crashSets {
 			for _, pt := range points {
 				spec := ""
-				for _, r := range cs.ranks {
+				for _, rank := range cs.ranks {
 					if spec != "" {
 						spec += ","
 					}
-					spec += fmt.Sprintf("crash:%d@%g", r, pt.at)
+					spec += fmt.Sprintf("crash:%d@%g", rank, pt.at)
 				}
 				sched, err := faults.Parse(spec)
 				if err != nil {
@@ -87,7 +86,23 @@ func runExtFailures(o Options) (*Report, error) {
 				}
 				ccfg := o.clusterConfig(n)
 				ccfg.Faults = sched
-				res, err := cluster.Run(ccfg, pcfg, size)
+				crashJobs[i] = append(crashJobs[i], r.result(ccfg, pcfg, size))
+			}
+		}
+	}
+	var findings []string
+	allSurvived := true
+	for i, pcfg := range cfgs {
+		base, err := baseJobs[i].wait()
+		if err != nil {
+			return nil, err
+		}
+		worst := 0.0
+		k := 0
+		for _, cs := range crashSets {
+			for _, pt := range points {
+				res, err := crashJobs[i][k].wait()
+				k++
 				if err != nil {
 					return nil, err
 				}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"rmcast/internal/cluster"
@@ -26,24 +27,32 @@ func receiverSweep(o Options) []int {
 
 // runFig8 transfers the paper's 426502-byte file to 1..30 receivers via
 // sequential TCP streams and via the ACK-based multicast protocol.
-func runFig8(o Options) (*Report, error) {
+func runFig8(ctx context.Context, o Options) (*Report, error) {
 	const fileSize = 426502
+	r := newRunner(ctx, o)
+	sweep := receiverSweep(o)
+	tcpJobs := make([]*job[*cluster.Result], len(sweep))
+	mcJobs := make([]*job[float64], len(sweep))
+	for i, n := range sweep {
+		tcpJobs[i] = r.tcp(o.clusterConfig(n), unicast.DefaultConfig(), fileSize)
+		mcJobs[i] = r.time(o.clusterConfig(n),
+			core.Config{Protocol: core.ProtoACK, NumReceivers: n, PacketSize: 50000, WindowSize: 2}, fileSize)
+	}
 	tcp := &stats.Series{Label: "TCP (s)"}
 	mc := &stats.Series{Label: "ACK-based (s)"}
-	for _, n := range receiverSweep(o) {
-		res, err := cluster.RunTCP(o.clusterConfig(n), unicast.DefaultConfig(), fileSize)
+	for i, n := range sweep {
+		res, err := tcpJobs[i].wait()
 		if err != nil {
 			return nil, err
 		}
 		tcp.Add(float64(n), secs(res.Elapsed))
-		t, err := runTime(o.clusterConfig(n),
-			core.Config{Protocol: core.ProtoACK, NumReceivers: n, PacketSize: 50000, WindowSize: 2}, fileSize)
+		t, err := mcJobs[i].wait()
 		if err != nil {
 			return nil, err
 		}
 		mc.Add(float64(n), t)
 	}
-	nMax := float64(receiverSweep(o)[len(receiverSweep(o))-1])
+	nMax := float64(sweep[len(sweep)-1])
 	findings := []string{
 		fmt.Sprintf("TCP grows ~linearly: %.3fs at 1 receiver vs %.3fs at %.0f (%.1fx)",
 			tcp.At(1), tcp.At(nMax), nMax, tcp.At(nMax)/tcp.At(1)),
@@ -57,29 +66,38 @@ func runFig8(o Options) (*Report, error) {
 
 // runFig9 compares raw UDP, the ACK-based protocol, and the (incorrect)
 // no-copy variant across message sizes up to 35 KB.
-func runFig9(o Options) (*Report, error) {
+func runFig9(ctx context.Context, o Options) (*Report, error) {
 	n := o.receivers()
 	sizes := []int{1, 2000, 5000, 10000, 15000, 20000, 25000, 30000, 35000}
 	if o.Quick {
 		sizes = []int{1, 10000, 35000}
 	}
+	r := newRunner(ctx, o)
+	udpJobs := make([]*job[*cluster.Result], len(sizes))
+	ackJobs := make([]*job[float64], len(sizes))
+	noCopyJobs := make([]*job[float64], len(sizes))
+	for i, sz := range sizes {
+		udpJobs[i] = r.rawUDP(o.clusterConfig(n), 50000, sz)
+		base := core.Config{Protocol: core.ProtoACK, NumReceivers: n, PacketSize: 50000, WindowSize: 2}
+		ackJobs[i] = r.time(o.clusterConfig(n), base, sz)
+		base.NoUserCopy = true
+		noCopyJobs[i] = r.time(o.clusterConfig(n), base, sz)
+	}
 	udp := &stats.Series{Label: "UDP (s)"}
 	ack := &stats.Series{Label: "ACK-based (s)"}
 	noCopy := &stats.Series{Label: "ACK-based w/o copy (s)"}
-	for _, sz := range sizes {
-		res, err := cluster.RunRawUDP(o.clusterConfig(n), 50000, sz)
+	for i, sz := range sizes {
+		res, err := udpJobs[i].wait()
 		if err != nil {
 			return nil, err
 		}
 		udp.Add(float64(sz), secs(res.Elapsed))
-		base := core.Config{Protocol: core.ProtoACK, NumReceivers: n, PacketSize: 50000, WindowSize: 2}
-		t, err := runTime(o.clusterConfig(n), base, sz)
+		t, err := ackJobs[i].wait()
 		if err != nil {
 			return nil, err
 		}
 		ack.Add(float64(sz), t)
-		base.NoUserCopy = true
-		t, err = runTime(o.clusterConfig(n), base, sz)
+		t, err = noCopyJobs[i].wait()
 		if err != nil {
 			return nil, err
 		}
@@ -100,7 +118,7 @@ func runFig9(o Options) (*Report, error) {
 
 // runFig10 sweeps window size 1..5 for five packet sizes, 500 KB to the
 // full receiver set, under the ACK-based protocol.
-func runFig10(o Options) (*Report, error) {
+func runFig10(ctx context.Context, o Options) (*Report, error) {
 	n := o.receivers()
 	size := 500 * KB
 	packetSizes := []int{500, 1300, 3125, 6250, 50000}
@@ -110,13 +128,21 @@ func runFig10(o Options) (*Report, error) {
 		packetSizes = []int{1300, 50000}
 		windows = []int{1, 2, 4}
 	}
+	r := newRunner(ctx, o)
+	jobs := make([][]*job[float64], len(packetSizes))
+	for i, ps := range packetSizes {
+		jobs[i] = make([]*job[float64], len(windows))
+		for j, w := range windows {
+			jobs[i][j] = r.time(o.clusterConfig(n),
+				core.Config{Protocol: core.ProtoACK, NumReceivers: n, PacketSize: ps, WindowSize: w}, size)
+		}
+	}
 	var series []*stats.Series
 	findings := []string{}
-	for _, ps := range packetSizes {
+	for i, ps := range packetSizes {
 		s := &stats.Series{Label: fmt.Sprintf("pkt=%dB (s)", ps)}
-		for _, w := range windows {
-			t, err := runTime(o.clusterConfig(n),
-				core.Config{Protocol: core.ProtoACK, NumReceivers: n, PacketSize: ps, WindowSize: w}, size)
+		for j, w := range windows {
+			t, err := jobs[i][j].wait()
 			if err != nil {
 				return nil, err
 			}
@@ -142,7 +168,7 @@ func runFig10(o Options) (*Report, error) {
 
 // runFig11 measures ACK-based scalability for small (a) and large (b)
 // message sizes.
-func runFig11(o Options) (*Report, error) {
+func runFig11(ctx context.Context, o Options) (*Report, error) {
 	smallSizes := []int{1, 256, 4096}
 	largeSizes := []int{8 * KB, 64 * KB, 500 * KB}
 	if o.Quick {
@@ -150,34 +176,45 @@ func runFig11(o Options) (*Report, error) {
 		largeSizes = []int{64 * KB}
 	}
 	cfg := core.Config{Protocol: core.ProtoACK, PacketSize: 50000, WindowSize: 2}
-	var smallSeries, largeSeries []*stats.Series
-	for _, sz := range smallSizes {
-		s := &stats.Series{Label: fmt.Sprintf("size=%d (s)", sz)}
-		for _, n := range receiverSweep(o) {
-			c := cfg
-			c.NumReceivers = n
-			t, err := runTime(o.clusterConfig(n), c, sz)
-			if err != nil {
-				return nil, err
-			}
-			s.Add(float64(n), t)
-		}
-		smallSeries = append(smallSeries, s)
-	}
-	for _, sz := range largeSizes {
-		s := &stats.Series{Label: fmt.Sprintf("size=%d (s)", sz)}
-		for _, n := range receiverSweep(o) {
-			c := cfg
-			c.NumReceivers = n
-			t, err := runTime(o.clusterConfig(n), c, sz)
-			if err != nil {
-				return nil, err
-			}
-			s.Add(float64(n), t)
-		}
-		largeSeries = append(largeSeries, s)
-	}
 	sweep := receiverSweep(o)
+	r := newRunner(ctx, o)
+	forkGrid := func(sizes []int) [][]*job[float64] {
+		jobs := make([][]*job[float64], len(sizes))
+		for i, sz := range sizes {
+			jobs[i] = make([]*job[float64], len(sweep))
+			for j, n := range sweep {
+				c := cfg
+				c.NumReceivers = n
+				jobs[i][j] = r.time(o.clusterConfig(n), c, sz)
+			}
+		}
+		return jobs
+	}
+	smallJobs := forkGrid(smallSizes)
+	largeJobs := forkGrid(largeSizes)
+	collect := func(sizes []int, jobs [][]*job[float64]) ([]*stats.Series, error) {
+		var out []*stats.Series
+		for i, sz := range sizes {
+			s := &stats.Series{Label: fmt.Sprintf("size=%d (s)", sz)}
+			for j, n := range sweep {
+				t, err := jobs[i][j].wait()
+				if err != nil {
+					return nil, err
+				}
+				s.Add(float64(n), t)
+			}
+			out = append(out, s)
+		}
+		return out, nil
+	}
+	smallSeries, err := collect(smallSizes, smallJobs)
+	if err != nil {
+		return nil, err
+	}
+	largeSeries, err := collect(largeSizes, largeJobs)
+	if err != nil {
+		return nil, err
+	}
 	nMax := float64(sweep[len(sweep)-1])
 	tiny := smallSeries[0]
 	big := largeSeries[len(largeSeries)-1]

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"rmcast/internal/core"
@@ -15,7 +16,7 @@ func init() {
 
 // runFig12 sweeps the poll interval 1..20 at window 20 for packet sizes
 // 1K/5K/10K, transferring 500 KB to the full receiver set.
-func runFig12(o Options) (*Report, error) {
+func runFig12(ctx context.Context, o Options) (*Report, error) {
 	n := o.receivers()
 	size := 500 * KB
 	packetSizes := []int{1000, 5000, 10000}
@@ -26,19 +27,27 @@ func runFig12(o Options) (*Report, error) {
 		packetSizes = []int{1000, 10000}
 		intervals = []int{1, 8, 16, 20}
 	}
+	r := newRunner(ctx, o)
+	jobs := make([][]*job[float64], len(packetSizes))
+	for i, ps := range packetSizes {
+		jobs[i] = make([]*job[float64], len(intervals))
+		for j, iv := range intervals {
+			jobs[i][j] = r.time(o.clusterConfig(n), core.Config{
+				Protocol: core.ProtoNAK, NumReceivers: n,
+				PacketSize: ps, WindowSize: window, PollInterval: iv,
+			}, size)
+		}
+	}
 	var series []*stats.Series
 	var findings []string
-	for _, ps := range packetSizes {
+	for i, ps := range packetSizes {
 		s := &stats.Series{Label: fmt.Sprintf("pkt=%dB (s)", ps)}
-		for _, i := range intervals {
-			t, err := runTime(o.clusterConfig(n), core.Config{
-				Protocol: core.ProtoNAK, NumReceivers: n,
-				PacketSize: ps, WindowSize: window, PollInterval: i,
-			}, size)
+		for j, iv := range intervals {
+			t, err := jobs[i][j].wait()
 			if err != nil {
 				return nil, err
 			}
-			s.Add(float64(i), t)
+			s.Add(float64(iv), t)
 		}
 		series = append(series, s)
 		bestI, bestT := s.MinY()
@@ -54,7 +63,7 @@ func runFig12(o Options) (*Report, error) {
 
 // runFig13 sweeps total buffer size (window = buffer/packet) for packet
 // sizes 500/8000/50000, poll interval at ~80-85%% of the window.
-func runFig13(o Options) (*Report, error) {
+func runFig13(ctx context.Context, o Options) (*Report, error) {
 	n := o.receivers()
 	size := 500 * KB
 	buffers := []int{50000, 100000, 200000, 300000, 400000, 500000}
@@ -64,10 +73,13 @@ func runFig13(o Options) (*Report, error) {
 		buffers = []int{100000, 400000}
 		packetSizes = []int{500, 8000}
 	}
-	var series []*stats.Series
-	var findings []string
-	for _, ps := range packetSizes {
-		s := &stats.Series{Label: fmt.Sprintf("pkt=%dB (s)", ps)}
+	r := newRunner(ctx, o)
+	type point struct {
+		buf int
+		j   *job[float64]
+	}
+	pts := make([][]point, len(packetSizes))
+	for i, ps := range packetSizes {
 		for _, buf := range buffers {
 			w := buf / ps
 			if w < 2 {
@@ -77,14 +89,22 @@ func runFig13(o Options) (*Report, error) {
 			if poll < 1 {
 				poll = 1
 			}
-			t, err := runTime(o.clusterConfig(n), core.Config{
+			pts[i] = append(pts[i], point{buf, r.time(o.clusterConfig(n), core.Config{
 				Protocol: core.ProtoNAK, NumReceivers: n,
 				PacketSize: ps, WindowSize: w, PollInterval: poll,
-			}, size)
+			}, size)})
+		}
+	}
+	var series []*stats.Series
+	var findings []string
+	for i, ps := range packetSizes {
+		s := &stats.Series{Label: fmt.Sprintf("pkt=%dB (s)", ps)}
+		for _, pt := range pts[i] {
+			t, err := pt.j.wait()
 			if err != nil {
 				return nil, err
 			}
-			s.Add(float64(buf), t)
+			s.Add(float64(pt.buf), t)
 		}
 		series = append(series, s)
 	}
@@ -106,7 +126,7 @@ func runFig13(o Options) (*Report, error) {
 
 // runFig14 measures NAK+polling scalability across receiver counts with
 // per-packet-size tuned windows, as the paper does.
-func runFig14(o Options) (*Report, error) {
+func runFig14(ctx context.Context, o Options) (*Report, error) {
 	size := 500 * KB
 	if o.Quick {
 		size = 150 * KB
@@ -121,14 +141,23 @@ func runFig14(o Options) (*Report, error) {
 	if o.Quick {
 		cfgs = cfgs[1:2]
 	}
-	var series []*stats.Series
-	for _, c := range cfgs {
-		s := &stats.Series{Label: fmt.Sprintf("pkt=%dB (s)", c.ps)}
-		for _, n := range receiverSweep(o) {
-			t, err := runTime(o.clusterConfig(n), core.Config{
+	sweep := receiverSweep(o)
+	r := newRunner(ctx, o)
+	jobs := make([][]*job[float64], len(cfgs))
+	for i, c := range cfgs {
+		jobs[i] = make([]*job[float64], len(sweep))
+		for j, n := range sweep {
+			jobs[i][j] = r.time(o.clusterConfig(n), core.Config{
 				Protocol: core.ProtoNAK, NumReceivers: n,
 				PacketSize: c.ps, WindowSize: c.w, PollInterval: c.poll,
 			}, size)
+		}
+	}
+	var series []*stats.Series
+	for i, c := range cfgs {
+		s := &stats.Series{Label: fmt.Sprintf("pkt=%dB (s)", c.ps)}
+		for j, n := range sweep {
+			t, err := jobs[i][j].wait()
 			if err != nil {
 				return nil, err
 			}
@@ -136,7 +165,6 @@ func runFig14(o Options) (*Report, error) {
 		}
 		series = append(series, s)
 	}
-	sweep := receiverSweep(o)
 	nMax := float64(sweep[len(sweep)-1])
 	var findings []string
 	for _, s := range series {

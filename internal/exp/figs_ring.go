@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"rmcast/internal/core"
@@ -14,7 +15,7 @@ func init() {
 }
 
 // runFig15 sweeps the packet size for a 2 MB transfer at window 35.
-func runFig15(o Options) (*Report, error) {
+func runFig15(ctx context.Context, o Options) (*Report, error) {
 	n := o.receivers()
 	size := 2 * MB
 	packetSizes := []int{1000, 2000, 5000, 8000, 10000, 20000, 35000, 50000}
@@ -26,12 +27,17 @@ func runFig15(o Options) (*Report, error) {
 	if window <= n {
 		window = n + 5 // the ring protocol requires window > N
 	}
-	s := &stats.Series{Label: "time (s)"}
-	for _, ps := range packetSizes {
-		t, err := runTime(o.clusterConfig(n), core.Config{
+	r := newRunner(ctx, o)
+	jobs := make([]*job[float64], len(packetSizes))
+	for i, ps := range packetSizes {
+		jobs[i] = r.time(o.clusterConfig(n), core.Config{
 			Protocol: core.ProtoRing, NumReceivers: n,
 			PacketSize: ps, WindowSize: window,
 		}, size)
+	}
+	s := &stats.Series{Label: "time (s)"}
+	for i, ps := range packetSizes {
+		t, err := jobs[i].wait()
 		if err != nil {
 			return nil, err
 		}
@@ -52,7 +58,7 @@ func runFig15(o Options) (*Report, error) {
 
 // runFig16 sweeps the window size 40..100 for three packet sizes on a
 // 2 MB transfer.
-func runFig16(o Options) (*Report, error) {
+func runFig16(ctx context.Context, o Options) (*Report, error) {
 	n := o.receivers()
 	size := 2 * MB
 	// The paper sweeps 40..100; we extend the sweep down to just above
@@ -64,22 +70,33 @@ func runFig16(o Options) (*Report, error) {
 		windows = []int{n + 1, n + 12, n + 40}
 		packetSizes = []int{8000}
 	}
-	var series []*stats.Series
-	var findings []string
-	for _, ps := range packetSizes {
-		s := &stats.Series{Label: fmt.Sprintf("pkt=%dB (s)", ps)}
+	r := newRunner(ctx, o)
+	type point struct {
+		w int
+		j *job[float64]
+	}
+	pts := make([][]point, len(packetSizes))
+	for i, ps := range packetSizes {
 		for _, w := range windows {
 			if w <= n {
 				continue
 			}
-			t, err := runTime(o.clusterConfig(n), core.Config{
+			pts[i] = append(pts[i], point{w, r.time(o.clusterConfig(n), core.Config{
 				Protocol: core.ProtoRing, NumReceivers: n,
 				PacketSize: ps, WindowSize: w,
-			}, size)
+			}, size)})
+		}
+	}
+	var series []*stats.Series
+	var findings []string
+	for i, ps := range packetSizes {
+		s := &stats.Series{Label: fmt.Sprintf("pkt=%dB (s)", ps)}
+		for _, pt := range pts[i] {
+			t, err := pt.j.wait()
 			if err != nil {
 				return nil, err
 			}
-			s.Add(float64(w), t)
+			s.Add(float64(pt.w), t)
 		}
 		series = append(series, s)
 		bestW, bestT := s.MinY()
@@ -94,27 +111,32 @@ func runFig16(o Options) (*Report, error) {
 }
 
 // runFig17 measures ring scalability on a 2 MB transfer at window 50.
-func runFig17(o Options) (*Report, error) {
+func runFig17(ctx context.Context, o Options) (*Report, error) {
 	size := 2 * MB
 	if o.Quick {
 		size = 512 * KB
 	}
-	s := &stats.Series{Label: "pkt=8000B (s)"}
-	for _, n := range receiverSweep(o) {
+	sweep := receiverSweep(o)
+	r := newRunner(ctx, o)
+	jobs := make([]*job[float64], len(sweep))
+	for i, n := range sweep {
 		w := 50
 		if w <= n {
 			w = n + 20
 		}
-		t, err := runTime(o.clusterConfig(n), core.Config{
+		jobs[i] = r.time(o.clusterConfig(n), core.Config{
 			Protocol: core.ProtoRing, NumReceivers: n,
 			PacketSize: 8000, WindowSize: w,
 		}, size)
+	}
+	s := &stats.Series{Label: "pkt=8000B (s)"}
+	for i, n := range sweep {
+		t, err := jobs[i].wait()
 		if err != nil {
 			return nil, err
 		}
 		s.Add(float64(n), t)
 	}
-	sweep := receiverSweep(o)
 	nMax := float64(sweep[len(sweep)-1])
 	findings := []string{fmt.Sprintf(
 		"scalability is a non-issue for large messages: +%.1f%% from 1 to %.0f receivers",

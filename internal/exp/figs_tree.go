@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"rmcast/internal/core"
@@ -38,22 +39,31 @@ func heightSweep(n int, quick bool) []int {
 
 // runFig18 sweeps the flat-tree height for 8 KB and 50 KB packets at a
 // generous window, transferring 500 KB.
-func runFig18(o Options) (*Report, error) {
+func runFig18(ctx context.Context, o Options) (*Report, error) {
 	n := o.receivers()
 	size := 500 * KB
 	if o.Quick {
 		size = 150 * KB
 	}
 	packetSizes := []int{50000, 8000}
-	var series []*stats.Series
-	var findings []string
-	for _, ps := range packetSizes {
-		s := &stats.Series{Label: fmt.Sprintf("pkt=%dB (s)", ps)}
-		for _, h := range heightSweep(n, o.Quick) {
-			t, err := runTime(o.clusterConfig(n), core.Config{
+	heights := heightSweep(n, o.Quick)
+	r := newRunner(ctx, o)
+	jobs := make([][]*job[float64], len(packetSizes))
+	for i, ps := range packetSizes {
+		jobs[i] = make([]*job[float64], len(heights))
+		for j, h := range heights {
+			jobs[i][j] = r.time(o.clusterConfig(n), core.Config{
 				Protocol: core.ProtoTree, NumReceivers: n,
 				PacketSize: ps, WindowSize: 20, TreeHeight: h,
 			}, size)
+		}
+	}
+	var series []*stats.Series
+	var findings []string
+	for i, ps := range packetSizes {
+		s := &stats.Series{Label: fmt.Sprintf("pkt=%dB (s)", ps)}
+		for j, h := range heights {
+			t, err := jobs[i][j].wait()
 			if err != nil {
 				return nil, err
 			}
@@ -89,7 +99,7 @@ func runFig18(o Options) (*Report, error) {
 
 // runFig19 sweeps window size for several heights at 8 KB packets,
 // showing taller trees need more window to fill their longer ack pipe.
-func runFig19(o Options) (*Report, error) {
+func runFig19(ctx context.Context, o Options) (*Report, error) {
 	n := o.receivers()
 	size := 500 * KB
 	windows := []int{1, 2, 4, 6, 8, 10, 14, 20}
@@ -99,18 +109,28 @@ func runFig19(o Options) (*Report, error) {
 		windows = []int{1, 4, 12}
 		heights = []int{1, n}
 	}
-	var series []*stats.Series
-	var findings []string
-	for _, h := range heights {
+	for i, h := range heights {
 		if h > n {
-			h = n
+			heights[i] = n
 		}
-		s := &stats.Series{Label: fmt.Sprintf("H=%d (s)", h)}
-		for _, w := range windows {
-			t, err := runTime(o.clusterConfig(n), core.Config{
+	}
+	r := newRunner(ctx, o)
+	jobs := make([][]*job[float64], len(heights))
+	for i, h := range heights {
+		jobs[i] = make([]*job[float64], len(windows))
+		for j, w := range windows {
+			jobs[i][j] = r.time(o.clusterConfig(n), core.Config{
 				Protocol: core.ProtoTree, NumReceivers: n,
 				PacketSize: 8000, WindowSize: w, TreeHeight: h,
 			}, size)
+		}
+	}
+	var series []*stats.Series
+	var findings []string
+	for i, h := range heights {
+		s := &stats.Series{Label: fmt.Sprintf("H=%d (s)", h)}
+		for j, w := range windows {
+			t, err := jobs[i][j].wait()
 			if err != nil {
 				return nil, err
 			}
@@ -146,20 +166,29 @@ func runFig19(o Options) (*Report, error) {
 
 // runFig20 sweeps the tree height for small messages, exposing the
 // user-level relay latency.
-func runFig20(o Options) (*Report, error) {
+func runFig20(ctx context.Context, o Options) (*Report, error) {
 	n := o.receivers()
 	sizes := []int{1, 256, 8 * KB}
 	if o.Quick {
 		sizes = []int{1, 8 * KB}
 	}
-	var series []*stats.Series
-	for _, sz := range sizes {
-		s := &stats.Series{Label: fmt.Sprintf("size=%dB (s)", sz)}
-		for _, h := range heightSweep(n, o.Quick) {
-			t, err := runTime(o.clusterConfig(n), core.Config{
+	heights := heightSweep(n, o.Quick)
+	r := newRunner(ctx, o)
+	jobs := make([][]*job[float64], len(sizes))
+	for i, sz := range sizes {
+		jobs[i] = make([]*job[float64], len(heights))
+		for j, h := range heights {
+			jobs[i][j] = r.time(o.clusterConfig(n), core.Config{
 				Protocol: core.ProtoTree, NumReceivers: n,
 				PacketSize: 8000, WindowSize: 20, TreeHeight: h,
 			}, sz)
+		}
+	}
+	var series []*stats.Series
+	for i, sz := range sizes {
+		s := &stats.Series{Label: fmt.Sprintf("size=%dB (s)", sz)}
+		for j, h := range heights {
+			t, err := jobs[i][j].wait()
 			if err != nil {
 				return nil, err
 			}
@@ -180,7 +209,7 @@ func runFig20(o Options) (*Report, error) {
 }
 
 // runFig21 sweeps window × packet size at H=6.
-func runFig21(o Options) (*Report, error) {
+func runFig21(ctx context.Context, o Options) (*Report, error) {
 	n := o.receivers()
 	size := 500 * KB
 	windows := []int{1, 2, 4, 6, 10, 15, 20, 30, 40, 50}
@@ -194,15 +223,23 @@ func runFig21(o Options) (*Report, error) {
 	if h > n {
 		h = n
 	}
-	var series []*stats.Series
-	var findings []string
-	for _, ps := range packetSizes {
-		s := &stats.Series{Label: fmt.Sprintf("pkt=%dB (s)", ps)}
-		for _, w := range windows {
-			t, err := runTime(o.clusterConfig(n), core.Config{
+	r := newRunner(ctx, o)
+	jobs := make([][]*job[float64], len(packetSizes))
+	for i, ps := range packetSizes {
+		jobs[i] = make([]*job[float64], len(windows))
+		for j, w := range windows {
+			jobs[i][j] = r.time(o.clusterConfig(n), core.Config{
 				Protocol: core.ProtoTree, NumReceivers: n,
 				PacketSize: ps, WindowSize: w, TreeHeight: h,
 			}, size)
+		}
+	}
+	var series []*stats.Series
+	var findings []string
+	for i, ps := range packetSizes {
+		s := &stats.Series{Label: fmt.Sprintf("pkt=%dB (s)", ps)}
+		for j, w := range windows {
+			t, err := jobs[i][j].wait()
 			if err != nil {
 				return nil, err
 			}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"rmcast/internal/cluster"
@@ -31,7 +32,7 @@ func init() {
 
 // runTable1 renders the paper's qualitative Table 1 and backs the
 // memory column with measured peak buffer requirements.
-func runTable1(o Options) (*Report, error) {
+func runTable1(ctx context.Context, o Options) (*Report, error) {
 	t := &stats.Table{
 		Title:  "Memory requirement and implementation complexity",
 		Header: []string{"protocol", "memory requirement", "implementation complexity"},
@@ -48,7 +49,7 @@ func runTable1(o Options) (*Report, error) {
 
 // runTable2 prints the analytic Table 2 and validates it against
 // simulation counters from an error-free run of each protocol.
-func runTable2(o Options) (*Report, error) {
+func runTable2(ctx context.Context, o Options) (*Report, error) {
 	n := o.receivers()
 	poll := 10
 	h := 6
@@ -73,15 +74,21 @@ func runTable2(o Options) (*Report, error) {
 		Title:  "Measured on the simulated testbed (acks processed by sender / data packets)",
 		Header: []string{"protocol", "analytic", "measured"},
 	}
-	var findings []string
-	for _, pcfg := range []core.Config{
+	cfgs := []core.Config{
 		{Protocol: core.ProtoACK, PacketSize: 8000, WindowSize: 8},
 		{Protocol: core.ProtoNAK, PacketSize: 8000, WindowSize: 20, PollInterval: poll},
 		{Protocol: core.ProtoRing, PacketSize: 8000, WindowSize: n + 10},
 		{Protocol: core.ProtoTree, PacketSize: 8000, WindowSize: 20, TreeHeight: h},
-	} {
+	}
+	r := newRunner(ctx, o)
+	jobs := make([]*job[*cluster.Result], len(cfgs))
+	for i, pcfg := range cfgs {
 		pcfg.NumReceivers = n
-		res, err := cluster.Run(o.clusterConfig(n), pcfg, size)
+		jobs[i] = r.result(o.clusterConfig(n), pcfg, size)
+	}
+	var findings []string
+	for i, pcfg := range cfgs {
+		res, err := jobs[i].wait()
 		if err != nil {
 			return nil, err
 		}
@@ -97,7 +104,7 @@ func runTable2(o Options) (*Report, error) {
 
 // runTable3 reruns the paper's headline comparison: 2 MB at each
 // protocol's best parameters.
-func runTable3(o Options) (*Report, error) {
+func runTable3(ctx context.Context, o Options) (*Report, error) {
 	n := o.receivers()
 	size := 2 * MB
 	if o.Quick {
@@ -126,10 +133,15 @@ func runTable3(o Options) (*Report, error) {
 		Title:  fmt.Sprintf("Throughput sending %d bytes to %d receivers", size, n),
 		Header: []string{"protocol", "throughput (Mbps)", "paper (Mbps)"},
 	}
-	got := map[string]float64{}
-	for _, r := range rows {
+	rn := newRunner(ctx, o)
+	jobs := make([]*job[*cluster.Result], len(rows))
+	for i, r := range rows {
 		r.cfg.NumReceivers = n
-		res, err := cluster.Run(o.clusterConfig(n), r.cfg, size)
+		jobs[i] = rn.result(o.clusterConfig(n), r.cfg, size)
+	}
+	got := map[string]float64{}
+	for i, r := range rows {
+		res, err := jobs[i].wait()
 		if err != nil {
 			return nil, err
 		}

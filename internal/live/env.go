@@ -5,6 +5,7 @@ import (
 
 	"rmcast/internal/core"
 	"rmcast/internal/packet"
+	"rmcast/internal/trace"
 )
 
 // liveEnv implements core.Env on top of the node's sockets and event
@@ -29,6 +30,8 @@ func (e *liveEnv) Send(to core.NodeID, p *packet.Packet) {
 		return
 	}
 	p.Src = uint16(e.n.cfg.Rank)
+	e.n.mx.CountSend(p.Type)
+	e.n.trace(trace.Send, int(to), p)
 	e.n.uconn.WriteToUDP(p.Encode(), addr)
 }
 
@@ -37,6 +40,8 @@ func (e *liveEnv) Multicast(p *packet.Packet) {
 		return
 	}
 	p.Src = uint16(e.n.cfg.Rank)
+	e.n.mx.CountSend(p.Type)
+	e.n.trace(trace.SendMC, trace.Multicast, p)
 	e.n.uconn.WriteToUDP(p.Encode(), e.n.group)
 }
 

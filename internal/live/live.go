@@ -22,7 +22,9 @@ import (
 	"time"
 
 	"rmcast/internal/core"
+	"rmcast/internal/metrics"
 	"rmcast/internal/packet"
+	"rmcast/internal/trace"
 )
 
 // Config describes one live node.
@@ -54,6 +56,11 @@ type Config struct {
 	// injection so the retransmission paths can be tested over real
 	// sockets. Hello packets are never dropped. Leave nil in production.
 	DropSend func(p *packet.Packet) bool
+	// Trace, when non-nil, records every protocol packet event — the
+	// same ring buffer the simulator uses. It must be safe for
+	// concurrent use (trace.NewShared): the node's goroutines record
+	// into it while the application reads it.
+	Trace *trace.Buffer
 }
 
 // Node is one live protocol endpoint.
@@ -68,6 +75,10 @@ type Node struct {
 	wg      sync.WaitGroup
 	start   time.Time
 
+	// mx counts the node's protocol activity. Its instruments are
+	// atomic, so Metrics() snapshots are safe from any goroutine.
+	mx *metrics.Session
+
 	// Everything below is owned by the event loop goroutine.
 	addrs     map[core.NodeID]*net.UDPAddr
 	lastSeen  map[core.NodeID]time.Time
@@ -75,6 +86,11 @@ type Node struct {
 	timers    map[core.TimerID]*time.Timer
 	nextTimer core.TimerID
 	readyWait []readyWaiter
+	// curMsgStart is when the current message's first packet was heard
+	// (receiver ranks); it anchors the completion-latency observation.
+	curMsgID    uint32
+	haveCurMsg  bool
+	curMsgStart time.Time
 
 	recvQ chan []byte // delivered messages (receiver ranks)
 
@@ -143,6 +159,7 @@ func NewNode(cfg Config) (*Node, error) {
 		loop:     make(chan func(), 1024),
 		closing:  make(chan struct{}),
 		start:    time.Now(),
+		mx:       metrics.NewSession(),
 		addrs:    make(map[core.NodeID]*net.UDPAddr),
 		lastSeen: make(map[core.NodeID]time.Time),
 		timers:   make(map[core.TimerID]*time.Timer),
@@ -150,6 +167,11 @@ func NewNode(cfg Config) (*Node, error) {
 	}
 	if cfg.Rank != core.SenderID {
 		rcv, err := core.NewReceiver(n.env(), cfg.Protocol, cfg.Rank, func(msg []byte) {
+			// Delivery runs on the event loop; the current message's
+			// first packet anchored curMsgStart there.
+			if n.haveCurMsg {
+				n.mx.ObserveCompletion(int(cfg.Rank), time.Since(n.curMsgStart))
+			}
 			// Deliver a stable copy: the protocol buffer is reused for
 			// duplicate handling.
 			out := make([]byte, len(msg))
@@ -169,6 +191,7 @@ func NewNode(cfg Config) (*Node, error) {
 			n.closeSockets()
 			return nil, err
 		}
+		rcv.SetMetrics(n.mx)
 		n.ep = rcv
 	}
 	n.wg.Add(3)
@@ -210,16 +233,24 @@ func (n *Node) post(fn func()) {
 
 func (n *Node) runLoop() {
 	defer n.wg.Done()
+	// run times each callback: the sum is the node's protocol-engine
+	// CPU occupancy — the live counterpart of the simulator's
+	// sender-busy measurement (ACK implosion shows up here first).
+	run := func(fn func()) {
+		t0 := time.Now()
+		fn()
+		n.mx.AddSenderBusy(time.Since(t0))
+	}
 	for {
 		select {
 		case fn := <-n.loop:
-			fn()
+			run(fn)
 		case <-n.closing:
 			// Drain whatever is queued, then stop timers.
 			for {
 				select {
 				case fn := <-n.loop:
-					fn()
+					run(fn)
 				default:
 					for _, t := range n.timers {
 						t.Stop()
@@ -229,6 +260,35 @@ func (n *Node) runLoop() {
 			}
 		}
 	}
+}
+
+// Metrics returns a snapshot of the node's metrics: per-type packet
+// counts, retransmissions, NAKs, ejections, per-message completion
+// latency (receiver ranks) or per-transfer latency (the sender), and
+// the protocol engine's accumulated CPU-busy time (as SenderBusy).
+// Safe to call from any goroutine.
+func (n *Node) Metrics() metrics.Metrics { return n.mx.Snapshot() }
+
+// MetricsRegistry exposes the node's named instruments (for dumps).
+func (n *Node) MetricsRegistry() *metrics.Registry { return n.mx.Registry() }
+
+// trace records one packet event into the configured shared buffer.
+func (n *Node) trace(dir trace.Dir, peer int, p *packet.Packet) {
+	buf := n.cfg.Trace
+	if buf == nil {
+		return
+	}
+	buf.Add(trace.Event{
+		At:    time.Since(n.start),
+		Node:  int(n.cfg.Rank),
+		Dir:   dir,
+		Peer:  peer,
+		Type:  p.Type,
+		Flags: p.Flags,
+		MsgID: p.MsgID,
+		Seq:   p.Seq,
+		Len:   len(p.Payload),
+	})
 }
 
 // reader pumps one socket into the event loop.
@@ -272,6 +332,16 @@ func (n *Node) onWire(wire []byte, src *net.UDPAddr) {
 	// the peer alive.
 	n.learn(from, src)
 	n.lastSeen[from] = time.Now()
+	n.mx.CountRecv(p.Type)
+	n.trace(trace.Recv, int(from), p)
+	// The first packet of a new message anchors this node's
+	// completion-latency clock.
+	if (p.Type == packet.TypeAllocReq || p.Type == packet.TypeData) &&
+		(!n.haveCurMsg || p.MsgID != n.curMsgID) {
+		n.curMsgID = p.MsgID
+		n.haveCurMsg = true
+		n.curMsgStart = time.Now()
+	}
 	switch p.Type {
 	case packet.TypeHello:
 		// Learning was the point; answer new peers promptly so
@@ -355,6 +425,8 @@ func (n *Node) sendHello(wantReply bool) {
 		aux = 1
 	}
 	p := &packet.Packet{Type: packet.TypeHello, Src: uint16(n.cfg.Rank), Aux: aux}
+	n.mx.CountSend(p.Type)
+	n.trace(trace.SendMC, trace.Multicast, p)
 	n.uconn.WriteToUDP(p.Encode(), n.group)
 }
 
@@ -413,11 +485,16 @@ func (n *Node) Send(ctx context.Context, msg []byte) error {
 				errCh <- err
 				return
 			}
+			snd.SetMetrics(n.mx)
 			n.snd = snd
 			n.ep = snd
 		}
 		n.sending = true
+		sendStart := time.Now()
 		n.sendDone = func() {
+			// The sender's "completion latency" is the whole transfer,
+			// recorded under its own rank.
+			n.mx.ObserveCompletion(int(core.SenderID), time.Since(sendStart))
 			if failed := n.snd.Failed(); len(failed) > 0 {
 				pr := &core.PartialResult{Failed: append([]core.NodeID(nil), failed...)}
 				for r := 1; r <= n.cfg.Protocol.NumReceivers; r++ {

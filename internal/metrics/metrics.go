@@ -1,0 +1,167 @@
+// Package metrics is an allocation-light instrumentation layer for
+// multicast sessions. It provides three primitives — Counter, Gauge and
+// Histogram — plus a Registry that names them for export and a Session
+// that wires the set of instruments the paper's analysis needs (packet
+// counts per type, retransmissions, NAKs, ejections, buffer-overflow
+// drops, sender CPU-busy time, per-receiver completion latency).
+//
+// All primitives are safe for concurrent use and nil-safe: calling a
+// method on a nil *Counter (etc.) is a no-op, so instrumented code can
+// hold a possibly-nil instrument and update it unconditionally. The
+// update paths perform no allocation; only Snapshot does.
+package metrics
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one. No-op on a nil receiver.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n. No-op on a nil receiver.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Load returns the current count; zero on a nil receiver.
+func (c *Counter) Load() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable instantaneous value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value. No-op on a nil receiver.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adjusts the value by d. No-op on a nil receiver.
+func (g *Gauge) Add(d int64) {
+	if g != nil {
+		g.v.Add(d)
+	}
+}
+
+// Load returns the current value; zero on a nil receiver.
+func (g *Gauge) Load() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histBuckets is the fixed bucket count of a Histogram. Bucket i counts
+// observations in (2^(i-1)µs, 2^iµs]; bucket 0 holds everything ≤ 1µs
+// and the last bucket is a catch-all, so 40 doubling buckets span 1µs
+// to ~6 days — wider than any session this code can produce.
+const histBuckets = 40
+
+// Histogram records a distribution of durations in fixed
+// power-of-two buckets. The zero value is ready to use.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Int64 // nanoseconds
+	max     atomic.Int64 // nanoseconds
+	buckets [histBuckets]atomic.Uint64
+}
+
+// bucketIndex maps a duration to its bucket.
+func bucketIndex(d time.Duration) int {
+	us := uint64(d / time.Microsecond)
+	if us <= 1 {
+		return 0
+	}
+	i := bits.Len64(us - 1) // smallest i with us <= 1<<i
+	if i >= histBuckets {
+		return histBuckets - 1
+	}
+	return i
+}
+
+// BucketBound returns the inclusive upper bound of bucket i.
+func BucketBound(i int) time.Duration {
+	return time.Duration(uint64(1)<<uint(i)) * time.Microsecond
+}
+
+// Observe records one duration. No-op on a nil receiver.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+	for {
+		cur := h.max.Load()
+		if int64(d) <= cur || h.max.CompareAndSwap(cur, int64(d)) {
+			break
+		}
+	}
+	h.buckets[bucketIndex(d)].Add(1)
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram.
+type HistogramSnapshot struct {
+	Count uint64        `json:"count"`
+	Sum   time.Duration `json:"sum_ns"`
+	Max   time.Duration `json:"max_ns"`
+	// Buckets lists only occupied buckets, in increasing bound order.
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Bucket is one occupied histogram bucket.
+type Bucket struct {
+	// Bound is the inclusive upper bound of the bucket.
+	Bound time.Duration `json:"bound_ns"`
+	Count uint64        `json:"count"`
+}
+
+// Mean returns the average observed duration, or 0 if empty.
+func (s HistogramSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / time.Duration(s.Count)
+}
+
+// Snapshot copies the histogram's current state. A nil receiver
+// yields an empty snapshot.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Count: h.count.Load(),
+		Sum:   time.Duration(h.sum.Load()),
+		Max:   time.Duration(h.max.Load()),
+	}
+	for i := range h.buckets {
+		if n := h.buckets[i].Load(); n > 0 {
+			s.Buckets = append(s.Buckets, Bucket{Bound: BucketBound(i), Count: n})
+		}
+	}
+	return s
+}

@@ -1,0 +1,105 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Registry names instruments for export. Registration happens once at
+// session setup; reads (Visit, Values) take a snapshot under a lock, so
+// hot update paths never touch the registry.
+type Registry struct {
+	mu       sync.Mutex
+	counters []namedInstrument[*Counter]
+	gauges   []namedInstrument[*Gauge]
+	hists    []namedInstrument[*Histogram]
+}
+
+type namedInstrument[T any] struct {
+	name string
+	inst T
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Counter registers and returns a new named counter.
+func (r *Registry) Counter(name string) *Counter {
+	c := &Counter{}
+	r.mu.Lock()
+	r.counters = append(r.counters, namedInstrument[*Counter]{name, c})
+	r.mu.Unlock()
+	return c
+}
+
+// Gauge registers and returns a new named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	g := &Gauge{}
+	r.mu.Lock()
+	r.gauges = append(r.gauges, namedInstrument[*Gauge]{name, g})
+	r.mu.Unlock()
+	return g
+}
+
+// Histogram registers and returns a new named histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	h := &Histogram{}
+	r.mu.Lock()
+	r.hists = append(r.hists, namedInstrument[*Histogram]{name, h})
+	r.mu.Unlock()
+	return h
+}
+
+// Values returns the current value of every counter and gauge, keyed by
+// name, plus every histogram snapshot. Histogram values appear under
+// their registered name. A nil registry yields empty maps.
+func (r *Registry) Values() (scalars map[string]int64, hists map[string]HistogramSnapshot) {
+	scalars = map[string]int64{}
+	hists = map[string]HistogramSnapshot{}
+	if r == nil {
+		return scalars, hists
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.counters {
+		scalars[c.name] = int64(c.inst.Load())
+	}
+	for _, g := range r.gauges {
+		scalars[g.name] = g.inst.Load()
+	}
+	for _, h := range r.hists {
+		hists[h.name] = h.inst.Snapshot()
+	}
+	return scalars, hists
+}
+
+// Fprint writes every instrument's current value, one per line, sorted
+// by name — the CLI "-metrics" dump format.
+func (r *Registry) Fprint(w io.Writer) error {
+	scalars, hists := r.Values()
+	names := make([]string, 0, len(scalars))
+	for n := range scalars {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if _, err := fmt.Fprintf(w, "%-32s %d\n", n, scalars[n]); err != nil {
+			return err
+		}
+	}
+	hnames := make([]string, 0, len(hists))
+	for n := range hists {
+		hnames = append(hnames, n)
+	}
+	sort.Strings(hnames)
+	for _, n := range hnames {
+		s := hists[n]
+		if _, err := fmt.Fprintf(w, "%-32s count=%d mean=%v max=%v\n",
+			n, s.Count, s.Mean(), s.Max); err != nil {
+			return err
+		}
+	}
+	return nil
+}

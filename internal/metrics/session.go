@@ -1,0 +1,264 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"rmcast/internal/packet"
+)
+
+// numTypes sizes the per-packet-type counter arrays.
+const numTypes = int(packet.TypeEject) + 1
+
+// Session aggregates the instruments of one multicast session (one
+// cluster.Run, or the lifetime of a live node). All update methods are
+// nil-safe and concurrency-safe, so both the single-threaded simulator
+// and the live transport's goroutines can share the code paths that
+// update them.
+//
+// Counter semantics, relative to the paper's analysis:
+//
+//   - sent/received per type expose the control-traffic asymmetry
+//     behind ACK implosion (Section 5.1): an ACK protocol's received
+//     ack count grows as receivers × window advances, all of it
+//     serialized on the sender's CPU.
+//   - Retransmissions separate the repair cost of the protocols.
+//   - BufferOverflowDrops counts datagrams lost to full receive
+//     buffers — the paper's dominant loss cause on a LAN, as opposed
+//     to link-level corruption.
+//   - SenderBusy is the sender host's serial CPU occupancy, the
+//     quantity that saturates first under ACK implosion.
+//   - Completion is each receiver's time-to-full-message, the
+//     distribution behind the per-receiver latency figures.
+type Session struct {
+	reg *Registry
+
+	sent     [numTypes]*Counter
+	received [numTypes]*Counter
+
+	retransmissions *Counter
+	naksSent        *Counter
+	ejections       *Counter
+	overflowDrops   *Counter
+	senderBusy      *Gauge // nanoseconds
+
+	completion *Histogram
+
+	mu      sync.Mutex
+	perRecv map[int]time.Duration
+}
+
+// NewSession creates a session with every instrument registered in a
+// fresh registry.
+func NewSession() *Session {
+	s := &Session{
+		reg:     NewRegistry(),
+		perRecv: map[int]time.Duration{},
+	}
+	for t := 0; t < numTypes; t++ {
+		name := packet.Type(t).String()
+		s.sent[t] = s.reg.Counter("send." + name)
+		s.received[t] = s.reg.Counter("recv." + name)
+	}
+	s.retransmissions = s.reg.Counter("retransmissions")
+	s.naksSent = s.reg.Counter("naks_sent")
+	s.ejections = s.reg.Counter("ejections")
+	s.overflowDrops = s.reg.Counter("buffer_overflow_drops")
+	s.senderBusy = s.reg.Gauge("sender_busy_ns")
+	s.completion = s.reg.Histogram("completion_latency")
+	return s
+}
+
+// Registry exposes the session's named instruments; nil on a nil
+// session.
+func (s *Session) Registry() *Registry {
+	if s == nil {
+		return nil
+	}
+	return s.reg
+}
+
+// CountSend records one datagram of type t leaving a node.
+func (s *Session) CountSend(t packet.Type) {
+	if s == nil || int(t) >= numTypes {
+		return
+	}
+	s.sent[t].Inc()
+}
+
+// CountRecv records one datagram of type t arriving at a node.
+func (s *Session) CountRecv(t packet.Type) {
+	if s == nil || int(t) >= numTypes {
+		return
+	}
+	s.received[t].Inc()
+}
+
+// CountRetransmission records one retransmitted data packet.
+func (s *Session) CountRetransmission() {
+	if s != nil {
+		s.retransmissions.Inc()
+	}
+}
+
+// CountNak records one negative acknowledgment sent by a receiver.
+func (s *Session) CountNak() {
+	if s != nil {
+		s.naksSent.Inc()
+	}
+}
+
+// CountEjection records the sender ejecting a failed receiver.
+func (s *Session) CountEjection() {
+	if s != nil {
+		s.ejections.Inc()
+	}
+}
+
+// AddOverflowDrops records n datagrams lost to full receive buffers.
+func (s *Session) AddOverflowDrops(n uint64) {
+	if s != nil {
+		s.overflowDrops.Add(n)
+	}
+}
+
+// AddSenderBusy accumulates sender CPU-busy time.
+func (s *Session) AddSenderBusy(d time.Duration) {
+	if s != nil {
+		s.senderBusy.Add(int64(d))
+	}
+}
+
+// SetSenderBusy replaces the accumulated sender CPU-busy time (the
+// simulator computes it once from the host model at session end).
+func (s *Session) SetSenderBusy(d time.Duration) {
+	if s != nil {
+		s.senderBusy.Set(int64(d))
+	}
+}
+
+// ObserveCompletion records receiver rank finishing the session after d.
+func (s *Session) ObserveCompletion(rank int, d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.completion.Observe(d)
+	s.mu.Lock()
+	s.perRecv[rank] = d
+	s.mu.Unlock()
+}
+
+// Metrics is a point-in-time snapshot of a Session, attached to
+// simulation results and returned by live nodes. Maps are keyed by
+// packet type name and omit zero entries.
+type Metrics struct {
+	Sent     map[string]uint64 `json:"sent,omitempty"`
+	Received map[string]uint64 `json:"received,omitempty"`
+
+	Retransmissions     uint64 `json:"retransmissions"`
+	NaksSent            uint64 `json:"naks_sent"`
+	Ejections           uint64 `json:"ejections"`
+	BufferOverflowDrops uint64 `json:"buffer_overflow_drops"`
+
+	// SenderBusy is the sender host's serial CPU occupancy over the
+	// session — the resource ACK implosion exhausts first.
+	SenderBusy time.Duration `json:"sender_busy_ns"`
+
+	// Completion maps receiver rank to its time-to-complete-message;
+	// CompletionHist is the same data as a distribution.
+	Completion     map[int]time.Duration `json:"completion_ns,omitempty"`
+	CompletionHist HistogramSnapshot     `json:"completion_hist"`
+}
+
+// Snapshot copies the session's current state. A nil session yields a
+// zero-value (but usable) Metrics.
+func (s *Session) Snapshot() Metrics {
+	m := Metrics{}
+	if s == nil {
+		return m
+	}
+	m.Sent = typeMap(&s.sent)
+	m.Received = typeMap(&s.received)
+	m.Retransmissions = s.retransmissions.Load()
+	m.NaksSent = s.naksSent.Load()
+	m.Ejections = s.ejections.Load()
+	m.BufferOverflowDrops = s.overflowDrops.Load()
+	m.SenderBusy = time.Duration(s.senderBusy.Load())
+	m.CompletionHist = s.completion.Snapshot()
+	s.mu.Lock()
+	if len(s.perRecv) > 0 {
+		m.Completion = make(map[int]time.Duration, len(s.perRecv))
+		for r, d := range s.perRecv {
+			m.Completion[r] = d
+		}
+	}
+	s.mu.Unlock()
+	return m
+}
+
+func typeMap(cs *[numTypes]*Counter) map[string]uint64 {
+	var m map[string]uint64
+	for t := 0; t < numTypes; t++ {
+		if n := cs[t].Load(); n > 0 {
+			if m == nil {
+				m = map[string]uint64{}
+			}
+			m[packet.Type(t).String()] = n
+		}
+	}
+	return m
+}
+
+// TotalSent returns the sum over all packet types.
+func (m Metrics) TotalSent() uint64 { return sumMap(m.Sent) }
+
+// TotalReceived returns the sum over all packet types.
+func (m Metrics) TotalReceived() uint64 { return sumMap(m.Received) }
+
+func sumMap(m map[string]uint64) uint64 {
+	var n uint64
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// Fprint writes a human-readable dump of the snapshot.
+func (m Metrics) Fprint(w io.Writer) error {
+	if err := fprintTypeMap(w, "sent", m.Sent); err != nil {
+		return err
+	}
+	if err := fprintTypeMap(w, "received", m.Received); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w,
+		"retransmissions                  %d\nnaks_sent                        %d\nejections                        %d\nbuffer_overflow_drops            %d\nsender_busy                      %v\n",
+		m.Retransmissions, m.NaksSent, m.Ejections, m.BufferOverflowDrops, m.SenderBusy)
+	if err != nil {
+		return err
+	}
+	if h := m.CompletionHist; h.Count > 0 {
+		if _, err := fmt.Fprintf(w, "completion_latency               count=%d mean=%v max=%v\n",
+			h.Count, h.Mean(), h.Max); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func fprintTypeMap(w io.Writer, prefix string, m map[string]uint64) error {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if _, err := fmt.Fprintf(w, "%-32s %d\n", prefix+"."+n, m[n]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -96,6 +96,43 @@ func TestSeriesTableMergesXs(t *testing.T) {
 	}
 }
 
+func TestTableFprintNoHeaderWithNotes(t *testing.T) {
+	tab := &Table{}
+	tab.AddRow("a", 1.0)
+	tab.Notes = append(tab.Notes, "caveat applies")
+	var buf bytes.Buffer
+	tab.Fprint(&buf)
+	got := buf.String()
+	want := "a  1\nnote: caveat applies\n"
+	if got != want {
+		t.Errorf("Fprint = %q, want %q", got, want)
+	}
+}
+
+func TestTableFprintTrimsTrailingSpace(t *testing.T) {
+	tab := &Table{Header: []string{"wide-column", "x"}}
+	tab.AddRow("a", "b")
+	var buf bytes.Buffer
+	tab.Fprint(&buf)
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if line != strings.TrimRight(line, " ") {
+			t.Errorf("line %q has trailing spaces", line)
+		}
+	}
+}
+
+func TestTableCSVNoHeader(t *testing.T) {
+	tab := &Table{}
+	tab.AddRow("x", 3.5)
+	tab.AddRow("y", 7.0)
+	var buf bytes.Buffer
+	tab.CSV(&buf)
+	want := "x,3.50\ny,7\n"
+	if buf.String() != want {
+		t.Errorf("CSV = %q, want %q", buf.String(), want)
+	}
+}
+
 func TestMean(t *testing.T) {
 	if m := Mean([]float64{1, 2, 3}); m != 2 {
 		t.Errorf("Mean = %v", m)

@@ -1,12 +1,13 @@
 // Package trace records protocol-level packet events from a simulated
-// session into a bounded ring buffer, for debugging protocol behavior
-// and for the -trace mode of cmd/rmsim. Tracing is pull-based and
-// allocation-light so it can stay enabled for large runs.
+// or live session into a bounded ring buffer, for debugging protocol
+// behavior and for the -trace mode of cmd/rmsim. Tracing is pull-based
+// and allocation-light so it can stay enabled for large runs.
 package trace
 
 import (
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"rmcast/internal/packet"
@@ -73,14 +74,19 @@ func (e Event) String() string {
 }
 
 // Buffer is a bounded ring of events. The zero value is unusable; call
-// New. Buffer is not safe for concurrent use — the simulator is
-// single-threaded.
+// New or NewShared. A Buffer from New is not safe for concurrent use —
+// the simulator is single-threaded; the live transport, whose readers
+// and event loop run on separate goroutines, uses NewShared, which
+// guards the ring with a mutex.
 type Buffer struct {
+	mu      *sync.Mutex // nil for single-threaded buffers
 	events  []Event
 	next    int
 	wrapped bool
 	total   uint64
 	// Filter, when non-nil, drops events for which it returns false.
+	// Set it before recording begins; a shared buffer reads it without
+	// the lock.
 	Filter func(Event) bool
 }
 
@@ -92,10 +98,23 @@ func New(cap int) *Buffer {
 	return &Buffer{events: make([]Event, 0, cap)}
 }
 
+// NewShared creates a buffer retaining the last cap events that is safe
+// for concurrent Add and read calls — the variant the live transport
+// records into.
+func NewShared(cap int) *Buffer {
+	b := New(cap)
+	b.mu = &sync.Mutex{}
+	return b
+}
+
 // Add records one event.
 func (b *Buffer) Add(e Event) {
 	if b.Filter != nil && !b.Filter(e) {
 		return
+	}
+	if b.mu != nil {
+		b.mu.Lock()
+		defer b.mu.Unlock()
 	}
 	b.total++
 	if len(b.events) < cap(b.events) {
@@ -109,10 +128,20 @@ func (b *Buffer) Add(e Event) {
 
 // Total returns how many events were recorded (including ones that have
 // since been overwritten).
-func (b *Buffer) Total() uint64 { return b.total }
+func (b *Buffer) Total() uint64 {
+	if b.mu != nil {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+	}
+	return b.total
+}
 
 // Events returns the retained events in chronological order.
 func (b *Buffer) Events() []Event {
+	if b.mu != nil {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+	}
 	if !b.wrapped {
 		out := make([]Event, len(b.events))
 		copy(out, b.events)
@@ -126,10 +155,11 @@ func (b *Buffer) Events() []Event {
 
 // Fprint writes the retained events, one per line.
 func (b *Buffer) Fprint(w io.Writer) {
-	if b.wrapped {
-		fmt.Fprintf(w, "... %d earlier events dropped ...\n", b.total-uint64(cap(b.events)))
+	events := b.Events()
+	if total := b.Total(); total > uint64(len(events)) {
+		fmt.Fprintf(w, "... %d earlier events dropped ...\n", total-uint64(len(events)))
 	}
-	for _, e := range b.Events() {
+	for _, e := range events {
 		fmt.Fprintln(w, e.String())
 	}
 }

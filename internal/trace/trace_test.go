@@ -3,6 +3,7 @@ package trace
 import (
 	"bytes"
 	"strings"
+	"sync"
 	"testing"
 	"testing/quick"
 	"time"
@@ -103,6 +104,69 @@ func TestZeroCapPanics(t *testing.T) {
 		}
 	}()
 	New(0)
+}
+
+func TestFprintEmptyBuffer(t *testing.T) {
+	b := New(4)
+	var buf bytes.Buffer
+	b.Fprint(&buf)
+	if buf.Len() != 0 {
+		t.Errorf("empty buffer printed %q, want nothing", buf.String())
+	}
+}
+
+func TestDirString(t *testing.T) {
+	cases := []struct {
+		d    Dir
+		want string
+	}{
+		{Send, "send"}, {SendMC, "mcast"}, {Recv, "recv"}, {Drop, "drop"},
+		{Dir(9), "dir(9)"}, {Dir(255), "dir(255)"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("Dir(%d).String() = %q, want %q", c.d, got, c.want)
+		}
+	}
+}
+
+func TestEventsReturnsCopy(t *testing.T) {
+	b := New(4)
+	b.Add(ev(0))
+	got := b.Events()
+	got[0].Seq = 999
+	if b.Events()[0].Seq != 0 {
+		t.Error("Events() aliases the internal ring")
+	}
+}
+
+// TestSharedBufferConcurrent hammers a shared buffer from several
+// goroutines; correctness here is "no race, no lost counts" (validated
+// under -race in CI).
+func TestSharedBufferConcurrent(t *testing.T) {
+	b := NewShared(8)
+	const writers, perWriter = 4, 100
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				b.Add(ev(w*perWriter + i))
+				if i%10 == 0 {
+					b.Events()
+					b.Total()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if b.Total() != writers*perWriter {
+		t.Errorf("Total = %d, want %d", b.Total(), writers*perWriter)
+	}
+	if len(b.Events()) != 8 {
+		t.Errorf("retained %d events, want 8 (capacity)", len(b.Events()))
+	}
 }
 
 // Property: after any sequence of adds, Events() returns the most

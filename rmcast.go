@@ -19,8 +19,8 @@
 //
 //	cfg := rmcast.Config{Protocol: rmcast.ProtoNAK, PacketSize: 8000,
 //		WindowSize: 50, PollInterval: 43}
-//	res, err := rmcast.Simulate(rmcast.DefaultSim(30), cfg, 2<<20)
-//	fmt.Println(res.Elapsed, res.ThroughputMbps)
+//	res, err := rmcast.Run(ctx, rmcast.DefaultSim(30), rmcast.ProtocolSpec(cfg), 2<<20)
+//	fmt.Println(res.Elapsed, res.ThroughputMbps, res.Metrics.Retransmissions)
 //
 // Live (real UDP multicast on a LAN; one process per node):
 //
@@ -34,11 +34,15 @@
 package rmcast
 
 import (
+	"context"
+	"fmt"
+
 	"rmcast/internal/cluster"
 	"rmcast/internal/core"
 	"rmcast/internal/exp"
 	"rmcast/internal/faults"
 	"rmcast/internal/live"
+	"rmcast/internal/metrics"
 	"rmcast/internal/order"
 	"rmcast/internal/unicast"
 	"rmcast/internal/workload"
@@ -85,11 +89,85 @@ const (
 // receivers.
 func DefaultSim(n int) SimConfig { return cluster.Default(n) }
 
+// Metrics is the allocation-light counter snapshot attached to every
+// SimResult and queryable from a LiveNode: per-packet-type send/receive
+// counts, retransmissions, NAKs, ejections, buffer-overflow drops,
+// sender CPU-busy time, and per-receiver completion latency.
+type Metrics = metrics.Metrics
+
+// MetricsHistogram is a snapshotted latency histogram inside Metrics.
+type MetricsHistogram = metrics.HistogramSnapshot
+
+// Spec selects what a unified Run executes: one of the reliable
+// multicast protocols, the sequential-TCP baseline, or the raw-UDP
+// baseline. Build one with ProtocolSpec, TCPSpec, or RawUDPSpec.
+type Spec struct {
+	kind    specKind
+	proto   Config
+	tcp     TCPConfig
+	rawPkt  int
+}
+
+type specKind int
+
+const (
+	specZero specKind = iota
+	specProtocol
+	specTCP
+	specRawUDP
+)
+
+// String names the transfer the spec describes.
+func (s Spec) String() string {
+	switch s.kind {
+	case specProtocol:
+		return s.proto.Protocol.String()
+	case specTCP:
+		return "tcp"
+	case specRawUDP:
+		return "rawudp"
+	default:
+		return "unset"
+	}
+}
+
+// ProtocolSpec runs one of the studied reliable multicast protocols
+// (or ProtoRawUDP) under cfg.
+func ProtocolSpec(cfg Config) Spec { return Spec{kind: specProtocol, proto: cfg} }
+
+// TCPSpec runs the Figure 8 baseline: one TCP-like unicast stream per
+// receiver, sequentially.
+func TCPSpec(tcp TCPConfig) Spec { return Spec{kind: specTCP, tcp: tcp} }
+
+// RawUDPSpec runs the Figure 9 baseline: unreliable UDP multicast in
+// packetSize-byte datagrams.
+func RawUDPSpec(packetSize int) Spec { return Spec{kind: specRawUDP, rawPkt: packetSize} }
+
+// Run transfers one size-byte message on a fresh simulated testbed and
+// reports timing, throughput, per-layer statistics, and Metrics. It is
+// the single entry point behind Simulate, SimulateTCP, and
+// SimulateRawUDP; ctx cancels the simulation at its next checkpoint,
+// returning the partial result alongside ctx's error.
+func Run(ctx context.Context, sim SimConfig, spec Spec, size int) (*SimResult, error) {
+	switch spec.kind {
+	case specProtocol:
+		return cluster.RunContext(ctx, sim, spec.proto, size)
+	case specTCP:
+		return cluster.RunTCPContext(ctx, sim, spec.tcp, size)
+	case specRawUDP:
+		return cluster.RunRawUDPContext(ctx, sim, spec.rawPkt, size)
+	default:
+		return nil, fmt.Errorf("rmcast: Run called with a zero Spec; use ProtocolSpec, TCPSpec, or RawUDPSpec")
+	}
+}
+
 // Simulate transfers one size-byte message under cfg on a fresh
 // simulated testbed and reports timing, throughput, and per-layer
 // statistics.
+//
+// Deprecated: use Run with ProtocolSpec, which adds cancellation.
 func Simulate(sim SimConfig, cfg Config, size int) (*SimResult, error) {
-	return cluster.Run(sim, cfg, size)
+	return Run(context.Background(), sim, ProtocolSpec(cfg), size)
 }
 
 // PartialResult is the structured error a session returns when it ends
@@ -130,14 +208,18 @@ func DefaultTCP() TCPConfig { return unicast.DefaultConfig() }
 
 // SimulateTCP transfers one message to every receiver sequentially over
 // TCP-like unicast streams — the Figure 8 baseline.
+//
+// Deprecated: use Run with TCPSpec, which adds cancellation.
 func SimulateTCP(sim SimConfig, tcp TCPConfig, size int) (*SimResult, error) {
-	return cluster.RunTCP(sim, tcp, size)
+	return Run(context.Background(), sim, TCPSpec(tcp), size)
 }
 
 // SimulateRawUDP blasts one message over unreliable UDP multicast — the
 // Figure 9 baseline.
+//
+// Deprecated: use Run with RawUDPSpec, which adds cancellation.
 func SimulateRawUDP(sim SimConfig, packetSize, size int) (*SimResult, error) {
-	return cluster.RunRawUDP(sim, packetSize, size)
+	return Run(context.Background(), sim, RawUDPSpec(packetSize), size)
 }
 
 // LiveConfig describes a node on the live UDP-multicast transport.
@@ -188,10 +270,12 @@ type ExperimentReport = exp.Report
 func Experiments() []Experiment { return exp.All() }
 
 // RunExperiment executes one experiment by id ("fig10", "table3", ...).
-func RunExperiment(id string, opts ExperimentOptions) (*ExperimentReport, error) {
+// Independent simulation points fan out over opts.Parallel workers; ctx
+// cancels the sweep between (and within) points.
+func RunExperiment(ctx context.Context, id string, opts ExperimentOptions) (*ExperimentReport, error) {
 	e, err := exp.ByID(id)
 	if err != nil {
 		return nil, err
 	}
-	return e.Run(opts)
+	return e.Run(ctx, opts)
 }

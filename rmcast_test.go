@@ -1,6 +1,7 @@
 package rmcast
 
 import (
+	"context"
 	"testing"
 	"time"
 )
@@ -44,6 +45,50 @@ func TestSimulateRawUDPFacade(t *testing.T) {
 	}
 }
 
+// TestRunFacade exercises the unified Run entry point across all three
+// spec kinds and checks each result carries a populated Metrics
+// snapshot — the per-protocol guarantee the metrics layer makes.
+func TestRunFacade(t *testing.T) {
+	ctx := context.Background()
+	specs := map[string]Spec{
+		"ack": ProtocolSpec(Config{
+			Protocol: ProtoACK, NumReceivers: 4, PacketSize: 8000, WindowSize: 4,
+		}),
+		"tcp":    TCPSpec(DefaultTCP()),
+		"rawudp": RawUDPSpec(8000),
+	}
+	for name, spec := range specs {
+		res, err := Run(ctx, DefaultSim(4), spec, 100_000)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Metrics.TotalSent() == 0 || res.Metrics.TotalReceived() == 0 {
+			t.Errorf("%s: Metrics not populated: %+v", name, res.Metrics)
+		}
+		if res.Metrics.SenderBusy <= 0 {
+			t.Errorf("%s: no sender CPU-busy time recorded", name)
+		}
+		if len(res.Metrics.Completion) == 0 {
+			t.Errorf("%s: no completion latencies recorded", name)
+		}
+	}
+	if _, err := Run(ctx, DefaultSim(2), Spec{}, 100); err == nil {
+		t.Error("zero Spec accepted")
+	}
+}
+
+// TestRunCanceledFacade checks a canceled context aborts a simulation.
+func TestRunCanceledFacade(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	spec := ProtocolSpec(Config{
+		Protocol: ProtoNAK, NumReceivers: 20, PacketSize: 1000, WindowSize: 20, PollInterval: 17,
+	})
+	if _, err := Run(ctx, DefaultSim(20), spec, 4<<20); err == nil {
+		t.Error("canceled run returned no error")
+	}
+}
+
 func TestParseProtocolFacade(t *testing.T) {
 	p, err := ParseProtocol("ring")
 	if err != nil || p != ProtoRing {
@@ -68,14 +113,14 @@ func TestExperimentRegistryFacade(t *testing.T) {
 	if len(want) != 0 {
 		t.Errorf("missing experiments: %v", want)
 	}
-	rep, err := RunExperiment("table1", ExperimentOptions{Quick: true})
+	rep, err := RunExperiment(context.Background(), "table1", ExperimentOptions{Quick: true})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if rep.ID != "table1" {
 		t.Errorf("report id = %q", rep.ID)
 	}
-	if _, err := RunExperiment("bogus", ExperimentOptions{}); err == nil {
+	if _, err := RunExperiment(context.Background(), "bogus", ExperimentOptions{}); err == nil {
 		t.Error("unknown experiment accepted")
 	}
 }
