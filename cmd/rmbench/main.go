@@ -24,12 +24,18 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"rmcast/internal/exp"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run carries the real main body; main wraps it so the deferred profile
+// writers run even on a failing exit.
+func run() int {
 	var (
 		id        = flag.String("exp", "all", "experiment id (see -list) or 'all'")
 		list      = flag.Bool("list", false, "list available experiments")
@@ -39,18 +45,53 @@ func main() {
 		csv       = flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
 		jsonOut   = flag.Bool("json", false, "emit reports as JSON (one object per experiment)")
 		parallel  = flag.Int("parallel", 0, "simulation workers per experiment: 0/1 serial, -1 = GOMAXPROCS")
+		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+		memprof   = flag.String("memprofile", "", "write an allocation profile (taken after the sweep) to this file")
 	)
 	flag.Parse()
+
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rmbench: -cpuprofile: %v\n", err)
+			return 2
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "rmbench: -cpuprofile: %v\n", err)
+			return 2
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprof != "" {
+		f, err := os.Create(*memprof)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rmbench: -memprofile: %v\n", err)
+			return 2
+		}
+		// The profile is written when run returns so it covers the
+		// whole sweep; GC first so it reflects live + cumulative
+		// allocation truthfully.
+		defer func() {
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "rmbench: -memprofile: %v\n", err)
+			}
+			f.Close()
+		}()
+	}
 
 	if *list {
 		for _, e := range exp.All() {
 			fmt.Printf("%-18s %-12s %s\n", e.ID, e.PaperRef, e.Title)
 		}
-		return
+		return 0
 	}
 	if *csv && *jsonOut {
 		fmt.Fprintln(os.Stderr, "rmbench: -csv and -json are mutually exclusive")
-		os.Exit(2)
+		return 2
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -64,7 +105,7 @@ func main() {
 		e, err := exp.ByID(*id)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			return 2
 		}
 		targets = []exp.Experiment{e}
 	}
@@ -104,6 +145,7 @@ func main() {
 		}
 	}
 	if failed > 0 {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

@@ -1,0 +1,61 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+
+	"rmcast/internal/core"
+)
+
+// TestRunDeterministicAcrossRepeats is the sim-layer determinism table:
+// for every protocol family, two independent runs of the same
+// configuration must produce deeply equal Results — elapsed time,
+// throughput, every per-layer statistic, and the full metrics snapshot.
+// This pins the property the parallel experiment engine depends on (a
+// worker pool is only byte-identical to a serial sweep if each point is
+// deterministic in isolation), and the pooled-event/pooled-frame hot
+// path must not break it: pool recycling order is part of the engine's
+// deterministic state.
+func TestRunDeterministicAcrossRepeats(t *testing.T) {
+	cases := []struct {
+		name string
+		pcfg core.Config
+		mk   func() Config
+		size int
+	}{
+		{"ack", core.Config{Protocol: core.ProtoACK, PacketSize: 50000, WindowSize: 5},
+			func() Config { return Default(10) }, 150000},
+		{"nak", core.Config{Protocol: core.ProtoNAK, PacketSize: 8000, WindowSize: 50, PollInterval: 43},
+			func() Config { c := Default(10); c.LossRate = 0.01; return c }, 150000},
+		{"ring", core.Config{Protocol: core.ProtoRing, PacketSize: 8000, WindowSize: 50},
+			func() Config { return Default(10) }, 150000},
+		{"tree", core.Config{Protocol: core.ProtoTree, PacketSize: 8000, WindowSize: 20, TreeHeight: 7},
+			func() Config { return Default(10) }, 150000},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			a, err := Run(c.mk(), c.pcfg, c.size)
+			if err != nil {
+				t.Fatalf("first run: %v", err)
+			}
+			b, err := Run(c.mk(), c.pcfg, c.size)
+			if err != nil {
+				t.Fatalf("second run: %v", err)
+			}
+			if !a.Verified || !b.Verified {
+				t.Fatalf("verification failed: run1=%v run2=%v", a.Verified, b.Verified)
+			}
+			if !reflect.DeepEqual(a, b) {
+				if a.Elapsed != b.Elapsed {
+					t.Errorf("elapsed differs: %v vs %v", a.Elapsed, b.Elapsed)
+				}
+				if !reflect.DeepEqual(a.Metrics, b.Metrics) {
+					t.Errorf("metrics snapshots differ:\n run1 %+v\n run2 %+v", a.Metrics, b.Metrics)
+				}
+				t.Fatalf("results differ between identical runs:\n run1 %+v\n run2 %+v", a, b)
+			}
+		})
+	}
+}

@@ -26,6 +26,7 @@ type faultGate struct {
 
 func (g *faultGate) RecvFrame(f *ethernet.Frame) {
 	if g.crashed || g.rxDown > 0 {
+		f.Release()
 		return
 	}
 	g.host.RecvFrame(f)
@@ -36,6 +37,7 @@ func (g *faultGate) RecvFrame(f *ethernet.Frame) {
 // block waiting for queue space that will never signal.
 func (g *faultGate) Send(f *ethernet.Frame) bool {
 	if g.crashed || g.txDown > 0 {
+		f.Release()
 		return true
 	}
 	return g.tx.Send(f)

@@ -1,0 +1,120 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"rmcast/internal/core"
+	"rmcast/internal/trace"
+)
+
+// The golden digests below were recorded against the pre-optimization
+// simulator core (pointer-heap events, map-tracked cancellation,
+// unpooled frames). They pin down every observable outcome of a full
+// transfer — the complete protocol packet trace, timings, drops,
+// per-layer statistics, and the metrics snapshot — so the
+// zero-allocation engine (slab event queue, pooled frames, zero-copy
+// fragmentation) is proven to change no simulated result, only how fast
+// the harness computes it. If one of these digests ever changes, a
+// simulator change altered simulated behavior; that must be a deliberate
+// model change, never a perf PR side effect.
+var goldenDigests = map[string]string{
+	"ack":      "8a54a2d1a70048336d5d7e6c50226a31314549d1654d3470411fd8a50e1c8529",
+	"nak-loss": "8618cf01a3a3aec8ff46a65fe0e818546fa3a8be2d30c9069de42b852e3ae441",
+	"ring":     "203ae66c26a0d1f4e804a587150c9399ff8e994c20fe3954e58e67c4cc92129f",
+	"tree":     "4949e9e8686377c7bf3b0272dc429f2296d6cc4ed5645f09d5812898bb3e369b",
+	"nak-bus":  "1e3c0fc8fd8306498b660eeb6821aa7bfcfbebd7f75024dfb3a0184e9a6bd74f",
+}
+
+// goldenCases covers all four protocol families, both switched and
+// shared-bus media, and an injected-loss run that exercises NAK repair,
+// retransmission, and frame-drop release paths.
+func goldenCases() map[string]func() (Config, core.Config, int) {
+	return map[string]func() (Config, core.Config, int){
+		"ack": func() (Config, core.Config, int) {
+			return Default(30), core.Config{Protocol: core.ProtoACK, PacketSize: 50000, WindowSize: 5}, 200000
+		},
+		"nak-loss": func() (Config, core.Config, int) {
+			ccfg := Default(30)
+			ccfg.LossRate = 0.01
+			return ccfg, core.Config{Protocol: core.ProtoNAK, PacketSize: 8000, WindowSize: 50, PollInterval: 43}, 200000
+		},
+		"ring": func() (Config, core.Config, int) {
+			return Default(30), core.Config{Protocol: core.ProtoRing, PacketSize: 8000, WindowSize: 50}, 200000
+		},
+		"tree": func() (Config, core.Config, int) {
+			return Default(30), core.Config{Protocol: core.ProtoTree, PacketSize: 8000, WindowSize: 20, TreeHeight: 15}, 200000
+		},
+		"nak-bus": func() (Config, core.Config, int) {
+			ccfg := Default(8)
+			ccfg.Topology = SharedBus
+			return ccfg, core.Config{Protocol: core.ProtoNAK, PacketSize: 8000, WindowSize: 20, PollInterval: 17}, 60000
+		},
+	}
+}
+
+// digestRun executes one transfer with full tracing and condenses every
+// observable outcome into one hash.
+func digestRun(t *testing.T, ccfg Config, pcfg core.Config, size int) string {
+	t.Helper()
+	tb := trace.New(1 << 20)
+	ccfg.Trace = tb
+	res, err := Run(ccfg, pcfg, size)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !res.Verified {
+		t.Fatal("delivery not verified")
+	}
+	h := sha256.New()
+	if total := tb.Total(); total > uint64(len(tb.Events())) {
+		t.Fatalf("trace ring overflowed (%d events); raise its capacity", total)
+	}
+	for _, e := range tb.Events() {
+		fmt.Fprintln(h, e.String())
+	}
+	// JSON-encode the result: encoding/json sorts map keys, so the
+	// metrics snapshot serializes deterministically.
+	enc, err := json.Marshal(res)
+	if err != nil {
+		t.Fatalf("marshal result: %v", err)
+	}
+	h.Write(enc)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// TestGoldenSimulationDigests is the determinism guard for the
+// zero-allocation hot path: byte-identical traces and results across the
+// engine rewrite, for all four protocols and both media.
+func TestGoldenSimulationDigests(t *testing.T) {
+	for name, mk := range goldenCases() {
+		name, mk := name, mk
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			ccfg, pcfg, size := mk()
+			got := digestRun(t, ccfg, pcfg, size)
+			want := goldenDigests[name]
+			if want == "" {
+				t.Fatalf("no golden digest recorded for %q; computed %s", name, got)
+			}
+			if got != want {
+				t.Errorf("digest mismatch for %q:\n got  %s\n want %s\nsimulated behavior changed", name, got, want)
+			}
+		})
+	}
+}
+
+// TestGoldenDigestStableAcrossRuns proves the digest itself is a sound
+// instrument: two identical runs in one process hash identically.
+func TestGoldenDigestStableAcrossRuns(t *testing.T) {
+	ccfg, pcfg, size := goldenCases()["nak-loss"]()
+	a := digestRun(t, ccfg, pcfg, size)
+	ccfg, pcfg, size = goldenCases()["nak-loss"]()
+	b := digestRun(t, ccfg, pcfg, size)
+	if a != b {
+		t.Fatalf("identical runs hashed differently: %s vs %s", a, b)
+	}
+}

@@ -121,6 +121,15 @@ func (b *Bus) Attach(addr Addr, recv Receiver, acceptMC func(*Frame) bool) *Stat
 // Addr returns the station address.
 func (st *Station) Addr() Addr { return st.addr }
 
+// popHead removes the head-of-queue frame by shifting down, keeping the
+// queue's backing array reusable (q = q[1:] would strand its head and
+// reallocate every cycle).
+func (st *Station) popHead() {
+	n := copy(st.queue, st.queue[1:])
+	st.queue[n] = nil
+	st.queue = st.queue[:n]
+}
+
 // Queued returns the wire bytes waiting in the station's transmit queue.
 func (st *Station) Queued() int { return st.queued }
 
@@ -128,12 +137,14 @@ func (st *Station) Queued() int { return st.queued }
 // (contention can stretch it; callers use it as a retry hint).
 func (st *Station) DrainTime(n int) time.Duration { return st.bus.cfg.Rate.Serialize(n) }
 
-// Send queues f for transmission on the shared medium. It reports
-// whether the frame was accepted into the station queue.
+// Send queues f for transmission on the shared medium, consuming the
+// caller's frame reference. It reports whether the frame was accepted
+// into the station queue.
 func (st *Station) Send(f *Frame) bool {
 	cap := st.bus.cfg.StationQueueCap
 	if cap > 0 && st.queued+f.WireBytes > cap {
 		st.bus.stats.QueueDrops++
+		f.Release()
 		return false
 	}
 	st.queue = append(st.queue, f)
@@ -146,6 +157,12 @@ func (st *Station) Send(f *Frame) bool {
 	return true
 }
 
+// stationTryTransmit is the scheduling trampoline for tryTransmit; a
+// bound method value would allocate per event.
+func stationTryTransmit(a, _ any) { a.(*Station).tryTransmit() }
+
+func busResolveWindow(a, _ any) { a.(*Bus).resolveWindow() }
+
 // tryTransmit attempts to start sending the head-of-queue frame.
 func (st *Station) tryTransmit() {
 	b := st.bus
@@ -154,7 +171,7 @@ func (st *Station) tryTransmit() {
 		// Carrier sensed: 1-persistent — retry the instant the medium
 		// goes idle. Ties among deferring stations then collide, which
 		// is exactly the 1-persistent pathology.
-		b.sim.At(b.busyUntil, st.tryTransmit)
+		b.sim.AtFunc(b.busyUntil, stationTryTransmit, st, nil)
 		return
 	}
 	if len(b.window) > 0 {
@@ -167,14 +184,14 @@ func (st *Station) tryTransmit() {
 		// The contention window has closed but its resolution event has
 		// not fired yet (it is scheduled for this same instant). Retry
 		// after it runs and busyUntil reflects the outcome.
-		b.sim.After(0, st.tryTransmit)
+		b.sim.AfterFunc(0, stationTryTransmit, st, nil)
 		return
 	}
 	// Medium idle: open a new vulnerable window.
 	b.window = b.window[:0]
 	b.window = append(b.window, st)
 	b.windowStart = now
-	b.resolveAt = b.sim.After(b.cfg.SlotTime, b.resolveWindow)
+	b.resolveAt = b.sim.AfterFunc(b.cfg.SlotTime, busResolveWindow, b, nil)
 }
 
 // resolveWindow fires one slot after a transmission started and decides
@@ -194,17 +211,7 @@ func (b *Bus) resolveWindow() {
 			done = b.sim.Now()
 		}
 		b.busyUntil = done
-		b.sim.At(done, func() {
-			b.deliver(st, f)
-			st.queue = st.queue[1:]
-			st.queued -= f.WireBytes
-			st.attempts = 0
-			if len(st.queue) > 0 {
-				st.tryTransmit()
-			} else {
-				st.active = false
-			}
-		})
+		b.sim.AtFunc(done, busFrameSent, st, nil)
 		return
 	}
 	// Collision.
@@ -222,6 +229,26 @@ func (b *Bus) resolveWindow() {
 	}
 }
 
+// busFrameSent fires when the winning station's frame has fully
+// serialized. The head of the queue is the frame whose transmission just
+// completed: it cannot have changed, because the station neither
+// transmits another frame nor aborts this one while the medium carries
+// it.
+func busFrameSent(a, _ any) {
+	st := a.(*Station)
+	b := st.bus
+	f := st.queue[0]
+	b.deliver(st, f)
+	st.popHead()
+	st.queued -= f.WireBytes
+	st.attempts = 0
+	if len(st.queue) > 0 {
+		st.tryTransmit()
+	} else {
+		st.active = false
+	}
+}
+
 // backoff applies truncated binary exponential backoff to the station's
 // head-of-queue frame.
 func (st *Station) backoff() {
@@ -230,13 +257,14 @@ func (st *Station) backoff() {
 	if st.attempts >= b.cfg.MaxAttempts {
 		// Excessive collisions: drop the frame.
 		f := st.queue[0]
-		st.queue = st.queue[1:]
+		st.popHead()
 		st.queued -= f.WireBytes
 		st.attempts = 0
 		b.stats.Aborted++
 		if TraceAbort != nil {
 			TraceAbort(time.Duration(b.sim.Now()), st.addr, f.WireBytes)
 		}
+		f.Release()
 		if len(st.queue) == 0 {
 			st.active = false
 			return
@@ -251,11 +279,12 @@ func (st *Station) backoff() {
 	if TraceBackoff != nil {
 		TraceBackoff(time.Duration(b.sim.Now()), st.addr, st.attempts, r, wait)
 	}
-	b.sim.After(wait, st.tryTransmit)
+	b.sim.AfterFunc(wait, stationTryTransmit, st, nil)
 }
 
-// deliver hands f to every station that accepts it. The sender does not
-// receive its own frame.
+// deliver hands f to every station that accepts it, consuming the
+// queue's frame reference. Each accepting station gets its own
+// reference; the sender does not receive its own frame.
 func (b *Bus) deliver(from *Station, f *Frame) {
 	b.stats.Delivered++
 	for _, st := range b.stations {
@@ -265,8 +294,10 @@ func (b *Bus) deliver(from *Station, f *Frame) {
 		if !st.accepts(f) {
 			continue
 		}
+		f.Retain()
 		st.recv.RecvFrame(f)
 	}
+	f.Release()
 }
 
 func (st *Station) accepts(f *Frame) bool {

@@ -24,6 +24,15 @@ type Addr int
 const Broadcast Addr = -1
 
 // Frame is one Ethernet frame in flight.
+//
+// Frames may be pooled by the layer that creates them. Ownership is
+// reference-counted: Send consumes one reference (the transmitter either
+// delivers it onward or releases it at a drop site), RecvFrame hands one
+// reference to the receiver (which must Release it or forward it), and
+// fan-out points (switch flooding, bus delivery) Retain once per extra
+// recipient. Frames built as plain literals — tests, one-off control
+// traffic — never call SetFree, and for them Retain/Release are no-ops,
+// so non-pooling code needs no changes.
 type Frame struct {
 	Src Addr
 	Dst Addr // Broadcast for multicast/broadcast frames
@@ -37,6 +46,40 @@ type Frame struct {
 	// Payload is the upper-layer content (an IP fragment). It is opaque
 	// to the Ethernet layer.
 	Payload any
+
+	refs int32
+	free func(*Frame)
+}
+
+// SetFree arms pooling: fn is invoked exactly once, when the last
+// reference is released, and must recycle the frame. The caller holds
+// the initial reference.
+func (f *Frame) SetFree(fn func(*Frame)) {
+	f.refs = 1
+	f.free = fn
+}
+
+// Retain adds a reference. No-op on unpooled frames.
+func (f *Frame) Retain() {
+	if f.free != nil {
+		f.refs++
+	}
+}
+
+// Release drops a reference, recycling the frame when the count reaches
+// zero. No-op on unpooled frames.
+func (f *Frame) Release() {
+	if f.free == nil {
+		return
+	}
+	f.refs--
+	if f.refs == 0 {
+		fn := f.free
+		f.free = nil
+		fn(f)
+	} else if f.refs < 0 {
+		panic("ethernet: Frame released more times than retained")
+	}
 }
 
 // Physical-layer constants for Ethernet framing.
@@ -96,4 +139,4 @@ func (fn ReceiverFunc) RecvFrame(f *Frame) { fn(f) }
 // an unwired Tx never nil-panics.
 type sink struct{}
 
-func (sink) RecvFrame(*Frame) {}
+func (sink) RecvFrame(f *Frame) { f.Release() }

@@ -78,14 +78,16 @@ func (t *Tx) Queued() int { return t.queued }
 // DrainTime returns how long the link needs to serialize n bytes.
 func (t *Tx) DrainTime(n int) time.Duration { return t.cfg.Rate.Serialize(n) }
 
-// Send enqueues f for transmission. It reports whether the frame was
-// accepted; false means it was dropped because the queue was full.
+// Send enqueues f for transmission, consuming the caller's frame
+// reference. It reports whether the frame was accepted; false means it
+// was dropped because the queue was full.
 func (t *Tx) Send(f *Frame) bool {
 	if f.WireBytes <= 0 {
 		panic("ethernet: frame with non-positive wire size")
 	}
 	if t.cfg.QueueCap > 0 && t.queued+f.WireBytes > t.cfg.QueueCap {
 		t.stats.QueueDrops++
+		f.Release()
 		return false
 	}
 	t.queued += f.WireBytes
@@ -99,22 +101,32 @@ func (t *Tx) Send(f *Frame) bool {
 	}
 	done := start + t.cfg.Rate.Serialize(f.WireBytes)
 	t.busyUntil = done
-	t.sim.At(done, func() {
-		t.queued -= f.WireBytes
-		t.stats.Sent++
-		t.stats.SentBytes += uint64(f.WireBytes)
-		if t.DropFn != nil && t.DropFn(f) {
-			t.stats.ErrorDrops++
-			return
-		}
-		arrive := done + t.cfg.Propagation
-		if t.cfg.Propagation == 0 {
-			t.peer.RecvFrame(f)
-			return
-		}
-		t.sim.At(arrive, func() { t.peer.RecvFrame(f) })
-	})
+	t.sim.AtFunc(done, txSerialized, t, f)
 	return true
+}
+
+// txSerialized fires when the frame's last bit leaves the transmitter.
+// The clock equals the scheduled completion time, so the arrival instant
+// is recomputed from Now() rather than captured.
+func txSerialized(a, b any) {
+	t, f := a.(*Tx), b.(*Frame)
+	t.queued -= f.WireBytes
+	t.stats.Sent++
+	t.stats.SentBytes += uint64(f.WireBytes)
+	if t.DropFn != nil && t.DropFn(f) {
+		t.stats.ErrorDrops++
+		f.Release()
+		return
+	}
+	if t.cfg.Propagation == 0 {
+		t.peer.RecvFrame(f)
+		return
+	}
+	t.sim.AfterFunc(t.cfg.Propagation, txDeliver, t, f)
+}
+
+func txDeliver(a, b any) {
+	a.(*Tx).peer.RecvFrame(b.(*Frame))
 }
 
 // Link is a full-duplex point-to-point link: two independent Tx halves.

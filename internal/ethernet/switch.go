@@ -84,10 +84,15 @@ func (p *SwitchPort) Index() int { return p.index }
 func (p *SwitchPort) RecvFrame(f *Frame) {
 	sw := p.sw
 	if sw.cfg.ForwardDelay > 0 {
-		sw.sim.After(sw.cfg.ForwardDelay, func() { sw.forward(p, f) })
+		sw.sim.AfterFunc(sw.cfg.ForwardDelay, switchForward, p, f)
 		return
 	}
 	sw.forward(p, f)
+}
+
+func switchForward(a, b any) {
+	p := a.(*SwitchPort)
+	p.sw.forward(p, b.(*Frame))
 }
 
 // Learn binds a station address to a port, as MAC learning would.
@@ -147,13 +152,18 @@ func (sw *Switch) ConnectSwitch(peer *Switch, localAddrs, remoteAddrs []Addr) {
 	}
 }
 
-// forward routes f that arrived on ingress.
+// forward routes f that arrived on ingress, consuming the frame
+// reference it was handed. Each egress Send is given its own reference:
+// Send can drop (and release) synchronously, so the switch retains
+// before every egress and releases its own reference at the end.
 func (sw *Switch) forward(ingress *SwitchPort, f *Frame) {
 	if !f.Multicast && f.Dst != Broadcast {
 		if out, ok := sw.table[f.Dst]; ok {
 			if out != ingress && out.out != nil {
 				sw.forwarded++
 				out.out.Send(f)
+			} else {
+				f.Release()
 			}
 			return
 		}
@@ -164,8 +174,10 @@ func (sw *Switch) forward(ingress *SwitchPort, f *Frame) {
 		if p == ingress || p.out == nil {
 			continue
 		}
+		f.Retain()
 		p.out.Send(f)
 	}
+	f.Release()
 }
 
 // Stats summarizes switch activity and aggregates port-queue drops.

@@ -3,6 +3,7 @@ package exp
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"strconv"
 	"strings"
 	"testing"
@@ -118,6 +119,38 @@ func TestParallelMatchesSerial(t *testing.T) {
 				t.Errorf("parallel output differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, par)
 			}
 		})
+	}
+}
+
+// TestParallelReportsDeeplyIdentical extends TestParallelMatchesSerial
+// below the rendered text: the full Report structure — every simulated
+// data point and metric, not just the rounded table cells — must be
+// byte-identical in JSON across worker counts. Together with the
+// cluster package's TestRunDeterministicAcrossRepeats this proves the
+// parallel engine composes deterministic points without perturbing
+// them (pooled events and frames are per-simulation, never shared
+// across workers).
+func TestParallelReportsDeeplyIdentical(t *testing.T) {
+	e, err := ByID("fig10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	encode := func(parallel int) string {
+		rep, err := e.Run(context.Background(), Options{Quick: true, Parallel: parallel})
+		if err != nil {
+			t.Fatalf("parallel=%d: %v", parallel, err)
+		}
+		b, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatalf("parallel=%d: marshal: %v", parallel, err)
+		}
+		return string(b)
+	}
+	serial := encode(0)
+	for _, p := range []int{2, -1} {
+		if got := encode(p); got != serial {
+			t.Errorf("report for parallel=%d differs from serial run", p)
+		}
 	}
 }
 

@@ -12,7 +12,8 @@ import (
 // FrameSender is the host's attachment to the network: either an
 // ethernet.Tx (switched) or an *ethernet.Station (shared bus).
 type FrameSender interface {
-	// Send queues a frame; false means it was dropped at the queue.
+	// Send queues a frame, consuming the caller's frame reference;
+	// false means it was dropped at the queue.
 	Send(f *ethernet.Frame) bool
 	// Queued returns the bytes currently queued for transmission.
 	Queued() int
@@ -60,9 +61,34 @@ type reasmKey struct {
 	id  uint64
 }
 
+// reasmBuf tracks one in-progress fragment group. The buffers are pooled
+// per host; db accumulates the single reassembly copy.
 type reasmBuf struct {
+	key   reasmKey
 	have  []bool
 	count int
+	db    *datagramBuf
+	timer sim.EventID
+}
+
+// txFrame is a pooled frame-plus-fragment pair owned by the sending
+// host. Allocating them together means one freelist entry covers the
+// whole per-fragment state, and the fragment's back-pointers let the
+// release hook find its way home from wherever on the network the frame
+// died or was delivered.
+type txFrame struct {
+	frame ethernet.Frame
+	frag  fragment
+}
+
+// datagramBuf is a pooled datagram: the header struct handed through the
+// send path and to socket handlers, plus a reusable byte buffer that the
+// receive path reassembles multi-fragment datagrams into. The buffer
+// keeps its capacity across recycles, so steady-state traffic of any
+// fixed size class reassembles with zero allocation.
+type datagramBuf struct {
+	dg  Datagram
+	buf []byte
 }
 
 // Host is one end host: a NIC, an IP input path with reassembly, UDP
@@ -78,7 +104,7 @@ type Host struct {
 	sockets  map[int]*Socket
 	reasm    map[reasmKey]*reasmBuf
 	nextIPID uint64
-	outQ     []*Datagram // datagrams awaiting transmit-queue space
+	outQ     []*datagramBuf // datagrams awaiting transmit-queue space
 	outBusy  bool
 	jitter   *rng.Rand
 	// phase is the host's constant interrupt-phase offset, drawn once
@@ -87,6 +113,14 @@ type Host struct {
 	// small per-frame component (≤ 2 µs, below the minimum frame gap)
 	// adds round-to-round variation.
 	phase time.Duration
+
+	// Per-host freelists. Plain slices, not sync.Pool: each simulation
+	// is single-threaded, so these need no synchronization, survive GC
+	// (sync.Pool flushes would re-introduce steady-state allocation),
+	// and recycle deterministically.
+	frameFree []*txFrame
+	dgFree    []*datagramBuf
+	reasmFree []*reasmBuf
 
 	stats HostStats
 }
@@ -147,6 +181,81 @@ func (h *Host) LeaveGroup(g Addr) { delete(h.groups, g) }
 // InGroup reports group membership.
 func (h *Host) InGroup(g Addr) bool { return h.groups[g] }
 
+// getTxFrame pops a pooled frame or allocates a new one.
+func (h *Host) getTxFrame() *txFrame {
+	if n := len(h.frameFree) - 1; n >= 0 {
+		tf := h.frameFree[n]
+		h.frameFree = h.frameFree[:n]
+		return tf
+	}
+	return &txFrame{}
+}
+
+// releaseTxFrame is the Frame free hook: it returns the txFrame to its
+// owning host's pool. It runs on whatever host's input path (or network
+// drop site) released the last reference — safe, because one simulation
+// is always single-threaded.
+func releaseTxFrame(f *ethernet.Frame) {
+	frag := f.Payload.(*fragment)
+	h := frag.owner
+	tf := frag.tf
+	*tf = txFrame{}
+	h.frameFree = append(h.frameFree, tf)
+}
+
+// getDatagram pops a pooled datagram or allocates a new one.
+func (h *Host) getDatagram() *datagramBuf {
+	if n := len(h.dgFree) - 1; n >= 0 {
+		db := h.dgFree[n]
+		h.dgFree = h.dgFree[:n]
+		return db
+	}
+	return &datagramBuf{}
+}
+
+// putDatagram recycles db. The header is cleared (it may alias payload
+// memory the pool must not pin) but buf keeps its capacity.
+func (h *Host) putDatagram(db *datagramBuf) {
+	db.dg = Datagram{}
+	h.dgFree = append(h.dgFree, db)
+}
+
+// getReasm prepares a pooled reassembly buffer for frag's group.
+func (h *Host) getReasm(frag *fragment) *reasmBuf {
+	var rb *reasmBuf
+	if n := len(h.reasmFree) - 1; n >= 0 {
+		rb = h.reasmFree[n]
+		h.reasmFree = h.reasmFree[:n]
+	} else {
+		rb = &reasmBuf{}
+	}
+	rb.key = reasmKey{src: frag.src, id: frag.id}
+	if cap(rb.have) >= frag.count {
+		rb.have = rb.have[:frag.count]
+		for i := range rb.have {
+			rb.have[i] = false
+		}
+	} else {
+		rb.have = make([]bool, frag.count)
+	}
+	rb.count = 0
+	rb.db = h.getDatagram()
+	if cap(rb.db.buf) >= frag.total {
+		rb.db.buf = rb.db.buf[:frag.total]
+	} else {
+		rb.db.buf = make([]byte, frag.total)
+	}
+	return rb
+}
+
+// putReasm recycles rb; its datagram (if any) must already be handed off
+// or returned.
+func (h *Host) putReasm(rb *reasmBuf) {
+	rb.db = nil
+	rb.timer = 0
+	h.reasmFree = append(h.reasmFree, rb)
+}
+
 // Exec charges cost to the host CPU and runs fn when it completes. The
 // CPU is a serial resource: work queues behind whatever the host is
 // already doing. This is the mechanism behind every CPU-bound effect in
@@ -163,6 +272,21 @@ func (h *Host) Exec(cost time.Duration, fn func()) {
 	h.sim.At(end, fn)
 }
 
+// ExecFunc is Exec for the allocation-free callback form: the hot
+// receive and send paths use it so charging CPU costs never builds a
+// closure.
+func (h *Host) ExecFunc(cost time.Duration, fn func(a, b any), a, b any) {
+	now := h.sim.Now()
+	start := h.cpuFree
+	if start < now {
+		start = now
+	}
+	end := start + cost
+	h.cpuFree = end
+	h.stats.CPUBusy += cost
+	h.sim.AtFunc(end, fn, a, b)
+}
+
 // UserCopy charges the user-space copy cost for n bytes (message buffer
 // → protocol buffer or the reverse) and runs fn when done.
 func (h *Host) UserCopy(n int, fn func()) {
@@ -175,10 +299,15 @@ func (h *Host) UserCopy(n int, fn func()) {
 // for the CPU can no longer be cancelled; protocol code guards against
 // stale firings with generation counters.
 func (h *Host) SetTimer(d time.Duration, fn func()) sim.EventID {
-	return h.sim.After(d, func() {
-		h.Exec(h.cfg.Costs.TimerOverhead, fn)
-	})
+	return h.sim.AfterFunc(d, timerFire, h, fn)
 }
+
+func timerFire(a, b any) {
+	h := a.(*Host)
+	h.ExecFunc(h.cfg.Costs.TimerOverhead, runNullary, b, nil)
+}
+
+func runNullary(a, _ any) { a.(func())() }
 
 // CancelTimer cancels a pending timer.
 func (h *Host) CancelTimer(id sim.EventID) { h.sim.Cancel(id) }
@@ -186,7 +315,9 @@ func (h *Host) CancelTimer(id sim.EventID) { h.sim.Cancel(id) }
 // Now returns the current virtual time.
 func (h *Host) Now() sim.Time { return h.sim.Now() }
 
-// RecvFrame implements ethernet.Receiver: the NIC input path.
+// RecvFrame implements ethernet.Receiver: the NIC input path. The host
+// receives one frame reference and releases it when the fragment has
+// been filtered, consumed by reassembly, or delivered.
 func (h *Host) RecvFrame(f *ethernet.Frame) {
 	frag, ok := f.Payload.(*fragment)
 	if !ok {
@@ -195,16 +326,19 @@ func (h *Host) RecvFrame(f *ethernet.Frame) {
 	if f.Multicast {
 		// Hardware multicast filtering: frames for groups the host has
 		// not joined cost no CPU at all, as with the paper's 3C905 NICs.
-		if !h.groups[frag.dg.Dst] {
+		if !h.groups[frag.dst] {
 			h.stats.Filtered++
+			f.Release()
 			return
 		}
 		if frag.src == h.cfg.Addr {
 			// No multicast loopback (IP_MULTICAST_LOOP off).
+			f.Release()
 			return
 		}
 	} else if f.Dst != h.eaddr {
 		h.stats.Filtered++
+		f.Release()
 		return
 	}
 	if j := h.cfg.Costs.RecvJitterNs; j > 0 {
@@ -213,66 +347,120 @@ func (h *Host) RecvFrame(f *ethernet.Frame) {
 			perFrame = 2000
 		}
 		d := h.phase + time.Duration(h.jitter.Float64()*perFrame)
-		h.sim.After(d, func() {
-			h.Exec(h.cfg.Costs.FragOverhead, func() { h.ipInput(frag) })
-		})
+		h.sim.AfterFunc(d, hostFragInput, h, f)
 		return
 	}
-	h.Exec(h.cfg.Costs.FragOverhead, func() { h.ipInput(frag) })
+	h.ExecFunc(h.cfg.Costs.FragOverhead, hostIPInput, h, f)
 }
 
-// ipInput runs after the kernel has processed one received fragment.
+// hostFragInput fires after receive jitter and charges the kernel's
+// per-fragment input cost.
+func hostFragInput(a, b any) {
+	h := a.(*Host)
+	h.ExecFunc(h.cfg.Costs.FragOverhead, hostIPInput, h, b)
+}
+
+// hostIPInput runs after the kernel has processed one received fragment.
+func hostIPInput(a, b any) {
+	h := a.(*Host)
+	f := b.(*ethernet.Frame)
+	h.ipInput(f.Payload.(*fragment))
+	f.Release()
+}
+
+// ipInput consumes one fragment. A single-fragment datagram is delivered
+// with its payload aliasing the sender's buffer — zero copies end to
+// end. Multi-fragment groups are copied once, into the host's pooled
+// reassembly buffer at each fragment's datagram offset.
 func (h *Host) ipInput(frag *fragment) {
 	if frag.count == 1 {
-		h.deliver(frag.dg)
+		db := h.getDatagram()
+		db.dg = Datagram{
+			Src: frag.src, Dst: frag.dst,
+			SrcPort: frag.srcPort, DstPort: frag.dstPort,
+			Payload: frag.payload,
+		}
+		h.deliver(db)
 		return
 	}
 	key := reasmKey{src: frag.src, id: frag.id}
-	buf, ok := h.reasm[key]
+	rb, ok := h.reasm[key]
 	if !ok {
-		buf = &reasmBuf{have: make([]bool, frag.count)}
-		h.reasm[key] = buf
-		h.sim.After(h.cfg.ReasmTimeout, func() {
-			if _, still := h.reasm[key]; still {
-				delete(h.reasm, key)
-				h.stats.ReasmDrops++
-			}
-		})
+		rb = h.getReasm(frag)
+		h.reasm[key] = rb
+		rb.timer = h.sim.AfterFunc(h.cfg.ReasmTimeout, reasmExpire, h, rb)
 	}
-	if buf.have[frag.index] {
+	if rb.have[frag.index] {
 		return // duplicate fragment
 	}
-	buf.have[frag.index] = true
-	buf.count++
-	if buf.count == frag.count {
+	rb.have[frag.index] = true
+	rb.count++
+	off := 0
+	if frag.index > 0 {
+		// Fragment 0 additionally carries the (virtual) UDP header, so
+		// later fragments start UDPHeader bytes earlier in the payload
+		// than their raw IP offset suggests.
+		off = frag.index*FragPayload - UDPHeader
+	}
+	copy(rb.db.buf[off:], frag.payload)
+	if rb.count == frag.count {
 		delete(h.reasm, key)
-		h.deliver(frag.dg)
+		h.sim.Cancel(rb.timer)
+		db := rb.db
+		rb.db = nil
+		h.putReasm(rb)
+		db.dg = Datagram{
+			Src: frag.src, Dst: frag.dst,
+			SrcPort: frag.srcPort, DstPort: frag.dstPort,
+			Payload: db.buf[:frag.total],
+		}
+		h.deliver(db)
 	}
 }
 
-// deliver hands a complete datagram to its socket.
-func (h *Host) deliver(dg *Datagram) {
-	sock, ok := h.sockets[dg.DstPort]
-	if !ok {
-		h.stats.NoPortDrops++
+// reasmExpire discards an incomplete fragment group. Completion cancels
+// the timer (O(1) under the slab scheduler), so firing means the group
+// is genuinely still incomplete.
+func reasmExpire(a, b any) {
+	h := a.(*Host)
+	rb := b.(*reasmBuf)
+	if h.reasm[rb.key] != rb {
 		return
 	}
-	sock.enqueue(dg)
+	delete(h.reasm, rb.key)
+	h.stats.ReasmDrops++
+	h.putDatagram(rb.db)
+	h.putReasm(rb)
+}
+
+// deliver hands a complete datagram to its socket, which now owns db.
+func (h *Host) deliver(db *datagramBuf) {
+	sock, ok := h.sockets[db.dg.DstPort]
+	if !ok {
+		h.stats.NoPortDrops++
+		h.putDatagram(db)
+		return
+	}
+	sock.enqueue(db)
 }
 
 // output queues a datagram for the wire, in order, waiting for
 // transmit-queue space as a blocking sendto would. Called after the
 // send syscall cost has been charged.
-func (h *Host) output(dg *Datagram) {
+func (h *Host) output(db *datagramBuf) {
 	if h.tx == nil {
 		panic("ipnet: host has no transmitter; call SetTx")
 	}
-	h.outQ = append(h.outQ, dg)
+	h.outQ = append(h.outQ, db)
 	if !h.outBusy {
 		h.outBusy = true
 		h.drainOut()
 	}
 }
+
+func hostOutput(a, b any) { a.(*Host).output(b.(*datagramBuf)) }
+
+func hostDrainOut(a, _ any) { a.(*Host).drainOut() }
 
 // drainOut moves queued datagrams onto the wire while the transmit
 // queue has room; when it does not, it waits for the estimated drain
@@ -280,8 +468,8 @@ func (h *Host) output(dg *Datagram) {
 // everything behind it, exactly like a full UDP socket send buffer.
 func (h *Host) drainOut() {
 	for len(h.outQ) > 0 {
-		dg := h.outQ[0]
-		total := WireBytes(len(dg.Payload))
+		db := h.outQ[0]
+		total := WireBytes(len(db.dg.Payload))
 		if cap := h.cfg.TxQueueCap; cap > 0 && h.tx.Queued()+total > cap {
 			h.stats.TxBlocked++
 			need := h.tx.Queued() + total - cap
@@ -289,17 +477,25 @@ func (h *Host) drainOut() {
 			if wait < time.Microsecond {
 				wait = time.Microsecond
 			}
-			h.sim.After(wait, h.drainOut)
+			h.sim.AfterFunc(wait, hostDrainOut, h, nil)
 			return
 		}
-		h.outQ = h.outQ[1:]
-		h.transmit(dg)
+		// Pop by shifting down: q = q[1:] would strand the backing
+		// array's head and force a fresh allocation per cycle.
+		n := copy(h.outQ, h.outQ[1:])
+		h.outQ[n] = nil
+		h.outQ = h.outQ[:n]
+		h.transmit(db)
 	}
 	h.outBusy = false
 }
 
-// transmit fragments one datagram onto the wire.
-func (h *Host) transmit(dg *Datagram) {
+// transmit fragments one datagram onto the wire. Fragmentation copies no
+// bytes: every fragment's payload is a subslice of the datagram's own
+// payload buffer, and each frame carries the full datagram metadata so
+// reassembly works regardless of which fragments arrive (or die) first.
+func (h *Host) transmit(db *datagramBuf) {
+	dg := &db.dg
 	mc := dg.Dst.IsMulticast()
 	var edst ethernet.Addr
 	if mc {
@@ -309,29 +505,38 @@ func (h *Host) transmit(dg *Datagram) {
 	}
 	id := h.nextIPID
 	h.nextIPID++
-	udp := len(dg.Payload) + UDPHeader
-	count := FragmentCount(len(dg.Payload))
+	total := len(dg.Payload)
+	udp := total + UDPHeader
+	count := FragmentCount(total)
 
 	for i := 0; i < count; i++ {
 		chunk := udp - i*FragPayload
 		if chunk > FragPayload {
 			chunk = FragPayload
 		}
-		f := &ethernet.Frame{
-			Src:       h.eaddr,
-			Dst:       edst,
-			Multicast: mc,
-			WireBytes: ethernet.WireSize(chunk + IPHeader),
-			Payload: &fragment{
-				dg:    dg,
-				src:   h.cfg.Addr,
-				id:    id,
-				index: i,
-				count: count,
-			},
+		lo := 0
+		if i > 0 {
+			lo = i*FragPayload - UDPHeader
 		}
+		hi := i*FragPayload + chunk - UDPHeader
+		tf := h.getTxFrame()
+		tf.frag = fragment{
+			tf: tf, owner: h,
+			src: h.cfg.Addr, dst: dg.Dst,
+			srcPort: dg.SrcPort, dstPort: dg.DstPort,
+			id: id, index: i, count: count, total: total,
+			payload: dg.Payload[lo:hi],
+		}
+		f := &tf.frame
+		f.Src = h.eaddr
+		f.Dst = edst
+		f.Multicast = mc
+		f.WireBytes = ethernet.WireSize(chunk + IPHeader)
+		f.Payload = &tf.frag
+		f.SetFree(releaseTxFrame)
 		h.tx.Send(f)
 	}
 	h.stats.SentDatagrams++
-	h.stats.SentBytes += uint64(len(dg.Payload))
+	h.stats.SentBytes += uint64(total)
+	h.putDatagram(db)
 }

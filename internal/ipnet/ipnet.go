@@ -84,12 +84,24 @@ type Datagram struct {
 }
 
 // fragment is the ethernet.Frame payload: one IP fragment of a datagram.
+// payload is a subslice of the sender's datagram payload — fragmentation
+// never copies bytes — and every fragment carries the complete datagram
+// metadata, because with loss and reordering any fragment can be the
+// first (or only) one a receiver sees. Fragments live inside pooled
+// txFrames; tf and owner route the frame back to the sending host's
+// freelist when the last reference is released.
 type fragment struct {
-	dg    *Datagram
-	src   Addr   // sending host (for reassembly keying)
-	id    uint64 // per-sender IP identification
-	index int
-	count int
+	tf      *txFrame
+	owner   *Host
+	src     Addr // sending host (also the reassembly key)
+	dst     Addr
+	srcPort int
+	dstPort int
+	id      uint64 // per-sender IP identification
+	index   int
+	count   int
+	total   int    // payload bytes of the whole datagram
+	payload []byte // this fragment's subslice of the sender's payload
 }
 
 // CostModel captures per-host processing costs. Per-byte costs are in

@@ -38,7 +38,13 @@ func newRig(t *testing.T, n int, cfg HostConfig) *rig {
 		hc.Addr = Addr(i)
 		h := NewHost(r.s, hc)
 		h.SetTx(r.sw.ConnectPort(h.EthernetAddr(), h))
-		h.Bind(testPort, func(dg *Datagram) { r.got[i] = append(r.got[i], dg) })
+		// Datagrams and payloads are pooled and only valid during the
+		// handler, so the rig deep-copies what it records.
+		h.Bind(testPort, func(dg *Datagram) {
+			cp := *dg
+			cp.Payload = append([]byte(nil), dg.Payload...)
+			r.got[i] = append(r.got[i], &cp)
+		})
 		r.hosts = append(r.hosts, h)
 	}
 	return r

@@ -12,14 +12,17 @@ type Socket struct {
 	bufCap  int // payload bytes
 	handler func(dg *Datagram)
 
-	queue    []*Datagram
+	queue    []*datagramBuf
 	queued   int
 	draining bool
 }
 
 // Bind creates a socket on port with the host's default receive buffer.
 // handler runs (on the host CPU) for every datagram the application
-// reads. Binding a bound port panics: it is always a wiring bug.
+// reads. The datagram and its payload are only valid for the duration of
+// the call: both are pooled and recycled as soon as the handler returns,
+// so a handler that needs the bytes must copy them. Binding a bound port
+// panics: it is always a wiring bug.
 func (h *Host) Bind(port int, handler func(dg *Datagram)) *Socket {
 	return h.BindBuf(port, h.cfg.RecvBuf, handler)
 }
@@ -41,6 +44,9 @@ func (h *Host) BindBuf(port, bufBytes int, handler func(dg *Datagram)) *Socket {
 // Close unbinds the socket and discards queued datagrams.
 func (s *Socket) Close() {
 	delete(s.host.sockets, s.port)
+	for _, db := range s.queue {
+		s.host.putDatagram(db)
+	}
 	s.queue = nil
 	s.queued = 0
 }
@@ -50,14 +56,17 @@ func (s *Socket) Port() int { return s.port }
 
 // SendTo transmits payload to dst:dstPort. The send syscall cost is
 // charged to the host CPU; the datagram enters the wire when it
-// completes. The payload slice is not copied — callers must not mutate
-// it afterwards (protocol code allocates per-packet buffers).
+// completes. The payload slice is not copied — it backs the in-flight
+// fragments and, for single-fragment datagrams, the delivered payload
+// itself, so callers must not mutate it afterwards (protocol code
+// allocates per-packet buffers).
 func (s *Socket) SendTo(dst Addr, dstPort int, payload []byte) {
 	if len(payload) > MaxDatagram {
 		panic(fmt.Sprintf("ipnet: datagram of %d bytes exceeds max %d", len(payload), MaxDatagram))
 	}
 	h := s.host
-	dg := &Datagram{
+	db := h.getDatagram()
+	db.dg = Datagram{
 		Src:     h.cfg.Addr,
 		Dst:     dst,
 		SrcPort: s.port,
@@ -65,17 +74,19 @@ func (s *Socket) SendTo(dst Addr, dstPort int, payload []byte) {
 		Payload: payload,
 	}
 	cost := h.cfg.Costs.SendSyscall + PerByte(len(payload), h.cfg.Costs.SendPerByteNs)
-	h.Exec(cost, func() { h.output(dg) })
+	h.ExecFunc(cost, hostOutput, h, db)
 }
 
-// enqueue admits a datagram that completed reassembly.
-func (s *Socket) enqueue(dg *Datagram) {
-	if s.bufCap > 0 && s.queued+len(dg.Payload) > s.bufCap {
+// enqueue admits a datagram that completed reassembly, taking ownership
+// of db.
+func (s *Socket) enqueue(db *datagramBuf) {
+	if s.bufCap > 0 && s.queued+len(db.dg.Payload) > s.bufCap {
 		s.host.stats.SocketDrops++
+		s.host.putDatagram(db)
 		return
 	}
-	s.queue = append(s.queue, dg)
-	s.queued += len(dg.Payload)
+	s.queue = append(s.queue, db)
+	s.queued += len(db.dg.Payload)
 	if !s.draining {
 		s.draining = true
 		s.drainNext()
@@ -89,21 +100,34 @@ func (s *Socket) drainNext() {
 		s.draining = false
 		return
 	}
-	dg := s.queue[0]
+	db := s.queue[0]
 	h := s.host
-	cost := h.cfg.Costs.RecvSyscall + PerByte(len(dg.Payload), h.cfg.Costs.RecvPerByteNs)
-	h.Exec(cost, func() {
-		// The socket may have been closed while the read was charged.
-		if len(s.queue) == 0 || s.queue[0] != dg {
-			s.draining = false
-			return
-		}
-		// The datagram leaves the socket buffer when the read completes.
-		s.queue = s.queue[1:]
-		s.queued -= len(dg.Payload)
-		h.stats.RecvDatagrams++
-		h.stats.RecvBytes += uint64(len(dg.Payload))
-		s.handler(dg)
-		s.drainNext()
-	})
+	cost := h.cfg.Costs.RecvSyscall + PerByte(len(db.dg.Payload), h.cfg.Costs.RecvPerByteNs)
+	h.ExecFunc(cost, socketReadDone, s, db)
+}
+
+// socketReadDone fires when the read syscall's CPU charge completes: the
+// datagram leaves the socket buffer, the handler consumes it, and the
+// pooled datagram is recycled.
+func socketReadDone(a, b any) {
+	s := a.(*Socket)
+	db := b.(*datagramBuf)
+	// The socket may have been closed while the read was charged (Close
+	// recycles the queue, so db must not be touched on this path).
+	if len(s.queue) == 0 || s.queue[0] != db {
+		s.draining = false
+		return
+	}
+	// Pop by shifting down so the queue's backing array is reused
+	// forever instead of reallocating once its head is stranded.
+	n := copy(s.queue, s.queue[1:])
+	s.queue[n] = nil
+	s.queue = s.queue[:n]
+	s.queued -= len(db.dg.Payload)
+	h := s.host
+	h.stats.RecvDatagrams++
+	h.stats.RecvBytes += uint64(len(db.dg.Payload))
+	s.handler(&db.dg)
+	h.putDatagram(db)
+	s.drainNext()
 }

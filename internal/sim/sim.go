@@ -5,10 +5,25 @@
 // fully deterministic. All simulated network and host behavior in this
 // repository is expressed as events on one Simulator; nothing in the
 // simulated world reads the wall clock.
+//
+// The engine is built for a near-zero-allocation steady state: event
+// records live in a slab ([]slot) recycled through a free list, the
+// priority queue is a hand-rolled min-heap of small value entries, and
+// the AtFunc/AfterFunc variants let hot paths schedule a package-level
+// function plus two argument words instead of allocating a closure per
+// event. Scheduling and firing allocate nothing once the slab and heap
+// have grown to the simulation's high-water mark.
+//
+// Cancellation is O(1): an EventID packs the event's slab index with a
+// per-slot generation counter, so Cancel is one bounds check and one
+// generation compare — no map lookup, no heap surgery. The cancelled
+// entry stays in the heap and is discarded lazily when it surfaces; when
+// more than half of the heap is dead weight the queue is compacted in
+// one pass, which bounds both heap and slab growth under heavy
+// cancel/reschedule churn (retransmit timers).
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"time"
@@ -19,95 +34,118 @@ import (
 // familiar while making it impossible to confuse virtual and wall time.
 type Time = time.Duration
 
-// EventID identifies a scheduled event so it can be cancelled. The zero
-// EventID is never issued and is safe to use as "no event".
+// EventID identifies a scheduled event so it can be cancelled. It packs
+// the event's slab slot (low 32 bits, offset by one) and the slot's
+// generation at scheduling time (high 32 bits); the generation is bumped
+// every time a slot is recycled, so a stale EventID can never cancel an
+// unrelated later event. The zero EventID is never issued and is safe to
+// use as "no event".
 type EventID uint64
 
-// event is a single queue entry. seq breaks ties between events scheduled
-// for the same instant: lower seq (scheduled earlier) fires first.
-type event struct {
+// Slot lifecycle states.
+const (
+	slotFree uint8 = iota
+	slotPending
+	slotCancelled
+)
+
+// slot is one slab entry: the payload of a scheduled event. Slots are
+// recycled through the simulator's free list; gen counts recycles.
+type slot struct {
 	at    Time
 	seq   uint64
-	id    EventID
-	fn    func()
-	index int // heap index, maintained by eventQueue
+	gen   uint32
+	state uint8
+	fn0   func()          // nullary callback (At/After)
+	fn    func(a, b any)  // monomorphic callback (AtFunc/AfterFunc)
+	a, b  any
 }
 
-// eventQueue is a min-heap of events ordered by (at, seq).
-type eventQueue []*event
+// entry is one priority-queue element. Keeping (at, seq) inline means
+// heap sifting never touches the slab, and the 24-byte value entries
+// keep the heap allocation-free and cache-friendly.
+type entry struct {
+	at  Time
+	seq uint64
+	idx uint32
+}
 
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+func entryLess(a, b entry) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return q[i].seq < q[j].seq
-}
-
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-
-func (q *eventQueue) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*q)
-	*q = append(*q, ev)
-}
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*q = old[:n-1]
-	return ev
+	return a.seq < b.seq
 }
 
 // Simulator is a discrete-event scheduler. The zero value is not usable;
-// call New.
+// call New. A Simulator is not safe for concurrent use: the simulated
+// world is single-threaded by design.
 type Simulator struct {
 	now     Time
-	queue   eventQueue
+	queue   []entry  // min-heap on (at, seq)
+	slots   []slot   // slab of event payloads
+	free    []uint32 // recycled slot indices
 	nextSeq uint64
-	nextID  EventID
-	live    map[EventID]*event
+	live    int // pending (not cancelled) events
+	dead    int // cancelled entries still parked in the heap
 	fired   uint64
 }
 
 // New returns an empty simulator with the clock at zero.
-func New() *Simulator {
-	return &Simulator{live: make(map[EventID]*event)}
-}
+func New() *Simulator { return &Simulator{} }
 
 // Now returns the current virtual time.
 func (s *Simulator) Now() Time { return s.now }
 
-// Pending returns the number of events waiting to fire.
-func (s *Simulator) Pending() int { return len(s.queue) }
+// Pending returns the number of events waiting to fire (cancelled events
+// excluded, even while their heap entries await lazy removal).
+func (s *Simulator) Pending() int { return s.live }
 
 // Fired returns the total number of events executed so far.
 func (s *Simulator) Fired() uint64 { return s.fired }
+
+// SlabSize returns the number of event slots ever allocated — the
+// high-water mark of simultaneously tracked (pending + lazily dead)
+// events. Exposed so tests can assert that cancel/reschedule churn does
+// not grow the slab without bound.
+func (s *Simulator) SlabSize() int { return len(s.slots) }
+
+// schedule is the common entry point behind At/AtFunc. Exactly one of
+// fn0 and fn is non-nil.
+func (s *Simulator) schedule(at Time, fn0 func(), fn func(a, b any), a, b any) EventID {
+	if at < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, s.now))
+	}
+	s.nextSeq++
+	var idx uint32
+	if n := len(s.free) - 1; n >= 0 {
+		idx = s.free[n]
+		s.free = s.free[:n]
+	} else {
+		if len(s.slots) >= math.MaxUint32 {
+			panic("sim: event slab exhausted")
+		}
+		s.slots = append(s.slots, slot{})
+		idx = uint32(len(s.slots) - 1)
+	}
+	sl := &s.slots[idx]
+	sl.at = at
+	sl.seq = s.nextSeq
+	sl.state = slotPending
+	sl.fn0, sl.fn, sl.a, sl.b = fn0, fn, a, b
+	s.push(entry{at: at, seq: s.nextSeq, idx: idx})
+	s.live++
+	return EventID(uint64(sl.gen)<<32 | uint64(idx) + 1)
+}
 
 // At schedules fn to run at the absolute virtual time at. Scheduling in
 // the past panics: it always indicates a bug in the caller, and silently
 // clamping would hide causality violations.
 func (s *Simulator) At(at Time, fn func()) EventID {
-	if at < s.now {
-		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, s.now))
-	}
 	if fn == nil {
 		panic("sim: scheduling nil event func")
 	}
-	s.nextSeq++
-	s.nextID++
-	ev := &event{at: at, seq: s.nextSeq, id: s.nextID, fn: fn}
-	heap.Push(&s.queue, ev)
-	s.live[ev.id] = ev
-	return ev.id
+	return s.schedule(at, fn, nil, nil, nil)
 }
 
 // After schedules fn to run d from now. Negative d panics via At.
@@ -115,31 +153,124 @@ func (s *Simulator) After(d time.Duration, fn func()) EventID {
 	return s.At(s.now+d, fn)
 }
 
-// Cancel removes a pending event. It reports whether the event was still
-// pending; cancelling an already-fired or already-cancelled event is a
-// harmless no-op, which lets protocol code cancel timers unconditionally.
+// AtFunc schedules fn(a, b) at the absolute virtual time at. It is the
+// allocation-free scheduling path: fn is typically a package-level
+// function and a/b carry its receiver and payload (pointer-shaped values
+// box into the interface words without allocating), so per-frame network
+// events schedule without constructing a closure.
+func (s *Simulator) AtFunc(at Time, fn func(a, b any), a, b any) EventID {
+	if fn == nil {
+		panic("sim: scheduling nil event func")
+	}
+	return s.schedule(at, nil, fn, a, b)
+}
+
+// AfterFunc schedules fn(a, b) to run d from now; see AtFunc.
+func (s *Simulator) AfterFunc(d time.Duration, fn func(a, b any), a, b any) EventID {
+	return s.AtFunc(s.now+d, fn, a, b)
+}
+
+// Cancel removes a pending event in O(1): decode the slot index, compare
+// the generation, and mark the slot cancelled — the heap entry is
+// discarded lazily when it reaches the top (or at the next compaction).
+// It reports whether the event was still pending; cancelling an
+// already-fired or already-cancelled event is a harmless no-op, which
+// lets protocol code cancel timers unconditionally.
 func (s *Simulator) Cancel(id EventID) bool {
-	ev, ok := s.live[id]
-	if !ok {
+	low := uint64(id) & 0xffffffff
+	if low == 0 {
 		return false
 	}
-	delete(s.live, id)
-	heap.Remove(&s.queue, ev.index)
+	idx := uint32(low - 1)
+	if int(idx) >= len(s.slots) {
+		return false
+	}
+	sl := &s.slots[idx]
+	if sl.state != slotPending || sl.gen != uint32(id>>32) {
+		return false
+	}
+	sl.state = slotCancelled
+	sl.fn0, sl.fn, sl.a, sl.b = nil, nil, nil, nil
+	s.live--
+	s.dead++
+	// Compact once dead entries outnumber live ones: a single O(n) pass
+	// amortized against the >n cancels that created the dead weight, so
+	// cancel/reschedule churn cannot grow the heap or slab unboundedly.
+	if s.dead > 64 && s.dead > s.live {
+		s.compact()
+	}
 	return true
 }
 
-// Step fires the single next event, advancing the clock to it. It reports
-// whether an event was fired (false means the queue was empty).
-func (s *Simulator) Step() bool {
-	if len(s.queue) == 0 {
-		return false
+// freeSlot recycles a slot whose heap entry has been removed.
+func (s *Simulator) freeSlot(idx uint32) {
+	sl := &s.slots[idx]
+	sl.state = slotFree
+	sl.gen++
+	sl.fn0, sl.fn, sl.a, sl.b = nil, nil, nil, nil
+	s.free = append(s.free, idx)
+}
+
+// compact filters cancelled entries out of the heap in one pass and
+// re-establishes the heap property.
+func (s *Simulator) compact() {
+	kept := s.queue[:0]
+	for _, e := range s.queue {
+		if s.slots[e.idx].state == slotCancelled {
+			s.freeSlot(e.idx)
+			continue
+		}
+		kept = append(kept, e)
 	}
-	ev := heap.Pop(&s.queue).(*event)
-	delete(s.live, ev.id)
-	s.now = ev.at
-	s.fired++
-	ev.fn()
-	return true
+	s.queue = kept
+	for i := len(kept)/2 - 1; i >= 0; i-- {
+		s.siftDown(i)
+	}
+	s.dead = 0
+}
+
+// Step fires the single next event, advancing the clock to it. It reports
+// whether an event was fired (false means no live events remain).
+func (s *Simulator) Step() bool {
+	for len(s.queue) > 0 {
+		e := s.queue[0]
+		sl := &s.slots[e.idx]
+		if sl.state == slotCancelled {
+			s.popTop()
+			s.freeSlot(e.idx)
+			s.dead--
+			continue
+		}
+		s.popTop()
+		fn0, fn, a, b := sl.fn0, sl.fn, sl.a, sl.b
+		s.freeSlot(e.idx)
+		s.live--
+		s.now = e.at
+		s.fired++
+		if fn != nil {
+			fn(a, b)
+		} else {
+			fn0()
+		}
+		return true
+	}
+	return false
+}
+
+// nextAt returns the timestamp of the next live event, pruning dead heap
+// entries it encounters on the way.
+func (s *Simulator) nextAt() (Time, bool) {
+	for len(s.queue) > 0 {
+		e := s.queue[0]
+		if s.slots[e.idx].state == slotCancelled {
+			s.popTop()
+			s.freeSlot(e.idx)
+			s.dead--
+			continue
+		}
+		return e.at, true
+	}
+	return 0, false
 }
 
 // Run fires events until the queue is empty and returns the final clock.
@@ -154,18 +285,70 @@ func (s *Simulator) Run() Time {
 // the deadline, false if events remain beyond it (the clock is then left
 // at the last fired event, not advanced to the deadline).
 func (s *Simulator) RunUntil(deadline Time) bool {
-	for len(s.queue) > 0 {
-		if s.queue[0].at > deadline {
+	for {
+		at, ok := s.nextAt()
+		if !ok {
+			return true
+		}
+		if at > deadline {
 			return false
 		}
 		s.Step()
 	}
-	return true
 }
 
 // RunFor is RunUntil(Now()+d).
 func (s *Simulator) RunFor(d time.Duration) bool {
 	return s.RunUntil(s.now + d)
+}
+
+// push appends e and restores the heap property.
+func (s *Simulator) push(e entry) {
+	s.queue = append(s.queue, e)
+	i := len(s.queue) - 1
+	q := s.queue
+	for i > 0 {
+		p := (i - 1) / 2
+		if !entryLess(e, q[p]) {
+			break
+		}
+		q[i] = q[p]
+		i = p
+	}
+	q[i] = e
+}
+
+// popTop removes the heap minimum.
+func (s *Simulator) popTop() {
+	q := s.queue
+	n := len(q) - 1
+	q[0] = q[n]
+	s.queue = q[:n]
+	if n > 0 {
+		s.siftDown(0)
+	}
+}
+
+// siftDown restores the heap property below index i.
+func (s *Simulator) siftDown(i int) {
+	q := s.queue
+	n := len(q)
+	e := q[i]
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if r := c + 1; r < n && entryLess(q[r], q[c]) {
+			c = r
+		}
+		if !entryLess(q[c], e) {
+			break
+		}
+		q[i] = q[c]
+		i = c
+	}
+	q[i] = e
 }
 
 // MaxTime is the largest representable virtual time, usable as an

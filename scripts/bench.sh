@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# bench.sh — machine-readable benchmark snapshot.
+#
+# Runs the protocol benchmarks (full 2 MB transfers, 30 receivers) and
+# the simulator/fragmentation microbenchmarks, then writes BENCH_sim.json
+# with ns/op, B/op, allocs/op and simulated goodput for each. The file
+# is committed so every perf PR can diff its numbers against the
+# trajectory, and the "baseline" block preserves the pre-slab-engine
+# numbers (PR 3) that later improvements are measured against.
+#
+# Usage:
+#   scripts/bench.sh [output.json]
+#   BENCHTIME=10x scripts/bench.sh      # more iterations, steadier numbers
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-3x}"
+OUT="${1:-BENCH_sim.json}"
+
+proto=$(go test -run '^$' -bench 'BenchmarkProto(ACK|NAK|Ring|Tree)2MB' \
+	-benchmem -benchtime "$BENCHTIME" .)
+micro=$(go test -run '^$' -bench 'BenchmarkSim(Schedule|ScheduleDepth1k|Cancel)$' \
+	-benchmem -benchtime 200000x ./internal/sim)
+frag=$(go test -run '^$' -bench 'BenchmarkFragmentation' \
+	-benchmem -benchtime 200x ./internal/ipnet)
+
+{
+	printf '{\n'
+	printf '  "generated_by": "scripts/bench.sh",\n'
+	printf '  "go": "%s",\n' "$(go env GOVERSION)"
+	printf '  "benchtime": "%s",\n' "$BENCHTIME"
+	printf '  "cpu": "%s",\n' "$(printf '%s\n' "$proto" | awk -F': ' '/^cpu:/{print $2; exit}')"
+	# Pre-optimization baseline, recorded at commit b58cdc9 (pointer-heap
+	# events, map-tracked cancellation, unpooled frames), benchtime=3x.
+	printf '  "baseline_pre_slab_engine": {\n'
+	printf '    "BenchmarkProtoACK2MB":  {"ns_per_op": 104600000, "allocs_per_op": 410064, "bytes_per_op": 82900000, "sim_mbps": 78.01},\n'
+	printf '    "BenchmarkProtoNAK2MB":  {"ns_per_op": 110700000, "allocs_per_op": 472428, "sim_mbps": 93.26},\n'
+	printf '    "BenchmarkProtoRing2MB": {"ns_per_op": 123800000, "allocs_per_op": 475468, "sim_mbps": 93.23},\n'
+	printf '    "BenchmarkProtoTree2MB": {"ns_per_op": 147900000, "allocs_per_op": 675151, "sim_mbps": 91.77}\n'
+	printf '  },\n'
+	printf '  "benchmarks": {\n'
+	printf '%s\n%s\n%s\n' "$proto" "$micro" "$frag" | awk '
+		/^Benchmark/ {
+			name = $1
+			sub(/-[0-9]+$/, "", name)
+			ns = ""; allocs = ""; bytes = ""; mbps = ""
+			for (i = 2; i <= NF; i++) {
+				if ($i == "ns/op")     ns = $(i-1)
+				if ($i == "allocs/op") allocs = $(i-1)
+				if ($i == "B/op")      bytes = $(i-1)
+				if ($i == "sim-Mbps")  mbps = $(i-1)
+			}
+			line = sprintf("    \"%s\": {\"ns_per_op\": %s", name, ns)
+			if (bytes != "")  line = line sprintf(", \"bytes_per_op\": %s", bytes)
+			if (allocs != "") line = line sprintf(", \"allocs_per_op\": %s", allocs)
+			if (mbps != "")   line = line sprintf(", \"sim_mbps\": %s", mbps)
+			line = line "}"
+			if (n++) printf(",\n")
+			printf("%s", line)
+		}
+		END { printf("\n") }
+	'
+	printf '  }\n'
+	printf '}\n'
+} >"$OUT"
+
+# Fail loudly if the assembled file is not valid JSON.
+python3 -c "import json,sys; json.load(open('$OUT'))" 2>/dev/null ||
+	{ echo "bench.sh: generated $OUT is not valid JSON" >&2; exit 1; }
+echo "wrote $OUT"
