@@ -1,0 +1,135 @@
+// Command rmcheck is the deterministic chaos harness for the protocol
+// invariant checkers (internal/check): it derives a stream of randomized
+// scenarios — protocol family, group size, message and buffer sizes,
+// topology, loss, fault schedules — from one seed, runs each through a
+// fully checked simulated session, and reports every invariant
+// violation with a one-flag reproduction handle.
+//
+//	rmcheck -seed 1 -cases 500            # sweep 500 scenarios
+//	rmcheck -repro 1:137                  # rerun one scenario, verbosely
+//	rmcheck -seed 7 -cases 200 -stop      # halt at the first violation
+//
+// Exit status: 0 when every case is clean, 1 on violations or harness
+// errors.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime"
+
+	"rmcast/internal/check"
+)
+
+func main() {
+	var (
+		seed     = flag.Uint64("seed", 1, "sweep seed; cases are derived from (seed, index)")
+		cases    = flag.Int("cases", 200, "number of cases to run")
+		first    = flag.Int("first", 0, "first case index")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent cases")
+		repro    = flag.String("repro", "", "rerun one case given as seed:index (from a violation report)")
+		stop     = flag.Bool("stop", false, "stop at the first violating case")
+		verbose  = flag.Bool("v", false, "print every case, not just violations")
+		tail     = flag.Int("tail", 25, "trace-tail events to print per violating case (repro mode)")
+	)
+	flag.Parse()
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
+
+	if *repro != "" {
+		os.Exit(runRepro(ctx, *repro, *tail))
+	}
+	os.Exit(runSweep(ctx, *seed, *first, *cases, *parallel, *stop, *verbose))
+}
+
+func runSweep(ctx context.Context, seed uint64, first, cases, parallel int, stop, verbose bool) int {
+	bad, errs, ran := 0, 0, 0
+	check.Fuzz(ctx, seed, first, cases, parallel, func(cr check.CaseResult) bool {
+		if ctx.Err() != nil {
+			return false
+		}
+		ran++
+		switch {
+		case cr.Err != nil:
+			errs++
+			fmt.Printf("ERROR case %s [%v]: %v\n", cr.Case.Repro(), cr.Case, cr.Err)
+		case len(cr.Outcome.Violations) > 0:
+			bad++
+			printViolations(cr)
+		case verbose:
+			fmt.Printf("ok    case %s [%v] %s\n", cr.Case.Repro(), cr.Case, outcomeSummary(cr.Outcome))
+		}
+		return !(stop && (bad > 0 || errs > 0))
+	})
+	if ctx.Err() != nil {
+		fmt.Printf("interrupted after %d cases\n", ran)
+	}
+	fmt.Printf("checked %d cases (seed %d): %d with violations, %d harness errors\n",
+		ran, seed, bad, errs)
+	if bad > 0 || errs > 0 {
+		return 1
+	}
+	return 0
+}
+
+func runRepro(ctx context.Context, repro string, tail int) int {
+	seed, index, err := check.ParseRepro(repro)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	c := check.DeriveCase(seed, index)
+	fmt.Printf("case %s [%v]\n", c.Repro(), c)
+	out, err := check.RunCase(ctx, c)
+	if err != nil {
+		fmt.Printf("harness error: %v\n", err)
+		return 1
+	}
+	fmt.Printf("outcome: %s\n", outcomeSummary(out))
+	if len(out.Violations) == 0 {
+		fmt.Println("no violations")
+		return 0
+	}
+	for _, v := range out.Violations {
+		fmt.Printf("  %v\n", v)
+	}
+	if tail > 0 && len(out.Tail) > 0 {
+		events := out.Tail
+		if len(events) > tail {
+			events = events[len(events)-tail:]
+		}
+		fmt.Printf("trace tail (%d of %d retained events):\n", len(events), len(out.Tail))
+		for _, e := range events {
+			fmt.Printf("  %v\n", e)
+		}
+	}
+	return 1
+}
+
+func printViolations(cr check.CaseResult) {
+	out := cr.Outcome
+	fmt.Printf("FAIL  case %s [%v] %s\n", cr.Case.Repro(), cr.Case, outcomeSummary(out))
+	for _, v := range out.Violations {
+		fmt.Printf("      %v\n", v)
+	}
+	fmt.Printf("      rerun: rmcheck -repro %s\n", cr.Case.Repro())
+}
+
+func outcomeSummary(out *check.Outcome) string {
+	res := out.Info.Result
+	if res == nil {
+		return "(no result)"
+	}
+	s := fmt.Sprintf("completed=%v delivered=%d", res.Completed, len(res.Delivered))
+	if len(res.Failed) > 0 {
+		s += fmt.Sprintf(" failed=%v", res.Failed)
+	}
+	if out.Info.RunErr != nil {
+		s += fmt.Sprintf(" err=%q", out.Info.RunErr)
+	}
+	return s
+}

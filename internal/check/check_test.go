@@ -1,0 +1,229 @@
+package check
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"rmcast/internal/cluster"
+	"rmcast/internal/core"
+	"rmcast/internal/packet"
+	"rmcast/internal/trace"
+)
+
+// testInfo builds a RunInfo for synthetic-stream tests (Result stays
+// nil: checkers judge the stream alone).
+func testInfo(t *testing.T, pcfg core.Config, msgSize int) *RunInfo {
+	t.Helper()
+	norm, err := pcfg.Normalize()
+	if err != nil {
+		t.Fatalf("Normalize: %v", err)
+	}
+	return &RunInfo{
+		Cluster: cluster.Default(norm.NumReceivers),
+		Proto:   norm,
+		MsgSize: msgSize,
+		Count:   norm.PacketCount(msgSize),
+	}
+}
+
+func ackConfig(n int) core.Config {
+	return core.Config{Protocol: core.ProtoACK, NumReceivers: n, PacketSize: 1024, WindowSize: 4}
+}
+
+// ev is a compact trace.Event builder for synthetic streams.
+func ev(at int, node int, dir trace.Dir, peer int, typ packet.Type, seq uint32) trace.Event {
+	return trace.Event{At: time.Duration(at) * time.Microsecond, Node: node, Dir: dir, Peer: peer, Type: typ, Seq: seq}
+}
+
+func hasViolation(t *testing.T, vs []Violation, checker, substr string) {
+	t.Helper()
+	for _, v := range vs {
+		if v.Checker == checker && strings.Contains(v.Detail, substr) {
+			return
+		}
+	}
+	t.Fatalf("no %q violation containing %q in %v", checker, substr, vs)
+}
+
+func noViolations(t *testing.T, vs []Violation) {
+	t.Helper()
+	if len(vs) != 0 {
+		t.Fatalf("unexpected violations: %v", vs)
+	}
+}
+
+// TestDeliveryCheckerCatchesDuplicate is the permanent form of the
+// harness's mutation validation: a receiver whose delivery callback
+// fires twice (the deliberately injected re-deliver-on-duplicate-last
+// bug) must be caught by the delivery checker.
+func TestDeliveryCheckerCatchesDuplicate(t *testing.T) {
+	info := testInfo(t, ackConfig(1), 100)
+	events := []trace.Event{
+		ev(1, 1, trace.Recv, 0, packet.TypeAllocReq, 0),
+		ev(2, 0, trace.SendMC, trace.Multicast, packet.TypeData, 0),
+		ev(3, 1, trace.Recv, 0, packet.TypeData, 0),
+	}
+	good := Delivery{Rank: 1, At: 5 * time.Microsecond, Len: 100, OK: true}
+
+	info.Deliveries = []Delivery{good}
+	noViolations(t, Analyze(info, events))
+
+	info.Deliveries = []Delivery{good, {Rank: 1, At: 9 * time.Microsecond, Len: 100, OK: true}}
+	hasViolation(t, Analyze(info, events), "delivery", "2 times")
+}
+
+func TestDeliveryCheckerCatchesDeliveryWithoutData(t *testing.T) {
+	info := testInfo(t, ackConfig(1), 2048) // two packets
+	events := []trace.Event{
+		ev(1, 1, trace.Recv, 0, packet.TypeAllocReq, 0),
+		ev(2, 1, trace.Recv, 0, packet.TypeData, 0), // seq 1 never arrives
+	}
+	info.Deliveries = []Delivery{{Rank: 1, At: 5 * time.Microsecond, Len: 2048, OK: true}}
+	hasViolation(t, Analyze(info, events), "delivery", "without ever receiving seq 1")
+}
+
+func TestWindowCheckerCatchesOverrun(t *testing.T) {
+	info := testInfo(t, ackConfig(1), 5*1024) // count 5, window 4
+	var events []trace.Event
+	for seq := 0; seq < 5; seq++ { // five first transmissions, zero acks
+		events = append(events, ev(seq+1, 0, trace.SendMC, trace.Multicast, packet.TypeData, uint32(seq)))
+	}
+	hasViolation(t, Analyze(info, events), "window", "window overrun")
+}
+
+func TestWindowCheckerCatchesDishonestAck(t *testing.T) {
+	info := testInfo(t, ackConfig(1), 5*1024)
+	events := []trace.Event{
+		ev(1, 1, trace.Recv, 0, packet.TypeAllocReq, 0),
+		ev(2, 0, trace.SendMC, trace.Multicast, packet.TypeData, 0),
+		ev(3, 1, trace.Recv, 0, packet.TypeData, 0),
+		// Prefix is 1; claiming 3 acknowledges data never received.
+		ev(4, 1, trace.Send, 0, packet.TypeAck, 3),
+	}
+	hasViolation(t, Analyze(info, events), "window", "in-order prefix is 1")
+}
+
+func TestWindowCheckerIgnoresPreAllocationData(t *testing.T) {
+	// Data arriving before the allocation request is dropped by the real
+	// receiver; the shadow must not count it, or an honest later ack
+	// would be flagged.
+	info := testInfo(t, ackConfig(1), 5*1024)
+	events := []trace.Event{
+		ev(1, 0, trace.SendMC, trace.Multicast, packet.TypeData, 0),
+		ev(2, 1, trace.Recv, 0, packet.TypeData, 0), // before alloc: dropped
+		ev(3, 1, trace.Recv, 0, packet.TypeAllocReq, 0),
+		ev(4, 1, trace.Recv, 0, packet.TypeData, 0), // retransmission repairs it
+		ev(5, 1, trace.Send, 0, packet.TypeAck, 1),
+	}
+	noViolations(t, Analyze(info, events))
+}
+
+func TestRingCheckerCatchesOutOfTurnAck(t *testing.T) {
+	info := testInfo(t, core.Config{
+		Protocol: core.ProtoRing, NumReceivers: 3, PacketSize: 1024, WindowSize: 8,
+	}, 5*1024)
+	events := []trace.Event{
+		ev(1, 2, trace.Recv, 0, packet.TypeAllocReq, 0),
+		ev(2, 2, trace.Recv, 0, packet.TypeData, 0),
+		// Receiver 2's rotation slot is seq 1, which it has not received;
+		// cum 1 also is not the last packet. This ack is out of turn.
+		ev(3, 2, trace.Send, 0, packet.TypeAck, 1),
+	}
+	hasViolation(t, Analyze(info, events), "ring", "out of turn")
+}
+
+func TestTreeCheckerCatchesInflatedAggregate(t *testing.T) {
+	info := testInfo(t, core.Config{
+		Protocol: core.ProtoTree, NumReceivers: 2, PacketSize: 1024, WindowSize: 4, TreeHeight: 2,
+	}, 2*1024)
+	events := []trace.Event{
+		ev(1, 1, trace.Recv, 0, packet.TypeAllocReq, 0),
+		ev(2, 1, trace.Recv, 0, packet.TypeData, 0),
+		ev(3, 1, trace.Recv, 0, packet.TypeData, 1),
+		// Head 1 holds everything but its successor (rank 2) never
+		// reported anything: the chain aggregate it may claim is 0.
+		ev(4, 1, trace.Send, 0, packet.TypeAck, 2),
+	}
+	hasViolation(t, Analyze(info, events), "tree", "beyond its successor")
+}
+
+func TestGhostCheckerCatchesTalkingGhost(t *testing.T) {
+	info := testInfo(t, ackConfig(2), 1024)
+	events := []trace.Event{
+		{At: time.Microsecond, Node: 1, Dir: trace.Recv, Peer: 0, Type: packet.TypeEject, Aux: 1},
+		ev(2, 1, trace.Send, 0, packet.TypeAck, 0),
+	}
+	hasViolation(t, Analyze(info, events), "ghost", "after learning of its ejection")
+}
+
+// TestExecuteCleanRuns drives every protocol family through a real
+// simulated session under all applicable checkers.
+func TestExecuteCleanRuns(t *testing.T) {
+	cases := []core.Config{
+		{Protocol: core.ProtoACK, PacketSize: 4096, WindowSize: 8},
+		{Protocol: core.ProtoNAK, PacketSize: 4096, WindowSize: 16, PollInterval: 8},
+		{Protocol: core.ProtoRing, PacketSize: 4096, WindowSize: 8},
+		{Protocol: core.ProtoTree, PacketSize: 4096, WindowSize: 8, TreeHeight: 2},
+		{Protocol: core.ProtoRawUDP, PacketSize: 4096},
+	}
+	for _, pcfg := range cases {
+		t.Run(pcfg.Protocol.String(), func(t *testing.T) {
+			out, err := Execute(context.Background(), cluster.Default(4), pcfg, 64*1024)
+			if err != nil {
+				t.Fatalf("Execute: %v", err)
+			}
+			if out.Info.RunErr != nil {
+				t.Fatalf("run error: %v", out.Info.RunErr)
+			}
+			noViolations(t, out.Violations)
+			if got := len(out.Info.Deliveries); got != 4 && pcfg.Protocol != core.ProtoRawUDP {
+				t.Fatalf("expected 4 deliveries, got %d", got)
+			}
+		})
+	}
+}
+
+// TestExecuteLossyRun exercises the retransmission and NAK paths live.
+func TestExecuteLossyRun(t *testing.T) {
+	ccfg := cluster.Default(6)
+	ccfg.LossRate = 0.02
+	out, err := Execute(context.Background(),
+		ccfg, core.Config{Protocol: core.ProtoNAK, PacketSize: 2048, WindowSize: 16, PollInterval: 4}, 128*1024)
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if out.Info.RunErr != nil {
+		t.Fatalf("run error: %v", out.Info.RunErr)
+	}
+	noViolations(t, out.Violations)
+	if out.Info.Result.Metrics.Retransmissions == 0 {
+		t.Fatal("lossy run produced no retransmissions; the scenario is not exercising repair")
+	}
+}
+
+func TestDeriveCaseDeterministic(t *testing.T) {
+	a, b := DeriveCase(3, 41), DeriveCase(3, 41)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("DeriveCase not deterministic:\n%+v\n%+v", a, b)
+	}
+	if reflect.DeepEqual(DeriveCase(3, 41).Proto, DeriveCase(3, 42).Proto) &&
+		reflect.DeepEqual(DeriveCase(3, 41).Cluster, DeriveCase(3, 42).Cluster) {
+		t.Fatal("adjacent cases derived identical scenarios")
+	}
+}
+
+func TestParseRepro(t *testing.T) {
+	c := DeriveCase(12, 34)
+	seed, index, err := ParseRepro(c.Repro())
+	if err != nil || seed != 12 || index != 34 {
+		t.Fatalf("ParseRepro(%q) = %d, %d, %v", c.Repro(), seed, index, err)
+	}
+	for _, bad := range []string{"", "7", "x:1", "1:x", "1:-2"} {
+		if _, _, err := ParseRepro(bad); err == nil {
+			t.Errorf("ParseRepro(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,275 @@
+package check
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"rmcast/internal/cluster"
+	"rmcast/internal/core"
+	"rmcast/internal/exp"
+	"rmcast/internal/faults"
+	"rmcast/internal/rng"
+)
+
+// Case is one point of the chaos harness's configuration space,
+// deterministically derived from (Seed, Index): rerunning DeriveCase
+// with the same pair rebuilds the identical scenario, which is what
+// `rmcheck -repro seed:index` does.
+type Case struct {
+	Seed    uint64
+	Index   int
+	Cluster cluster.Config
+	Proto   core.Config
+	MsgSize int
+}
+
+// Repro is the case's reproduction handle, accepted by ParseRepro and
+// `rmcheck -repro`.
+func (c Case) Repro() string { return fmt.Sprintf("%d:%d", c.Seed, c.Index) }
+
+// ParseRepro inverts Repro.
+func ParseRepro(s string) (seed uint64, index int, err error) {
+	a, b, ok := strings.Cut(s, ":")
+	if !ok {
+		return 0, 0, fmt.Errorf("check: repro %q is not seed:case", s)
+	}
+	seed, err = strconv.ParseUint(a, 10, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("check: bad repro seed %q: %v", a, err)
+	}
+	index, err = strconv.Atoi(b)
+	if err != nil || index < 0 {
+		return 0, 0, fmt.Errorf("check: bad repro case index %q", b)
+	}
+	return seed, index, nil
+}
+
+// String is a one-line summary of the scenario for reports.
+func (c Case) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%v n=%d %v pkt=%d msg=%d W=%d",
+		c.Proto.Protocol, c.Cluster.NumReceivers, c.Cluster.Topology,
+		c.Proto.PacketSize, c.MsgSize, c.Proto.WindowSize)
+	if c.Proto.Protocol == core.ProtoNAK {
+		fmt.Fprintf(&b, " poll=%d", c.Proto.PollInterval)
+	}
+	if c.Proto.Protocol == core.ProtoTree {
+		fmt.Fprintf(&b, " H=%d", c.Proto.TreeHeight)
+	}
+	if c.Proto.SelectiveRepeat {
+		b.WriteString(" selrep")
+	}
+	if c.Proto.NakSuppression {
+		b.WriteString(" naksupp")
+	}
+	if c.Proto.PaceInterval > 0 {
+		fmt.Fprintf(&b, " pace=%v", c.Proto.PaceInterval)
+	}
+	if c.Cluster.LossRate > 0 {
+		fmt.Fprintf(&b, " loss=%.3f", c.Cluster.LossRate)
+	}
+	if c.Cluster.RecvBuf != 64*1024 {
+		fmt.Fprintf(&b, " rcvbuf=%d", c.Cluster.RecvBuf)
+	}
+	if c.Proto.MaxRetries > 0 {
+		fmt.Fprintf(&b, " retries=%d", c.Proto.MaxRetries)
+	}
+	if c.Proto.SessionDeadline > 0 {
+		fmt.Fprintf(&b, " sdl=%v", c.Proto.SessionDeadline)
+	}
+	if c.Cluster.Faults != nil {
+		fmt.Fprintf(&b, " faults=%v", c.Cluster.Faults)
+	}
+	return b.String()
+}
+
+// caseDeadline bounds one case's virtual time: generous enough for a
+// lossy Go-Back-N transfer to finish, tight enough that a deliberately
+// wedged session (crashed receiver, no failure detection) costs only a
+// handful of backed-off timer events.
+const caseDeadline = 15 * time.Second
+
+// DeriveCase expands (seed, index) into a full scenario: protocol
+// family, group size, message and packet sizes, window/poll/tree
+// parameters, topology, loss, small-buffer pressure, and a fault
+// schedule — every choice drawn from one deterministic rng stream.
+//
+// The derivation keeps two soundness bounds so the retransmit checker's
+// lossless rule stays valid: packet sizes and poll intervals are small
+// enough that the protocol's longest natural acknowledgment silence
+// stays far below the default retransmission timeout, and timeouts are
+// never configured below their defaults.
+func DeriveCase(seed uint64, index int) Case {
+	r := rng.New(rng.Mix(seed, uint64(index), 0xC8EC5FA2))
+
+	var proto core.Protocol
+	if r.Bool(0.1) {
+		proto = core.ProtoRawUDP
+	} else {
+		proto = []core.Protocol{core.ProtoACK, core.ProtoNAK, core.ProtoRing, core.ProtoTree}[r.Intn(4)]
+	}
+	n := 1 + r.Intn(30)
+
+	ccfg := cluster.Default(n)
+	ccfg.Seed = r.Uint64()
+	ccfg.Deadline = caseDeadline
+	ccfg.WallLimit = 30 * time.Second
+	switch {
+	case n <= 8 && r.Bool(0.15):
+		ccfg.Topology = cluster.SharedBus
+	case r.Bool(0.2):
+		ccfg.Topology = cluster.SingleSwitch
+	}
+
+	packetSize := []int{512, 1024, 2048, 4096, 8192, 16384}[r.Intn(6)]
+	var msgSize int
+	switch r.Intn(4) {
+	case 0:
+		msgSize = r.Intn(2048) // tiny, including the zero-byte message
+	case 1:
+		msgSize = 4<<10 + r.Intn(28<<10)
+	case 2:
+		msgSize = 32<<10 + r.Intn(96<<10)
+	default:
+		msgSize = 128<<10 + r.Intn(128<<10)
+	}
+
+	w := 4 + r.Intn(61)
+	if proto == core.ProtoRing && w <= n {
+		w = n + 1 + r.Intn(16)
+	}
+	poll := 1 + r.Intn(min(w, 32))
+
+	pcfg := core.Config{
+		Protocol:     proto,
+		NumReceivers: n,
+		PacketSize:   packetSize,
+		WindowSize:   w,
+		PollInterval: poll,
+		TreeHeight:   1 + r.Intn(n),
+	}
+	if proto != core.ProtoRawUDP {
+		pcfg.SelectiveRepeat = r.Bool(0.25)
+		pcfg.NakSuppression = r.Bool(0.2)
+		if r.Bool(0.1) {
+			pcfg.PaceInterval = time.Duration(20+r.Intn(180)) * time.Microsecond
+		}
+	}
+
+	if r.Bool(0.45) {
+		ccfg.LossRate = 0.002 + r.Float64()*0.028
+	}
+	if r.Bool(0.15) {
+		// Small socket buffers to provoke overflow drops — but never so
+		// small a data packet cannot fit at all, which would deadlock the
+		// transfer rather than stress it.
+		ccfg.RecvBuf = max(4096<<r.Intn(3), 2*packetSize)
+	}
+
+	if r.Bool(0.35) {
+		sched := deriveFaults(r, n, ccfg.Topology, proto)
+		if len(sched.Events) > 0 {
+			ccfg.Faults = sched
+			if proto != core.ProtoRawUDP && r.Bool(0.7) {
+				pcfg.MaxRetries = 2 + r.Intn(3)
+			}
+			if proto != core.ProtoRawUDP && r.Bool(0.25) {
+				pcfg.SessionDeadline = 2*time.Second + time.Duration(r.Intn(4000))*time.Millisecond
+			}
+		}
+	} else if proto != core.ProtoRawUDP && ccfg.LossRate > 0 && r.Bool(0.08) {
+		pcfg.SessionDeadline = 1500*time.Millisecond + time.Duration(r.Intn(2000))*time.Millisecond
+	}
+
+	return Case{Seed: seed, Index: index, Cluster: ccfg, Proto: pcfg, MsgSize: msgSize}
+}
+
+// deriveFaults builds a small schedule honoring the runner's
+// constraints: no bursts on the shared bus (the injector rejects them —
+// a bus has no switch ports to gate) and only time triggers for raw UDP
+// (which has no acknowledged progress to trigger on).
+func deriveFaults(r *rng.Rand, n int, topo cluster.Topology, proto core.Protocol) *faults.Schedule {
+	sched := &faults.Schedule{}
+	for i, count := 0, 1+r.Intn(3); i < count; i++ {
+		var e faults.Event
+		switch pick := r.Intn(20); {
+		case pick < 7:
+			e.Kind = faults.Crash
+		case pick < 13:
+			e.Kind = faults.Stall
+			e.Dur = time.Duration(10+r.Intn(1500)) * time.Millisecond
+		case pick < 17 || topo == cluster.SharedBus:
+			e.Kind = faults.Flap
+			e.Dur = time.Duration(10+r.Intn(1500)) * time.Millisecond
+		default:
+			e.Kind = faults.Burst
+			e.Dur = time.Duration(5+r.Intn(150)) * time.Millisecond
+			e.Rate = 0.2 + 0.6*r.Float64()
+		}
+		e.Node = 1 + r.Intn(n)
+		if proto != core.ProtoRawUDP && r.Bool(0.7) {
+			e.ByProgress = true
+			e.Progress = float64(r.Intn(10)) / 10
+		} else {
+			e.At = time.Duration(r.Intn(200)) * time.Millisecond
+		}
+		sched.Events = append(sched.Events, e)
+	}
+	return sched
+}
+
+// RunCase executes one derived case under full invariant checking.
+func RunCase(ctx context.Context, c Case) (*Outcome, error) {
+	return Execute(ctx, c.Cluster, c.Proto, c.MsgSize)
+}
+
+// CaseResult is one finished case of a Fuzz sweep. Err is a harness
+// failure (invalid derived config, cancellation) — protocol-level
+// failures (deadlines, partial delivery) land in Outcome.Info.RunErr
+// and are judged by the checkers instead.
+type CaseResult struct {
+	Case    Case
+	Outcome *Outcome
+	Err     error
+}
+
+// Fuzz derives and runs cases first..first+n-1 from seed, fanning them
+// over parallel workers (the experiment engine's pool), and reports
+// each finished case in index order — so output is deterministic
+// regardless of worker count. report returning false stops the sweep:
+// cases not yet started are cancelled.
+func Fuzz(ctx context.Context, seed uint64, first, n, parallel int, report func(CaseResult) bool) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	pool := exp.NewPool(ctx, parallel)
+	cases := make([]Case, n)
+	jobs := make([]*exp.Job[*Outcome], n)
+	for i := 0; i < n; i++ {
+		c := DeriveCase(seed, first+i)
+		cases[i] = c
+		jobs[i] = exp.Fork(pool, func() (*Outcome, error) { return RunCase(ctx, c) })
+	}
+	for i := 0; i < n; i++ {
+		out, err := jobs[i].Wait()
+		if !report(CaseResult{Case: cases[i], Outcome: out, Err: err}) {
+			return
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

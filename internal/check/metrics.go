@@ -1,0 +1,104 @@
+package check
+
+import (
+	"rmcast/internal/packet"
+	"rmcast/internal/trace"
+)
+
+// metricsChecker recounts the session's traffic independently from the
+// trace stream and demands the metrics session agree:
+//
+//   - per-type sent/received packet counts match exactly (the trace and
+//     the metrics session hook the same transmission and reception
+//     points, and the runner flushes the trace sink on close — any
+//     drift means an event was recorded on one side only);
+//   - retransmissions equal the sender's data multicasts minus the
+//     distinct sequences (first transmissions are unique for every
+//     protocol, including the raw blast);
+//   - the NAK counter matches the NAK sends in the trace (when
+//     receivers were ejected the metric may exceed the trace: an
+//     ejected receiver counts the NAK it then suppresses);
+//   - ejections equal len(Result.Failed), and buffer-overflow drops
+//     equal the hosts' socket-drop total.
+type metricsChecker struct {
+	violations
+	count uint32
+
+	sent     map[packet.Type]uint64
+	received map[packet.Type]uint64
+	naks     uint64
+	dataTx   uint64 // sender data transmissions (any dir)
+	seen     []bool // distinct data sequences the sender transmitted
+	distinct uint64
+}
+
+func newMetricsChecker() *metricsChecker {
+	return &metricsChecker{violations: violations{name: "metrics"}}
+}
+
+func (c *metricsChecker) Begin(info *RunInfo) {
+	c.count = info.Count
+	c.sent = make(map[packet.Type]uint64)
+	c.received = make(map[packet.Type]uint64)
+	c.seen = make([]bool, info.Count)
+}
+
+func (c *metricsChecker) Observe(e trace.Event) {
+	switch e.Dir {
+	case trace.Send, trace.SendMC:
+		c.sent[e.Type]++
+		if e.Type == packet.TypeNak && e.Node != 0 {
+			c.naks++
+		}
+		if e.Type == packet.TypeData && e.Node == 0 {
+			c.dataTx++
+			if e.Seq < c.count && !c.seen[e.Seq] {
+				c.seen[e.Seq] = true
+				c.distinct++
+			}
+		}
+	case trace.Recv:
+		c.received[e.Type]++
+	}
+}
+
+func (c *metricsChecker) Finish(info *RunInfo) []Violation {
+	res := info.Result
+	if res == nil {
+		return c.take()
+	}
+	m := res.Metrics
+	for t := packet.TypeAllocReq; t <= packet.TypeEject; t++ {
+		name := t.String()
+		if got, want := m.Sent[name], c.sent[t]; got != want {
+			c.addf("metrics counted %d %s packets sent, trace shows %d", got, name, want)
+		}
+		if got, want := m.Received[name], c.received[t]; got != want {
+			c.addf("metrics counted %d %s packets received, trace shows %d", got, name, want)
+		}
+	}
+	if want := c.dataTx - c.distinct; m.Retransmissions != want {
+		c.addf("metrics counted %d retransmissions, trace shows %d (%d data transmissions, %d distinct)",
+			m.Retransmissions, want, c.dataTx, c.distinct)
+	}
+	if len(res.Failed) == 0 {
+		if m.NaksSent != c.naks {
+			c.addf("metrics counted %d NAKs, trace shows %d", m.NaksSent, c.naks)
+		}
+	} else if c.naks > m.NaksSent {
+		c.addf("trace shows %d NAKs but metrics counted only %d", c.naks, m.NaksSent)
+	}
+	if m.Ejections != uint64(len(res.Failed)) {
+		c.addf("metrics counted %d ejections but Result.Failed lists %d receivers",
+			m.Ejections, len(res.Failed))
+	}
+	var drops uint64
+	for _, h := range res.HostStats {
+		drops += h.SocketDrops
+	}
+	if m.BufferOverflowDrops != drops {
+		c.addf("metrics counted %d buffer-overflow drops, host stats total %d",
+			m.BufferOverflowDrops, drops)
+	}
+	return c.take()
+}

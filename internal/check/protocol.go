@@ -1,0 +1,197 @@
+package check
+
+import (
+	"time"
+
+	"rmcast/internal/core"
+	"rmcast/internal/packet"
+	"rmcast/internal/trace"
+)
+
+// ringChecker verifies the ring protocol's rotating-responsibility rule:
+// receiver k acknowledges only because its rotation slot (k-1 mod N) is
+// inside its acknowledged prefix, or because it holds the last packet
+// (which everyone acknowledges). Since ring acks are cumulative — cum
+// equals the in-order prefix, enforced by the window checker — a
+// receiver's slot packet is in its prefix exactly when cum >= k.
+type ringChecker struct {
+	violations
+	recvs *recvShadows
+}
+
+func newRingChecker() *ringChecker {
+	return &ringChecker{violations: violations{name: "ring"}}
+}
+
+func (c *ringChecker) Begin(info *RunInfo) {
+	c.recvs = newRecvShadows(info)
+}
+
+func (c *ringChecker) Observe(e trace.Event) {
+	c.recvs.observe(e)
+	if e.Node == 0 || e.Type != packet.TypeAck ||
+		(e.Dir != trace.Send && e.Dir != trace.SendMC) {
+		return
+	}
+	if e.Dir != trace.Send || e.Peer != int(core.SenderID) {
+		c.addf("receiver %d sent a ring ack somewhere other than the sender (peer %d)",
+			e.Node, e.Peer)
+		return
+	}
+	if e.Seq < uint32(e.Node) && !c.recvs.at(e.Node).gotLast {
+		c.addf("receiver %d acknowledged %d out of turn: its rotation slot %d is not covered and it does not hold the last packet",
+			e.Node, e.Seq, e.Node-1)
+	}
+}
+
+func (c *ringChecker) Finish(*RunInfo) []Violation { return c.take() }
+
+// treeShadow mirrors one tree receiver's chain view: who it currently
+// believes its predecessor and successor are (from the eject
+// announcements it has itself received), and the highest aggregate its
+// successor has reported to it.
+type treeShadow struct {
+	active      bool
+	selfEjected bool
+	deadView    map[core.NodeID]bool
+	pred        core.NodeID
+	succ        core.NodeID
+	hasSucc     bool
+	succAck     uint32
+}
+
+// treeChecker verifies the tree protocol's relay causality:
+//
+//   - every chain ack goes to the node's current predecessor under the
+//     spliced membership it has learned of;
+//   - a node never reports an aggregate beyond what its current
+//     successor actually reported to it (succAck resets when a splice
+//     hands it a new successor, exactly as the receiver resets).
+//
+// The aggregate's other bound — the node's own reception prefix — is
+// enforced by the window checker.
+type treeChecker struct {
+	violations
+	tree core.FlatTree
+	m    map[int]*treeShadow
+}
+
+func newTreeChecker() *treeChecker {
+	return &treeChecker{violations: violations{name: "tree"}}
+}
+
+func (c *treeChecker) Begin(info *RunInfo) {
+	c.tree = core.NewFlatTree(info.Proto.NumReceivers, info.Proto.TreeHeight)
+	c.m = make(map[int]*treeShadow, info.Proto.NumReceivers)
+}
+
+func (c *treeChecker) at(node int) *treeShadow {
+	sh := c.m[node]
+	if sh == nil {
+		rank := core.NodeID(node)
+		sh = &treeShadow{deadView: make(map[core.NodeID]bool), pred: c.tree.Pred(rank)}
+		sh.succ, sh.hasSucc = c.tree.Succ(rank)
+		c.m[node] = sh
+	}
+	return sh
+}
+
+func (c *treeChecker) Observe(e trace.Event) {
+	if e.Node == 0 {
+		return
+	}
+	sh := c.at(e.Node)
+	if e.Dir == trace.Recv {
+		switch e.Type {
+		case packet.TypeAllocReq:
+			if !sh.active {
+				sh.active = true
+				sh.succAck = 0
+			}
+		case packet.TypeEject:
+			rank := core.NodeID(e.Aux)
+			if rank == core.NodeID(e.Node) {
+				sh.selfEjected = true
+				return
+			}
+			if rank < 1 || sh.deadView[rank] {
+				return
+			}
+			sh.deadView[rank] = true
+			id := core.NodeID(e.Node)
+			sh.pred = c.tree.PredAlive(id, sh.deadView)
+			succ, has := c.tree.SuccAlive(id, sh.deadView)
+			if sh.active && (has != sh.hasSucc || succ != sh.succ) {
+				// New downstream: the old successor's reports no longer
+				// bound the chain (Receiver.relink resets the same way).
+				sh.succAck = 0
+			}
+			sh.succ, sh.hasSucc = succ, has
+		case packet.TypeAck:
+			if sh.active && sh.hasSucc && e.Peer == int(sh.succ) && e.Seq > sh.succAck {
+				sh.succAck = e.Seq
+			}
+		}
+		return
+	}
+	if e.Dir == trace.Send || e.Dir == trace.SendMC {
+		switch e.Type {
+		case packet.TypeAck:
+			if e.Peer != int(sh.pred) {
+				c.addf("receiver %d sent its chain ack to %d but its predecessor under the spliced membership is %d",
+					e.Node, e.Peer, sh.pred)
+			}
+			if sh.hasSucc && e.Seq > sh.succAck {
+				c.addf("receiver %d reported aggregate %d beyond its successor %d's highest report %d",
+					e.Node, e.Seq, sh.succ, sh.succAck)
+			}
+		case packet.TypePong:
+			if sh.hasSucc && e.Seq > sh.succAck {
+				c.addf("receiver %d answered a probe with aggregate %d beyond its successor %d's highest report %d",
+					e.Node, e.Seq, sh.succ, sh.succAck)
+			}
+		}
+	}
+}
+
+func (c *treeChecker) Finish(*RunInfo) []Violation { return c.take() }
+
+// ghostChecker verifies ejection silence: a receiver that has received
+// the sender's announcement of its own ejection never transmits again
+// (it may keep listening — that is how a wrongly-ejected stall victim
+// still assembles the message — but a talking ghost would corrupt the
+// spliced membership's bookkeeping).
+type ghostChecker struct {
+	violations
+	silenced map[int]time.Duration
+}
+
+func newGhostChecker() *ghostChecker {
+	return &ghostChecker{violations: violations{name: "ghost"}}
+}
+
+func (c *ghostChecker) Begin(*RunInfo) {
+	c.silenced = make(map[int]time.Duration)
+}
+
+func (c *ghostChecker) Observe(e trace.Event) {
+	if e.Node == 0 {
+		return
+	}
+	if e.Dir == trace.Recv {
+		if e.Type == packet.TypeEject && int(e.Aux) == e.Node {
+			if _, ok := c.silenced[e.Node]; !ok {
+				c.silenced[e.Node] = e.At
+			}
+		}
+		return
+	}
+	if e.Dir == trace.Send || e.Dir == trace.SendMC {
+		if at, ok := c.silenced[e.Node]; ok {
+			c.addf("ejected receiver %d sent %s at t=%v after learning of its ejection at t=%v",
+				e.Node, e.Type, e.At, at)
+		}
+	}
+}
+
+func (c *ghostChecker) Finish(*RunInfo) []Violation { return c.take() }

@@ -1,0 +1,173 @@
+package check
+
+import (
+	"rmcast/internal/core"
+	"rmcast/internal/packet"
+	"rmcast/internal/trace"
+	"rmcast/internal/window"
+)
+
+// This file holds the two shadow state machines several checkers rebuild
+// from the event stream. Both rely on the trace chronology guarantee: a
+// node's Recv event is recorded before its endpoint processes the
+// packet, and anything the endpoint sends in response is recorded after.
+// The shadow is therefore exactly as current as the real endpoint at the
+// moment each of the endpoint's own events is observed.
+
+// recvShadow mirrors one receiver's in-order assembly state
+// (core.Receiver.next / have): what the receiver may honestly claim to
+// hold at any point of the stream.
+type recvShadow struct {
+	// active mirrors the allocation handshake: data arriving before the
+	// receiver saw an allocation request is dropped by the real receiver,
+	// so the shadow must not count it either.
+	active  bool
+	next    uint32
+	have    []bool // selective repeat only
+	gotLast bool   // received the FlagLast packet (seq count-1) at some point
+}
+
+// recvShadows tracks one recvShadow per receiver node.
+type recvShadows struct {
+	selective bool
+	count     uint32
+	m         map[int]*recvShadow
+}
+
+func newRecvShadows(info *RunInfo) *recvShadows {
+	return &recvShadows{
+		selective: info.Proto.SelectiveRepeat,
+		count:     info.Count,
+		m:         make(map[int]*recvShadow, info.Proto.NumReceivers),
+	}
+}
+
+func (s *recvShadows) at(node int) *recvShadow {
+	r := s.m[node]
+	if r == nil {
+		r = &recvShadow{}
+		s.m[node] = r
+	}
+	return r
+}
+
+// observe replays receiver-side receptions. Mirrors
+// Receiver.onAllocReq/onData exactly: Go-Back-N discards out-of-order
+// data (next advances only on seq == next); selective repeat buffers it
+// and extends the in-order run over the receipt map.
+func (s *recvShadows) observe(e trace.Event) {
+	if e.Node == 0 || e.Dir != trace.Recv {
+		return
+	}
+	r := s.at(e.Node)
+	switch e.Type {
+	case packet.TypeAllocReq:
+		if !r.active {
+			r.active = true
+			if s.selective {
+				r.have = make([]bool, s.count)
+			}
+		}
+	case packet.TypeData:
+		if !r.active || e.Seq >= s.count {
+			return
+		}
+		switch {
+		case e.Seq == r.next:
+			if r.have != nil {
+				r.have[e.Seq] = true
+			}
+			r.next++
+			for r.have != nil && r.next < s.count && r.have[r.next] {
+				r.next++
+			}
+		case e.Seq > r.next && r.have != nil:
+			r.have[e.Seq] = true
+		}
+		if e.Seq == s.count-1 {
+			r.gotLast = true
+		}
+	}
+}
+
+// senderShadow mirrors the sender's acknowledgment bookkeeping: the
+// per-peer cumulative-ack minimum (over chain heads for the tree
+// protocol) and the window base it implies. It consumes only node-0
+// events, so it advances in lockstep with the real sender.
+type senderShadow struct {
+	count   uint32
+	isTree  bool
+	tree    core.FlatTree
+	tracker *window.MinTracker
+	dead    map[core.NodeID]bool
+	base    uint32
+}
+
+func newSenderShadow(info *RunInfo) *senderShadow {
+	s := &senderShadow{
+		count: info.Count,
+		dead:  make(map[core.NodeID]bool),
+	}
+	var peers []int
+	if info.Proto.Protocol == core.ProtoTree {
+		s.isTree = true
+		s.tree = core.NewFlatTree(info.Proto.NumReceivers, info.Proto.TreeHeight)
+		for _, h := range s.tree.Heads() {
+			peers = append(peers, int(h))
+		}
+	} else {
+		for r := 1; r <= info.Proto.NumReceivers; r++ {
+			peers = append(peers, r)
+		}
+	}
+	s.tracker = window.NewMinTracker(peers)
+	return s
+}
+
+// observe replays the sender's view. Acks and pongs raise per-peer
+// progress (MinTracker.Update ignores removed peers, matching the
+// sender's dead-peer filter); an eject announcement removes the peer —
+// with the tree protocol's head handover, seeding the next surviving
+// chain member with the old head's aggregate, exactly as Sender.eject
+// does.
+func (s *senderShadow) observe(e trace.Event) {
+	if e.Node != 0 {
+		return
+	}
+	switch {
+	case e.Dir == trace.Recv && (e.Type == packet.TypeAck || e.Type == packet.TypePong):
+		cum := e.Seq
+		if cum > s.count {
+			cum = s.count
+		}
+		if s.tracker.Update(e.Peer, cum) {
+			s.refresh()
+		}
+	case e.Dir == trace.SendMC && e.Type == packet.TypeEject:
+		rank := core.NodeID(e.Aux)
+		if rank < 1 || s.dead[rank] {
+			return
+		}
+		s.dead[rank] = true
+		if v, tracked := s.tracker.Value(int(rank)); tracked {
+			s.tracker.Remove(int(rank))
+			if s.isTree {
+				if nh, ok := s.tree.HeadAlive(s.tree.Chain(rank), s.dead); ok {
+					s.tracker.Add(int(nh), v)
+				}
+			}
+		}
+		s.refresh()
+	}
+}
+
+// refresh folds the current acknowledgment minimum into the window base
+// (monotone, like window.Sender.Ack).
+func (s *senderShadow) refresh() {
+	if s.tracker.Peers() == 0 {
+		return
+	}
+	if m := s.tracker.Min(); m > s.base {
+		s.base = m
+	}
+}

@@ -1,0 +1,217 @@
+package check
+
+import (
+	"rmcast/internal/cluster"
+	"rmcast/internal/core"
+	"rmcast/internal/packet"
+	"rmcast/internal/trace"
+)
+
+// windowChecker verifies the flow-control contract from both sides:
+//
+//   - the sender's first transmissions are strictly sequential, within
+//     the message, and never exceed the window: seq < base + W, where
+//     base is rebuilt from the very acknowledgments the sender saw (so
+//     the window also provably never advances past an unacknowledged
+//     packet);
+//   - receivers are honest: an acknowledgment, NAK, or pong never
+//     claims progress the receiver's own reception stream does not
+//     support (cumulative acks equal the in-order prefix exactly for
+//     the non-tree protocols, and are bounded by it for tree
+//     aggregates).
+type windowChecker struct {
+	violations
+	sender    *senderShadow
+	recvs     *recvShadows
+	isTree    bool
+	count     uint32
+	winSize   uint64
+	nextFirst uint32
+}
+
+func newWindowChecker() *windowChecker {
+	return &windowChecker{violations: violations{name: "window"}}
+}
+
+func (c *windowChecker) Begin(info *RunInfo) {
+	c.sender = newSenderShadow(info)
+	c.recvs = newRecvShadows(info)
+	c.isTree = info.Proto.Protocol == core.ProtoTree
+	c.count = info.Count
+	c.winSize = uint64(info.Proto.WindowSize)
+}
+
+func (c *windowChecker) Observe(e trace.Event) {
+	c.recvs.observe(e)
+	if e.Node == 0 {
+		// The sender's data multicasts are checked against the shadow
+		// state *before* folding in this event (acks processed so far are
+		// exactly the acks the sender had processed when it sent).
+		if e.Dir == trace.SendMC && e.Type == packet.TypeData {
+			c.observeData(e)
+		}
+		c.sender.observe(e)
+		return
+	}
+	if (e.Dir == trace.Send || e.Dir == trace.SendMC) &&
+		(e.Type == packet.TypeAck || e.Type == packet.TypeNak || e.Type == packet.TypePong) {
+		c.observeReceiverClaim(e)
+	}
+}
+
+func (c *windowChecker) observeData(e trace.Event) {
+	if e.Seq >= c.count {
+		c.addf("sender transmitted seq %d beyond the message (count %d)", e.Seq, c.count)
+		return
+	}
+	if e.Seq < c.nextFirst {
+		return // retransmission; the retransmit checker owns those
+	}
+	if e.Seq > c.nextFirst {
+		c.addf("sender's first transmissions skipped from seq %d to %d", c.nextFirst, e.Seq)
+		c.nextFirst = e.Seq + 1 // resync so one skip is one violation
+		return
+	}
+	if uint64(e.Seq) >= uint64(c.sender.base)+c.winSize {
+		c.addf("window overrun: first transmission of seq %d with base %d and window %d",
+			e.Seq, c.sender.base, c.winSize)
+	}
+	c.nextFirst++
+}
+
+func (c *windowChecker) observeReceiverClaim(e trace.Event) {
+	prefix := c.recvs.at(e.Node).next
+	switch {
+	case e.Type == packet.TypeNak:
+		// A NAK names the first missing sequence, which is exactly the
+		// in-order prefix — for every protocol.
+		if e.Seq != prefix {
+			c.addf("receiver %d sent NAK for seq %d but its in-order prefix is %d",
+				e.Node, e.Seq, prefix)
+		}
+	case c.isTree:
+		// Tree acks and pongs carry the chain aggregate
+		// min(own progress, successor aggregate) — bounded by, not equal
+		// to, the node's own prefix. The tree checker pins the aggregate
+		// against the successor's actual reports.
+		if e.Seq > prefix {
+			c.addf("receiver %d claimed aggregate %d beyond its own reception prefix %d (%s)",
+				e.Node, e.Seq, prefix, e.Type)
+		}
+	default:
+		if e.Seq != prefix {
+			c.addf("receiver %d acknowledged %d but its in-order prefix is %d (%s)",
+				e.Node, e.Seq, prefix, e.Type)
+		}
+	}
+}
+
+func (c *windowChecker) Finish(*RunInfo) []Violation { return c.take() }
+
+// retransmitChecker verifies that retransmissions are repair, not
+// noise:
+//
+//   - a retransmitted sequence is always inside the outstanding window
+//     [base, highest first transmission] at the moment of the resend —
+//     the sender never re-sends what everyone already acknowledged, nor
+//     what it never sent;
+//   - a run with no loss mechanism at all (switched topology, zero loss
+//     rate, no faults, no receiver slowdown, nothing dropped anywhere)
+//     has zero NAKs and zero ejections, and zero retransmissions unless
+//     the sender's timer fired (which the chaos harness's configs make
+//     impossible; the gate keeps the invariant sound for hand-built
+//     configs with very tight timeouts).
+type retransmitChecker struct {
+	violations
+	sender   *senderShadow
+	sent     []bool
+	count    uint32
+	maxFirst uint32 // highest first-transmitted seq + 1
+	retrans  uint64
+	naks     uint64
+}
+
+func newRetransmitChecker() *retransmitChecker {
+	return &retransmitChecker{violations: violations{name: "retransmit"}}
+}
+
+func (c *retransmitChecker) Begin(info *RunInfo) {
+	c.sender = newSenderShadow(info)
+	c.count = info.Count
+	c.sent = make([]bool, info.Count)
+}
+
+func (c *retransmitChecker) Observe(e trace.Event) {
+	if e.Node == 0 {
+		if e.Dir == trace.SendMC && e.Type == packet.TypeData && e.Seq < c.count {
+			if !c.sent[e.Seq] {
+				c.sent[e.Seq] = true
+				if e.Seq >= c.maxFirst {
+					c.maxFirst = e.Seq + 1
+				}
+			} else {
+				c.retrans++
+				if e.Seq < c.sender.base {
+					c.addf("retransmitted seq %d below the window base %d (already acknowledged by every survivor)",
+						e.Seq, c.sender.base)
+				}
+				if e.Seq >= c.maxFirst {
+					c.addf("retransmitted seq %d which was never first-transmitted (highest is %d)",
+						e.Seq, c.maxFirst)
+				}
+			}
+		}
+		c.sender.observe(e)
+		return
+	}
+	if (e.Dir == trace.Send || e.Dir == trace.SendMC) && e.Type == packet.TypeNak {
+		c.naks++
+	}
+}
+
+// lossless reports whether the run's configuration and observed network
+// counters rule out every loss and delay mechanism that could justify a
+// repair action.
+func lossless(info *RunInfo) bool {
+	cc := info.Cluster
+	if cc.Topology == cluster.SharedBus || cc.LossRate > 0 ||
+		cc.Faults != nil || cc.ReceiverCosts != nil {
+		return false
+	}
+	if info.Proto.RetransTimeout < core.DefaultRetransTimeout ||
+		info.Proto.AllocTimeout < core.DefaultAllocTimeout {
+		return false
+	}
+	res := info.Result
+	if res == nil {
+		return false
+	}
+	for _, h := range res.HostStats {
+		if h.SocketDrops > 0 || h.ReasmDrops > 0 || h.NoPortDrops > 0 {
+			return false
+		}
+	}
+	for _, sw := range res.SwitchStats {
+		if sw.QueueDrops > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *retransmitChecker) Finish(info *RunInfo) []Violation {
+	if lossless(info) {
+		if c.naks > 0 {
+			c.addf("lossless run produced %d NAKs (a gap requires a loss)", c.naks)
+		}
+		if res := info.Result; res != nil {
+			if c.retrans > 0 && res.SenderStats.Timeouts == 0 {
+				c.addf("lossless run produced %d retransmissions without a single timeout", c.retrans)
+			}
+			if res.Metrics.Ejections > 0 {
+				c.addf("lossless run ejected %d receivers", res.Metrics.Ejections)
+			}
+		}
+	}
+	return c.take()
+}

@@ -91,6 +91,12 @@ type Config struct {
 	Faults *faults.Schedule
 	// Trace, when non-nil, records every protocol packet event.
 	Trace *trace.Buffer
+	// OnDeliver, when non-nil, is invoked at the instant a receiver's
+	// protocol endpoint delivers a complete message — every time it
+	// happens, including (buggy) repeat deliveries, which is exactly what
+	// the invariant checkers subscribe to it for. The payload slice is
+	// owned by the receiver; the hook must not retain or mutate it.
+	OnDeliver func(rank core.NodeID, at time.Duration, payload []byte)
 	// Metrics, when non-nil, is the metrics session packet-level events
 	// are counted into. Run installs a fresh session when nil, so every
 	// Result carries a populated snapshot.

@@ -68,6 +68,7 @@ func (e *nodeEnv) trace(dir trace.Dir, peer int, p *packet.Packet) {
 		Flags: p.Flags,
 		MsgID: p.MsgID,
 		Seq:   p.Seq,
+		Aux:   p.Aux,
 		Len:   len(p.Payload),
 	})
 }

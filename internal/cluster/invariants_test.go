@@ -1,0 +1,69 @@
+// Invariant sweep over the golden scenarios: the same five runs whose
+// traces TestGoldenSimulationDigests pins byte-for-byte are replayed
+// here through every applicable protocol invariant checker. The golden
+// digests prove the simulation is deterministic; this proves what it
+// deterministically does is protocol-correct.
+//
+// This lives in an external test package because internal/check drives
+// runs through the public rmcast API, which wraps cluster — the inner
+// test package would create an import cycle.
+package cluster_test
+
+import (
+	"context"
+	"testing"
+
+	"rmcast/internal/check"
+	"rmcast/internal/cluster"
+	"rmcast/internal/core"
+)
+
+// goldenScenarios mirrors goldenCases in golden_test.go (which is
+// unexported in the inner test package). Keep the two tables in sync.
+func goldenScenarios() map[string]func() (cluster.Config, core.Config, int) {
+	return map[string]func() (cluster.Config, core.Config, int){
+		"ack": func() (cluster.Config, core.Config, int) {
+			return cluster.Default(30), core.Config{Protocol: core.ProtoACK, PacketSize: 50000, WindowSize: 5}, 200000
+		},
+		"nak-loss": func() (cluster.Config, core.Config, int) {
+			ccfg := cluster.Default(30)
+			ccfg.LossRate = 0.01
+			return ccfg, core.Config{Protocol: core.ProtoNAK, PacketSize: 8000, WindowSize: 50, PollInterval: 43}, 200000
+		},
+		"ring": func() (cluster.Config, core.Config, int) {
+			return cluster.Default(30), core.Config{Protocol: core.ProtoRing, PacketSize: 8000, WindowSize: 50}, 200000
+		},
+		"tree": func() (cluster.Config, core.Config, int) {
+			return cluster.Default(30), core.Config{Protocol: core.ProtoTree, PacketSize: 8000, WindowSize: 20, TreeHeight: 15}, 200000
+		},
+		"nak-bus": func() (cluster.Config, core.Config, int) {
+			ccfg := cluster.Default(8)
+			ccfg.Topology = cluster.SharedBus
+			return ccfg, core.Config{Protocol: core.ProtoNAK, PacketSize: 8000, WindowSize: 20, PollInterval: 17}, 60000
+		},
+	}
+}
+
+func TestGoldenScenariosSatisfyInvariants(t *testing.T) {
+	for name, mk := range goldenScenarios() {
+		t.Run(name, func(t *testing.T) {
+			ccfg, pcfg, size := mk()
+			out, err := check.Execute(context.Background(), ccfg, pcfg, size)
+			if err != nil {
+				t.Fatalf("Execute: %v", err)
+			}
+			if out.Info.RunErr != nil {
+				t.Fatalf("run error: %v", out.Info.RunErr)
+			}
+			for _, v := range out.Violations {
+				t.Errorf("violation: %v", v)
+			}
+			if !out.Info.Result.Verified {
+				t.Fatal("delivery not verified")
+			}
+			if got, want := len(out.Info.Deliveries), ccfg.NumReceivers; got != want {
+				t.Fatalf("observed %d deliveries, want %d", got, want)
+			}
+		})
+	}
+}

@@ -117,6 +117,9 @@ func RunContext(ctx context.Context, ccfg Config, pcfg core.Config, msgSize int)
 			rcv, err := core.NewRawReceiver(envs[r], pcfg, core.NodeID(r), msgSize, func(b []byte) {
 				delivered[r] = b
 				mx.ObserveCompletion(r, c.Sim.Now()-begin)
+				if ccfg.OnDeliver != nil {
+					ccfg.OnDeliver(core.NodeID(r), c.Sim.Now()-begin, b)
+				}
 			})
 			if err != nil {
 				return nil, err
@@ -140,6 +143,9 @@ func RunContext(ctx context.Context, ccfg Config, pcfg core.Config, msgSize int)
 			rcv, err := core.NewReceiver(envs[r], pcfg, core.NodeID(r), func(b []byte) {
 				delivered[r] = b
 				mx.ObserveCompletion(r, c.Sim.Now()-begin)
+				if ccfg.OnDeliver != nil {
+					ccfg.OnDeliver(core.NodeID(r), c.Sim.Now()-begin, b)
+				}
 			})
 			if err != nil {
 				return nil, err
@@ -185,6 +191,10 @@ func RunContext(ctx context.Context, ccfg Config, pcfg core.Config, msgSize int)
 			}
 		}
 	}
+	// The session is over: hand the trace sink its final partial batch so
+	// stream consumers (invariant checkers) see exactly the events the
+	// metrics session counted.
+	ccfg.Trace.Flush()
 	res.Completed = senderDone
 	res.Elapsed = c.Sim.Now() - begin
 	if res.Elapsed > 0 {
@@ -290,6 +300,7 @@ func RunTCPContext(ctx context.Context, ccfg Config, ucfg unicast.Config, msgSiz
 	}
 
 	finalize := func() {
+		ccfg.Trace.Flush()
 		var overflow uint64
 		for _, h := range c.Hosts {
 			hs := h.Stats()

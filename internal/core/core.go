@@ -268,6 +268,15 @@ func (p *PartialResult) Error() string {
 // Unwrap exposes the underlying cause to errors.Is/As.
 func (p *PartialResult) Unwrap() error { return p.Err }
 
+// RingResponsible reports whether receiver rank's rotation slot covers
+// sequence seq under the ring protocol: receiver k acknowledges packets
+// k-1, k-1+N, k-1+2N, ... This is the single definition shared by the
+// receiver state machine and the ring invariant checker, so the checker
+// can never drift from the protocol.
+func (c Config) RingResponsible(rank NodeID, seq uint32) bool {
+	return int(seq)%c.NumReceivers == int(rank)-1
+}
+
 // PacketCount returns the number of data packets for a message of size
 // bytes under config c (at least 1: a zero-byte message still sends one
 // empty packet so the handshake and completion logic are uniform).

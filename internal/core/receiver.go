@@ -415,7 +415,7 @@ func (r *Receiver) ackOnDuplicate(p *packet.Packet) {
 // ringResponsible reports whether this receiver's rotation slot covers
 // sequence seq.
 func (r *Receiver) ringResponsible(seq uint32) bool {
-	return int(seq)%r.cfg.NumReceivers == int(r.rank)-1
+	return r.cfg.RingResponsible(r.rank, seq)
 }
 
 // onSuccessorAck handles the tree protocol's chain aggregation: a

@@ -1,0 +1,36 @@
+package exp
+
+import "context"
+
+// Pool exposes the experiment engine's worker pool to other harnesses
+// (the invariant-check fuzzer behind cmd/rmcheck fans its cases out on
+// one). It wraps the same runner the experiments use: with one worker,
+// forked work runs lazily inside Wait on the calling goroutine — no
+// concurrency, identical call sites.
+type Pool struct {
+	r *runner
+}
+
+// NewPool creates a pool executing up to workers tasks concurrently.
+// workers <= 1 runs tasks serially at Wait time; negative uses
+// GOMAXPROCS. ctx cancels queued (not yet started) tasks.
+func NewPool(ctx context.Context, workers int) *Pool {
+	return &Pool{r: newRunner(ctx, Options{Parallel: workers})}
+}
+
+// Job is one forked task; Wait delivers its result.
+type Job[T any] struct {
+	j *job[T]
+}
+
+// Fork schedules fn on the pool and returns its job. Results are
+// collected in whatever order the caller Waits, so submitting in input
+// order and Waiting in the same order yields deterministic output
+// regardless of worker count.
+func Fork[T any](p *Pool, fn func() (T, error)) *Job[T] {
+	return &Job[T]{j: fork(p.r, fn)}
+}
+
+// Wait blocks until the job has run and returns its result. In serial
+// mode this is where the work happens.
+func (j *Job[T]) Wait() (T, error) { return j.j.wait() }

@@ -90,7 +90,10 @@ func (e Event) String() string {
 	}
 	b.WriteString("@")
 	if e.ByProgress {
-		fmt.Fprintf(&b, "%g", e.Progress)
+		// Plain decimal, never exponent notation: the Parse grammar
+		// distinguishes progress triggers from durations by "digits and
+		// dots only", so "1e-07" would round-trip as a broken duration.
+		b.WriteString(strconv.FormatFloat(e.Progress, 'f', -1, 64))
 	} else {
 		fmt.Fprintf(&b, "%v", e.At)
 	}

@@ -1,0 +1,69 @@
+package faults
+
+import "testing"
+
+// FuzzScheduleParse throws arbitrary specs at Parse and checks the
+// grammar's core contract: Parse never panics, an accepted schedule
+// re-renders through String into a spec Parse accepts again, and that
+// canonical form is a fixed point (String ∘ Parse is idempotent).
+// Validate must never panic either, whatever the parsed values.
+// Comparison happens on the canonical strings rather than the Event
+// structs so pathological-but-parseable floats (NaN burst rates)
+// cannot produce false alarms.
+func FuzzScheduleParse(f *testing.F) {
+	// Seed corpus: every documented example, each kind, both trigger
+	// styles, multi-event specs, and malformed inputs near each grammar
+	// branch.
+	for _, spec := range []string{
+		"crash:7@0.5",
+		"crash:3@0",
+		"stall:2@10ms+40ms",
+		"flap:5@0.25+2ms",
+		"burst:*@0.5+3ms:0.3",
+		"crash:1@150ms",
+		"crash:1@0.25,stall:2@0.5+1ms,flap:3@0.75+500us,burst:*@0.9+2ms:0.05",
+		"crash:7@0.5, crash:8@0.5 ,",
+		"crash:1@0.0000001",
+		"burst:*@1ms+1ms:1",
+		"",
+		"crash",
+		"crash:7",
+		"crash:7@",
+		"crash:7@0.5+1ms",
+		"stall:2@10ms",
+		"burst:*@0.5+3ms",
+		"burst:7@0.5+3ms:0.3",
+		"flap:abc@0.5+1ms",
+		"wobble:1@0.5",
+		"crash:1@0.5.5",
+		"burst:*@0.5+3ms:NaN",
+	} {
+		f.Add(spec)
+	}
+
+	f.Fuzz(func(t *testing.T, spec string) {
+		s, err := Parse(spec)
+		if err != nil {
+			return
+		}
+		if len(s.Events) == 0 {
+			t.Fatalf("Parse(%q) accepted a spec with zero events", spec)
+		}
+		canon := s.String()
+		s2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("Parse rejected its own rendering %q of %q: %v", canon, spec, err)
+		}
+		if got := s2.String(); got != canon {
+			t.Fatalf("canonical form not a fixed point:\n spec  %q\n once  %q\n twice %q", spec, canon, got)
+		}
+		if len(s2.Events) != len(s.Events) {
+			t.Fatalf("round trip changed event count: %d -> %d", len(s.Events), len(s2.Events))
+		}
+		// Validate must reject or accept without panicking for any
+		// parseable schedule and any group size.
+		for _, n := range []int{0, 1, 30} {
+			_ = s.Validate(n)
+		}
+	})
+}

@@ -287,6 +287,7 @@ func (n *Node) trace(dir trace.Dir, peer int, p *packet.Packet) {
 		Flags: p.Flags,
 		MsgID: p.MsgID,
 		Seq:   p.Seq,
+		Aux:   p.Aux,
 		Len:   len(p.Payload),
 	})
 }

@@ -191,3 +191,110 @@ func BenchmarkTotalOrderThroughput(b *testing.B) {
 		}
 	}
 }
+
+// Table-driven edge cases for the ordering layer's pure pieces: wire
+// codecs and the member hold-back/delivery state machine.
+func TestOrderEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func(t *testing.T)
+	}{
+		{"short data payload rejected", func(t *testing.T) {
+			if _, _, err := decodeData([]byte{1, 2, 3}); err == nil {
+				t.Fatal("decodeData accepted a 3-byte payload")
+			}
+		}},
+		{"empty body round-trips", func(t *testing.T) {
+			id := MsgID{Member: 7, LocalSeq: 42}
+			got, body, err := decodeData(encodeData(id, nil))
+			if err != nil || got != id || len(body) != 0 {
+				t.Fatalf("round trip = (%v, %d bytes, %v), want (%v, 0 bytes, nil)", got, len(body), err, id)
+			}
+		}},
+		{"malformed assignment payload rejected", func(t *testing.T) {
+			b := encodeAssignments([]assignment{{id: MsgID{Member: 1}, global: 0}})
+			if _, err := decodeAssignments(b[:len(b)-1]); err == nil {
+				t.Fatal("decodeAssignments accepted a truncated payload")
+			}
+		}},
+		{"assignment batch round-trips", func(t *testing.T) {
+			in := []assignment{
+				{id: MsgID{Member: 0, LocalSeq: 0}, global: 0},
+				{id: MsgID{Member: 3, LocalSeq: 9}, global: 1},
+			}
+			enc := encodeAssignments(in)
+			if !isAssignments(enc) {
+				t.Fatal("encoded assignments not recognized")
+			}
+			out, err := decodeAssignments(enc)
+			if err != nil || len(out) != len(in) {
+				t.Fatalf("decode = (%v, %v)", out, err)
+			}
+			for i := range in {
+				if out[i] != in[i] {
+					t.Fatalf("assignment %d = %v, want %v", i, out[i], in[i])
+				}
+			}
+		}},
+		{"duplicate data and assignments deliver once", func(t *testing.T) {
+			m := &member{data: map[MsgID][]byte{}, order: map[uint32]MsgID{}}
+			id := MsgID{Member: 2, LocalSeq: 0}
+			m.onData(id, []byte("x"))
+			m.onData(id, []byte("x"))
+			m.onAssignment(assignment{id: id, global: 0})
+			m.onAssignment(assignment{id: id, global: 0})
+			if len(m.Deliveries) != 1 {
+				t.Fatalf("%d deliveries after duplicates, want exactly 1", len(m.Deliveries))
+			}
+		}},
+		{"delivery holds back across a global-sequence gap", func(t *testing.T) {
+			m := &member{data: map[MsgID][]byte{}, order: map[uint32]MsgID{}}
+			a, b := MsgID{Member: 1, LocalSeq: 0}, MsgID{Member: 1, LocalSeq: 1}
+			m.onData(a, []byte("a"))
+			m.onData(b, []byte("b"))
+			// Assignment for global 1 arrives first: nothing may deliver.
+			m.onAssignment(assignment{id: b, global: 1})
+			if len(m.Deliveries) != 0 {
+				t.Fatalf("delivered %d messages past a gap at global 0", len(m.Deliveries))
+			}
+			m.onAssignment(assignment{id: a, global: 0})
+			if len(m.Deliveries) != 2 {
+				t.Fatalf("delivered %d messages after the gap filled, want 2", len(m.Deliveries))
+			}
+			if m.Deliveries[0].ID != a || m.Deliveries[1].ID != b {
+				t.Fatalf("delivery order %v, %v — want %v then %v",
+					m.Deliveries[0].ID, m.Deliveries[1].ID, a, b)
+			}
+		}},
+		{"assignment before data holds back", func(t *testing.T) {
+			m := &member{data: map[MsgID][]byte{}, order: map[uint32]MsgID{}}
+			id := MsgID{Member: 1, LocalSeq: 0}
+			m.onAssignment(assignment{id: id, global: 0})
+			if len(m.Deliveries) != 0 {
+				t.Fatal("delivered before the data arrived")
+			}
+			m.onData(id, []byte("late"))
+			if len(m.Deliveries) != 1 {
+				t.Fatalf("delivered %d after data arrived, want 1", len(m.Deliveries))
+			}
+		}},
+		{"minimum group totally orders", func(t *testing.T) {
+			// NumReceivers=1 is the smallest legal cluster: sequencer + one.
+			s, err := NewSystem(cluster.Default(1), orderConfig(core.ProtoACK, 1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 3; i++ {
+				s.Submit(time.Duration(i)*time.Millisecond, i%2, []byte(fmt.Sprintf("m%d", i)))
+			}
+			if _, err := s.Run(); err != nil {
+				t.Fatal(err)
+			}
+			checkTotalOrder(t, s, 3)
+		}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) { c.run(t) })
+	}
+}

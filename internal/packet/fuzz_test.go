@@ -1,0 +1,88 @@
+package packet
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzPacketRoundTrip feeds arbitrary bytes through Decode and, for
+// every input Decode accepts, asserts the encode/decode round trip is
+// lossless: re-encoding the decoded packet reproduces the input
+// byte-for-byte, and decoding the re-encoding yields an identical
+// packet. Any asymmetry between the two directions of the wire format —
+// a field encoded at the wrong offset, a length miscount, payload
+// aliasing gone wrong — surfaces as a mismatch here.
+func FuzzPacketRoundTrip(f *testing.F) {
+	// Seed corpus: one valid packet of every type, the header boundary,
+	// and each rejection class (short, bad magic, bad version, bad type).
+	for t := TypeAllocReq; t <= TypeEject; t++ {
+		p := &Packet{Type: t, Flags: FlagPoll | FlagLast, Src: 7,
+			MsgID: 3, Seq: 41, Aux: 9000, Payload: []byte("payload")}
+		f.Add(p.Encode())
+	}
+	f.Add((&Packet{Type: TypeData, Seq: 1<<32 - 1, Aux: 1<<32 - 1}).Encode())
+	f.Add([]byte{})
+	f.Add([]byte{Magic})
+	f.Add(bytes.Repeat([]byte{Magic}, HeaderLen))
+	f.Add(append([]byte{0x00, Version, byte(TypeData)}, make([]byte, HeaderLen)...))
+	f.Add(append([]byte{Magic, 99, byte(TypeData)}, make([]byte, HeaderLen)...))
+	f.Add(append([]byte{Magic, Version, 0xFF}, make([]byte, HeaderLen)...))
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		p, err := Decode(b)
+		if err != nil {
+			// Rejected inputs must be genuinely malformed: too short, or
+			// failing one of the header guards.
+			if len(b) >= HeaderLen && b[0] == Magic && b[1] == Version && Type(b[2]).Valid() {
+				t.Fatalf("Decode rejected a well-formed header: %v", err)
+			}
+			return
+		}
+		if got, want := p.WireLen(), len(b); got != want {
+			t.Fatalf("WireLen() = %d, input was %d bytes", got, want)
+		}
+		enc := p.Encode()
+		if !bytes.Equal(enc, b) {
+			t.Fatalf("re-encode mismatch:\n in  %x\n out %x", b, enc)
+		}
+		q, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("decoding our own encoding failed: %v", err)
+		}
+		if q.Type != p.Type || q.Flags != p.Flags || q.Src != p.Src ||
+			q.MsgID != p.MsgID || q.Seq != p.Seq || q.Aux != p.Aux ||
+			!bytes.Equal(q.Payload, p.Payload) {
+			t.Fatalf("round trip changed the packet:\n in  %+v\n out %+v", p, q)
+		}
+	})
+}
+
+// FuzzEncodeToBounds drives EncodeTo with exact-size buffers derived
+// from fuzzed field values, checking it never writes short and that
+// Decode inverts it.
+func FuzzEncodeToBounds(f *testing.F) {
+	f.Add(uint8(3), uint8(2), uint16(1), uint32(5), uint32(9), uint32(100), []byte("x"))
+	f.Add(uint8(5), uint8(0), uint16(0), uint32(0), uint32(1<<32-1), uint32(0), []byte{})
+	f.Fuzz(func(t *testing.T, typ, flags uint8, src uint16, msgID, seq, aux uint32, payload []byte) {
+		p := &Packet{Type: Type(typ), Flags: Flags(flags), Src: src,
+			MsgID: msgID, Seq: seq, Aux: aux, Payload: payload}
+		b := make([]byte, p.WireLen())
+		if n := p.EncodeTo(b); n != len(b) {
+			t.Fatalf("EncodeTo wrote %d bytes into a %d-byte buffer", n, len(b))
+		}
+		q, err := Decode(b)
+		if !p.Type.Valid() {
+			if err == nil {
+				t.Fatalf("Decode accepted invalid type %d", typ)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("Decode rejected a valid encoding: %v", err)
+		}
+		if q.Seq != seq || q.Aux != aux || q.MsgID != msgID || q.Src != src ||
+			!bytes.Equal(q.Payload, payload) {
+			t.Fatalf("round trip changed fields: %+v vs %+v", p, q)
+		}
+	})
+}

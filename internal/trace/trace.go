@@ -47,7 +47,12 @@ type Event struct {
 	Flags packet.Flags
 	MsgID uint32
 	Seq   uint32
-	Len   int // payload bytes
+	// Aux mirrors the packet's auxiliary word — the ejected rank on eject
+	// announcements, the message size on allocation requests, the byte
+	// offset on data packets. Deliberately absent from String() so the
+	// golden trace digests predate it unchanged.
+	Aux uint32
+	Len int // payload bytes
 }
 
 // Multicast is the Peer value of group-addressed events.
@@ -78,6 +83,14 @@ func (e Event) String() string {
 // the simulator is single-threaded; the live transport, whose readers
 // and event loop run on separate goroutines, uses NewShared, which
 // guards the ring with a mutex.
+//
+// Independently of ring retention, a streaming consumer can subscribe
+// with SetSink to observe every recorded event (the ring only keeps the
+// tail). Sink delivery is batched for cheapness; the session runner must
+// call Flush on close so the final partial batch reaches the sink —
+// otherwise sink-derived counts fall short of Total() by up to one
+// batch, and consumers like the invariant checkers would disagree with
+// the metrics session.
 type Buffer struct {
 	mu      *sync.Mutex // nil for single-threaded buffers
 	events  []Event
@@ -88,7 +101,13 @@ type Buffer struct {
 	// Set it before recording begins; a shared buffer reads it without
 	// the lock.
 	Filter func(Event) bool
+
+	sink  func([]Event)
+	batch []Event
 }
+
+// DefaultSinkBatch is the sink delivery batch size used by SetSink.
+const DefaultSinkBatch = 256
 
 // New creates a buffer retaining the last cap events.
 func New(cap int) *Buffer {
@@ -107,6 +126,47 @@ func NewShared(cap int) *Buffer {
 	return b
 }
 
+// SetSink attaches a streaming consumer: every event recorded from now
+// on is delivered to sink in batches of up to batchSize events (the
+// slice is reused between deliveries — consumers must not retain it).
+// batchSize <= 0 selects DefaultSinkBatch. Call Flush when recording
+// ends to deliver the final partial batch. On a shared buffer the sink
+// runs with the buffer lock held.
+func (b *Buffer) SetSink(batchSize int, sink func([]Event)) {
+	if batchSize <= 0 {
+		batchSize = DefaultSinkBatch
+	}
+	if b.mu != nil {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+	}
+	b.sink = sink
+	b.batch = make([]Event, 0, batchSize)
+}
+
+// Flush delivers events buffered for the sink but not yet handed over —
+// the final partial batch of a session. Safe to call repeatedly and on
+// buffers without a sink; nil-safe so session runners can call it
+// unconditionally.
+func (b *Buffer) Flush() {
+	if b == nil {
+		return
+	}
+	if b.mu != nil {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+	}
+	b.flushLocked()
+}
+
+func (b *Buffer) flushLocked() {
+	if b.sink == nil || len(b.batch) == 0 {
+		return
+	}
+	b.sink(b.batch)
+	b.batch = b.batch[:0]
+}
+
 // Add records one event.
 func (b *Buffer) Add(e Event) {
 	if b.Filter != nil && !b.Filter(e) {
@@ -117,6 +177,12 @@ func (b *Buffer) Add(e Event) {
 		defer b.mu.Unlock()
 	}
 	b.total++
+	if b.sink != nil {
+		b.batch = append(b.batch, e)
+		if len(b.batch) == cap(b.batch) {
+			b.flushLocked()
+		}
+	}
 	if len(b.events) < cap(b.events) {
 		b.events = append(b.events, e)
 		return

@@ -198,3 +198,84 @@ func TestRingPropertyQuick(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// The sink must observe every recorded event — including the final
+// partial batch, which only Flush delivers. This is the regression test
+// for the flush-on-session-close fix: without it, sink-derived packet
+// counts fall short of Total() by up to one batch and disagree with the
+// metrics session.
+func TestSinkReceivesEverythingAfterFlush(t *testing.T) {
+	b := New(4) // small ring: the sink must not be limited by retention
+	var got []Event
+	b.SetSink(8, func(batch []Event) {
+		got = append(got, batch...) // copy: the batch slice is reused
+	})
+	const n = 8*3 + 5 // three full batches plus a partial tail
+	for i := 0; i < n; i++ {
+		b.Add(ev(i))
+	}
+	if len(got) != 24 {
+		t.Fatalf("before Flush: sink saw %d events, want the 24 full batches", len(got))
+	}
+	b.Flush()
+	if uint64(len(got)) != b.Total() {
+		t.Fatalf("after Flush: sink saw %d events, Total() = %d", len(got), b.Total())
+	}
+	for i, e := range got {
+		if e.Seq != uint32(i) {
+			t.Fatalf("event %d out of order: seq %d", i, e.Seq)
+		}
+	}
+}
+
+func TestFlushIdempotentAndNilSafe(t *testing.T) {
+	var nb *Buffer
+	nb.Flush() // must not panic
+
+	b := New(4)
+	b.Flush() // no sink: no-op
+
+	calls := 0
+	b.SetSink(16, func(batch []Event) { calls++ })
+	b.Add(ev(0))
+	b.Flush()
+	b.Flush() // nothing pending: must not re-deliver
+	if calls != 1 {
+		t.Fatalf("sink called %d times, want 1", calls)
+	}
+}
+
+func TestSinkRespectsFilter(t *testing.T) {
+	b := New(8)
+	b.Filter = func(e Event) bool { return e.Seq%2 == 0 }
+	var got int
+	b.SetSink(2, func(batch []Event) { got += len(batch) })
+	for i := 0; i < 10; i++ {
+		b.Add(ev(i))
+	}
+	b.Flush()
+	if got != 5 || b.Total() != 5 {
+		t.Fatalf("sink saw %d events, Total() = %d, want 5 and 5", got, b.Total())
+	}
+}
+
+func TestSharedBufferSinkConcurrent(t *testing.T) {
+	b := NewShared(8)
+	var n uint64
+	b.SetSink(4, func(batch []Event) { n += uint64(len(batch)) }) // lock held: no atomics needed
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				b.Add(ev(w*100 + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	b.Flush()
+	if n != 400 {
+		t.Fatalf("sink saw %d events, want 400", n)
+	}
+}

@@ -37,8 +37,12 @@ func NewSender(w int, count uint32) *Sender {
 }
 
 // CanSend reports whether a new (never-sent) packet may be transmitted.
+// The window edge is computed in 64 bits: near the top of the sequence
+// space (Count approaching 2^32-1) Base+Size overflows uint32 and a
+// 32-bit comparison would wedge the window shut with packets left to
+// send.
 func (s *Sender) CanSend() bool {
-	return s.Next < s.Count && s.Next < s.Base+uint32(s.Size)
+	return s.Next < s.Count && uint64(s.Next) < uint64(s.Base)+uint64(s.Size)
 }
 
 // Sent records the transmission of sequence Next and returns it.
@@ -81,7 +85,7 @@ func (s *Sender) Check() {
 	if s.Base > s.Next {
 		panic(fmt.Sprintf("window: base %d > next %d", s.Base, s.Next))
 	}
-	if s.Next > s.Base+uint32(s.Size) {
+	if uint64(s.Next) > uint64(s.Base)+uint64(s.Size) {
 		panic(fmt.Sprintf("window: next %d beyond base %d + size %d", s.Next, s.Base, s.Size))
 	}
 	if s.Next > s.Count {

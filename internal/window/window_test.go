@@ -262,3 +262,132 @@ func TestMinTrackerAdd(t *testing.T) {
 		t.Errorf("Value(9) = %d,%v", v, ok)
 	}
 }
+
+// Table-driven edge cases: the degenerate size-1 window, behavior at
+// the top of the 32-bit sequence space, and duplicate/regressive
+// cumulative acknowledgments.
+func TestSenderEdgeCases(t *testing.T) {
+	const maxSeq = uint32(1<<32 - 1)
+	cases := []struct {
+		name string
+		run  func(t *testing.T)
+	}{
+		{"size-1 window is strictly stop-and-wait", func(t *testing.T) {
+			w := NewSender(1, 3)
+			for want := uint32(0); want < 3; want++ {
+				if !w.CanSend() {
+					t.Fatalf("window closed before sending %d", want)
+				}
+				if got := w.Sent(); got != want {
+					t.Fatalf("Sent() = %d, want %d", got, want)
+				}
+				if w.CanSend() {
+					t.Fatalf("size-1 window open with %d outstanding", w.Outstanding())
+				}
+				w.Check()
+				if !w.Ack(want + 1) {
+					t.Fatalf("ack %d did not advance", want+1)
+				}
+			}
+			if !w.Done() {
+				t.Fatal("not done after acking every packet")
+			}
+		}},
+		{"no wraparound wedge at the 2^32-1 boundary", func(t *testing.T) {
+			// A message of the maximum 2^32-1 packets, window mid-flight at
+			// the very top of the sequence space: Base+Size overflows
+			// uint32 here, and the pre-fix 32-bit comparison wedged the
+			// window shut with packets still unsent.
+			w := &Sender{Size: 8, Count: maxSeq, Base: maxSeq - 4, Next: maxSeq - 4}
+			w.Check()
+			var sent []uint32
+			for w.CanSend() {
+				sent = append(sent, w.Sent())
+			}
+			if len(sent) != 4 {
+				t.Fatalf("sent %d packets at the boundary, want the 4 remaining", len(sent))
+			}
+			if sent[len(sent)-1] != maxSeq-1 {
+				t.Fatalf("last seq %d, want %d", sent[len(sent)-1], maxSeq-1)
+			}
+			w.Check()
+			if !w.Ack(maxSeq) || !w.Done() {
+				t.Fatal("final cumulative ack did not complete the window")
+			}
+		}},
+		{"outstanding window at the boundary stays within size", func(t *testing.T) {
+			w := &Sender{Size: 8, Count: maxSeq, Base: maxSeq - 10, Next: maxSeq - 10}
+			for w.CanSend() {
+				w.Sent()
+			}
+			if w.Outstanding() != 8 {
+				t.Fatalf("outstanding = %d, want the full window 8", w.Outstanding())
+			}
+			w.Check()
+		}},
+		{"duplicate cumulative ack does not re-advance", func(t *testing.T) {
+			w := NewSender(4, 10)
+			for w.CanSend() {
+				w.Sent()
+			}
+			if !w.Ack(2) {
+				t.Fatal("first ack 2 should advance")
+			}
+			if w.Ack(2) {
+				t.Fatal("duplicate ack 2 should be ignored")
+			}
+			if w.Ack(1) {
+				t.Fatal("regressive ack 1 should be ignored")
+			}
+			if w.Base != 2 {
+				t.Fatalf("base = %d after duplicate/regressive acks, want 2", w.Base)
+			}
+			// The duplicate freed no window space beyond the first ack.
+			room := 0
+			for w.CanSend() {
+				w.Sent()
+				room++
+			}
+			if room != 2 {
+				t.Fatalf("freed %d slots, want 2", room)
+			}
+		}},
+		{"ack clamps above count at the boundary", func(t *testing.T) {
+			w := &Sender{Size: 4, Count: maxSeq, Base: maxSeq - 1, Next: maxSeq}
+			w.Ack(maxSeq) // cum == Count: clamp is a no-op here but must not panic
+			if !w.Done() {
+				t.Fatal("window not done after acking count")
+			}
+		}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) { c.run(t) })
+	}
+}
+
+// MinTracker duplicate-update behavior: repeated identical updates never
+// report a minimum change and never corrupt the cached minimum.
+func TestMinTrackerDuplicateUpdates(t *testing.T) {
+	m := NewMinTracker([]int{1, 2, 3})
+	if m.Update(1, 5); m.Min() != 0 {
+		t.Fatalf("min = %d with peers at 0, want 0", m.Min())
+	}
+	if m.Update(1, 5) {
+		t.Fatal("duplicate update reported a change")
+	}
+	if m.Update(1, 3) {
+		t.Fatal("regressive update reported a change")
+	}
+	m.Update(2, 5)
+	m.Update(3, 4)
+	if m.Min() != 4 {
+		t.Fatalf("min = %d, want 4", m.Min())
+	}
+	if m.Update(3, 4) {
+		t.Fatal("duplicate of the floor holder reported a change")
+	}
+	if m.Min() != 4 {
+		t.Fatalf("min corrupted to %d by duplicate updates", m.Min())
+	}
+}
