@@ -40,6 +40,9 @@ func main() {
 		timeout   = flag.Duration("timeout", 60*time.Second, "per-transfer timeout")
 		retries   = flag.Int("maxretries", 0, "no-progress timeout rounds before the sender probes and ejects a receiver (0 = wait forever, as in the paper)")
 		peerTO    = flag.Duration("peer-timeout", 0, "declare a receiver dead after this much total silence (0 = 5x the hello interval; needs -maxretries)")
+		adaptive  = flag.Bool("adaptive", true, "RTT-estimated adaptive retransmission timers (RFC 6298 style); false = the paper's fixed timeouts")
+		rtoMin    = flag.Duration("rto-min", 0, "adaptive RTO floor (0 = 2ms default)")
+		rtoMax    = flag.Duration("rto-max", 0, "adaptive RTO ceiling (0 = 4s default)")
 		metricsF  = flag.Bool("metrics", false, "print the node's metrics snapshot before exiting")
 	)
 	flag.Parse()
@@ -74,6 +77,9 @@ func main() {
 		PollInterval: pi,
 		TreeHeight:   *height,
 		MaxRetries:   *retries,
+		AdaptiveRTO:  *adaptive,
+		MinRTO:       *rtoMin,
+		MaxRTO:       *rtoMax,
 	}
 	node, err := rmcast.NewLiveNode(rmcast.LiveConfig{
 		Group:       *group,

@@ -187,6 +187,13 @@ func (c *ghostChecker) Observe(e trace.Event) {
 		return
 	}
 	if e.Dir == trace.Send || e.Dir == trace.SendMC {
+		if e.Type == packet.TypeHello {
+			// Hellos are transport-level discovery/liveness traffic, not
+			// protocol traffic: a live node keeps announcing itself after
+			// ejection (it may join later sessions), and the silence
+			// contract covers only the session's protocol packets.
+			return
+		}
 		if at, ok := c.silenced[e.Node]; ok {
 			c.addf("ejected receiver %d sent %s at t=%v after learning of its ejection at t=%v",
 				e.Node, e.Type, e.At, at)

@@ -149,6 +149,21 @@ type Config struct {
 	// least this far apart. The paper notes flow control "can either be
 	// rate-based or window-based"; this implements the hybrid.
 	PaceInterval time.Duration
+	// AdaptiveRTO switches the sender's retransmission timers from the
+	// fixed RetransTimeout/AllocTimeout (scaled by exponential backoff)
+	// to an RTT-estimated adaptive policy: SRTT/RTTVAR smoothing over
+	// round-trip samples, Karn's rule on retransmitted packets,
+	// exponential backoff with deterministic jitter, and [MinRTO,
+	// MaxRTO] clamps. RetransTimeout remains the initial RTO before the
+	// first sample. Off by default: the simulator's golden traces pin
+	// the fixed-timeout behavior; the live transport enables it, where
+	// real paths have real (and drifting) round-trip times.
+	AdaptiveRTO bool
+	// MinRTO and MaxRTO clamp the adaptive retransmission timeout
+	// (defaults DefaultMinRTO/DefaultMaxRTO). Only meaningful with
+	// AdaptiveRTO.
+	MinRTO time.Duration
+	MaxRTO time.Duration
 	// MaxRetries enables receiver-failure detection. The paper's
 	// protocols assume a fixed healthy membership, so a crashed receiver
 	// wedges the sender in infinite retransmission; with MaxRetries > 0
@@ -229,6 +244,20 @@ func (c Config) Normalize() (Config, error) {
 	}
 	if c.NakInterval == 0 {
 		c.NakInterval = DefaultNakInterval
+	}
+	if c.MinRTO < 0 || c.MaxRTO < 0 {
+		return c, errors.New("core: MinRTO and MaxRTO must be >= 0")
+	}
+	if c.AdaptiveRTO {
+		if c.MinRTO == 0 {
+			c.MinRTO = DefaultMinRTO
+		}
+		if c.MaxRTO == 0 {
+			c.MaxRTO = DefaultMaxRTO
+		}
+		if c.MaxRTO < c.MinRTO {
+			return c, fmt.Errorf("core: MaxRTO %v below MinRTO %v", c.MaxRTO, c.MinRTO)
+		}
 	}
 	if c.MaxRetries < 0 {
 		return c, errors.New("core: MaxRetries must be >= 0")

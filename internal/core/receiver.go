@@ -40,6 +40,16 @@ type Receiver struct {
 	lastNak    time.Duration
 	lastDupAck time.Duration
 
+	// Adaptive NAK pacing (Config.AdaptiveRTO): gapEst is an EWMA of
+	// the inter-arrival time of accepted in-order data packets — the
+	// receiver's only local proxy for how fast the sender's repair
+	// pipeline can respond. The NAK throttle widens with it, so a slow
+	// (paced, congested, or high-latency) session is not peppered with
+	// NAKs the sender cannot act on any faster.
+	gapEst   time.Duration
+	lastData time.Duration
+	haveData bool
+
 	// Receiver-side NAK suppression state (Config.NakSuppression).
 	nakTimer   TimerID
 	nakGen     uint64
@@ -289,6 +299,20 @@ func (r *Receiver) accept(p *packet.Packet) {
 		r.next++
 	}
 	r.stats.DataReceived++
+	if r.cfg.AdaptiveRTO {
+		now := r.env.Now()
+		if r.haveData {
+			if gap := now - r.lastData; gap >= 0 {
+				if r.gapEst == 0 {
+					r.gapEst = gap
+				} else {
+					r.gapEst += (gap - r.gapEst) >> rttAlphaShift
+				}
+			}
+		}
+		r.haveData = true
+		r.lastData = now
+	}
 	if r.nakPending && !r.missingAnything() {
 		// The gap healed; withdraw the pending suppressed NAK.
 		r.cancelNak()
@@ -449,6 +473,24 @@ func (r *Receiver) propagateTreeAck(force bool) {
 	}
 }
 
+// nakThrottle is the minimum spacing between this receiver's NAKs: the
+// configured NakInterval, widened under adaptive pacing to twice the
+// smoothed data inter-arrival time (capped at 64× NakInterval) — one
+// NAK per repair opportunity instead of one per NakInterval.
+func (r *Receiver) nakThrottle() time.Duration {
+	if !r.cfg.AdaptiveRTO || r.gapEst == 0 {
+		return r.cfg.NakInterval
+	}
+	iv := 2 * r.gapEst
+	if iv < r.cfg.NakInterval {
+		return r.cfg.NakInterval
+	}
+	if lim := 64 * r.cfg.NakInterval; iv > lim {
+		return lim
+	}
+	return iv
+}
+
 // maybeNak reports the gap at r.next: directly to the sender
 // (rate-limited) by default, or via the randomized multicast
 // suppression scheme when Config.NakSuppression is set.
@@ -458,7 +500,7 @@ func (r *Receiver) maybeNak() {
 		return
 	}
 	now := r.env.Now()
-	if now-r.lastNak < r.cfg.NakInterval {
+	if now-r.lastNak < r.nakThrottle() {
 		r.stats.NaksThrottled++
 		return
 	}
@@ -478,7 +520,7 @@ func (r *Receiver) scheduleSuppressedNak() {
 	r.nakPending = true
 	r.nakGen++
 	gen := r.nakGen
-	delay := time.Duration(r.rand.Float64() * float64(r.cfg.NakInterval))
+	delay := time.Duration(r.rand.Float64() * float64(r.nakThrottle()))
 	r.nakTimer = r.env.SetTimer(delay, func() {
 		if gen != r.nakGen || !r.nakPending || r.ejected {
 			return

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"time"
+
+	"rmcast/internal/rng"
+)
+
+// RTT estimator constants, following the classic TCP retransmission
+// timer (RFC 6298 / Jacobson): SRTT and RTTVAR are exponentially
+// weighted moving averages with gains 1/8 and 1/4, and the base RTO is
+// SRTT + 4·RTTVAR.
+const (
+	rttAlphaShift = 3 // SRTT gain 1/8
+	rttBetaShift  = 2 // RTTVAR gain 1/4
+	rttVarMult    = 4 // RTO = SRTT + 4·RTTVAR
+
+	// rtoJitterShift sets the deterministic jitter added to every RTO:
+	// a uniform draw from [0, RTO/8). Jitter desynchronizes the
+	// retransmission clocks of independent sessions sharing a segment,
+	// so their Go-Back-N bursts do not phase-lock (the same reason the
+	// receivers' suppressed NAKs are randomized).
+	rtoJitterShift = 3
+
+	// rtoMaxBackoffShift caps exponential backoff at 2^6 = 64× the base
+	// RTO, matching the sender's legacy rtoMult cap.
+	rtoMaxBackoffShift = 6
+)
+
+// Default floor/ceiling clamps for the adaptive RTO. The floor guards
+// against sub-RTT timeouts when the variance estimate collapses on a
+// quiet LAN (a spurious-retransmission storm); the ceiling keeps a
+// transient spike from freezing recovery for whole seconds.
+const (
+	DefaultMinRTO = 2 * time.Millisecond
+	DefaultMaxRTO = 4 * time.Second
+)
+
+// RTTEstimator derives an adaptive retransmission timeout from observed
+// round-trip samples: SRTT/RTTVAR smoothing, exponential backoff on
+// timeout, deterministic jitter, and floor/ceiling clamps. Karn's rule
+// is the caller's half of the contract: only samples from packets that
+// were transmitted exactly once may be fed to Observe (a retransmitted
+// packet's acknowledgment is ambiguous — it may answer either copy).
+// The sender enforces it by invalidating its pending sample whenever
+// the sampled sequence is retransmitted.
+type RTTEstimator struct {
+	initial time.Duration // RTO before the first sample
+	min     time.Duration // floor clamp
+	max     time.Duration // ceiling clamp
+
+	srtt    time.Duration
+	rttvar  time.Duration
+	sampled bool
+	backoff uint // consecutive timeouts since the last sample
+
+	rand *rng.Rand
+}
+
+// NewRTTEstimator creates an estimator that yields `initial` (clamped)
+// until the first sample arrives and clamps every RTO to [min, max].
+// seed drives the jitter; equal seeds yield identical RTO sequences.
+func NewRTTEstimator(initial, min, max time.Duration, seed uint64) *RTTEstimator {
+	if min <= 0 {
+		min = DefaultMinRTO
+	}
+	if max < min {
+		max = min
+	}
+	if initial <= 0 {
+		initial = min
+	}
+	return &RTTEstimator{
+		initial: initial,
+		min:     min,
+		max:     max,
+		rand:    rng.New(rng.Mix(seed, 0x52544F)), // "RTO"
+	}
+}
+
+// Observe folds one round-trip sample into the smoothed estimate and
+// resets the backoff (a sample is proof the path currently works).
+func (e *RTTEstimator) Observe(sample time.Duration) {
+	if sample < 0 {
+		sample = 0
+	}
+	if !e.sampled {
+		// First sample (RFC 6298 §2.2): SRTT = R, RTTVAR = R/2.
+		e.sampled = true
+		e.srtt = sample
+		e.rttvar = sample / 2
+	} else {
+		// RTTVAR = 3/4·RTTVAR + 1/4·|SRTT−R|; SRTT = 7/8·SRTT + 1/8·R.
+		diff := e.srtt - sample
+		if diff < 0 {
+			diff = -diff
+		}
+		e.rttvar += (diff - e.rttvar) >> rttBetaShift
+		e.srtt += (sample - e.srtt) >> rttAlphaShift
+	}
+	e.backoff = 0
+}
+
+// HasSample reports whether at least one sample has been observed.
+func (e *RTTEstimator) HasSample() bool { return e.sampled }
+
+// SRTT returns the smoothed round-trip estimate (zero before the first
+// sample).
+func (e *RTTEstimator) SRTT() time.Duration { return e.srtt }
+
+// Backoff doubles the effective RTO (capped), for a retransmission
+// timeout that fired without an intervening sample.
+func (e *RTTEstimator) Backoff() {
+	if e.backoff < rtoMaxBackoffShift {
+		e.backoff++
+	}
+}
+
+// ResetBackoff clears the exponential backoff after the session made
+// progress through a path that yields no sample (e.g. an ack for a
+// retransmitted packet).
+func (e *RTTEstimator) ResetBackoff() { e.backoff = 0 }
+
+// RTO returns the current retransmission timeout: the clamped base
+// estimate, scaled by the backoff, plus deterministic jitter. Each call
+// advances the jitter stream, so callers should call it once per timer
+// arm.
+func (e *RTTEstimator) RTO() time.Duration {
+	base := e.initial
+	if e.sampled {
+		base = e.srtt + rttVarMult*e.rttvar
+	}
+	base = e.clamp(base)
+	// Backoff multiplies the clamped base so the floor cannot erase it,
+	// then the product is re-clamped to the ceiling.
+	rto := e.clamp(base << e.backoff)
+	if j := rto >> rtoJitterShift; j > 0 {
+		rto += time.Duration(e.rand.Intn(int(j)))
+	}
+	if rto > e.max+e.max>>rtoJitterShift {
+		rto = e.max
+	}
+	return rto
+}
+
+func (e *RTTEstimator) clamp(d time.Duration) time.Duration {
+	if d < e.min {
+		return e.min
+	}
+	if d > e.max {
+		return e.max
+	}
+	return d
+}

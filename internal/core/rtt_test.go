@@ -1,0 +1,153 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRTTFirstSample(t *testing.T) {
+	e := NewRTTEstimator(250*time.Millisecond, time.Millisecond, time.Second, 1)
+	if e.HasSample() || e.SRTT() != 0 {
+		t.Fatalf("fresh estimator: HasSample=%v SRTT=%v", e.HasSample(), e.SRTT())
+	}
+	e.Observe(8 * time.Millisecond)
+	if !e.HasSample() {
+		t.Fatal("HasSample false after Observe")
+	}
+	// RFC 6298 §2.2: SRTT = R, RTTVAR = R/2, so the base RTO is 3R.
+	if e.SRTT() != 8*time.Millisecond {
+		t.Fatalf("SRTT = %v, want 8ms", e.SRTT())
+	}
+	base := e.srtt + rttVarMult*e.rttvar
+	if want := 24 * time.Millisecond; base != want {
+		t.Fatalf("base RTO after first sample = %v, want %v", base, want)
+	}
+}
+
+func TestRTTSmoothingConverges(t *testing.T) {
+	e := NewRTTEstimator(250*time.Millisecond, time.Microsecond, time.Minute, 1)
+	// A steady 10ms path: SRTT converges to the sample and RTTVAR
+	// decays toward zero, so the RTO approaches the clamp floor over
+	// the true RTT.
+	for i := 0; i < 200; i++ {
+		e.Observe(10 * time.Millisecond)
+	}
+	if got := e.SRTT(); got < 9900*time.Microsecond || got > 10100*time.Microsecond {
+		t.Fatalf("SRTT after steady samples = %v, want ≈10ms", got)
+	}
+	if e.rttvar > 100*time.Microsecond {
+		t.Fatalf("RTTVAR did not decay on a steady path: %v", e.rttvar)
+	}
+	// A variance spike reopens the timeout.
+	before := e.srtt + rttVarMult*e.rttvar
+	e.Observe(30 * time.Millisecond)
+	after := e.srtt + rttVarMult*e.rttvar
+	if after <= before {
+		t.Fatalf("base RTO did not widen on a variance spike: %v -> %v", before, after)
+	}
+}
+
+func TestRTTInitialUntilSampled(t *testing.T) {
+	e := NewRTTEstimator(100*time.Millisecond, time.Millisecond, time.Second, 1)
+	// Before any sample the RTO is the initial value plus jitter in
+	// [0, RTO/8).
+	for i := 0; i < 50; i++ {
+		rto := e.RTO()
+		if rto < 100*time.Millisecond || rto >= 100*time.Millisecond+100*time.Millisecond/8 {
+			t.Fatalf("unsampled RTO = %v, want [100ms, 112.5ms)", rto)
+		}
+	}
+}
+
+func TestRTTBackoffDoublesAndCaps(t *testing.T) {
+	e := NewRTTEstimator(0, 10*time.Millisecond, 10*time.Second, 1)
+	e.Observe(10 * time.Millisecond) // base = 10 + 4·5 = 30ms
+	base := e.clamp(e.srtt + rttVarMult*e.rttvar)
+	for k := 0; k < 10; k++ {
+		want := base << min(k, rtoMaxBackoffShift)
+		if want > 10*time.Second {
+			want = 10 * time.Second
+		}
+		rto := e.RTO()
+		if rto < want || rto >= want+want/8+time.Nanosecond {
+			t.Fatalf("backoff %d: RTO = %v, want [%v, %v)", k, rto, want, want+want/8)
+		}
+		e.Backoff()
+	}
+	// A fresh sample clears the backoff entirely.
+	e.Observe(10 * time.Millisecond)
+	if rto := e.RTO(); rto >= 2*base {
+		t.Fatalf("RTO after sample = %v; backoff survived the sample (base %v)", rto, base)
+	}
+	// ResetBackoff does the same without a sample.
+	e.Backoff()
+	e.Backoff()
+	e.ResetBackoff()
+	if rto := e.RTO(); rto >= 2*base {
+		t.Fatalf("RTO after ResetBackoff = %v; backoff survived (base %v)", rto, base)
+	}
+}
+
+func TestRTTClamps(t *testing.T) {
+	e := NewRTTEstimator(0, 2*time.Millisecond, 50*time.Millisecond, 1)
+	// A microsecond-scale path on a quiet LAN: the floor keeps the RTO
+	// from collapsing below the spurious-retransmission guard.
+	for i := 0; i < 50; i++ {
+		e.Observe(50 * time.Microsecond)
+	}
+	if rto := e.RTO(); rto < 2*time.Millisecond {
+		t.Fatalf("RTO = %v fell below the 2ms floor", rto)
+	}
+	// A pathological spike: the ceiling bounds it, jitter included.
+	e.Observe(10 * time.Second)
+	for i := 0; i < 20; i++ {
+		e.Backoff()
+	}
+	for i := 0; i < 50; i++ {
+		if rto := e.RTO(); rto > 50*time.Millisecond+50*time.Millisecond/8 {
+			t.Fatalf("RTO = %v exceeds the ceiling plus jitter", rto)
+		}
+	}
+}
+
+func TestRTTNegativeSampleTreatedAsZero(t *testing.T) {
+	e := NewRTTEstimator(0, time.Millisecond, time.Second, 1)
+	e.Observe(-5 * time.Millisecond)
+	if e.SRTT() != 0 {
+		t.Fatalf("SRTT after negative sample = %v, want 0", e.SRTT())
+	}
+	if rto := e.RTO(); rto < time.Millisecond {
+		t.Fatalf("RTO = %v below floor after degenerate sample", rto)
+	}
+}
+
+func TestRTTJitterDeterministic(t *testing.T) {
+	seq := func(seed uint64) []time.Duration {
+		e := NewRTTEstimator(0, time.Millisecond, time.Second, seed)
+		e.Observe(5 * time.Millisecond)
+		var out []time.Duration
+		for i := 0; i < 32; i++ {
+			out = append(out, e.RTO())
+			if i%5 == 4 {
+				e.Backoff()
+			}
+		}
+		return out
+	}
+	a, b, c := seq(77), seq(77), seq(78)
+	same, diff := true, false
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+		}
+		if a[i] != c[i] {
+			diff = true
+		}
+	}
+	if !same {
+		t.Fatal("equal seeds produced different RTO sequences")
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical RTO sequences (jitter not seeded)")
+	}
+}

@@ -85,6 +85,22 @@ type Sender struct {
 	paceTimer  TimerID
 	paceGen    uint64
 
+	// rto is the adaptive retransmission-timeout estimator
+	// (Config.AdaptiveRTO); nil keeps the fixed-timeout policy. The
+	// remaining fields implement Karn-compliant sampling: at most one
+	// data sequence is "in flight" as a sample, and it is discarded the
+	// moment that sequence is retransmitted (its acknowledgment would be
+	// ambiguous). The allocation handshake contributes the first sample
+	// — request out, last confirmation in — so the data phase starts
+	// from a measured RTO instead of the configured initial.
+	rto         *RTTEstimator
+	sampleSeq   uint32
+	sampleAt    time.Duration
+	sampleLive  bool
+	allocAt     time.Duration
+	allocSample bool
+	allocSends  int
+
 	// Failure-detection state (Config.MaxRetries > 0). dead and failed
 	// persist across messages: an ejected receiver stays out of the
 	// membership for the sender's lifetime.
@@ -127,7 +143,50 @@ func NewSender(env Env, cfg Config, onDone func()) (*Sender, error) {
 		s.tree = NewFlatTree(cfg.NumReceivers, cfg.TreeHeight)
 		s.isTree = true
 	}
+	if cfg.AdaptiveRTO {
+		// The configured RetransTimeout doubles as the pre-sample
+		// initial RTO. The jitter seed is fixed: one sender per session,
+		// and determinism under equal configs is the point.
+		s.rto = NewRTTEstimator(cfg.RetransTimeout, cfg.MinRTO, cfg.MaxRTO, 1)
+	}
 	return s, nil
+}
+
+// dataRTO returns the duration to arm a data retransmission timer with:
+// the estimator's jittered, clamped, backed-off RTO when adaptive
+// timers are on, else the caller's fixed-policy value (passed through
+// verbatim so the legacy behavior — and the golden traces pinning it —
+// cannot drift).
+func (s *Sender) dataRTO(legacy time.Duration) time.Duration {
+	if s.rto != nil {
+		return s.rto.RTO()
+	}
+	return legacy
+}
+
+// allocRTO is dataRTO for the allocation handshake timer: before the
+// first sample the estimator knows nothing the fixed AllocTimeout
+// policy doesn't, so the legacy value stands until a sample exists.
+func (s *Sender) allocRTO(legacy time.Duration) time.Duration {
+	if s.rto != nil && s.rto.HasSample() {
+		return s.rto.RTO()
+	}
+	return legacy
+}
+
+// observeRTT feeds one Karn-clean round-trip sample to the estimator
+// and mirrors it into the metrics session.
+func (s *Sender) observeRTT(d time.Duration) {
+	s.rto.Observe(d)
+	s.mx.ObserveRTT(d, s.rto.SRTT())
+}
+
+// resetBackoff clears the timeout backoff on session progress.
+func (s *Sender) resetBackoff() {
+	s.rtoMult = 1
+	if s.rto != nil {
+		s.rto.ResetBackoff()
+	}
 }
 
 // Stats returns a snapshot of the sender counters.
@@ -191,6 +250,9 @@ func (s *Sender) Start(msg []byte) {
 		}
 	}
 	s.allocOK = make(map[NodeID]bool, s.cfg.NumReceivers)
+	s.sampleLive = false
+	s.allocSample = false
+	s.allocSends = 0
 	s.lastResent = make(map[uint32]time.Duration)
 	s.nextSendAt = 0
 	s.paceGen++
@@ -235,12 +297,23 @@ func (s *Sender) armDeadline() {
 // and arms its retransmission timer.
 func (s *Sender) sendAlloc() {
 	s.stats.AllocSent++
+	s.allocSends++
+	if s.rto != nil {
+		// Karn's rule: only a request transmitted exactly once yields an
+		// unambiguous round trip; any retransmission spoils the sample.
+		if s.allocSends == 1 {
+			s.allocAt = s.env.Now()
+			s.allocSample = true
+		} else {
+			s.allocSample = false
+		}
+	}
 	s.env.Multicast(&packet.Packet{
 		Type:  packet.TypeAllocReq,
 		MsgID: s.msgID,
 		Aux:   uint32(len(s.msg)),
 	})
-	s.armTimer(s.cfg.AllocTimeout * s.rtoMult)
+	s.armTimer(s.allocRTO(s.cfg.AllocTimeout * s.rtoMult))
 }
 
 // OnPacket dispatches an incoming control packet.
@@ -274,7 +347,7 @@ func (s *Sender) onAllocOK(from NodeID) {
 		return
 	}
 	s.allocOK[from] = true
-	s.rtoMult = 1
+	s.resetBackoff()
 	s.failRounds = 0
 	s.exonerate(from)
 	s.maybeFinishAlloc()
@@ -301,6 +374,13 @@ func (s *Sender) maybeFinishAlloc() {
 	if confirmed < s.aliveReceivers() {
 		return
 	}
+	if s.allocSample {
+		// Request out → last confirmation in: the round trip to the
+		// slowest receiver, which is exactly what a multicast
+		// retransmission timer must cover.
+		s.allocSample = false
+		s.observeRTT(s.env.Now() - s.allocAt)
+	}
 	s.phase = phaseData
 	s.cancelTimer()
 	s.pump()
@@ -315,6 +395,13 @@ func (s *Sender) onAck(from NodeID, cum uint32) {
 		return
 	}
 	if s.win.Ack(s.acks.Min()) {
+		if s.sampleLive && s.win.Base > s.sampleSeq {
+			// The cumulative minimum moved past the sampled sequence:
+			// every receiver has acknowledged the once-transmitted packet,
+			// closing one clean slowest-receiver round trip.
+			s.sampleLive = false
+			s.observeRTT(s.env.Now() - s.sampleAt)
+		}
 		if s.win.Done() {
 			s.finish()
 			return
@@ -322,7 +409,7 @@ func (s *Sender) onAck(from NodeID, cum uint32) {
 		// Progress: reset the timeout backoff and the retransmission
 		// timer, prune stale selective-repeat bookkeeping, and refill
 		// the window.
-		s.rtoMult = 1
+		s.resetBackoff()
 		s.noProgress = 0
 		s.failRounds = 0
 		for seq := range s.lastResent {
@@ -330,7 +417,7 @@ func (s *Sender) onAck(from NodeID, cum uint32) {
 				delete(s.lastResent, seq)
 			}
 		}
-		s.armTimer(s.cfg.RetransTimeout)
+		s.armTimer(s.dataRTO(s.cfg.RetransTimeout))
 		s.pump()
 	}
 }
@@ -376,7 +463,7 @@ func (s *Sender) pump() {
 		s.sendData(seq, false)
 	}
 	if s.win.Outstanding() > 0 && s.timer == 0 {
-		s.armTimer(s.cfg.RetransTimeout)
+		s.armTimer(s.dataRTO(s.cfg.RetransTimeout))
 	}
 }
 
@@ -416,6 +503,19 @@ func (s *Sender) sendData(seq uint32, retrans bool) {
 	}
 	if s.cfg.Protocol == ProtoNAK && (int(seq+1)%s.cfg.PollInterval == 0 || seq == s.count-1) {
 		flags |= packet.FlagPoll
+	}
+	if s.rto != nil {
+		if retrans {
+			if s.sampleLive && seq == s.sampleSeq {
+				// Karn's rule: the sampled packet was retransmitted, so
+				// any acknowledgment covering it is ambiguous.
+				s.sampleLive = false
+			}
+		} else if !s.sampleLive {
+			s.sampleLive = true
+			s.sampleSeq = seq
+			s.sampleAt = s.env.Now()
+		}
 	}
 	if !retrans {
 		if !s.cfg.NoUserCopy {
@@ -474,7 +574,7 @@ func (s *Sender) retransmit() {
 			s.sendData(seq, true)
 		}
 	}
-	s.armTimer(s.cfg.RetransTimeout * s.rtoMult)
+	s.armTimer(s.dataRTO(s.cfg.RetransTimeout * s.rtoMult))
 }
 
 func (s *Sender) finish() {
@@ -519,6 +619,9 @@ func (s *Sender) onTimeout() {
 	if s.rtoMult < 64 {
 		s.rtoMult *= 2
 	}
+	if s.rto != nil {
+		s.rto.Backoff()
+	}
 	s.noteNoProgress()
 	switch s.phase {
 	case phaseAlloc:
@@ -527,7 +630,7 @@ func (s *Sender) onTimeout() {
 		s.retransmit()
 		if s.timer == 0 {
 			// retransmit was suppressed; keep the timer alive.
-			s.armTimer(s.cfg.RetransTimeout * s.rtoMult)
+			s.armTimer(s.dataRTO(s.cfg.RetransTimeout * s.rtoMult))
 		}
 	}
 }
@@ -622,7 +725,7 @@ func (s *Sender) sendProbes() {
 	}
 	s.probeGen++
 	gen := s.probeGen
-	s.probeTimer = s.env.SetTimer(s.cfg.RetransTimeout, func() {
+	s.probeTimer = s.env.SetTimer(s.dataRTO(s.cfg.RetransTimeout), func() {
 		if gen != s.probeGen {
 			return
 		}
@@ -763,7 +866,7 @@ func (s *Sender) afterEject() {
 		}
 		// Still waiting on someone: restart the handshake without the
 		// accumulated backoff.
-		s.rtoMult = 1
+		s.resetBackoff()
 		s.sendAlloc()
 	case phaseData:
 		if s.acks.Peers() == 0 {
@@ -777,7 +880,7 @@ func (s *Sender) afterEject() {
 		// Re-offer the outstanding window immediately (bypassing the
 		// suppression interval: this is a membership change, not a NAK
 		// burst) so survivors re-acknowledge and the transfer resumes.
-		s.rtoMult = 1
+		s.resetBackoff()
 		s.noProgress = 0
 		s.lastRetrans = s.env.Now()
 		s.lastRetransBase = s.win.Base
@@ -785,7 +888,7 @@ func (s *Sender) afterEject() {
 			s.sendData(seq, true)
 		}
 		s.pump()
-		s.armTimer(s.cfg.RetransTimeout)
+		s.armTimer(s.dataRTO(s.cfg.RetransTimeout))
 	}
 }
 

@@ -8,8 +8,8 @@ import (
 	"rmcast/internal/trace"
 )
 
-// liveEnv implements core.Env on top of the node's sockets and event
-// loop. All methods are invoked from the event loop goroutine (the
+// liveEnv implements core.Env on top of the node's transport, clock,
+// and event loop. All methods are invoked from the event loop (the
 // protocol endpoints only run there), so no extra locking is needed.
 type liveEnv struct {
 	n *Node
@@ -17,7 +17,7 @@ type liveEnv struct {
 
 func (n *Node) env() core.Env { return &liveEnv{n: n} }
 
-func (e *liveEnv) Now() time.Duration { return time.Since(e.n.start) }
+func (e *liveEnv) Now() time.Duration { return e.n.clk.Now() }
 
 func (e *liveEnv) Send(to core.NodeID, p *packet.Packet) {
 	addr, ok := e.n.addrs[to]
@@ -32,7 +32,7 @@ func (e *liveEnv) Send(to core.NodeID, p *packet.Packet) {
 	p.Src = uint16(e.n.cfg.Rank)
 	e.n.mx.CountSend(p.Type)
 	e.n.trace(trace.Send, int(to), p)
-	e.n.uconn.WriteToUDP(p.Encode(), addr)
+	e.n.tr.WriteTo(p.Encode(), addr)
 }
 
 func (e *liveEnv) Multicast(p *packet.Packet) {
@@ -42,14 +42,14 @@ func (e *liveEnv) Multicast(p *packet.Packet) {
 	p.Src = uint16(e.n.cfg.Rank)
 	e.n.mx.CountSend(p.Type)
 	e.n.trace(trace.SendMC, trace.Multicast, p)
-	e.n.uconn.WriteToUDP(p.Encode(), e.n.group)
+	e.n.tr.WriteTo(p.Encode(), e.n.group)
 }
 
 func (e *liveEnv) SetTimer(d time.Duration, fn func()) core.TimerID {
 	n := e.n
 	n.nextTimer++
 	id := n.nextTimer
-	n.timers[id] = time.AfterFunc(d, func() {
+	n.timers[id] = n.clk.AfterFunc(d, func() {
 		n.post(func() {
 			if _, live := n.timers[id]; !live {
 				return // cancelled after firing, before the loop ran it

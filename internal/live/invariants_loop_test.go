@@ -1,0 +1,208 @@
+// Invariant audit of the live stack over the loopback transport: the
+// same eight checkers that police simulator runs replay each loopback
+// session's trace, so the live node's protocol behavior — discovery,
+// allocation, windows, repair, rotation, chains, ejection, metrics —
+// is held to the identical contract as the simulated one.
+package live_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"rmcast/internal/check"
+	"rmcast/internal/cluster"
+	"rmcast/internal/core"
+	"rmcast/internal/faults"
+	"rmcast/internal/live"
+)
+
+// auditLoopScenario runs one loopback scenario and replays its trace
+// through every applicable invariant checker, failing the test on any
+// violation. It returns the run for scenario-specific assertions.
+func auditLoopScenario(t *testing.T, sc live.LoopScenario) *live.LoopResult {
+	t.Helper()
+	res, err := live.RunLoopScenario(sc)
+	if err != nil {
+		t.Fatalf("scenario failed to run: %v", err)
+	}
+	if !res.SendDone {
+		t.Fatalf("scenario did not complete within the horizon (elapsed=%v, %d trace events)",
+			res.Elapsed, len(res.Trace))
+	}
+
+	pcfg := sc.Protocol
+	pcfg.NumReceivers = sc.Protocol.NumReceivers
+	norm, err := pcfg.Normalize()
+	if err != nil {
+		t.Fatalf("Normalize: %v", err)
+	}
+	// The loopback net is not a simulated testbed, but the checkers
+	// consult the cluster config only for group size and for the
+	// lossless gate — LossRate, scheduled crashes, and the (zero-value,
+	// two-switch) topology keep that gate honest.
+	ccfg := cluster.Config{
+		NumReceivers: sc.Protocol.NumReceivers,
+		LossRate:     sc.Net.LossRate,
+		Seed:         sc.Net.Seed,
+	}
+	if len(sc.Crash) > 0 {
+		ccfg.Faults = &faults.Schedule{}
+		for rank, at := range sc.Crash {
+			ccfg.Faults.Events = append(ccfg.Faults.Events,
+				faults.Event{Kind: faults.Crash, Node: int(rank), At: at})
+		}
+	}
+	info := &check.RunInfo{
+		Cluster: ccfg,
+		Proto:   norm,
+		MsgSize: sc.MsgSize,
+		Count:   norm.PacketCount(sc.MsgSize),
+	}
+
+	// Mirror cluster.Run's contract: a session that ran to completion
+	// returns a nil error even when receivers were ejected — the
+	// ejections are reported through Result.Failed.
+	runErr := res.SendErr
+	var pr *core.PartialResult
+	if res.SendDone && errors.As(res.SendErr, &pr) {
+		runErr = nil
+	}
+	verified := true
+	failed := make(map[core.NodeID]bool, len(res.Failed))
+	for _, rank := range res.Failed {
+		failed[rank] = true
+	}
+	delivered := make(map[core.NodeID]bool, len(res.Delivered))
+	for _, rank := range res.Delivered {
+		delivered[rank] = true
+	}
+	for r := 1; r <= sc.Protocol.NumReceivers; r++ {
+		if rank := core.NodeID(r); !failed[rank] && !delivered[rank] {
+			verified = false
+		}
+	}
+	info.Result = &cluster.Result{
+		Protocol:    norm.Protocol,
+		MsgSize:     sc.MsgSize,
+		Elapsed:     res.Elapsed,
+		Completed:   res.SendDone,
+		Verified:    verified,
+		Delivered:   res.Delivered,
+		Failed:      res.Failed,
+		SenderStats: res.SenderStats,
+		Metrics:     res.Metrics,
+	}
+	info.RunErr = runErr
+	for _, d := range res.Deliveries {
+		info.Deliveries = append(info.Deliveries, check.Delivery{
+			Rank: d.Rank, At: d.At, Len: d.Len, OK: d.OK,
+		})
+	}
+
+	violations := check.Analyze(info, res.Trace)
+	for _, v := range violations {
+		t.Errorf("invariant violation: %s", v)
+	}
+	if t.Failed() {
+		t.Fatalf("%d violations over %d trace events (proto=%v loss=%g seed=%d)",
+			len(violations), len(res.Trace), norm.Protocol, sc.Net.LossRate, sc.Net.Seed)
+	}
+	return res
+}
+
+// TestLoopbackGoldenScenarios audits five representative live sessions
+// — one per protocol family plus a crash/ejection run — against the
+// full invariant suite.
+func TestLoopbackGoldenScenarios(t *testing.T) {
+	lan := live.LoopConfig{Seed: 1, Delay: 100 * time.Microsecond, Jitter: 20 * time.Microsecond}
+	lossy := live.LoopConfig{Seed: 2, Delay: 100 * time.Microsecond,
+		Jitter: 50 * time.Microsecond, LossRate: 0.03}
+
+	t.Run("ack-clean", func(t *testing.T) {
+		res := auditLoopScenario(t, live.LoopScenario{
+			Net: lan,
+			Protocol: core.Config{Protocol: core.ProtoACK, NumReceivers: 4,
+				PacketSize: 1400, WindowSize: 8},
+			MsgSize: 100000,
+		})
+		if res.SendErr != nil {
+			t.Fatalf("clean run returned %v", res.SendErr)
+		}
+	})
+	t.Run("nak-lossy", func(t *testing.T) {
+		auditLoopScenario(t, live.LoopScenario{
+			Net: lossy,
+			Protocol: core.Config{Protocol: core.ProtoNAK, NumReceivers: 5,
+				PacketSize: 1400, WindowSize: 16, PollInterval: 13},
+			MsgSize: 120000,
+		})
+	})
+	t.Run("ring-lossy", func(t *testing.T) {
+		auditLoopScenario(t, live.LoopScenario{
+			Net: lossy,
+			Protocol: core.Config{Protocol: core.ProtoRing, NumReceivers: 5,
+				PacketSize: 1400, WindowSize: 8},
+			MsgSize: 80000,
+		})
+	})
+	t.Run("tree-lossy", func(t *testing.T) {
+		auditLoopScenario(t, live.LoopScenario{
+			Net: lossy,
+			Protocol: core.Config{Protocol: core.ProtoTree, NumReceivers: 6,
+				PacketSize: 1400, WindowSize: 8, TreeHeight: 3},
+			MsgSize: 80000,
+		})
+	})
+	t.Run("ack-crash-eject", func(t *testing.T) {
+		res := auditLoopScenario(t, live.LoopScenario{
+			Net: lan,
+			Protocol: core.Config{Protocol: core.ProtoACK, NumReceivers: 4,
+				PacketSize: 1400, WindowSize: 4, MaxRetries: 3},
+			MsgSize:       150000,
+			HelloInterval: time.Millisecond,
+			PeerTimeout:   4 * time.Millisecond,
+			Crash:         map[core.NodeID]time.Duration{3: 2 * time.Millisecond},
+		})
+		var pr *core.PartialResult
+		if !errors.As(res.SendErr, &pr) {
+			t.Fatalf("crash run outcome = %v, want *core.PartialResult", res.SendErr)
+		}
+		if len(res.Failed) != 1 || res.Failed[0] != 3 {
+			t.Fatalf("Failed = %v, want [3]", res.Failed)
+		}
+	})
+}
+
+// TestLoopbackLossMatrix sweeps every reliable protocol across loss
+// rates and audits each run, plus an adaptive-RTO variant — the live
+// stack must hold its invariants however the network misbehaves.
+func TestLoopbackLossMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loss matrix skipped in -short mode")
+	}
+	protos := []core.Config{
+		{Protocol: core.ProtoACK, NumReceivers: 3, PacketSize: 1400, WindowSize: 4},
+		{Protocol: core.ProtoNAK, NumReceivers: 3, PacketSize: 1400, WindowSize: 8, PollInterval: 7},
+		{Protocol: core.ProtoRing, NumReceivers: 3, PacketSize: 1400, WindowSize: 4},
+		{Protocol: core.ProtoTree, NumReceivers: 4, PacketSize: 1400, WindowSize: 4, TreeHeight: 2},
+	}
+	for _, loss := range []float64{0.01, 0.05} {
+		for _, pcfg := range protos {
+			for _, adaptive := range []bool{false, true} {
+				pcfg := pcfg
+				pcfg.AdaptiveRTO = adaptive
+				name := fmt.Sprintf("%v/loss=%g/adaptive=%v", pcfg.Protocol, loss, adaptive)
+				t.Run(name, func(t *testing.T) {
+					auditLoopScenario(t, live.LoopScenario{
+						Net: live.LoopConfig{Seed: 0xA11CE, Delay: 100 * time.Microsecond,
+							Jitter: 30 * time.Microsecond, LossRate: loss},
+						Protocol: pcfg,
+						MsgSize:  40000,
+					})
+				})
+			}
+		}
+	}
+}

@@ -2,8 +2,8 @@
 // real UDP/IP multicast using the standard library's net package — the
 // same configuration the paper deployed on its cluster. The protocol
 // logic in internal/core is shared verbatim with the simulator; this
-// package supplies the core.Env runtime: real sockets, real timers, a
-// serialized event loop, and rank↔address discovery.
+// package supplies the core.Env runtime: sockets, timers, a serialized
+// event loop, and rank↔address discovery.
 //
 // Each node opens two sockets: a multicast listener joined to the group
 // (for data and allocation requests) and a unicast socket on an
@@ -11,6 +11,11 @@
 // transmissions, so every peer learns a node's unicast address from any
 // packet it sends). Nodes announce themselves with periodic HELLO
 // packets until every expected peer is known.
+//
+// The socket and clock bindings are seams (transport.go): NewNode binds
+// them to UDP and the wall clock, while LoopNet (loopback.go) binds the
+// identical node code to an in-process network driven by a virtual
+// clock, making whole live sessions deterministic and replayable.
 package live
 
 import (
@@ -57,40 +62,54 @@ type Config struct {
 	// sockets. Hello packets are never dropped. Leave nil in production.
 	DropSend func(p *packet.Packet) bool
 	// Trace, when non-nil, records every protocol packet event — the
-	// same ring buffer the simulator uses. It must be safe for
-	// concurrent use (trace.NewShared): the node's goroutines record
-	// into it while the application reads it.
+	// same ring buffer the simulator uses. On a UDP node it must be
+	// safe for concurrent use (trace.NewShared): the node's goroutines
+	// record into it while the application reads it. Loopback nodes are
+	// single-threaded and may share a plain trace.New buffer.
 	Trace *trace.Buffer
+	// OnDeliver, when non-nil on a receiver rank, is invoked on the
+	// event loop for every fully delivered message with the node's
+	// elapsed time and the reassembled payload (valid only during the
+	// call). Recv keeps working alongside it; the hook exists so the
+	// deterministic loopback harness can observe deliveries without
+	// spinning up consumer goroutines.
+	OnDeliver func(at time.Duration, payload []byte)
 }
 
 // Node is one live protocol endpoint.
 type Node struct {
 	cfg   Config
 	group *net.UDPAddr
-	mconn *net.UDPConn // multicast receive
-	uconn *net.UDPConn // unicast send+receive; source of all packets
+	tr    transport
+	clk   nodeClock
+	// driven is non-nil when the node is attached to a deterministic
+	// loopback network: posts go to the network's inbox instead of the
+	// loop channel, and no event-loop goroutine runs — the loopback
+	// driver executes posted work between simulator events.
+	driven *LoopNet
 
-	loop    chan func()
-	closing chan struct{}
-	wg      sync.WaitGroup
-	start   time.Time
+	loop      chan func()
+	closing   chan struct{}
+	wg        sync.WaitGroup
+	stopHello func()
 
 	// mx counts the node's protocol activity. Its instruments are
 	// atomic, so Metrics() snapshots are safe from any goroutine.
 	mx *metrics.Session
 
-	// Everything below is owned by the event loop goroutine.
+	// Everything below is owned by the event loop — the runLoop
+	// goroutine on a UDP node, the loopback driver in driven mode.
 	addrs     map[core.NodeID]*net.UDPAddr
-	lastSeen  map[core.NodeID]time.Time
+	lastSeen  map[core.NodeID]time.Duration
 	ep        core.Endpoint
-	timers    map[core.TimerID]*time.Timer
+	timers    map[core.TimerID]canceler
 	nextTimer core.TimerID
 	readyWait []readyWaiter
 	// curMsgStart is when the current message's first packet was heard
 	// (receiver ranks); it anchors the completion-latency observation.
 	curMsgID    uint32
 	haveCurMsg  bool
-	curMsgStart time.Time
+	curMsgStart time.Duration
 
 	recvQ chan []byte // delivered messages (receiver ranks)
 
@@ -104,15 +123,16 @@ type Node struct {
 	closeOnce sync.Once
 }
 
+// readyWaiter is one pending whenReady continuation.
 type readyWaiter struct {
 	want int
-	ch   chan struct{}
+	fn   func()
 }
 
-// NewNode opens the sockets and starts the event loop and discovery.
-// Receiver nodes are immediately able to participate in sessions; the
-// sender should call WaitReady (or just Send, which waits) first.
-func NewNode(cfg Config) (*Node, error) {
+// newNode builds the runtime-independent part of a node: config
+// validation and defaults, the protocol endpoint, and the event-loop
+// state. The caller attaches a transport and starts discovery.
+func newNode(cfg Config, group *net.UDPAddr, clk nodeClock, driven *LoopNet) (*Node, error) {
 	if cfg.Rank < 0 || int(cfg.Rank) > cfg.Protocol.NumReceivers {
 		return nil, fmt.Errorf("live: rank %d out of range [0,%d]", cfg.Rank, cfg.Protocol.NumReceivers)
 	}
@@ -125,6 +145,34 @@ func NewNode(cfg Config) (*Node, error) {
 	if cfg.ReadBuffer == 0 {
 		cfg.ReadBuffer = 1 << 20
 	}
+	n := &Node{
+		cfg:      cfg,
+		group:    group,
+		clk:      clk,
+		driven:   driven,
+		loop:     make(chan func(), 1024),
+		closing:  make(chan struct{}),
+		mx:       metrics.NewSession(),
+		addrs:    make(map[core.NodeID]*net.UDPAddr),
+		lastSeen: make(map[core.NodeID]time.Duration),
+		timers:   make(map[core.TimerID]canceler),
+		recvQ:    make(chan []byte, 16),
+	}
+	if cfg.Rank != core.SenderID {
+		rcv, err := core.NewReceiver(n.env(), cfg.Protocol, cfg.Rank, n.onDeliver)
+		if err != nil {
+			return nil, err
+		}
+		rcv.SetMetrics(n.mx)
+		n.ep = rcv
+	}
+	return n, nil
+}
+
+// NewNode opens the sockets and starts the event loop and discovery.
+// Receiver nodes are immediately able to participate in sessions; the
+// sender should call WaitReady (or just Send, which waits) first.
+func NewNode(cfg Config) (*Node, error) {
 	group, err := net.ResolveUDPAddr("udp4", cfg.Group)
 	if err != nil {
 		return nil, fmt.Errorf("live: bad group address %q: %w", cfg.Group, err)
@@ -139,92 +187,87 @@ func NewNode(cfg Config) (*Node, error) {
 			return nil, fmt.Errorf("live: interface %q: %w", cfg.Interface, err)
 		}
 	}
-	mconn, err := net.ListenMulticastUDP("udp4", ifi, group)
+	n, err := newNode(cfg, group, realClock{epoch: time.Now()}, nil)
 	if err != nil {
-		return nil, fmt.Errorf("live: joining %v: %w", group, err)
+		return nil, err
 	}
-	uconn, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4zero, Port: 0})
+	tr, err := newUDPTransport(group, ifi, n.cfg.ReadBuffer, n.deliverWire)
 	if err != nil {
-		mconn.Close()
-		return nil, fmt.Errorf("live: unicast socket: %w", err)
+		return nil, err
 	}
-	_ = mconn.SetReadBuffer(cfg.ReadBuffer)
-	_ = uconn.SetReadBuffer(cfg.ReadBuffer)
-
-	n := &Node{
-		cfg:      cfg,
-		group:    group,
-		mconn:    mconn,
-		uconn:    uconn,
-		loop:     make(chan func(), 1024),
-		closing:  make(chan struct{}),
-		start:    time.Now(),
-		mx:       metrics.NewSession(),
-		addrs:    make(map[core.NodeID]*net.UDPAddr),
-		lastSeen: make(map[core.NodeID]time.Time),
-		timers:   make(map[core.TimerID]*time.Timer),
-		recvQ:    make(chan []byte, 16),
-	}
-	if cfg.Rank != core.SenderID {
-		rcv, err := core.NewReceiver(n.env(), cfg.Protocol, cfg.Rank, func(msg []byte) {
-			// Delivery runs on the event loop; the current message's
-			// first packet anchored curMsgStart there.
-			if n.haveCurMsg {
-				n.mx.ObserveCompletion(int(cfg.Rank), time.Since(n.curMsgStart))
-			}
-			// Deliver a stable copy: the protocol buffer is reused for
-			// duplicate handling.
-			out := make([]byte, len(msg))
-			copy(out, msg)
-			select {
-			case n.recvQ <- out:
-			default:
-				// Receiver application is not consuming; drop the oldest.
-				select {
-				case <-n.recvQ:
-				default:
-				}
-				n.recvQ <- out
-			}
-		})
-		if err != nil {
-			n.closeSockets()
-			return nil, err
-		}
-		rcv.SetMetrics(n.mx)
-		n.ep = rcv
-	}
-	n.wg.Add(3)
+	n.tr = tr
+	n.wg.Add(1)
 	go n.runLoop()
-	go n.reader(n.mconn, true)
-	go n.reader(n.uconn, false)
-	n.helloTicker()
+	n.startHello()
 	return n, nil
+}
+
+// deliverWire trampolines one inbound datagram onto the event loop
+// (called from transport reader goroutines, or the loopback driver).
+func (n *Node) deliverWire(wire []byte, src *net.UDPAddr) {
+	n.post(func() { n.onWire(wire, src) })
+}
+
+// onDeliver handles one fully reassembled message (event loop).
+func (n *Node) onDeliver(msg []byte) {
+	// Delivery runs on the event loop; the current message's first
+	// packet anchored curMsgStart there.
+	if n.haveCurMsg {
+		n.mx.ObserveCompletion(int(n.cfg.Rank), n.clk.Now()-n.curMsgStart)
+	}
+	if n.cfg.OnDeliver != nil {
+		n.cfg.OnDeliver(n.clk.Now(), msg)
+	}
+	// Deliver a stable copy: the protocol buffer is reused for
+	// duplicate handling.
+	out := make([]byte, len(msg))
+	copy(out, msg)
+	select {
+	case n.recvQ <- out:
+	default:
+		// Receiver application is not consuming; drop the oldest.
+		select {
+		case <-n.recvQ:
+		default:
+		}
+		n.recvQ <- out
+	}
 }
 
 // Rank returns the node's rank.
 func (n *Node) Rank() core.NodeID { return n.cfg.Rank }
 
 // LocalAddr returns the node's unicast address.
-func (n *Node) LocalAddr() *net.UDPAddr { return n.uconn.LocalAddr().(*net.UDPAddr) }
+func (n *Node) LocalAddr() *net.UDPAddr { return n.tr.LocalAddr() }
 
-// Close shuts the node down. Pending Send/Recv calls fail.
+// Close shuts the node down. Pending Send/Recv calls fail. On a UDP
+// node it waits for the event loop and socket readers to exit, so no
+// node goroutine outlives Close.
 func (n *Node) Close() error {
 	n.closeOnce.Do(func() {
 		close(n.closing)
-		n.closeSockets()
+		if n.stopHello != nil {
+			n.stopHello()
+		}
+		n.tr.Close()
 	})
 	n.wg.Wait()
 	return nil
 }
 
-func (n *Node) closeSockets() {
-	n.mconn.Close()
-	n.uconn.Close()
-}
-
-// post runs fn on the event loop (no-op after Close).
+// post runs fn on the event loop (no-op after Close). In driven mode
+// the "event loop" is the loopback driver: fn goes to the network's
+// inbox and runs when the driver next drains it.
 func (n *Node) post(fn func()) {
+	select {
+	case <-n.closing:
+		return
+	default:
+	}
+	if n.driven != nil {
+		n.driven.enqueue(fn)
+		return
+	}
 	select {
 	case n.loop <- fn:
 	case <-n.closing:
@@ -264,8 +307,9 @@ func (n *Node) runLoop() {
 
 // Metrics returns a snapshot of the node's metrics: per-type packet
 // counts, retransmissions, NAKs, ejections, per-message completion
-// latency (receiver ranks) or per-transfer latency (the sender), and
-// the protocol engine's accumulated CPU-busy time (as SenderBusy).
+// latency (receiver ranks) or per-transfer latency (the sender), RTT
+// estimator state when adaptive retransmission is enabled, and the
+// protocol engine's accumulated CPU-busy time (as SenderBusy).
 // Safe to call from any goroutine.
 func (n *Node) Metrics() metrics.Metrics { return n.mx.Snapshot() }
 
@@ -279,7 +323,7 @@ func (n *Node) trace(dir trace.Dir, peer int, p *packet.Packet) {
 		return
 	}
 	buf.Add(trace.Event{
-		At:    time.Since(n.start),
+		At:    n.clk.Now(),
 		Node:  int(n.cfg.Rank),
 		Dir:   dir,
 		Peer:  peer,
@@ -290,30 +334,6 @@ func (n *Node) trace(dir trace.Dir, peer int, p *packet.Packet) {
 		Aux:   p.Aux,
 		Len:   len(p.Payload),
 	})
-}
-
-// reader pumps one socket into the event loop.
-func (n *Node) reader(conn *net.UDPConn, multicast bool) {
-	defer n.wg.Done()
-	buf := make([]byte, 65536)
-	for {
-		nr, src, err := conn.ReadFromUDP(buf)
-		if err != nil {
-			select {
-			case <-n.closing:
-				return
-			default:
-			}
-			if errors.Is(err, net.ErrClosed) {
-				return
-			}
-			continue
-		}
-		wire := make([]byte, nr)
-		copy(wire, buf[:nr])
-		srcAddr := &net.UDPAddr{IP: append(net.IP(nil), src.IP...), Port: src.Port}
-		n.post(func() { n.onWire(wire, srcAddr) })
-	}
 }
 
 // onWire decodes and dispatches one received datagram (event loop).
@@ -332,7 +352,7 @@ func (n *Node) onWire(wire []byte, src *net.UDPAddr) {
 	// Every packet teaches us its sender's unicast address and proves
 	// the peer alive.
 	n.learn(from, src)
-	n.lastSeen[from] = time.Now()
+	n.lastSeen[from] = n.clk.Now()
 	n.mx.CountRecv(p.Type)
 	n.trace(trace.Recv, int(from), p)
 	// The first packet of a new message anchors this node's
@@ -341,7 +361,7 @@ func (n *Node) onWire(wire []byte, src *net.UDPAddr) {
 		(!n.haveCurMsg || p.MsgID != n.curMsgID) {
 		n.curMsgID = p.MsgID
 		n.haveCurMsg = true
-		n.curMsgStart = time.Now()
+		n.curMsgStart = n.clk.Now()
 	}
 	switch p.Type {
 	case packet.TypeHello:
@@ -366,33 +386,36 @@ func (n *Node) learn(id core.NodeID, addr *net.UDPAddr) {
 	for i := 0; i < len(n.readyWait); {
 		w := n.readyWait[i]
 		if len(n.addrs) >= w.want {
-			close(w.ch)
+			// Remove before invoking: w.fn may append new waiters.
 			n.readyWait = append(n.readyWait[:i], n.readyWait[i+1:]...)
+			w.fn()
 			continue
 		}
 		i++
 	}
 }
 
-// helloTicker announces this node until the process closes. Each tick
-// also sweeps the heartbeat table for expired peers.
-func (n *Node) helloTicker() {
+// whenReady runs fn on the event loop once the node knows at least
+// `want` peer addresses — immediately if it already does.
+func (n *Node) whenReady(want int, fn func()) {
+	if len(n.addrs) >= want {
+		fn()
+		return
+	}
+	n.readyWait = append(n.readyWait, readyWaiter{want: want, fn: fn})
+}
+
+// startHello announces this node immediately and then every
+// HelloInterval until Close. Each tick also sweeps the heartbeat table
+// for expired peers.
+func (n *Node) startHello() {
 	n.post(func() { n.sendHello(true) })
-	go func() {
-		tick := time.NewTicker(n.cfg.HelloInterval)
-		defer tick.Stop()
-		for {
-			select {
-			case <-tick.C:
-				n.post(func() {
-					n.sendHello(true)
-					n.checkPeers()
-				})
-			case <-n.closing:
-				return
-			}
-		}
-	}()
+	n.stopHello = n.clk.Tick(n.cfg.HelloInterval, func() {
+		n.post(func() {
+			n.sendHello(true)
+			n.checkPeers()
+		})
+	})
 }
 
 // checkPeers expires silent receivers (event loop, sender only): a
@@ -405,14 +428,14 @@ func (n *Node) checkPeers() {
 	if n.snd == nil || !n.sending || n.cfg.Protocol.MaxRetries == 0 {
 		return
 	}
-	now := time.Now()
+	now := n.clk.Now()
 	for r := 1; r <= n.cfg.Protocol.NumReceivers; r++ {
 		id := core.NodeID(r)
 		seen, ok := n.lastSeen[id]
 		if !ok || !n.snd.Alive(id) {
 			continue
 		}
-		if now.Sub(seen) > n.cfg.PeerTimeout {
+		if now-seen > n.cfg.PeerTimeout {
 			n.snd.DeclareDead(id)
 		}
 	}
@@ -428,7 +451,7 @@ func (n *Node) sendHello(wantReply bool) {
 	p := &packet.Packet{Type: packet.TypeHello, Src: uint16(n.cfg.Rank), Aux: aux}
 	n.mx.CountSend(p.Type)
 	n.trace(trace.SendMC, trace.Multicast, p)
-	n.uconn.WriteToUDP(p.Encode(), n.group)
+	n.tr.WriteTo(p.Encode(), n.group)
 }
 
 // WaitReady blocks until this node knows the unicast address of `peers`
@@ -436,13 +459,7 @@ func (n *Node) sendHello(wantReply bool) {
 // plain receiver that only talks to the sender).
 func (n *Node) WaitReady(ctx context.Context, peers int) error {
 	ch := make(chan struct{})
-	n.post(func() {
-		if len(n.addrs) >= peers {
-			close(ch)
-			return
-		}
-		n.readyWait = append(n.readyWait, readyWaiter{want: peers, ch: ch})
-	})
+	n.post(func() { n.whenReady(peers, func() { close(ch) }) })
 	select {
 	case <-ch:
 		return nil
@@ -451,6 +468,73 @@ func (n *Node) WaitReady(ctx context.Context, peers int) error {
 	case <-n.closing:
 		return errors.New("live: node closed")
 	}
+}
+
+// startSend begins one reliable transfer without blocking. It waits on
+// the event loop for discovery of every receiver, runs the session, and
+// calls done exactly once with the transfer's outcome: nil on full
+// delivery, a *core.PartialResult when failure detection ejected
+// receivers along the way, or another error when the transfer could not
+// start. done runs on the event loop. The blocking Send wraps this; the
+// deterministic loopback harness calls it directly, because blocking
+// the driver goroutine would deadlock the virtual clock.
+func (n *Node) startSend(msg []byte, done func(error)) {
+	n.post(func() {
+		if n.cfg.Rank != core.SenderID {
+			done(fmt.Errorf("live: Send on rank %d (only rank 0 sends)", n.cfg.Rank))
+			return
+		}
+		n.whenReady(n.cfg.Protocol.NumReceivers, func() {
+			n.beginSend(msg, done)
+		})
+	})
+}
+
+// beginSend starts the session proper (event loop, discovery complete).
+func (n *Node) beginSend(msg []byte, done func(error)) {
+	if n.sending {
+		done(errors.New("live: a Send is already in progress"))
+		return
+	}
+	if n.snd == nil {
+		snd, err := core.NewSender(n.env(), n.cfg.Protocol, func() {
+			n.sending = false
+			if n.sendDone != nil {
+				n.sendDone()
+			}
+		})
+		if err != nil {
+			done(err)
+			return
+		}
+		snd.SetMetrics(n.mx)
+		n.snd = snd
+		n.ep = snd
+	}
+	n.sending = true
+	sendStart := n.clk.Now()
+	n.sendDone = func() {
+		// Clear before invoking: the completion hook fires exactly once
+		// per transfer even if a late DeclareDead (heartbeat expiry
+		// racing the final acknowledgment) re-enters the sender's
+		// completion path.
+		n.sendDone = nil
+		// The sender's "completion latency" is the whole transfer,
+		// recorded under its own rank.
+		n.mx.ObserveCompletion(int(core.SenderID), n.clk.Now()-sendStart)
+		var err error
+		if failed := n.snd.Failed(); len(failed) > 0 {
+			pr := &core.PartialResult{Failed: append([]core.NodeID(nil), failed...)}
+			for r := 1; r <= n.cfg.Protocol.NumReceivers; r++ {
+				if n.snd.Alive(core.NodeID(r)) {
+					pr.Delivered = append(pr.Delivered, core.NodeID(r))
+				}
+			}
+			err = pr
+		}
+		done(err)
+	}
+	n.snd.Start(msg)
 }
 
 // Send multicasts msg reliably to every receiver. Only rank 0 may call
@@ -464,59 +548,11 @@ func (n *Node) Send(ctx context.Context, msg []byte) error {
 	if n.cfg.Rank != core.SenderID {
 		return fmt.Errorf("live: Send on rank %d (only rank 0 sends)", n.cfg.Rank)
 	}
-	if err := n.WaitReady(ctx, n.cfg.Protocol.NumReceivers); err != nil {
-		return err
-	}
-	done := make(chan struct{})
 	errCh := make(chan error, 1)
-	var partial *core.PartialResult // written on the event loop before done closes
-	n.post(func() {
-		if n.sending {
-			errCh <- errors.New("live: a Send is already in progress")
-			return
-		}
-		if n.snd == nil {
-			snd, err := core.NewSender(n.env(), n.cfg.Protocol, func() {
-				n.sending = false
-				if n.sendDone != nil {
-					n.sendDone()
-				}
-			})
-			if err != nil {
-				errCh <- err
-				return
-			}
-			snd.SetMetrics(n.mx)
-			n.snd = snd
-			n.ep = snd
-		}
-		n.sending = true
-		sendStart := time.Now()
-		n.sendDone = func() {
-			// The sender's "completion latency" is the whole transfer,
-			// recorded under its own rank.
-			n.mx.ObserveCompletion(int(core.SenderID), time.Since(sendStart))
-			if failed := n.snd.Failed(); len(failed) > 0 {
-				pr := &core.PartialResult{Failed: append([]core.NodeID(nil), failed...)}
-				for r := 1; r <= n.cfg.Protocol.NumReceivers; r++ {
-					if n.snd.Alive(core.NodeID(r)) {
-						pr.Delivered = append(pr.Delivered, core.NodeID(r))
-					}
-				}
-				partial = pr
-			}
-			close(done)
-		}
-		n.snd.Start(msg)
-	})
+	n.startSend(msg, func(err error) { errCh <- err })
 	select {
 	case err := <-errCh:
 		return err
-	case <-done:
-		if partial != nil {
-			return partial
-		}
-		return nil
 	case <-ctx.Done():
 		// Abandon the session: the next Send will fail until the
 		// current one completes, mirroring a blocked sendto.

@@ -1,0 +1,267 @@
+package live
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rmcast/internal/packet"
+	"rmcast/internal/rng"
+	"rmcast/internal/sim"
+)
+
+// LoopConfig parameterizes a deterministic in-process loopback network.
+type LoopConfig struct {
+	// Seed drives every random draw (loss, jitter). Same seed, same
+	// node construction order, same stimuli → identical run.
+	Seed uint64
+	// Delay is the one-way datagram latency (default 100µs — a LAN
+	// round trip of 200µs, the scale of the paper's Ethernet).
+	Delay time.Duration
+	// Jitter adds a uniform [0,Jitter) extra latency per datagram.
+	// Delivery stays FIFO per (source, destination) path — switched
+	// Ethernet does not reorder frames on a path, and unordered
+	// delivery of a same-instant window burst would be a different
+	// (and unrealistically hostile) network than the paper's.
+	Jitter time.Duration
+	// LossRate drops each datagram independently per destination with
+	// this probability. Hello packets are exempt, so discovery always
+	// converges and heartbeats model a healthy control plane.
+	LossRate float64
+}
+
+// LoopNet is a deterministic loopback network for live nodes: the same
+// Node code that runs over UDP sockets (same core.Env, same event-loop
+// logic, same discovery and failure detection) runs instead over
+// channel-free in-process delivery scheduled on a discrete-event
+// simulator. There are no per-node goroutines — the driver goroutine
+// owns the simulator and executes all node work — so a run is a pure
+// function of (config, seed, stimuli): replayable, fuzzable, and
+// auditable by the internal/check invariant suite.
+//
+// Confinement contract: LoopNet and its nodes must be driven from one
+// goroutine (the test), via Run/At and the nodes' non-blocking entry
+// points (startSend, Close). The inbox is the only cross-goroutine
+// seam, kept so stray real-time timers cannot corrupt state.
+type LoopNet struct {
+	cfg   LoopConfig
+	sim   *sim.Simulator
+	rand  *rng.Rand
+	group *net.UDPAddr
+
+	// inbox is the cross-goroutine post queue: nodes enqueue event-loop
+	// work here and the driver drains it between simulator events, so
+	// every posted fn runs at the virtual instant that produced it.
+	mu    sync.Mutex
+	inbox []func()
+
+	ports []*loopPort // attach order; fan-out order for multicasts
+}
+
+// NewLoopNet creates an empty loopback network.
+func NewLoopNet(cfg LoopConfig) *LoopNet {
+	if cfg.Delay == 0 {
+		cfg.Delay = 100 * time.Microsecond
+	}
+	return &LoopNet{
+		cfg:  cfg,
+		sim:  sim.New(),
+		rand: rng.New(rng.Mix(cfg.Seed, 0x4C4F4F50)), // "LOOP"
+		// A synthetic group address: never touches a real socket, but
+		// keeps the node's multicast/unicast addressing logic intact.
+		group: &net.UDPAddr{IP: net.IPv4(239, 255, 77, 1), Port: 7777},
+	}
+}
+
+// Node attaches one live node to the network. The Group, Interface,
+// and ReadBuffer fields of cfg are ignored: addressing is synthetic
+// (one port per rank) and delivery is in-process. Each rank may attach
+// once; attach nodes in a fixed order for reproducible runs.
+func (ln *LoopNet) Node(cfg Config) (*Node, error) {
+	for _, p := range ln.ports {
+		if p.n.cfg.Rank == cfg.Rank {
+			return nil, fmt.Errorf("live: loopback rank %d already attached", cfg.Rank)
+		}
+	}
+	n, err := newNode(cfg, ln.group, loopClock{ln}, ln)
+	if err != nil {
+		return nil, err
+	}
+	port := &loopPort{
+		ln:          ln,
+		n:           n,
+		addr:        &net.UDPAddr{IP: net.IPv4(127, 0, 9, 1), Port: 20000 + int(cfg.Rank)},
+		lastArrival: make(map[*loopPort]time.Duration),
+	}
+	n.tr = port
+	ln.ports = append(ln.ports, port)
+	n.startHello()
+	return n, nil
+}
+
+// Now returns the network's virtual clock.
+func (ln *LoopNet) Now() time.Duration { return ln.sim.Now() }
+
+// At schedules fn to run on the driver at absolute virtual time t
+// (which must not be in the past). Stimuli — transfers, crashes — are
+// injected this way so they land at exact, reproducible instants.
+func (ln *LoopNet) At(t time.Duration, fn func()) { ln.sim.At(t, fn) }
+
+// Run drives the network until the next event would land past `until`
+// (events at exactly `until` fire) or no work remains. Posted node work
+// is drained before and after every simulator event.
+func (ln *LoopNet) Run(until time.Duration) {
+	for {
+		ln.drain()
+		at, ok := ln.sim.NextAt()
+		if !ok || at > until {
+			break
+		}
+		ln.sim.Step()
+	}
+	ln.drain()
+}
+
+// enqueue adds event-loop work to the inbox (any goroutine).
+func (ln *LoopNet) enqueue(fn func()) {
+	ln.mu.Lock()
+	ln.inbox = append(ln.inbox, fn)
+	ln.mu.Unlock()
+}
+
+// drain runs all posted node work, including work posted by the work it
+// runs, in FIFO order (driver only).
+func (ln *LoopNet) drain() {
+	for {
+		ln.mu.Lock()
+		batch := ln.inbox
+		ln.inbox = nil
+		ln.mu.Unlock()
+		if len(batch) == 0 {
+			return
+		}
+		for _, fn := range batch {
+			fn()
+		}
+	}
+}
+
+// send schedules one datagram for delivery: an independent loss draw
+// per destination (matching a switch dropping on one output port), then
+// base delay plus jitter, clamped so a path never reorders — a later
+// send on the same (from, to) path never arrives before an earlier one
+// (same-instant deliveries fire in scheduling order).
+func (ln *LoopNet) send(from, to *loopPort, wire []byte) {
+	if ln.cfg.LossRate > 0 && !isHelloWire(wire) && ln.rand.Bool(ln.cfg.LossRate) {
+		return
+	}
+	d := ln.cfg.Delay
+	if ln.cfg.Jitter > 0 {
+		d += time.Duration(ln.rand.Intn(int(ln.cfg.Jitter)))
+	}
+	at := ln.sim.Now() + d
+	if prev, ok := from.lastArrival[to]; ok && at < prev {
+		at = prev
+	}
+	from.lastArrival[to] = at
+	src := from.addr
+	ln.sim.At(at, func() {
+		if to.closed {
+			return // the destination node closed while this was in flight
+		}
+		to.n.deliverWire(wire, src)
+	})
+}
+
+// isHelloWire peeks the packet type byte (packet.EncodeTo layout)
+// without a full decode.
+func isHelloWire(wire []byte) bool {
+	return len(wire) > 2 && packet.Type(wire[2]) == packet.TypeHello
+}
+
+// loopPort is one node's transport on the loopback network. Its
+// methods run in driver context (the node's event loop is the driver).
+type loopPort struct {
+	ln     *LoopNet
+	n      *Node
+	addr   *net.UDPAddr
+	closed bool
+	// lastArrival tracks the latest scheduled delivery per destination,
+	// enforcing the per-path FIFO contract under jitter.
+	lastArrival map[*loopPort]time.Duration
+}
+
+func (p *loopPort) LocalAddr() *net.UDPAddr { return p.addr }
+
+func (p *loopPort) Close() { p.closed = true }
+
+func (p *loopPort) WriteTo(b []byte, addr *net.UDPAddr) {
+	if p.closed {
+		return
+	}
+	ln := p.ln
+	if addr.Port == ln.group.Port && addr.IP.Equal(ln.group.IP) {
+		// Multicast: fan out to every other attached port. No loopback
+		// to self — onWire would discard it anyway, exactly as the UDP
+		// path discards its own looped-back multicast.
+		for _, q := range ln.ports {
+			if q != p {
+				ln.send(p, q, b)
+			}
+		}
+		return
+	}
+	for _, q := range ln.ports {
+		if addr.Port == q.addr.Port && addr.IP.Equal(q.addr.IP) {
+			ln.send(p, q, b)
+			return
+		}
+	}
+}
+
+// loopClock drives a node's timers from the network's virtual clock.
+type loopClock struct{ ln *LoopNet }
+
+func (c loopClock) Now() time.Duration { return c.ln.sim.Now() }
+
+func (c loopClock) AfterFunc(d time.Duration, fn func()) canceler {
+	return loopTimer{ln: c.ln, id: c.ln.sim.After(d, fn)}
+}
+
+func (c loopClock) Tick(d time.Duration, fn func()) (stop func()) {
+	t := &loopTicker{ln: c.ln, d: d, fn: fn}
+	t.reschedule()
+	return t.stop
+}
+
+type loopTimer struct {
+	ln *LoopNet
+	id sim.EventID
+}
+
+func (t loopTimer) Stop() bool { return t.ln.sim.Cancel(t.id) }
+
+// loopTicker self-reschedules on the simulator. stop only flips a flag
+// (it may be called from Node.Close outside a simulator event); the
+// final pending fire notices and does not reschedule, so a stopped
+// ticker drains out of the event queue by itself.
+type loopTicker struct {
+	ln      *LoopNet
+	d       time.Duration
+	fn      func()
+	stopped atomic.Bool
+}
+
+func (t *loopTicker) reschedule() { t.ln.sim.After(t.d, t.fire) }
+
+func (t *loopTicker) fire() {
+	if t.stopped.Load() {
+		return
+	}
+	t.fn()
+	t.reschedule()
+}
+
+func (t *loopTicker) stop() { t.stopped.Store(true) }

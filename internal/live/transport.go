@@ -1,0 +1,158 @@
+package live
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// This file defines the two seams that separate a Node's protocol logic
+// from its runtime: where datagrams go (transport) and where time comes
+// from (nodeClock). Production nodes bind them to real UDP sockets and
+// the wall clock; the deterministic loopback network (loopback.go)
+// binds them to channel-free in-process delivery over a discrete-event
+// simulator, which is what makes live sessions replayable.
+
+// canceler is a stoppable one-shot timer handle. *time.Timer satisfies
+// it; the loopback clock wraps a simulator event id.
+type canceler interface {
+	// Stop cancels the timer if it has not fired yet, reporting whether
+	// it did anything.
+	Stop() bool
+}
+
+// nodeClock supplies a node's notion of elapsed time and timers. Now is
+// relative to the clock's epoch (node creation for the wall clock, net
+// creation for loopback), so all node timekeeping is expressed as
+// offsets, never absolute instants.
+type nodeClock interface {
+	Now() time.Duration
+	// AfterFunc runs fn once after d. fn may run on any goroutine; the
+	// node trampolines it onto its event loop itself.
+	AfterFunc(d time.Duration, fn func()) canceler
+	// Tick runs fn every d until the returned stop function is called.
+	// stop is idempotent and does not wait for an in-flight fn.
+	Tick(d time.Duration, fn func()) (stop func())
+}
+
+// transport moves encoded datagrams for one node. Inbound datagrams are
+// pushed into the callback given at construction.
+type transport interface {
+	// WriteTo sends one encoded datagram to addr — a peer's unicast
+	// address or the group address, which fans out to every member.
+	WriteTo(b []byte, addr *net.UDPAddr)
+	// LocalAddr is the node's unicast source address.
+	LocalAddr() *net.UDPAddr
+	// Close stops inbound delivery and releases resources. Idempotent;
+	// when it returns, no further datagrams reach the node.
+	Close()
+}
+
+// realClock is the wall clock, with Now anchored at node creation.
+type realClock struct{ epoch time.Time }
+
+func (c realClock) Now() time.Duration { return time.Since(c.epoch) }
+
+func (c realClock) AfterFunc(d time.Duration, fn func()) canceler {
+	return time.AfterFunc(d, fn)
+}
+
+func (c realClock) Tick(d time.Duration, fn func()) (stop func()) {
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		t := time.NewTicker(d)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				fn()
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
+}
+
+// udpTransport is the production transport: a multicast listener joined
+// to the group plus a unicast socket that sources every transmission,
+// so peers learn a node's unicast address from any packet it sends.
+type udpTransport struct {
+	mconn   *net.UDPConn // multicast receive
+	uconn   *net.UDPConn // unicast send+receive; source of all packets
+	deliver func(wire []byte, src *net.UDPAddr)
+	closing chan struct{}
+	wg      sync.WaitGroup
+	once    sync.Once
+}
+
+func newUDPTransport(group *net.UDPAddr, ifi *net.Interface, readBuffer int,
+	deliver func([]byte, *net.UDPAddr)) (*udpTransport, error) {
+	mconn, err := net.ListenMulticastUDP("udp4", ifi, group)
+	if err != nil {
+		return nil, fmt.Errorf("live: joining %v: %w", group, err)
+	}
+	uconn, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4zero, Port: 0})
+	if err != nil {
+		mconn.Close()
+		return nil, fmt.Errorf("live: unicast socket: %w", err)
+	}
+	_ = mconn.SetReadBuffer(readBuffer)
+	_ = uconn.SetReadBuffer(readBuffer)
+	tr := &udpTransport{
+		mconn:   mconn,
+		uconn:   uconn,
+		deliver: deliver,
+		closing: make(chan struct{}),
+	}
+	tr.wg.Add(2)
+	go tr.reader(mconn)
+	go tr.reader(uconn)
+	return tr, nil
+}
+
+func (tr *udpTransport) WriteTo(b []byte, addr *net.UDPAddr) {
+	tr.uconn.WriteToUDP(b, addr)
+}
+
+func (tr *udpTransport) LocalAddr() *net.UDPAddr {
+	return tr.uconn.LocalAddr().(*net.UDPAddr)
+}
+
+// Close shuts both sockets and waits for the reader goroutines to exit,
+// so no deliver call can race the caller's teardown.
+func (tr *udpTransport) Close() {
+	tr.once.Do(func() {
+		close(tr.closing)
+		tr.mconn.Close()
+		tr.uconn.Close()
+	})
+	tr.wg.Wait()
+}
+
+// reader pumps one socket into the deliver callback.
+func (tr *udpTransport) reader(conn *net.UDPConn) {
+	defer tr.wg.Done()
+	buf := make([]byte, 65536)
+	for {
+		nr, src, err := conn.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-tr.closing:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		wire := make([]byte, nr)
+		copy(wire, buf[:nr])
+		srcAddr := &net.UDPAddr{IP: append(net.IP(nil), src.IP...), Port: src.Port}
+		tr.deliver(wire, srcAddr)
+	}
+}

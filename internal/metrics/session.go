@@ -44,8 +44,10 @@ type Session struct {
 	ejections       *Counter
 	overflowDrops   *Counter
 	senderBusy      *Gauge // nanoseconds
+	srtt            *Gauge // nanoseconds
 
 	completion *Histogram
+	rtt        *Histogram
 
 	mu      sync.Mutex
 	perRecv map[int]time.Duration
@@ -68,7 +70,9 @@ func NewSession() *Session {
 	s.ejections = s.reg.Counter("ejections")
 	s.overflowDrops = s.reg.Counter("buffer_overflow_drops")
 	s.senderBusy = s.reg.Gauge("sender_busy_ns")
+	s.srtt = s.reg.Gauge("srtt_ns")
 	s.completion = s.reg.Histogram("completion_latency")
+	s.rtt = s.reg.Histogram("rtt")
 	return s
 }
 
@@ -140,6 +144,17 @@ func (s *Session) SetSenderBusy(d time.Duration) {
 	}
 }
 
+// ObserveRTT records one round-trip sample taken by the sender's
+// adaptive retransmission timer and the smoothed estimate (SRTT) that
+// resulted.
+func (s *Session) ObserveRTT(sample, srtt time.Duration) {
+	if s == nil {
+		return
+	}
+	s.rtt.Observe(sample)
+	s.srtt.Set(int64(srtt))
+}
+
 // ObserveCompletion records receiver rank finishing the session after d.
 func (s *Session) ObserveCompletion(rank int, d time.Duration) {
 	if s == nil {
@@ -167,6 +182,13 @@ type Metrics struct {
 	// session — the resource ACK implosion exhausts first.
 	SenderBusy time.Duration `json:"sender_busy_ns"`
 
+	// SRTT is the sender's smoothed round-trip estimate at snapshot time
+	// (zero unless adaptive retransmission timers took a sample); RTTHist
+	// is the distribution of the raw samples behind it (nil when no
+	// samples were taken, so fixed-timeout runs serialize unchanged).
+	SRTT    time.Duration      `json:"srtt_ns,omitempty"`
+	RTTHist *HistogramSnapshot `json:"rtt_hist,omitempty"`
+
 	// Completion maps receiver rank to its time-to-complete-message;
 	// CompletionHist is the same data as a distribution.
 	Completion     map[int]time.Duration `json:"completion_ns,omitempty"`
@@ -187,6 +209,10 @@ func (s *Session) Snapshot() Metrics {
 	m.Ejections = s.ejections.Load()
 	m.BufferOverflowDrops = s.overflowDrops.Load()
 	m.SenderBusy = time.Duration(s.senderBusy.Load())
+	m.SRTT = time.Duration(s.srtt.Load())
+	if h := s.rtt.Snapshot(); h.Count > 0 {
+		m.RTTHist = &h
+	}
 	m.CompletionHist = s.completion.Snapshot()
 	s.mu.Lock()
 	if len(s.perRecv) > 0 {
@@ -240,6 +266,12 @@ func (m Metrics) Fprint(w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if h := m.RTTHist; h != nil && h.Count > 0 {
+		if _, err := fmt.Fprintf(w, "rtt                              count=%d mean=%v max=%v srtt=%v\n",
+			h.Count, h.Mean(), h.Max, m.SRTT); err != nil {
+			return err
+		}
+	}
 	if h := m.CompletionHist; h.Count > 0 {
 		if _, err := fmt.Fprintf(w, "completion_latency               count=%d mean=%v max=%v\n",
 			h.Count, h.Mean(), h.Max); err != nil {
@@ -247,6 +279,91 @@ func (m Metrics) Fprint(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// Merge sums snapshots element-wise into one session-wide view: packet
+// and event counters add, histograms merge, completion maps union (a
+// rank recorded in several inputs keeps the last), SenderBusy adds, and
+// SRTT keeps the maximum (only the sending node's is nonzero). The
+// loopback harness uses it to aggregate one metrics session per live
+// node into the single snapshot the invariant checkers compare against
+// the combined trace.
+func Merge(ms ...Metrics) Metrics {
+	var out Metrics
+	for _, m := range ms {
+		out.Sent = addMap(out.Sent, m.Sent)
+		out.Received = addMap(out.Received, m.Received)
+		out.Retransmissions += m.Retransmissions
+		out.NaksSent += m.NaksSent
+		out.Ejections += m.Ejections
+		out.BufferOverflowDrops += m.BufferOverflowDrops
+		out.SenderBusy += m.SenderBusy
+		if m.SRTT > out.SRTT {
+			out.SRTT = m.SRTT
+		}
+		if m.RTTHist != nil {
+			var base HistogramSnapshot
+			if out.RTTHist != nil {
+				base = *out.RTTHist
+			}
+			merged := mergeHist(base, *m.RTTHist)
+			out.RTTHist = &merged
+		}
+		out.CompletionHist = mergeHist(out.CompletionHist, m.CompletionHist)
+		if len(m.Completion) > 0 {
+			if out.Completion == nil {
+				out.Completion = make(map[int]time.Duration, len(m.Completion))
+			}
+			for r, d := range m.Completion {
+				out.Completion[r] = d
+			}
+		}
+	}
+	return out
+}
+
+func addMap(dst, src map[string]uint64) map[string]uint64 {
+	if len(src) == 0 {
+		return dst
+	}
+	if dst == nil {
+		dst = make(map[string]uint64, len(src))
+	}
+	for k, v := range src {
+		dst[k] += v
+	}
+	return dst
+}
+
+// mergeHist combines two histogram snapshots bucket-wise (both use the
+// fixed power-of-two bucket bounds, so bounds merge exactly).
+func mergeHist(a, b HistogramSnapshot) HistogramSnapshot {
+	if b.Count == 0 {
+		return a
+	}
+	if a.Count == 0 {
+		return b
+	}
+	out := HistogramSnapshot{Count: a.Count + b.Count, Sum: a.Sum + b.Sum, Max: a.Max}
+	if b.Max > out.Max {
+		out.Max = b.Max
+	}
+	byBound := map[time.Duration]uint64{}
+	for _, bk := range a.Buckets {
+		byBound[bk.Bound] += bk.Count
+	}
+	for _, bk := range b.Buckets {
+		byBound[bk.Bound] += bk.Count
+	}
+	bounds := make([]time.Duration, 0, len(byBound))
+	for bound := range byBound {
+		bounds = append(bounds, bound)
+	}
+	sort.Slice(bounds, func(i, j int) bool { return bounds[i] < bounds[j] })
+	for _, bound := range bounds {
+		out.Buckets = append(out.Buckets, Bucket{Bound: bound, Count: byBound[bound]})
+	}
+	return out
 }
 
 func fprintTypeMap(w io.Writer, prefix string, m map[string]uint64) error {

@@ -273,6 +273,13 @@ func (s *Simulator) nextAt() (Time, bool) {
 	return 0, false
 }
 
+// NextAt returns the timestamp of the next live event without firing
+// it, if any events remain. Exposed for external drivers that must
+// interleave their own work between steps — the live loopback transport
+// drains its cross-goroutine inbox after every event so posted work
+// runs at the virtual instant that produced it.
+func (s *Simulator) NextAt() (Time, bool) { return s.nextAt() }
+
 // Run fires events until the queue is empty and returns the final clock.
 func (s *Simulator) Run() Time {
 	for s.Step() {
