@@ -39,6 +39,7 @@ func main() {
 		count     = flag.Int("count", 1, "number of messages to transfer (sender)")
 		timeout   = flag.Duration("timeout", 60*time.Second, "per-transfer timeout")
 		retries   = flag.Int("maxretries", 0, "no-progress timeout rounds before the sender probes and ejects a receiver (0 = wait forever, as in the paper)")
+		catchupF  = flag.String("join-catchup", "sender", "late-join catch-up source: sender | peer")
 		peerTO    = flag.Duration("peer-timeout", 0, "declare a receiver dead after this much total silence (0 = 5x the hello interval; needs -maxretries)")
 		adaptive  = flag.Bool("adaptive", true, "RTT-estimated adaptive retransmission timers (RFC 6298 style); false = the paper's fixed timeouts")
 		rtoMin    = flag.Duration("rto-min", 0, "adaptive RTO floor (0 = 2ms default)")
@@ -80,6 +81,9 @@ func main() {
 		AdaptiveRTO:  *adaptive,
 		MinRTO:       *rtoMin,
 		MaxRTO:       *rtoMax,
+	}
+	if cfg.JoinCatchup, err = rmcast.ParseCatchup(*catchupF); err != nil {
+		fatalf("%v", err)
 	}
 	node, err := rmcast.NewLiveNode(rmcast.LiveConfig{
 		Group:       *group,

@@ -46,7 +46,8 @@ func main() {
 		traceN    = flag.Int("trace", 0, "print the last N protocol packet events")
 		metricsF  = flag.Bool("metrics", false, "print the session metrics snapshot (packet counts, retransmissions, completion latency)")
 		crash     = flag.String("crash", "", "crash receivers, e.g. 7@0.5 (rank@progress) or 3@20ms,5@0; shorthand for -faults crash:...")
-		faultSpec = flag.String("faults", "", "full fault schedule, e.g. crash:7@0.5,stall:3@20ms+40ms,burst:*@0.5+5ms:0.3")
+		faultSpec = flag.String("faults", "", "full fault schedule, e.g. crash:7@0.5,stall:3@20ms+40ms,burst:*@0.5+5ms:0.3,join:5@0.3,leave:2@0.7")
+		catchupF  = flag.String("join-catchup", "sender", "late-join catch-up source: sender | peer")
 		maxRetry  = flag.Int("maxretries", 0, "no-progress timeout rounds before the sender probes and ejects a receiver (0 = wait forever, as in the paper)")
 		sessionDl = flag.Duration("session-deadline", 0, "protocol-level session deadline; at expiry unfinished receivers are declared failed (0 = none)")
 	)
@@ -132,6 +133,9 @@ func main() {
 		MaxRetries:      *maxRetry,
 		SessionDeadline: *sessionDl,
 	}
+	if pcfg.JoinCatchup, err = core.ParseCatchup(*catchupF); err != nil {
+		fatalf("%v", err)
+	}
 	var traceBuf *trace.Buffer
 	if *traceN > 0 {
 		traceBuf = trace.New(*traceN)
@@ -203,7 +207,7 @@ func validateFlags(proto string, loss float64) {
 		}
 	}
 	if proto == "tcp" || proto == "rawudp" {
-		for _, f := range []string{"window", "maxretries", "session-deadline", "pace"} {
+		for _, f := range []string{"window", "maxretries", "session-deadline", "pace", "join-catchup"} {
 			if set[f] {
 				usageError("-%s only applies to the reliable multicast protocols (got -proto %s)", f, proto)
 			}

@@ -157,6 +157,15 @@ func Registry() []Registration {
 			New:     func() Checker { return newGhostChecker() },
 		},
 		{
+			// Dynamic membership: pre-admission silence, exactly-once
+			// announcements, snapshot discipline, complete catch-up
+			// coverage behind every late-join delivery, and
+			// Left/NeverJoined bookkeeping consistent with the trace.
+			Name:    "membership",
+			Applies: reliable,
+			New:     func() Checker { return newMembershipChecker() },
+		},
+		{
 			// The metrics session's counters equal the counts derived
 			// independently from the trace stream.
 			Name:    "metrics",
@@ -258,6 +267,14 @@ const tailCap = 2048
 // judge whether the error and the traffic are consistent.
 func Execute(ctx context.Context, ccfg cluster.Config, pcfg core.Config, msgSize int) (*Outcome, error) {
 	pcfg.NumReceivers = ccfg.NumReceivers
+	// Mirror the runner's churn derivation so checkers see the same
+	// absent set the protocol endpoints will be constructed with.
+	if ccfg.Faults != nil && ccfg.Faults.HasChurn() && pcfg.Protocol != core.ProtoRawUDP {
+		pcfg.Absent = nil
+		for _, j := range ccfg.Faults.Joiners() {
+			pcfg.Absent = append(pcfg.Absent, core.NodeID(j))
+		}
+	}
 	norm, err := pcfg.Normalize()
 	if err != nil {
 		return nil, fmt.Errorf("check: bad protocol config: %w", err)

@@ -37,8 +37,9 @@ func (c *deliveryChecker) Begin(info *RunInfo) {
 }
 
 func (c *deliveryChecker) Observe(e trace.Event) {
-	if e.Dir != trace.Recv || e.Type != packet.TypeData || e.Node == 0 {
-		return
+	if e.Dir != trace.Recv || e.Node == 0 ||
+		(e.Type != packet.TypeData && e.Type != packet.TypeSnap) {
+		return // snapshots carry catch-up data: they count as receptions
 	}
 	rank := core.NodeID(e.Node)
 	times := c.firstRecv[rank]
@@ -112,8 +113,9 @@ func (c *deliveryChecker) Finish(info *RunInfo) []Violation {
 // completionChecker verifies the session's verdict against its own
 // membership bookkeeping:
 //
-//   - a completed, error-free session delivered to every receiver it did
-//     not eject, and says so (Verified);
+//   - a completed, error-free session delivered to every receiver in
+//     its final membership — not ejected, not departed gracefully, not
+//     still waiting for admission — and says so (Verified);
 //   - a session that did not complete returned an error;
 //   - the metrics ejection counter, Result.Failed, and the error type
 //     agree.
@@ -133,9 +135,15 @@ func (c *completionChecker) Finish(info *RunInfo) []Violation {
 	if res == nil {
 		return c.take()
 	}
-	failed := map[core.NodeID]bool{}
+	exempt := map[core.NodeID]bool{}
 	for _, f := range res.Failed {
-		failed[f] = true
+		exempt[f] = true
+	}
+	for _, l := range res.Left {
+		exempt[l] = true
+	}
+	for _, n := range res.NeverJoined {
+		exempt[n] = true
 	}
 	delivered := map[core.NodeID]bool{}
 	for _, d := range res.Delivered {
@@ -144,7 +152,7 @@ func (c *completionChecker) Finish(info *RunInfo) []Violation {
 	if res.Completed && info.RunErr == nil {
 		for r := 1; r <= info.Proto.NumReceivers; r++ {
 			id := core.NodeID(r)
-			if !failed[id] && !delivered[id] {
+			if !exempt[id] && !delivered[id] {
 				c.addf("session completed without error but surviving receiver %d never delivered", r)
 			}
 		}

@@ -59,6 +59,9 @@ func (c Case) String() string {
 	if c.Proto.Protocol == core.ProtoTree {
 		fmt.Fprintf(&b, " H=%d", c.Proto.TreeHeight)
 	}
+	if c.Proto.JoinCatchup == core.CatchupPeer {
+		b.WriteString(" catchup=peer")
+	}
 	if c.Proto.SelectiveRepeat {
 		b.WriteString(" selrep")
 	}
@@ -179,6 +182,9 @@ func DeriveCase(seed uint64, index int) Case {
 			if proto != core.ProtoRawUDP && r.Bool(0.25) {
 				pcfg.SessionDeadline = 2*time.Second + time.Duration(r.Intn(4000))*time.Millisecond
 			}
+			if sched.HasChurn() && r.Bool(0.5) {
+				pcfg.JoinCatchup = core.CatchupPeer
+			}
 		}
 	} else if proto != core.ProtoRawUDP && ccfg.LossRate > 0 && r.Bool(0.08) {
 		pcfg.SessionDeadline = 1500*time.Millisecond + time.Duration(r.Intn(2000))*time.Millisecond
@@ -218,7 +224,38 @@ func deriveFaults(r *rng.Rand, n int, topo cluster.Topology, proto core.Protocol
 		}
 		sched.Events = append(sched.Events, e)
 	}
+	// Membership churn rides alongside the classic faults on the
+	// reliable protocols: a late join, a graceful leave, or both.
+	// Overlap with the classic faults is deliberate — a joiner whose
+	// link flaps mid-catch-up, or a leaver racing a crash, is exactly
+	// the compound scenario the membership checker must stay sound
+	// under. (Validate forbids only double transitions per rank, which
+	// the distinct-rank draw below avoids.)
+	if proto != core.ProtoRawUDP && n >= 3 && r.Bool(0.5) {
+		joiner := 0
+		if r.Bool(0.7) {
+			joiner = 1 + r.Intn(n)
+			sched.Events = append(sched.Events, churnEvent(r, faults.Join, joiner))
+		}
+		if leaver := 1 + r.Intn(n); leaver != joiner && (joiner == 0 || r.Bool(0.5)) {
+			sched.Events = append(sched.Events, churnEvent(r, faults.Leave, leaver))
+		}
+	}
 	return sched
+}
+
+// churnEvent draws one membership transition's trigger: usually a
+// progress fraction (which survives timing retunes), sometimes an
+// absolute virtual time like the classic faults.
+func churnEvent(r *rng.Rand, kind faults.Kind, node int) faults.Event {
+	e := faults.Event{Kind: kind, Node: node}
+	if r.Bool(0.8) {
+		e.ByProgress = true
+		e.Progress = float64(r.Intn(10)) / 10
+	} else {
+		e.At = time.Duration(r.Intn(200)) * time.Millisecond
+	}
+	return e
 }
 
 // RunCase executes one derived case under full invariant checking.

@@ -53,11 +53,15 @@ func (c *ringChecker) Finish(*RunInfo) []Violation { return c.take() }
 type treeShadow struct {
 	active      bool
 	selfEjected bool
+	joined      bool // processed its own TypeJoinOK
 	deadView    map[core.NodeID]bool
 	pred        core.NodeID
 	succ        core.NodeID
 	hasSucc     bool
 	succAck     uint32
+	// liveMark mirrors Receiver.liveMark: a mid-chain joiner may report
+	// its own prefix straight to the sender until it crosses this mark.
+	liveMark uint32
 }
 
 // treeChecker verifies the tree protocol's relay causality:
@@ -72,8 +76,15 @@ type treeShadow struct {
 // enforced by the window checker.
 type treeChecker struct {
 	violations
-	tree core.FlatTree
-	m    map[int]*treeShadow
+	tree    core.FlatTree
+	m       map[int]*treeShadow
+	absent  []core.NodeID
+	count   uint32
+	winSize uint32
+	// senderOut mirrors the sender's out-set (dead ∪ still-absent) from
+	// its announcements: the checker's stand-in for the membership list
+	// a TypeJoinOK carries in its payload, which the trace cannot show.
+	senderOut map[core.NodeID]bool
 }
 
 func newTreeChecker() *treeChecker {
@@ -83,21 +94,59 @@ func newTreeChecker() *treeChecker {
 func (c *treeChecker) Begin(info *RunInfo) {
 	c.tree = core.NewFlatTree(info.Proto.NumReceivers, info.Proto.TreeHeight)
 	c.m = make(map[int]*treeShadow, info.Proto.NumReceivers)
+	c.absent = info.Proto.Absent
+	c.count = info.Count
+	c.winSize = uint32(info.Proto.WindowSize)
+	c.senderOut = make(map[core.NodeID]bool, len(c.absent))
+	for _, a := range c.absent {
+		c.senderOut[a] = true
+	}
 }
 
 func (c *treeChecker) at(node int) *treeShadow {
 	sh := c.m[node]
 	if sh == nil {
 		rank := core.NodeID(node)
-		sh = &treeShadow{deadView: make(map[core.NodeID]bool), pred: c.tree.Pred(rank)}
-		sh.succ, sh.hasSucc = c.tree.Succ(rank)
+		sh = &treeShadow{deadView: make(map[core.NodeID]bool)}
+		// Absent ranks start outside every node's chain view, exactly
+		// as NewReceiver seeds them (a join announcement splices them
+		// back in).
+		for _, a := range c.absent {
+			if a != rank {
+				sh.deadView[a] = true
+			}
+		}
+		sh.pred = c.tree.PredAlive(rank, sh.deadView)
+		sh.succ, sh.hasSucc = c.tree.SuccAlive(rank, sh.deadView)
 		c.m[node] = sh
 	}
 	return sh
 }
 
+// relink recomputes a shadow's chain links after a membership change,
+// mirroring Receiver.relink's succAck reset.
+func (c *treeChecker) relink(node int, sh *treeShadow) {
+	id := core.NodeID(node)
+	sh.pred = c.tree.PredAlive(id, sh.deadView)
+	succ, has := c.tree.SuccAlive(id, sh.deadView)
+	if sh.active && (has != sh.hasSucc || succ != sh.succ) {
+		// New downstream: the old successor's reports no longer bound
+		// the chain (Receiver.relink resets the same way).
+		sh.succAck = 0
+	}
+	sh.succ, sh.hasSucc = succ, has
+}
+
 func (c *treeChecker) Observe(e trace.Event) {
 	if e.Node == 0 {
+		if e.Dir == trace.SendMC {
+			switch e.Type {
+			case packet.TypeEject, packet.TypeLeft:
+				c.senderOut[core.NodeID(e.Aux)] = true
+			case packet.TypeJoined:
+				delete(c.senderOut, core.NodeID(e.Aux))
+			}
+		}
 		return
 	}
 	sh := c.at(e.Node)
@@ -107,8 +156,38 @@ func (c *treeChecker) Observe(e trace.Event) {
 			if !sh.active {
 				sh.active = true
 				sh.succAck = 0
+				sh.liveMark = 0
 			}
-		case packet.TypeEject:
+		case packet.TypeJoinOK:
+			// Our own admission: adopt the membership view the answer
+			// carries (mirrored from the sender's announcements) and
+			// activate when a session is in flight, as onJoinOK does.
+			// Duplicate answers are ignored, like the real receiver.
+			if sh.joined {
+				return
+			}
+			sh.joined = true
+			for rank := range c.senderOut {
+				if rank != core.NodeID(e.Node) {
+					sh.deadView[rank] = true
+				}
+			}
+			if e.Flags&packet.FlagActive != 0 {
+				sh.active = true
+				sh.succAck = 0
+			}
+			c.relink(e.Node, sh)
+			if e.Flags&packet.FlagActive != 0 && sh.pred != core.SenderID {
+				// Spliced mid-chain: the joiner self-reports to the sender
+				// until its coverage passes the handover mark, exactly as
+				// Receiver.maybeDirectAck does.
+				mark := e.Seq + c.winSize
+				if mark > c.count {
+					mark = c.count
+				}
+				sh.liveMark = mark
+			}
+		case packet.TypeEject, packet.TypeLeft:
 			rank := core.NodeID(e.Aux)
 			if rank == core.NodeID(e.Node) {
 				sh.selfEjected = true
@@ -118,15 +197,14 @@ func (c *treeChecker) Observe(e trace.Event) {
 				return
 			}
 			sh.deadView[rank] = true
-			id := core.NodeID(e.Node)
-			sh.pred = c.tree.PredAlive(id, sh.deadView)
-			succ, has := c.tree.SuccAlive(id, sh.deadView)
-			if sh.active && (has != sh.hasSucc || succ != sh.succ) {
-				// New downstream: the old successor's reports no longer
-				// bound the chain (Receiver.relink resets the same way).
-				sh.succAck = 0
+			c.relink(e.Node, sh)
+		case packet.TypeJoined:
+			rank := core.NodeID(e.Aux)
+			if rank == core.NodeID(e.Node) || !sh.deadView[rank] {
+				return
 			}
-			sh.succ, sh.hasSucc = succ, has
+			delete(sh.deadView, rank)
+			c.relink(e.Node, sh)
 		case packet.TypeAck:
 			if sh.active && sh.hasSucc && e.Peer == int(sh.succ) && e.Seq > sh.succAck {
 				sh.succAck = e.Seq
@@ -137,6 +215,16 @@ func (c *treeChecker) Observe(e trace.Event) {
 	if e.Dir == trace.Send || e.Dir == trace.SendMC {
 		switch e.Type {
 		case packet.TypeAck:
+			if sh.liveMark > 0 && e.Peer == int(core.SenderID) && sh.pred != core.SenderID {
+				// Handover-window self-report (Receiver.maybeDirectAck):
+				// goes straight to the sender and carries the joiner's own
+				// prefix, not the chain aggregate — the window checker
+				// bounds it against the reception stream.
+				if e.Seq >= sh.liveMark {
+					sh.liveMark = 0
+				}
+				return
+			}
 			if e.Peer != int(sh.pred) {
 				c.addf("receiver %d sent its chain ack to %d but its predecessor under the spliced membership is %d",
 					e.Node, e.Peer, sh.pred)
@@ -156,11 +244,12 @@ func (c *treeChecker) Observe(e trace.Event) {
 
 func (c *treeChecker) Finish(*RunInfo) []Violation { return c.take() }
 
-// ghostChecker verifies ejection silence: a receiver that has received
-// the sender's announcement of its own ejection never transmits again
-// (it may keep listening — that is how a wrongly-ejected stall victim
-// still assembles the message — but a talking ghost would corrupt the
-// spliced membership's bookkeeping).
+// ghostChecker verifies departure silence: a receiver that has received
+// the sender's announcement of its own ejection — or of its own granted
+// graceful leave — never transmits again (it may keep listening — that
+// is how a wrongly-ejected stall victim still assembles the message —
+// but a talking ghost would corrupt the spliced membership's
+// bookkeeping).
 type ghostChecker struct {
 	violations
 	silenced map[int]time.Duration
@@ -179,7 +268,7 @@ func (c *ghostChecker) Observe(e trace.Event) {
 		return
 	}
 	if e.Dir == trace.Recv {
-		if e.Type == packet.TypeEject && int(e.Aux) == e.Node {
+		if (e.Type == packet.TypeEject || e.Type == packet.TypeLeft) && int(e.Aux) == e.Node {
 			if _, ok := c.silenced[e.Node]; !ok {
 				c.silenced[e.Node] = e.At
 			}

@@ -56,6 +56,12 @@ type injector struct {
 	pending []faults.Event // progress-triggered, sorted by Progress
 	burst   int            // active burst-loss windows
 	rate    float64        // drop probability of the innermost window
+
+	// Membership hooks, wired by the run loop: churn events are
+	// protocol-level (the node starts the join or leave handshake), not
+	// link-level, so no gate is involved.
+	onJoin  func(rank int)
+	onLeave func(rank int)
 }
 
 // newInjector validates the schedule against the topology and creates a
@@ -70,7 +76,8 @@ func (c *Cluster) newInjector(sched *faults.Schedule) (*injector, error) {
 	}
 	inj := &injector{c: c, gates: make([]*faultGate, c.Cfg.NumReceivers+1)}
 	for _, e := range sched.Events {
-		if e.Kind != faults.Burst && inj.gates[e.Node] == nil {
+		needsGate := e.Kind == faults.Crash || e.Kind == faults.Stall || e.Kind == faults.Flap
+		if needsGate && inj.gates[e.Node] == nil {
 			inj.gates[e.Node] = &faultGate{}
 		}
 		if e.ByProgress {
@@ -140,6 +147,14 @@ func (inj *injector) apply(e faults.Event) {
 		inj.burst++
 		inj.rate = e.Rate
 		sim.After(e.Dur, func() { inj.burst-- })
+	case faults.Join:
+		if inj.onJoin != nil {
+			inj.onJoin(e.Node)
+		}
+	case faults.Leave:
+		if inj.onLeave != nil {
+			inj.onLeave(e.Node)
+		}
 	}
 }
 

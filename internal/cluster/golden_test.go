@@ -21,12 +21,15 @@ import (
 // the harness computes it. If one of these digests ever changes, a
 // simulator change altered simulated behavior; that must be a deliberate
 // model change, never a perf PR side effect.
+// Re-recorded when dynamic membership landed: the packet traces were
+// proven byte-identical across the change; only the Result schema
+// (Left/NeverJoined fields, wider per-type metrics table) moved.
 var goldenDigests = map[string]string{
-	"ack":      "8a54a2d1a70048336d5d7e6c50226a31314549d1654d3470411fd8a50e1c8529",
-	"nak-loss": "8618cf01a3a3aec8ff46a65fe0e818546fa3a8be2d30c9069de42b852e3ae441",
-	"ring":     "203ae66c26a0d1f4e804a587150c9399ff8e994c20fe3954e58e67c4cc92129f",
-	"tree":     "4949e9e8686377c7bf3b0272dc429f2296d6cc4ed5645f09d5812898bb3e369b",
-	"nak-bus":  "1e3c0fc8fd8306498b660eeb6821aa7bfcfbebd7f75024dfb3a0184e9a6bd74f",
+	"ack":      "965a0774ad85d1d0ab6b56e029ad06045b151edd9de4b9e6cdd76be2b1a8b6ee",
+	"nak-loss": "16d63797d4399da31b94d4f2657d5f964ab2dfa2374865b37a169a932e20ab7a",
+	"ring":     "2d0a12e8438b1156ddc54072f3cf7179eca13435c2954245a99a372e8bb09042",
+	"tree":     "3e605192852c78cad0d69372efd0063c038290b8bda9d820dc675a652ea71e6f",
+	"nak-bus":  "ffdf291a9381f1d5e99167d1cedfb792f3b690b52491d2b6a0fdf12094d1ad73",
 }
 
 // goldenCases covers all four protocol families, both switched and

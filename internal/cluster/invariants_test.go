@@ -16,6 +16,7 @@ import (
 	"rmcast/internal/check"
 	"rmcast/internal/cluster"
 	"rmcast/internal/core"
+	"rmcast/internal/faults"
 )
 
 // goldenScenarios mirrors goldenCases in golden_test.go (which is
@@ -41,6 +42,157 @@ func goldenScenarios() map[string]func() (cluster.Config, core.Config, int) {
 			ccfg.Topology = cluster.SharedBus
 			return ccfg, core.Config{Protocol: core.ProtoNAK, PacketSize: 8000, WindowSize: 20, PollInterval: 17}, 60000
 		},
+	}
+}
+
+// churnScenario is one golden dynamic-membership run with its expected
+// final membership.
+type churnScenario struct {
+	mk          func() (cluster.Config, core.Config, int)
+	wantLeft    []core.NodeID
+	wantFailed  []core.NodeID
+	wantDeliver []core.NodeID // must-deliver ranks (late joiners included)
+}
+
+func mustFaults(t *testing.T, spec string) *faults.Schedule {
+	t.Helper()
+	s, err := faults.Parse(spec)
+	if err != nil {
+		t.Fatalf("faults %q: %v", spec, err)
+	}
+	return s
+}
+
+// churnScenarios exercises the membership machinery end to end: a late
+// join with sender-served catch-up, a peer-delegated catch-up on the
+// tree protocol, a graceful leave, and the mixed join+leave+crash
+// schedule the churn-smoke CI job pins.
+func churnScenarios(t *testing.T) map[string]churnScenario {
+	return map[string]churnScenario{
+		"ack-late-join": {
+			mk: func() (cluster.Config, core.Config, int) {
+				ccfg := cluster.Default(10)
+				ccfg.Faults = mustFaults(t, "join:5@0.3")
+				return ccfg, core.Config{Protocol: core.ProtoACK, PacketSize: 2048, WindowSize: 8}, 200000
+			},
+			wantDeliver: []core.NodeID{5},
+		},
+		"nak-graceful-leave": {
+			mk: func() (cluster.Config, core.Config, int) {
+				ccfg := cluster.Default(10)
+				ccfg.Faults = mustFaults(t, "leave:2@0.5")
+				return ccfg, core.Config{Protocol: core.ProtoNAK, PacketSize: 2048, WindowSize: 16, PollInterval: 7}, 200000
+			},
+			wantLeft: []core.NodeID{2},
+		},
+		"tree-join-peer-catchup": {
+			mk: func() (cluster.Config, core.Config, int) {
+				ccfg := cluster.Default(12)
+				ccfg.Faults = mustFaults(t, "join:4@0.4")
+				return ccfg, core.Config{Protocol: core.ProtoTree, PacketSize: 2048, WindowSize: 12,
+					TreeHeight: 4, JoinCatchup: core.CatchupPeer}, 150000
+			},
+			wantDeliver: []core.NodeID{4},
+		},
+		"ring-join-lossy": {
+			mk: func() (cluster.Config, core.Config, int) {
+				ccfg := cluster.Default(8)
+				ccfg.LossRate = 0.01
+				ccfg.Faults = mustFaults(t, "join:3@0.3")
+				return ccfg, core.Config{Protocol: core.ProtoRing, PacketSize: 2048, WindowSize: 16}, 150000
+			},
+			wantDeliver: []core.NodeID{3},
+		},
+		// The acceptance scenario: one schedule mixing a late join, a
+		// graceful leave, and a crash, completing with every checker
+		// clean and the expected final membership.
+		"mixed-join-leave-crash": {
+			mk: func() (cluster.Config, core.Config, int) {
+				ccfg := cluster.Default(10)
+				ccfg.Faults = mustFaults(t, "join:5@0.3,leave:2@0.6,crash:7@0.5")
+				return ccfg, core.Config{Protocol: core.ProtoNAK, PacketSize: 2048, WindowSize: 16,
+					PollInterval: 5, MaxRetries: 3}, 200000
+			},
+			wantLeft:    []core.NodeID{2},
+			wantFailed:  []core.NodeID{7},
+			wantDeliver: []core.NodeID{5},
+		},
+	}
+}
+
+func ranksEqual(a, b []core.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestChurnScenariosSatisfyInvariants(t *testing.T) {
+	for name, sc := range churnScenarios(t) {
+		t.Run(name, func(t *testing.T) {
+			ccfg, pcfg, size := sc.mk()
+			out, err := check.Execute(context.Background(), ccfg, pcfg, size)
+			if err != nil {
+				t.Fatalf("Execute: %v", err)
+			}
+			if out.Info.RunErr != nil {
+				t.Fatalf("run error: %v", out.Info.RunErr)
+			}
+			for _, v := range out.Violations {
+				t.Errorf("violation: %v", v)
+			}
+			res := out.Info.Result
+			if !res.Verified {
+				t.Error("delivery not verified")
+			}
+			if !ranksEqual(res.Left, sc.wantLeft) {
+				t.Errorf("Left = %v, want %v", res.Left, sc.wantLeft)
+			}
+			if !ranksEqual(res.Failed, sc.wantFailed) {
+				t.Errorf("Failed = %v, want %v", res.Failed, sc.wantFailed)
+			}
+			if len(res.NeverJoined) != 0 {
+				t.Errorf("NeverJoined = %v, want none", res.NeverJoined)
+			}
+			delivered := make(map[core.NodeID]bool, len(res.Delivered))
+			for _, d := range res.Delivered {
+				delivered[d] = true
+			}
+			for _, want := range sc.wantDeliver {
+				if !delivered[want] {
+					t.Errorf("rank %d (late joiner) did not deliver; Delivered = %v", want, res.Delivered)
+				}
+			}
+		})
+	}
+}
+
+// TestChurnDeterministic pins the acceptance scenario's determinism:
+// two runs of the mixed join+leave+crash schedule produce identical
+// results and membership bookkeeping.
+func TestChurnDeterministic(t *testing.T) {
+	run := func() *cluster.Result {
+		sc := churnScenarios(t)["mixed-join-leave-crash"]
+		ccfg, pcfg, size := sc.mk()
+		res, err := cluster.Run(ccfg, pcfg, size)
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Elapsed != b.Elapsed {
+		t.Errorf("elapsed differs across identical runs: %v vs %v", a.Elapsed, b.Elapsed)
+	}
+	if !ranksEqual(a.Delivered, b.Delivered) || !ranksEqual(a.Left, b.Left) ||
+		!ranksEqual(a.Failed, b.Failed) || !ranksEqual(a.NeverJoined, b.NeverJoined) {
+		t.Errorf("membership bookkeeping differs across identical runs:\n a: D=%v L=%v F=%v N=%v\n b: D=%v L=%v F=%v N=%v",
+			a.Delivered, a.Left, a.Failed, a.NeverJoined, b.Delivered, b.Left, b.Failed, b.NeverJoined)
 	}
 }
 

@@ -34,6 +34,13 @@ type Result struct {
 	// Failed lists the receivers the sender ejected (failure detection)
 	// or declared failed (session deadline), in ejection order.
 	Failed []core.NodeID
+	// Left lists the receivers that departed gracefully (TypeLeave
+	// handshake), in departure order. Like Failed, they are exempt from
+	// verification — but they cost no ejection.
+	Left []core.NodeID
+	// NeverJoined lists the receivers that started absent (a join event
+	// in the fault schedule) and were never admitted, ascending.
+	NeverJoined []core.NodeID
 	// ThroughputMbps is payload goodput in megabits per second.
 	ThroughputMbps float64
 
@@ -70,6 +77,16 @@ func Run(ccfg Config, pcfg core.Config, msgSize int) (*Result, error) {
 // context's error.
 func RunContext(ctx context.Context, ccfg Config, pcfg core.Config, msgSize int) (*Result, error) {
 	pcfg.NumReceivers = ccfg.NumReceivers
+	if ccfg.Faults != nil && ccfg.Faults.HasChurn() {
+		if pcfg.Protocol == core.ProtoRawUDP {
+			return nil, fmt.Errorf("cluster: raw UDP has no membership; join/leave events need a reliable protocol")
+		}
+		// Join ranks start the run absent and enter via the handshake.
+		pcfg.Absent = nil
+		for _, j := range ccfg.Faults.Joiners() {
+			pcfg.Absent = append(pcfg.Absent, core.NodeID(j))
+		}
+	}
 	if ccfg.Metrics == nil {
 		ccfg.Metrics = metrics.NewSession()
 	}
@@ -95,6 +112,8 @@ func RunContext(ctx context.Context, ccfg Config, pcfg core.Config, msgSize int)
 	var recvStats []func() core.ReceiverStats
 	var progress func() float64
 	var senderFailed func() []core.NodeID
+	var senderLeft func() []core.NodeID
+	var senderNeverJoined func() []core.NodeID
 
 	if pcfg.Protocol == core.ProtoRawUDP {
 		if ccfg.Faults != nil {
@@ -137,7 +156,10 @@ func RunContext(ctx context.Context, ccfg Config, pcfg core.Config, msgSize int)
 		senderStats = snd.Stats
 		progress = snd.Progress
 		senderFailed = snd.Failed
+		senderLeft = snd.Left
+		senderNeverJoined = snd.NeverJoined
 		start = func() { snd.Start(msg) }
+		rcvs := make([]*core.Receiver, ccfg.NumReceivers+1)
 		for r := 1; r <= ccfg.NumReceivers; r++ {
 			r := r
 			rcv, err := core.NewReceiver(envs[r], pcfg, core.NodeID(r), func(b []byte) {
@@ -153,6 +175,11 @@ func RunContext(ctx context.Context, ccfg Config, pcfg core.Config, msgSize int)
 			rcv.SetMetrics(mx)
 			envs[r].setEndpoint(rcv)
 			recvStats = append(recvStats, rcv.Stats)
+			rcvs[r] = rcv
+		}
+		if c.inj != nil {
+			c.inj.onJoin = func(rank int) { rcvs[rank].Join() }
+			c.inj.onLeave = func(rank int) { rcvs[rank].Leave() }
 		}
 	}
 
@@ -203,15 +230,30 @@ func RunContext(ctx context.Context, ccfg Config, pcfg core.Config, msgSize int)
 	if senderFailed != nil {
 		res.Failed = senderFailed()
 	}
-	failed := make(map[core.NodeID]bool, len(res.Failed))
+	if senderLeft != nil {
+		res.Left = senderLeft()
+	}
+	if senderNeverJoined != nil {
+		res.NeverJoined = senderNeverJoined()
+	}
+	// Verification exempts the ranks outside the final membership:
+	// ejected, departed gracefully, or never admitted. A leaver or
+	// joiner that did deliver still counts in Delivered.
+	exempt := make(map[core.NodeID]bool, len(res.Failed)+len(res.Left)+len(res.NeverJoined))
 	for _, f := range res.Failed {
-		failed[f] = true
+		exempt[f] = true
+	}
+	for _, l := range res.Left {
+		exempt[l] = true
+	}
+	for _, n := range res.NeverJoined {
+		exempt[n] = true
 	}
 	res.Verified = true
 	for r := 1; r <= ccfg.NumReceivers; r++ {
 		if bytes.Equal(delivered[r], msg) {
 			res.Delivered = append(res.Delivered, core.NodeID(r))
-		} else if !failed[core.NodeID(r)] {
+		} else if !exempt[core.NodeID(r)] {
 			res.Verified = false
 		}
 	}
@@ -249,7 +291,7 @@ func RunContext(ctx context.Context, ccfg Config, pcfg core.Config, msgSize int)
 		// ejecting it.
 		pr := &core.PartialResult{Delivered: res.Delivered, Err: cause}
 		for r := 1; r <= ccfg.NumReceivers; r++ {
-			if !bytes.Equal(delivered[r], msg) {
+			if !bytes.Equal(delivered[r], msg) && !exempt[core.NodeID(r)] {
 				pr.Failed = append(pr.Failed, core.NodeID(r))
 			}
 		}

@@ -19,6 +19,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"time"
 
 	"rmcast/internal/packet"
@@ -179,6 +180,47 @@ type Config struct {
 	// complete as failed and terminates with a partial result instead of
 	// retransmitting forever. Zero means no deadline.
 	SessionDeadline time.Duration
+	// Absent lists receiver ranks that are not members at session start:
+	// the sender excludes them from the roll call, the acknowledgment
+	// minimum, and the tree chains until they join (JoinReq/JoinOK
+	// handshake). A rank listed here that never joins is simply not part
+	// of the transfer — neither delivered nor failed.
+	Absent []NodeID
+	// JoinCatchup selects who serves a late joiner the prefix it missed.
+	JoinCatchup Catchup
+}
+
+// Catchup selects the late-join catch-up source.
+type Catchup int
+
+const (
+	// CatchupSender: the sender streams the missed prefix as snapshot
+	// packets from its own message buffer (the default).
+	CatchupSender Catchup = iota
+	// CatchupPeer: the sender delegates the snapshot to a caught-up
+	// peer, keeping the catch-up traffic off the sender's link; repair
+	// of lost snapshots still falls back to the sender.
+	CatchupPeer
+)
+
+var catchupNames = [...]string{"sender", "peer"}
+
+func (c Catchup) String() string {
+	if int(c) < len(catchupNames) {
+		return catchupNames[c]
+	}
+	return fmt.Sprintf("catchup(%d)", int(c))
+}
+
+// ParseCatchup converts a catch-up mode name to its Catchup value.
+func ParseCatchup(s string) (Catchup, error) {
+	for i, n := range catchupNames {
+		if n == s {
+			return Catchup(i), nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown catch-up mode %q (valid: %s)",
+		s, strings.Join(catchupNames[:], ", "))
 }
 
 // ProbeRounds is the number of unanswered ping rounds (each one
@@ -265,7 +307,36 @@ func (c Config) Normalize() (Config, error) {
 	if c.SessionDeadline < 0 {
 		return c, errors.New("core: SessionDeadline must be >= 0")
 	}
+	if c.JoinCatchup < CatchupSender || c.JoinCatchup > CatchupPeer {
+		return c, fmt.Errorf("core: invalid JoinCatchup %d", int(c.JoinCatchup))
+	}
+	seen := make(map[NodeID]bool, len(c.Absent))
+	for _, r := range c.Absent {
+		if r < 1 || int(r) > c.NumReceivers {
+			return c, fmt.Errorf("core: Absent rank %d out of range [1,%d]", r, c.NumReceivers)
+		}
+		if seen[r] {
+			return c, fmt.Errorf("core: Absent rank %d listed twice", r)
+		}
+		seen[r] = true
+	}
+	if len(c.Absent) >= c.NumReceivers && c.Protocol != ProtoRawUDP {
+		return c, errors.New("core: every receiver absent; nothing to send to")
+	}
+	if len(c.Absent) > 0 && c.Protocol == ProtoRawUDP {
+		return c, errors.New("core: rawudp has no membership; Absent requires a reliable protocol")
+	}
 	return c, nil
+}
+
+// IsAbsent reports whether rank is listed in Absent.
+func (c Config) IsAbsent(rank NodeID) bool {
+	for _, r := range c.Absent {
+		if r == rank {
+			return true
+		}
+	}
+	return false
 }
 
 // PartialResult describes a session that ended without full delivery to

@@ -70,11 +70,30 @@ type Receiver struct {
 	succAck uint32 // cumulative ack received from the successor
 	ackSent uint32 // cumulative ack last propagated to the predecessor
 
-	// Membership state: ranks the sender has ejected. A receiver that
+	// Membership state: ranks currently outside the group (ejected,
+	// left, or not yet joined), as seen from here. A receiver that
 	// learns of its own ejection goes quiet (it may have been declared
 	// dead while merely stalled) but keeps assembling whatever it hears.
 	deadPeers map[NodeID]bool
 	ejected   bool
+
+	// Dynamic membership: late-join and graceful-leave state.
+	present  bool   // admitted member (false while Config.Absent and joining)
+	joining  bool   // Join() handshake in flight
+	leaving  bool   // Leave() handshake in flight
+	left     bool   // departed gracefully; stay quiet
+	joinBase uint32 // snapshot prefix boundary; 0 once caught up
+	liveMark uint32 // tree: direct-ack the sender until next reaches this; 0 when inactive
+	joinGen  uint64 // invalidates join-request retries
+	leaveGen uint64 // invalidates leave-request retries
+	catchGen uint64 // invalidates the catch-up watchdog
+
+	// Peer-delegated snapshot service (Config.JoinCatchup == CatchupPeer).
+	snapActive bool
+	snapTo     NodeID
+	snapNext   uint32
+	snapLimit  uint32
+	snapGen    uint64
 
 	stats ReceiverStats
 	mx    *metrics.Session // optional; nil-safe
@@ -102,12 +121,20 @@ func NewReceiver(env Env, cfg Config, rank NodeID, onDeliver func([]byte)) (*Rec
 		lastDupAck: -time.Hour,
 		rand:       rng.New(rng.Mix(uint64(rank), 0x4E414B)),
 		deadPeers:  make(map[NodeID]bool),
+		present:    !cfg.IsAbsent(rank),
+	}
+	// Other absent ranks start outside our chain view; the sender's
+	// TypeJoined announcement splices them back in when they join.
+	for _, a := range cfg.Absent {
+		if a != rank {
+			r.deadPeers[a] = true
+		}
 	}
 	if cfg.Protocol == ProtoTree {
 		r.tree = NewFlatTree(cfg.NumReceivers, cfg.TreeHeight)
 		r.isTree = true
-		r.pred = r.tree.Pred(rank)
-		r.succ, r.hasSucc = r.tree.Succ(rank)
+		r.pred = r.tree.PredAlive(rank, r.deadPeers)
+		r.succ, r.hasSucc = r.tree.SuccAlive(rank, r.deadPeers)
 	}
 	return r, nil
 }
@@ -127,10 +154,28 @@ func (r *Receiver) Ejected() bool { return r.ejected }
 
 // OnPacket dispatches an incoming packet.
 func (r *Receiver) OnPacket(from NodeID, p *packet.Packet) {
+	if !r.present {
+		// Not (yet) a member: track membership announcements so the
+		// chain view is current at admission, and accept our own
+		// admission; everything else is not addressed to us.
+		switch p.Type {
+		case packet.TypeJoinOK:
+			r.onJoinOK(p)
+		case packet.TypeEject:
+			r.onEject(NodeID(p.Aux))
+		case packet.TypeJoined:
+			r.onJoined(NodeID(p.Aux))
+		case packet.TypeLeft:
+			r.onLeft(NodeID(p.Aux))
+		}
+		return
+	}
 	switch p.Type {
 	case packet.TypeAllocReq:
 		r.onAllocReq(p)
-	case packet.TypeData:
+	case packet.TypeData, packet.TypeSnap:
+		// Snapshots replay the original data packets bit for bit, so
+		// the data path handles both.
 		r.onData(p)
 	case packet.TypeAck:
 		r.onSuccessorAck(from, p)
@@ -143,12 +188,18 @@ func (r *Receiver) OnPacket(from NodeID, p *packet.Packet) {
 	case packet.TypePing:
 		// Liveness probe: answer with our cumulative progress, which
 		// doubles as lost-acknowledgment repair at the sender. An
-		// ejected node stays quiet.
-		if !r.ejected {
-			r.send(from, &packet.Packet{Type: packet.TypePong, MsgID: p.MsgID, Seq: r.pongSeq(p.MsgID)})
-		}
+		// ejected or departed node stays quiet (send() enforces it).
+		r.send(from, &packet.Packet{Type: packet.TypePong, MsgID: p.MsgID, Seq: r.pongSeq(p.MsgID)})
 	case packet.TypeEject:
 		r.onEject(NodeID(p.Aux))
+	case packet.TypeJoinOK:
+		r.onJoinOK(p)
+	case packet.TypeJoined:
+		r.onJoined(NodeID(p.Aux))
+	case packet.TypeLeft:
+		r.onLeft(NodeID(p.Aux))
+	case packet.TypeSnapDel:
+		r.onSnapDel(p)
 	}
 }
 
@@ -243,6 +294,13 @@ func (r *Receiver) onAllocReq(p *packet.Packet) {
 		} else {
 			r.have = nil
 		}
+		// A new session supersedes any catch-up or delegation state
+		// from the previous one.
+		r.joinBase = 0
+		r.liveMark = 0
+		r.catchGen++
+		r.snapActive = false
+		r.snapGen++
 	}
 	r.send(SenderID, &packet.Packet{Type: packet.TypeAllocOK, MsgID: r.msgID, Aux: p.Aux})
 }
@@ -318,6 +376,7 @@ func (r *Receiver) accept(p *packet.Packet) {
 		r.cancelNak()
 	}
 	r.ackOnAccept(p)
+	r.noteCatchupProgress()
 	r.settleOwedAcks()
 	if r.next == r.count && !r.delivered {
 		r.delivered = true
@@ -398,7 +457,25 @@ func (r *Receiver) ackOnAccept(p *packet.Packet) {
 		}
 	case ProtoTree:
 		r.propagateTreeAck(false)
+		r.maybeDirectAck()
 	}
+}
+
+// maybeDirectAck reports a just-spliced tree joiner's progress straight
+// to the sender. The joiner's chain head may have acknowledgments from
+// before the splice still in flight — aggregates that reach the join
+// base without covering the newcomer — so until this receiver's own
+// coverage passes the handover mark (base + WindowSize, beyond anything
+// in flight at admission) it vouches for itself; the sender tracks it
+// directly over that window (Sender.spliceJoiner).
+func (r *Receiver) maybeDirectAck() {
+	if r.liveMark == 0 {
+		return
+	}
+	if r.next >= r.liveMark {
+		r.liveMark = 0
+	}
+	r.sendAck(SenderID, r.next)
 }
 
 // ackOnDuplicate re-acknowledges retransmitted packets so lost
@@ -431,6 +508,7 @@ func (r *Receiver) ackOnDuplicate(p *packet.Packet) {
 	r.lastDupAck = now
 	if r.cfg.Protocol == ProtoTree {
 		r.propagateTreeAck(true)
+		r.maybeDirectAck()
 	} else {
 		r.sendAck(SenderID, r.next)
 	}
@@ -522,7 +600,7 @@ func (r *Receiver) scheduleSuppressedNak() {
 	gen := r.nakGen
 	delay := time.Duration(r.rand.Float64() * float64(r.nakThrottle()))
 	r.nakTimer = r.env.SetTimer(delay, func() {
-		if gen != r.nakGen || !r.nakPending || r.ejected {
+		if gen != r.nakGen || !r.nakPending || r.ejected || r.left {
 			return
 		}
 		r.nakPending = false
@@ -562,8 +640,8 @@ func (r *Receiver) sendAck(to NodeID, cum uint32) {
 }
 
 func (r *Receiver) send(to NodeID, p *packet.Packet) {
-	if r.ejected {
-		return // a ghost stays quiet
+	if r.ejected || r.left {
+		return // a ghost — ejected or departed — stays quiet
 	}
 	r.env.Send(to, p)
 }

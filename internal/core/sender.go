@@ -106,6 +106,22 @@ type Sender struct {
 	// membership for the sender's lifetime.
 	dead       map[NodeID]bool
 	failed     []NodeID
+	// Dynamic membership. absent holds ranks that have not joined yet
+	// (Config.Absent minus later admissions); out is the union dead ∪
+	// absent — the set excluded from chain splices and roll calls. left
+	// lists graceful departures (disjoint from failed). joiners holds
+	// per-joiner catch-up state while a late joiner is being brought up
+	// to its join base.
+	absent  map[NodeID]bool
+	out     map[NodeID]bool
+	left    []NodeID
+	joiners map[NodeID]*joinerState
+	// treeCatch maps a mid-chain tree joiner to its handover mark: the
+	// joiner is tracked directly in the acknowledgment minimum (its chain
+	// head's in-flight pre-splice aggregates cannot vouch for it) until
+	// its own cumulative ack reaches the mark, past everything that could
+	// have been in flight at admission.
+	treeCatch map[NodeID]uint32
 	failRounds int // consecutive timeout rounds without window progress
 	probing    bool
 	suspects   map[NodeID]bool
@@ -138,6 +154,14 @@ func NewSender(env Env, cfg Config, onDone func()) (*Sender, error) {
 		lastRetrans: -time.Hour,
 		lastResent:  make(map[uint32]time.Duration),
 		dead:        make(map[NodeID]bool),
+		absent:      make(map[NodeID]bool),
+		out:         make(map[NodeID]bool),
+		joiners:     make(map[NodeID]*joinerState),
+		treeCatch:   make(map[NodeID]uint32),
+	}
+	for _, r := range cfg.Absent {
+		s.absent[r] = true
+		s.out[r] = true
 	}
 	if cfg.Protocol == ProtoTree {
 		s.tree = NewFlatTree(cfg.NumReceivers, cfg.TreeHeight)
@@ -206,6 +230,20 @@ func (s *Sender) Config() Config { return s.cfg }
 // ejection order. The slice is shared; callers must not mutate it.
 func (s *Sender) Failed() []NodeID { return s.failed }
 
+// Left returns the receivers that departed gracefully, in departure
+// order. The slice is shared; callers must not mutate it.
+func (s *Sender) Left() []NodeID { return s.left }
+
+// NeverJoined returns the ranks still waiting to join, ascending.
+func (s *Sender) NeverJoined() []NodeID {
+	out := make([]NodeID, 0, len(s.absent))
+	for r := range s.absent {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // Alive reports whether rank is still part of the membership.
 func (s *Sender) Alive(rank NodeID) bool { return !s.dead[rank] }
 
@@ -234,21 +272,24 @@ func (s *Sender) Start(msg []byte) {
 	s.win = window.NewSender(s.cfg.WindowSize, s.count)
 	// The cumulative-ack minimum is tracked over the surviving chain
 	// heads for the tree protocol and over every surviving receiver
-	// otherwise (ejections persist across messages).
+	// otherwise (ejections persist across messages; not-yet-joined
+	// ranks are excluded until their admission splices them in).
 	var peers []int
 	if s.isTree {
 		for c := 0; c < s.tree.NumChains(); c++ {
-			if h, ok := s.tree.HeadAlive(c, s.dead); ok {
+			if h, ok := s.tree.HeadAlive(c, s.out); ok {
 				peers = append(peers, int(h))
 			}
 		}
 	} else {
 		for r := 1; r <= s.cfg.NumReceivers; r++ {
-			if !s.dead[NodeID(r)] {
+			if !s.out[NodeID(r)] {
 				peers = append(peers, r)
 			}
 		}
 	}
+	s.stopAllJoiners()
+	s.treeCatch = make(map[NodeID]uint32)
 	s.allocOK = make(map[NodeID]bool, s.cfg.NumReceivers)
 	s.sampleLive = false
 	s.allocSample = false
@@ -318,8 +359,23 @@ func (s *Sender) sendAlloc() {
 
 // OnPacket dispatches an incoming control packet.
 func (s *Sender) OnPacket(from NodeID, p *packet.Packet) {
+	// Membership requests are handled before the dead/session guards: a
+	// joiner does not know the current message id, and a leaver whose
+	// departure announcement was lost keeps retrying after it is
+	// already marked dead and must be re-answered.
+	switch p.Type {
+	case packet.TypeJoinReq:
+		s.onJoinReq(from)
+		return
+	case packet.TypeLeave:
+		s.onLeave(from)
+		return
+	}
 	if s.dead[from] {
 		return // ejected peers no longer participate
+	}
+	if s.absent[from] {
+		return // not-yet-joined peers only speak JoinReq
 	}
 	if p.MsgID != s.msgID {
 		return // stale or future session
@@ -353,9 +409,10 @@ func (s *Sender) onAllocOK(from NodeID) {
 	s.maybeFinishAlloc()
 }
 
-// aliveReceivers counts the surviving membership.
+// aliveReceivers counts the current membership: neither ejected/left
+// nor still waiting to join.
 func (s *Sender) aliveReceivers() int {
-	return s.cfg.NumReceivers - len(s.dead)
+	return s.cfg.NumReceivers - len(s.out)
 }
 
 // maybeFinishAlloc enters the data phase once every surviving receiver
@@ -391,7 +448,14 @@ func (s *Sender) onAck(from NodeID, cum uint32) {
 		return
 	}
 	s.stats.AcksReceived++
-	if !s.acks.Update(int(from), cum) {
+	// Raise the acker's entry first, then retire any catch-up state this
+	// acknowledgment proves complete: reaping may remove the acker's own
+	// direct entry, and both steps can move the minimum.
+	changed := s.acks.Update(int(from), cum)
+	if s.reapJoiners(from, cum) {
+		changed = true
+	}
+	if !changed {
 		return
 	}
 	if s.win.Ack(s.acks.Min()) {
@@ -425,6 +489,13 @@ func (s *Sender) onAck(from NodeID, cum uint32) {
 func (s *Sender) onNak(from NodeID, seq uint32) {
 	s.stats.NaksReceived++
 	if s.phase != phaseData {
+		return
+	}
+	if js, ok := s.joiners[from]; ok && seq < js.base {
+		// A catching-up joiner is missing part of its snapshot; repair
+		// it from here (even under peer delegation — the fallback keeps
+		// a dead or lossy delegate from wedging the join).
+		s.repairSnap(from, js, seq)
 		return
 	}
 	if seq < s.win.Base || seq >= s.win.Next {
@@ -581,6 +652,7 @@ func (s *Sender) finish() {
 	s.phase = phaseDone
 	s.cancelTimer()
 	s.endProbe()
+	s.stopAllJoiners()
 	if s.dlTimer != 0 {
 		s.env.CancelTimer(s.dlTimer)
 		s.dlTimer = 0
@@ -670,10 +742,11 @@ func (s *Sender) currentSuspects() []NodeID {
 	var out []NodeID
 	switch s.phase {
 	case phaseAlloc:
-		// Whoever has not confirmed a buffer is suspect.
+		// Whoever has not confirmed a buffer is suspect (absent ranks
+		// owe nothing yet).
 		for r := 1; r <= s.cfg.NumReceivers; r++ {
 			id := NodeID(r)
-			if !s.dead[id] && !s.allocOK[id] {
+			if !s.out[id] && !s.allocOK[id] {
 				out = append(out, id)
 			}
 		}
@@ -690,7 +763,7 @@ func (s *Sender) currentSuspects() []NodeID {
 					// A stalled head aggregate implicates its whole
 					// chain: any member may be the dead one.
 					for _, m := range s.tree.Members(s.tree.Chain(id)) {
-						if !s.dead[m] {
+						if !s.out[m] {
 							out = append(out, m)
 						}
 					}
@@ -804,7 +877,8 @@ func (s *Sender) onPong(from NodeID, cum uint32) {
 // bypassing the probe exchange. Safe to call in any phase; a no-op for
 // already-ejected or out-of-range ranks.
 func (s *Sender) DeclareDead(rank NodeID) {
-	if rank < 1 || int(rank) > s.cfg.NumReceivers || s.dead[rank] {
+	if rank < 1 || int(rank) > s.cfg.NumReceivers || s.dead[rank] || s.absent[rank] {
+		// Silence from a rank that never joined is expected, not death.
 		return
 	}
 	s.eject(rank, true)
@@ -817,31 +891,62 @@ func (s *Sender) DeclareDead(rank NodeID) {
 // group's view of the membership, so tree receivers splice their chains
 // around it (predecessor adopts successor).
 func (s *Sender) eject(rank NodeID, announce bool) {
-	if rank < 1 || int(rank) > s.cfg.NumReceivers || s.dead[rank] {
+	s.depart(rank, announce, false)
+}
+
+// depart removes rank from the membership, either as a failure
+// (graceful=false: counted and announced as an ejection) or as a
+// graceful leave (graceful=true: recorded in left, announced as
+// TypeLeft, and not counted against the session). The structural
+// splice — acknowledgment minimum, tree chain handover — is identical.
+func (s *Sender) depart(rank NodeID, announce, graceful bool) {
+	if rank < 1 || int(rank) > s.cfg.NumReceivers || s.dead[rank] || s.absent[rank] {
 		return
 	}
 	s.dead[rank] = true
-	s.failed = append(s.failed, rank)
-	s.stats.Ejected++
-	s.mx.CountEjection()
+	s.out[rank] = true
+	if graceful {
+		s.left = append(s.left, rank)
+	} else {
+		s.failed = append(s.failed, rank)
+		s.stats.Ejected++
+		s.mx.CountEjection()
+	}
+	s.stopJoiner(rank)
 	if s.probing {
 		delete(s.suspects, rank)
 	}
 	if announce {
-		s.env.Multicast(&packet.Packet{Type: packet.TypeEject, MsgID: s.msgID, Aux: uint32(rank)})
+		t := packet.TypeEject
+		if graceful {
+			t = packet.TypeLeft
+		}
+		s.env.Multicast(&packet.Packet{Type: t, MsgID: s.msgID, Aux: uint32(rank)})
 	}
 	if s.acks == nil {
 		return
 	}
 	if s.isTree {
-		// Only an acting chain head is tracked. If rank was one, the
-		// next surviving member inherits the acknowledgment stream,
-		// seeded with the head's last reported aggregate (a lower bound
-		// on every surviving member's progress, so monotonicity holds).
-		if v, tracked := s.acks.Value(int(rank)); tracked {
+		if _, catching := s.treeCatch[rank]; catching {
+			// A mid-catch-up joiner's direct entry vouches only for
+			// itself; dropping it leaves the chain's own entry intact.
+			delete(s.treeCatch, rank)
 			s.acks.Remove(int(rank))
-			if nh, ok := s.tree.HeadAlive(s.tree.Chain(rank), s.dead); ok {
-				s.acks.Add(int(nh), v)
+		} else if v, tracked := s.acks.Value(int(rank)); tracked {
+			// Only an acting chain head is tracked. If rank was one, the
+			// next surviving member inherits the acknowledgment stream,
+			// seeded with the head's last reported aggregate (a lower bound
+			// on every surviving member's progress, so monotonicity holds).
+			s.acks.Remove(int(rank))
+			if nh, ok := s.tree.HeadAlive(s.tree.Chain(rank), s.out); ok {
+				if _, direct := s.treeCatch[nh]; direct {
+					// The new acting head is a joiner already tracked
+					// directly at a value no higher than v; its entry
+					// simply becomes the chain's permanent one.
+					delete(s.treeCatch, nh)
+				} else {
+					s.acks.Add(int(nh), v)
+				}
 			}
 		}
 	} else {
@@ -902,10 +1007,13 @@ func (s *Sender) onDeadline() {
 	}
 	for r := 1; r <= s.cfg.NumReceivers; r++ {
 		id := NodeID(r)
-		if s.dead[id] || s.peerComplete(id) {
+		if s.out[id] || s.peerComplete(id) {
+			// Departed ranks are already accounted for; ranks that
+			// never joined were never owed the message.
 			continue
 		}
 		s.dead[id] = true
+		s.out[id] = true
 		s.failed = append(s.failed, id)
 		s.stats.Ejected++
 		s.mx.CountEjection()
@@ -921,13 +1029,16 @@ func (s *Sender) peerComplete(rank NodeID) bool {
 	}
 	tracked := rank
 	if s.isTree {
-		// A chain member is proven complete only through its acting
-		// head's aggregate.
-		h, ok := s.tree.HeadAlive(s.tree.Chain(rank), s.dead)
-		if !ok {
-			return false
+		if _, direct := s.treeCatch[rank]; !direct {
+			// A chain member is proven complete only through its acting
+			// head's aggregate; a mid-catch-up joiner vouches for itself
+			// via its direct entry.
+			h, ok := s.tree.HeadAlive(s.tree.Chain(rank), s.out)
+			if !ok {
+				return false
+			}
+			tracked = h
 		}
-		tracked = h
 	}
 	v, ok := s.acks.Value(int(tracked))
 	return ok && v >= s.count

@@ -1,8 +1,9 @@
 // Package faults defines declarative, deterministic fault schedules for
 // the simulated testbed: receiver crashes, stall/resume windows, link
-// flaps, and burst-loss windows, each triggered either at an absolute
-// virtual time or at a reproducible point of the transfer (the fraction
-// of the message the sender has seen acknowledged).
+// flaps, burst-loss windows, and membership churn (late joins and
+// graceful leaves), each triggered either at an absolute virtual time
+// or at a reproducible point of the transfer (the fraction of the
+// message the sender has seen acknowledged).
 //
 // A schedule is pure data; internal/cluster applies it to a run by
 // gating the affected host's attachment to the medium. Because both the
@@ -37,9 +38,25 @@ const (
 	// frame is independently dropped with probability Rate. Node is
 	// ignored.
 	Burst
+	// Join brings a receiver into the group at the trigger: the rank is
+	// absent (link down, unknown to the sender) until then, and at the
+	// trigger it requests admission and catches up on the prefix it
+	// missed. Instantaneous, like Crash.
+	Join
+	// Leave makes a receiver depart gracefully at the trigger: it asks
+	// the sender to drain its state and announce the departure, instead
+	// of going silent and tripping the ejection detector. Instantaneous.
+	Leave
 )
 
-var kindNames = [...]string{"crash", "stall", "flap", "burst"}
+var kindNames = [...]string{"crash", "stall", "flap", "burst", "join", "leave"}
+
+// windowed reports whether the kind describes a window of misbehavior
+// (and therefore takes a +dur in the grammar) rather than an
+// instantaneous membership transition.
+func (k Kind) windowed() bool {
+	return k == Stall || k == Flap || k == Burst
+}
 
 func (k Kind) String() string {
 	if int(k) < len(kindNames) {
@@ -55,7 +72,8 @@ func ParseKind(s string) (Kind, error) {
 			return Kind(i), nil
 		}
 	}
-	return 0, fmt.Errorf("faults: unknown fault kind %q", s)
+	return 0, fmt.Errorf("faults: unknown fault kind %q (valid: %s)",
+		s, strings.Join(kindNames[:], ", "))
 }
 
 // Event is one scheduled fault.
@@ -97,7 +115,7 @@ func (e Event) String() string {
 	} else {
 		fmt.Fprintf(&b, "%v", e.At)
 	}
-	if e.Kind != Crash {
+	if e.Kind.windowed() {
 		fmt.Fprintf(&b, "+%v", e.Dur)
 	}
 	if e.Kind == Burst {
@@ -112,11 +130,31 @@ type Schedule struct {
 }
 
 // Crashed returns the ranks with a Crash event, ascending.
-func (s *Schedule) Crashed() []int {
+func (s *Schedule) Crashed() []int { return s.ranks(Crash) }
+
+// Joiners returns the ranks with a Join event, ascending. These ranks
+// start a run absent and enter mid-session.
+func (s *Schedule) Joiners() []int { return s.ranks(Join) }
+
+// Leavers returns the ranks with a Leave event, ascending.
+func (s *Schedule) Leavers() []int { return s.ranks(Leave) }
+
+// HasChurn reports whether the schedule contains membership events
+// (join or leave).
+func (s *Schedule) HasChurn() bool {
+	for _, e := range s.Events {
+		if e.Kind == Join || e.Kind == Leave {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Schedule) ranks(k Kind) []int {
 	seen := map[int]bool{}
 	var out []int
 	for _, e := range s.Events {
-		if e.Kind == Crash && !seen[e.Node] {
+		if e.Kind == k && !seen[e.Node] {
 			seen[e.Node] = true
 			out = append(out, e.Node)
 		}
@@ -146,8 +184,10 @@ func (s *Schedule) String() string {
 
 // Validate checks every event against the group size.
 func (s *Schedule) Validate(numReceivers int) error {
+	joined := map[int]bool{}
+	left := map[int]bool{}
 	for _, e := range s.Events {
-		if e.Kind < Crash || e.Kind > Burst {
+		if e.Kind < Crash || e.Kind > Leave {
 			return fmt.Errorf("faults: invalid kind in %v", e)
 		}
 		if e.Kind != Burst && (e.Node < 1 || e.Node > numReceivers) {
@@ -160,11 +200,26 @@ func (s *Schedule) Validate(numReceivers int) error {
 		} else if e.At < 0 {
 			return fmt.Errorf("faults: %v: negative trigger time", e)
 		}
-		if e.Kind != Crash && e.Dur <= 0 {
+		if e.Kind.windowed() && e.Dur <= 0 {
 			return fmt.Errorf("faults: %v: %v events need a positive window (+dur)", e, e.Kind)
 		}
 		if e.Kind == Burst && (e.Rate <= 0 || e.Rate > 1) {
 			return fmt.Errorf("faults: %v: burst rate out of range (0,1]", e)
+		}
+		// A rank transitions at most once per direction per run: a
+		// second join has no absent node to admit, and a second leave
+		// has no member to drain.
+		if e.Kind == Join {
+			if joined[e.Node] {
+				return fmt.Errorf("faults: %v: rank %d joins twice", e, e.Node)
+			}
+			joined[e.Node] = true
+		}
+		if e.Kind == Leave {
+			if left[e.Node] {
+				return fmt.Errorf("faults: %v: rank %d leaves twice", e, e.Node)
+			}
+			left[e.Node] = true
 		}
 	}
 	return nil
@@ -174,18 +229,21 @@ func (s *Schedule) Validate(numReceivers int) error {
 //
 //	kind:node@when[+dur][:rate]
 //
-// where kind is crash|stall|flap|burst, node is a receiver rank (or *
-// for burst), and when is either a duration of virtual time ("150ms")
-// or a unitless fraction of transfer progress ("0.5" = once half the
-// message is acknowledged, "0" = before the session starts moving).
-// Stall, flap, and burst take a window length after "+"; burst takes a
-// drop probability after a final ":". Examples:
+// where kind is crash|stall|flap|burst|join|leave, node is a receiver
+// rank (or * for burst), and when is either a duration of virtual time
+// ("150ms") or a unitless fraction of transfer progress ("0.5" = once
+// half the message is acknowledged, "0" = before the session starts
+// moving). Stall, flap, and burst take a window length after "+"; burst
+// takes a drop probability after a final ":". Join and leave are
+// instantaneous membership transitions, like crash. Examples:
 //
 //	crash:7@0.5              receiver 7 dies halfway through
 //	crash:3@0                receiver 3 is dead before allocation
 //	stall:2@10ms+40ms        receiver 2 freezes at t=10ms for 40ms
 //	flap:5@0.25+2ms          receiver 5's link drops for 2ms at 25%
 //	burst:*@0.5+3ms:0.3      every link drops 30% of frames for 3ms
+//	join:5@0.3               receiver 5 joins late, at 30% progress
+//	leave:2@0.7              receiver 2 departs gracefully at 70%
 func Parse(spec string) (*Schedule, error) {
 	s := &Schedule{}
 	for _, part := range strings.Split(spec, ",") {
@@ -239,14 +297,14 @@ func parseEvent(part string) (Event, error) {
 		return ev, fmt.Errorf("faults: %q: bad rank %q", part, nodeStr)
 	}
 	if whenStr, durStr, hasDur := strings.Cut(when, "+"); hasDur {
-		if kind == Crash {
-			return ev, fmt.Errorf("faults: %q: crash is permanent; no +dur", part)
+		if !kind.windowed() {
+			return ev, fmt.Errorf("faults: %q: %v is instantaneous; no +dur", part, kind)
 		}
 		if ev.Dur, err = time.ParseDuration(durStr); err != nil {
 			return ev, fmt.Errorf("faults: %q: bad window %q: %w", part, durStr, err)
 		}
 		when = whenStr
-	} else if kind != Crash {
+	} else if kind.windowed() {
 		return ev, fmt.Errorf("faults: %q: %v needs a +dur window", part, kind)
 	}
 	if strings.IndexFunc(when, func(r rune) bool { return r != '.' && (r < '0' || r > '9') }) < 0 {

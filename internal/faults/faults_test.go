@@ -1,6 +1,7 @@
 package faults
 
 import (
+	"math/rand"
 	"strings"
 	"testing"
 	"time"
@@ -69,6 +70,54 @@ func TestParseStallFlapBurst(t *testing.T) {
 	}
 }
 
+func TestParseJoinLeave(t *testing.T) {
+	s, err := Parse("join:5@0.3,leave:2@0.7,join:4@15ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Events) != 3 {
+		t.Fatalf("got %d events", len(s.Events))
+	}
+	j := s.Events[0]
+	if j.Kind != Join || j.Node != 5 || !j.ByProgress || j.Progress != 0.3 || j.Dur != 0 {
+		t.Fatalf("bad join %+v", j)
+	}
+	l := s.Events[1]
+	if l.Kind != Leave || l.Node != 2 || !l.ByProgress || l.Progress != 0.7 {
+		t.Fatalf("bad leave %+v", l)
+	}
+	jt := s.Events[2]
+	if jt.Kind != Join || jt.ByProgress || jt.At != 15*time.Millisecond {
+		t.Fatalf("bad timed join %+v", jt)
+	}
+	if !s.HasChurn() {
+		t.Fatal("HasChurn() = false")
+	}
+	if got := s.String(); got != "join:5@0.3,leave:2@0.7,join:4@15ms" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestJoinersLeavers(t *testing.T) {
+	s, err := Parse("join:5@0.3,leave:2@0.7,join:3@0,leave:5@0.9,crash:1@0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Joiners(); len(got) != 2 || got[0] != 3 || got[1] != 5 {
+		t.Fatalf("Joiners() = %v", got)
+	}
+	if got := s.Leavers(); len(got) != 2 || got[0] != 2 || got[1] != 5 {
+		t.Fatalf("Leavers() = %v", got)
+	}
+	clean, err := Parse("crash:1@0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.HasChurn() {
+		t.Fatal("crash-only schedule reports churn")
+	}
+}
+
 func TestParseErrors(t *testing.T) {
 	for _, spec := range []string{
 		"",
@@ -80,11 +129,44 @@ func TestParseErrors(t *testing.T) {
 		"flap:1@0.5",          // flap needs a window
 		"burst:*@0.5+1ms",     // burst needs a rate
 		"burst:3@0.5+1ms:0.2", // burst takes *
+		"join:1@0.5+10ms",     // join is instantaneous
+		"leave:1@0.5+10ms",    // leave is instantaneous
+		"join:x@0",            // bad rank
 		"crash:1@zz",
 	} {
 		if _, err := Parse(spec); err == nil {
 			t.Errorf("Parse(%q) succeeded, want error", spec)
 		}
+	}
+	if _, err := Parse("wedge:1@0"); err == nil || !strings.Contains(err.Error(), "join") {
+		t.Errorf("unknown-kind error %v does not list valid kinds", err)
+	}
+}
+
+func TestValidateChurn(t *testing.T) {
+	ok, err := Parse("join:3@0.2,leave:3@0.8,join:2@0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ok.Validate(3); err != nil {
+		t.Fatalf("Validate(3): %v", err)
+	}
+	if err := ok.Validate(2); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("Validate(2) = %v, want rank error", err)
+	}
+	dup, err := Parse("join:3@0.2,join:3@0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dup.Validate(3); err == nil || !strings.Contains(err.Error(), "joins twice") {
+		t.Fatalf("double join Validate = %v", err)
+	}
+	dup, err = Parse("leave:3@0.2,leave:3@0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dup.Validate(3); err == nil || !strings.Contains(err.Error(), "leaves twice") {
+		t.Fatalf("double leave Validate = %v", err)
 	}
 }
 
@@ -127,6 +209,9 @@ func TestRoundTrip(t *testing.T) {
 		"flap:5@0.25+2ms",
 		"burst:*@0.5+3ms:0.3",
 		"crash:1@0,crash:2@0.9",
+		"join:5@0.3",
+		"leave:2@0.7",
+		"join:3@15ms,leave:3@0.9,crash:1@0.5",
 	} {
 		s, err := Parse(spec)
 		if err != nil {
@@ -138,6 +223,56 @@ func TestRoundTrip(t *testing.T) {
 		}
 		if s.String() != s2.String() {
 			t.Fatalf("round trip %q -> %q", s.String(), s2.String())
+		}
+	}
+}
+
+// TestRoundTripProperty generates random schedules over every kind and
+// asserts String∘Parse reproduces each event exactly — the contract
+// `rmcheck -repro` depends on to replay churn cases bit-for-bit. The
+// awkward draws (tiny progress fractions that once rendered as "1e-07",
+// membership events mixed among windows) are the point.
+func TestRoundTripProperty(t *testing.T) {
+	rnd := rand.New(rand.NewSource(0x5EED))
+	kinds := []Kind{Crash, Stall, Flap, Burst, Join, Leave}
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + rnd.Intn(4)
+		s := &Schedule{}
+		for i := 0; i < n; i++ {
+			e := Event{Kind: kinds[rnd.Intn(len(kinds))]}
+			if e.Kind != Burst {
+				e.Node = 1 + rnd.Intn(30)
+			}
+			if rnd.Intn(2) == 0 {
+				e.ByProgress = true
+				// Include the pathological tiny fractions that used to
+				// render in exponent notation.
+				e.Progress = []float64{0, 0.5, 1, 1e-7, 0.3333333333333333,
+					float64(rnd.Intn(1000)) / 1000}[rnd.Intn(6)]
+			} else {
+				e.At = time.Duration(rnd.Intn(1_000_000)) * time.Microsecond
+			}
+			if e.Kind.windowed() {
+				e.Dur = time.Duration(1+rnd.Intn(100_000)) * time.Microsecond
+			}
+			if e.Kind == Burst {
+				e.Rate = float64(1+rnd.Intn(100)) / 100
+			}
+			s.Events = append(s.Events, e)
+		}
+		spec := s.String()
+		s2, err := Parse(spec)
+		if err != nil {
+			t.Fatalf("trial %d: Parse(%q): %v", trial, spec, err)
+		}
+		if len(s2.Events) != len(s.Events) {
+			t.Fatalf("trial %d: %q: %d events became %d", trial, spec, len(s.Events), len(s2.Events))
+		}
+		for i := range s.Events {
+			if s.Events[i] != s2.Events[i] {
+				t.Fatalf("trial %d: %q: event %d round-tripped %+v -> %+v",
+					trial, spec, i, s.Events[i], s2.Events[i])
+			}
 		}
 	}
 }

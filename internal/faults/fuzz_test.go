@@ -25,6 +25,12 @@ func FuzzScheduleParse(f *testing.F) {
 		"crash:7@0.5, crash:8@0.5 ,",
 		"crash:1@0.0000001",
 		"burst:*@1ms+1ms:1",
+		"join:5@0.3",
+		"leave:2@0.7",
+		"join:3@15ms,leave:3@0.9,crash:1@0.5",
+		"join:1@0.5+1ms",
+		"leave:1@0.5+1ms",
+		"join:*@0.5",
 		"",
 		"crash",
 		"crash:7",

@@ -1,13 +1,15 @@
 // Invariant audit of the live stack over the loopback transport: the
-// same eight checkers that police simulator runs replay each loopback
+// same nine checkers that police simulator runs replay each loopback
 // session's trace, so the live node's protocol behavior — discovery,
-// allocation, windows, repair, rotation, chains, ejection, metrics —
-// is held to the identical contract as the simulated one.
+// allocation, windows, repair, rotation, chains, ejection, membership
+// churn, metrics — is held to the identical contract as the simulated
+// one.
 package live_test
 
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"testing"
 	"time"
 
@@ -16,6 +18,8 @@ import (
 	"rmcast/internal/core"
 	"rmcast/internal/faults"
 	"rmcast/internal/live"
+	"rmcast/internal/packet"
+	"rmcast/internal/trace"
 )
 
 // auditLoopScenario runs one loopback scenario and replays its trace
@@ -32,27 +36,57 @@ func auditLoopScenario(t *testing.T, sc live.LoopScenario) *live.LoopResult {
 			res.Elapsed, len(res.Trace))
 	}
 
+	info := loopRunInfo(t, sc, res)
+	violations := check.Analyze(info, res.Trace)
+	for _, v := range violations {
+		t.Errorf("invariant violation: %s", v)
+	}
+	if t.Failed() {
+		t.Fatalf("%d violations over %d trace events (proto=%v loss=%g seed=%d)",
+			len(violations), len(res.Trace), info.Proto.Protocol, sc.Net.LossRate, sc.Net.Seed)
+	}
+	return res
+}
+
+// loopRunInfo translates one loopback run into the RunInfo the checkers
+// consume, mirroring cluster.Run's bookkeeping contract.
+func loopRunInfo(t *testing.T, sc live.LoopScenario, res *live.LoopResult) *check.RunInfo {
+	t.Helper()
 	pcfg := sc.Protocol
 	pcfg.NumReceivers = sc.Protocol.NumReceivers
+	// Mirror the harness's Absent derivation (RunLoopScenario works on
+	// a copy of sc, so re-derive here for the checkers).
+	if len(sc.Join) > 0 {
+		pcfg.Absent = nil
+		for rank := range sc.Join {
+			pcfg.Absent = append(pcfg.Absent, rank)
+		}
+		sort.Slice(pcfg.Absent, func(i, j int) bool { return pcfg.Absent[i] < pcfg.Absent[j] })
+	}
 	norm, err := pcfg.Normalize()
 	if err != nil {
 		t.Fatalf("Normalize: %v", err)
 	}
 	// The loopback net is not a simulated testbed, but the checkers
 	// consult the cluster config only for group size and for the
-	// lossless gate — LossRate, scheduled crashes, and the (zero-value,
+	// lossless gate — LossRate, scheduled faults, and the (zero-value,
 	// two-switch) topology keep that gate honest.
 	ccfg := cluster.Config{
 		NumReceivers: sc.Protocol.NumReceivers,
 		LossRate:     sc.Net.LossRate,
 		Seed:         sc.Net.Seed,
 	}
-	if len(sc.Crash) > 0 {
+	if len(sc.Crash)+len(sc.Join)+len(sc.Leave) > 0 {
 		ccfg.Faults = &faults.Schedule{}
-		for rank, at := range sc.Crash {
-			ccfg.Faults.Events = append(ccfg.Faults.Events,
-				faults.Event{Kind: faults.Crash, Node: int(rank), At: at})
+		add := func(kind faults.Kind, m map[core.NodeID]time.Duration) {
+			for rank, at := range m {
+				ccfg.Faults.Events = append(ccfg.Faults.Events,
+					faults.Event{Kind: kind, Node: int(rank), At: at})
+			}
 		}
+		add(faults.Crash, sc.Crash)
+		add(faults.Join, sc.Join)
+		add(faults.Leave, sc.Leave)
 	}
 	info := &check.RunInfo{
 		Cluster: ccfg,
@@ -70,16 +104,18 @@ func auditLoopScenario(t *testing.T, sc live.LoopScenario) *live.LoopResult {
 		runErr = nil
 	}
 	verified := true
-	failed := make(map[core.NodeID]bool, len(res.Failed))
-	for _, rank := range res.Failed {
-		failed[rank] = true
+	exempt := make(map[core.NodeID]bool, len(res.Failed)+len(res.Left)+len(res.NeverJoined))
+	for _, set := range [][]core.NodeID{res.Failed, res.Left, res.NeverJoined} {
+		for _, rank := range set {
+			exempt[rank] = true
+		}
 	}
 	delivered := make(map[core.NodeID]bool, len(res.Delivered))
 	for _, rank := range res.Delivered {
 		delivered[rank] = true
 	}
 	for r := 1; r <= sc.Protocol.NumReceivers; r++ {
-		if rank := core.NodeID(r); !failed[rank] && !delivered[rank] {
+		if rank := core.NodeID(r); !exempt[rank] && !delivered[rank] {
 			verified = false
 		}
 	}
@@ -91,6 +127,8 @@ func auditLoopScenario(t *testing.T, sc live.LoopScenario) *live.LoopResult {
 		Verified:    verified,
 		Delivered:   res.Delivered,
 		Failed:      res.Failed,
+		Left:        res.Left,
+		NeverJoined: res.NeverJoined,
 		SenderStats: res.SenderStats,
 		Metrics:     res.Metrics,
 	}
@@ -100,16 +138,7 @@ func auditLoopScenario(t *testing.T, sc live.LoopScenario) *live.LoopResult {
 			Rank: d.Rank, At: d.At, Len: d.Len, OK: d.OK,
 		})
 	}
-
-	violations := check.Analyze(info, res.Trace)
-	for _, v := range violations {
-		t.Errorf("invariant violation: %s", v)
-	}
-	if t.Failed() {
-		t.Fatalf("%d violations over %d trace events (proto=%v loss=%g seed=%d)",
-			len(violations), len(res.Trace), norm.Protocol, sc.Net.LossRate, sc.Net.Seed)
-	}
-	return res
+	return info
 }
 
 // TestLoopbackGoldenScenarios audits five representative live sessions
@@ -173,6 +202,174 @@ func TestLoopbackGoldenScenarios(t *testing.T) {
 			t.Fatalf("Failed = %v, want [3]", res.Failed)
 		}
 	})
+}
+
+// TestLoopbackChurnMatrix sweeps membership churn — one late join and
+// one graceful leave per run — across every reliable protocol and both
+// catch-up modes, auditing each run and requiring the late joiner to
+// assemble the complete message.
+func TestLoopbackChurnMatrix(t *testing.T) {
+	type entry struct {
+		pcfg   core.Config
+		joiner core.NodeID
+		leaver core.NodeID
+	}
+	entries := []entry{
+		{core.Config{Protocol: core.ProtoACK, NumReceivers: 4, PacketSize: 1400, WindowSize: 8},
+			2, 4},
+		{core.Config{Protocol: core.ProtoNAK, NumReceivers: 4, PacketSize: 1400, WindowSize: 16,
+			PollInterval: 13}, 2, 4},
+		{core.Config{Protocol: core.ProtoRing, NumReceivers: 4, PacketSize: 1400, WindowSize: 8},
+			2, 4},
+		// Rank 4 is mid-chain in the 3-chain splice (its predecessor is
+		// rank 1, not the sender), so the tree rows exercise the direct-ack
+		// handover window, not just head replacement.
+		{core.Config{Protocol: core.ProtoTree, NumReceivers: 6, PacketSize: 1400, WindowSize: 8,
+			TreeHeight: 3}, 4, 6},
+	}
+	for _, en := range entries {
+		for _, catchup := range []core.Catchup{core.CatchupSender, core.CatchupPeer} {
+			pcfg := en.pcfg
+			pcfg.JoinCatchup = catchup
+			name := fmt.Sprintf("%v-catchup-%v", pcfg.Protocol, catchup)
+			t.Run(name, func(t *testing.T) {
+				res := auditLoopScenario(t, live.LoopScenario{
+					Net: live.LoopConfig{Seed: 0xC0FFEE, Delay: 100 * time.Microsecond,
+						Jitter: 20 * time.Microsecond},
+					Protocol: pcfg,
+					MsgSize:  400000,
+					Join:     map[core.NodeID]time.Duration{en.joiner: 1500 * time.Microsecond},
+					Leave:    map[core.NodeID]time.Duration{en.leaver: 4 * time.Millisecond},
+				})
+				joined := false
+				for _, rank := range res.Delivered {
+					if rank == en.joiner {
+						joined = true
+					}
+				}
+				if !joined {
+					t.Errorf("late joiner %d not in Delivered %v (NeverJoined=%v)",
+						en.joiner, res.Delivered, res.NeverJoined)
+				}
+				if len(res.Left) != 1 || res.Left[0] != en.leaver {
+					t.Errorf("Left = %v, want [%d]", res.Left, en.leaver)
+				}
+			})
+		}
+	}
+}
+
+// TestLoopbackChurnDeterministic pins the acceptance scenario: one
+// seeded schedule mixing a late join, a graceful leave, and a crash in
+// a single run completes with every checker clean, the late joiner
+// delivering an exactly-once consistent copy, and the identical trace
+// and outcome on a rerun.
+func TestLoopbackChurnDeterministic(t *testing.T) {
+	mk := func() live.LoopScenario {
+		return live.LoopScenario{
+			Net: live.LoopConfig{Seed: 0xD1CE, Delay: 100 * time.Microsecond,
+				Jitter: 30 * time.Microsecond},
+			Protocol: core.Config{Protocol: core.ProtoNAK, NumReceivers: 5,
+				PacketSize: 1400, WindowSize: 16, PollInterval: 13, MaxRetries: 3},
+			MsgSize:       400000,
+			HelloInterval: time.Millisecond,
+			PeerTimeout:   4 * time.Millisecond,
+			Join:          map[core.NodeID]time.Duration{5: 1500 * time.Microsecond},
+			Leave:         map[core.NodeID]time.Duration{2: 3 * time.Millisecond},
+			Crash:         map[core.NodeID]time.Duration{4: 2 * time.Millisecond},
+		}
+	}
+	a := auditLoopScenario(t, mk())
+
+	joinerCopies := 0
+	for _, d := range a.Deliveries {
+		if d.Rank == 5 {
+			if !d.OK {
+				t.Errorf("late joiner delivery at %v is not byte-identical to the message", d.At)
+			}
+			joinerCopies++
+		}
+	}
+	if joinerCopies != 1 {
+		t.Errorf("late joiner delivered %d copies, want exactly 1", joinerCopies)
+	}
+	if len(a.Left) != 1 || a.Left[0] != 2 {
+		t.Errorf("Left = %v, want [2]", a.Left)
+	}
+	if len(a.Failed) != 1 || a.Failed[0] != 4 {
+		t.Errorf("Failed = %v, want [4]", a.Failed)
+	}
+
+	b, err := live.RunLoopScenario(mk())
+	if err != nil {
+		t.Fatalf("rerun failed: %v", err)
+	}
+	if len(a.Trace) != len(b.Trace) {
+		t.Fatalf("rerun trace length %d != first run %d", len(b.Trace), len(a.Trace))
+	}
+	for i := range a.Trace {
+		if a.Trace[i] != b.Trace[i] {
+			t.Fatalf("trace diverges at event %d: %v vs %v", i, a.Trace[i], b.Trace[i])
+		}
+	}
+	for _, cmp := range []struct {
+		what string
+		x, y []core.NodeID
+	}{
+		{"Delivered", a.Delivered, b.Delivered},
+		{"Failed", a.Failed, b.Failed},
+		{"Left", a.Left, b.Left},
+		{"NeverJoined", a.NeverJoined, b.NeverJoined},
+	} {
+		if fmt.Sprint(cmp.x) != fmt.Sprint(cmp.y) {
+			t.Errorf("rerun %s = %v, first run %v", cmp.what, cmp.y, cmp.x)
+		}
+	}
+}
+
+// TestLoopbackSnapshotLossCaught mutates a clean churn run's trace by
+// deleting one snapshot reception and asserts the membership checker
+// notices the late joiner's delivery is no longer covered by what it
+// received — the catch-up invariant has teeth, not just green runs.
+func TestLoopbackSnapshotLossCaught(t *testing.T) {
+	const joiner = core.NodeID(2)
+	sc := live.LoopScenario{
+		Net: live.LoopConfig{Seed: 0xBADC, Delay: 100 * time.Microsecond,
+			Jitter: 20 * time.Microsecond},
+		Protocol: core.Config{Protocol: core.ProtoACK, NumReceivers: 4,
+			PacketSize: 1400, WindowSize: 8},
+		MsgSize: 400000,
+		Join:    map[core.NodeID]time.Duration{joiner: 1500 * time.Microsecond},
+	}
+	res, err := live.RunLoopScenario(sc)
+	if err != nil {
+		t.Fatalf("scenario failed to run: %v", err)
+	}
+	if vs := check.Analyze(loopRunInfo(t, sc, res), res.Trace); len(vs) != 0 {
+		t.Fatalf("unmutated run not clean: %v", vs)
+	}
+
+	mutated := make([]trace.Event, 0, len(res.Trace))
+	dropped := false
+	for _, e := range res.Trace {
+		if !dropped && e.Node == int(joiner) && e.Dir == trace.Recv && e.Type == packet.TypeSnap {
+			dropped = true
+			continue
+		}
+		mutated = append(mutated, e)
+	}
+	if !dropped {
+		t.Fatalf("no snapshot reception found for joiner %d in %d events", joiner, len(res.Trace))
+	}
+	caught := false
+	for _, v := range check.Analyze(loopRunInfo(t, sc, res), mutated) {
+		if v.Checker == "membership" {
+			caught = true
+		}
+	}
+	if !caught {
+		t.Fatalf("membership checker did not flag the dropped catch-up snapshot")
+	}
 }
 
 // TestLoopbackLossMatrix sweeps every reliable protocol across loss

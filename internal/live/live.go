@@ -471,7 +471,8 @@ func (n *Node) WaitReady(ctx context.Context, peers int) error {
 }
 
 // startSend begins one reliable transfer without blocking. It waits on
-// the event loop for discovery of every receiver, runs the session, and
+// the event loop for discovery of every initially-present receiver
+// (late joiners are admitted when they knock), runs the session, and
 // calls done exactly once with the transfer's outcome: nil on full
 // delivery, a *core.PartialResult when failure detection ejected
 // receivers along the way, or another error when the transfer could not
@@ -484,7 +485,9 @@ func (n *Node) startSend(msg []byte, done func(error)) {
 			done(fmt.Errorf("live: Send on rank %d (only rank 0 sends)", n.cfg.Rank))
 			return
 		}
-		n.whenReady(n.cfg.Protocol.NumReceivers, func() {
+		// Initially-absent ranks (late joiners) are not needed to start:
+		// the session admits them when they knock.
+		n.whenReady(n.cfg.Protocol.NumReceivers-len(n.cfg.Protocol.Absent), func() {
 			n.beginSend(msg, done)
 		})
 	})
@@ -561,6 +564,32 @@ func (n *Node) Send(ctx context.Context, msg []byte) error {
 	case <-n.closing:
 		return errors.New("live: node closed")
 	}
+}
+
+// Join starts the admission handshake on a receiver that was
+// constructed absent (its rank listed in Protocol.Absent): the node
+// asks the sender for admission and, when a transfer is already in
+// flight, catches up on the prefix it missed before following the live
+// stream. The request is retried until the sender answers. No-op on the
+// sender rank or an already-present receiver.
+func (n *Node) Join() {
+	n.post(func() {
+		if r, ok := n.ep.(*core.Receiver); ok {
+			r.Join()
+		}
+	})
+}
+
+// Leave starts the graceful-departure handshake on a receiver: the
+// sender drains this rank's protocol state, announces the departure to
+// the group, and the node goes quiet once the confirmation arrives —
+// no ejection machinery involved. No-op on the sender rank.
+func (n *Node) Leave() {
+	n.post(func() {
+		if r, ok := n.ep.(*core.Receiver); ok {
+			r.Leave()
+		}
+	})
 }
 
 // Recv returns the next fully delivered message on a receiver node.

@@ -29,6 +29,12 @@ type LoopScenario struct {
 	PeerTimeout   time.Duration
 	// Crash closes receiver nodes mid-run: rank → virtual close time.
 	Crash map[core.NodeID]time.Duration
+	// Join schedules late admissions: rank → virtual time the node asks
+	// to join. Join ranks start the run absent — Protocol.Absent is
+	// derived from this map, overriding whatever the caller set.
+	Join map[core.NodeID]time.Duration
+	// Leave schedules graceful departures: rank → virtual leave time.
+	Leave map[core.NodeID]time.Duration
 	// Horizon bounds the virtual run time (default 2 minutes). A
 	// scenario that has not completed by then reports SendDone=false.
 	Horizon time.Duration
@@ -60,6 +66,11 @@ type LoopResult struct {
 	// ascending; Failed lists the ranks the sender ejected, in order.
 	Delivered []core.NodeID
 	Failed    []core.NodeID
+	// Left lists ranks whose graceful leave the sender granted, in
+	// departure order; NeverJoined lists scheduled joiners the sender
+	// never admitted, ascending.
+	Left        []core.NodeID
+	NeverJoined []core.NodeID
 	// Deliveries lists every delivery callback invocation, in order.
 	Deliveries []LoopDelivery
 	// SenderStats is the sender state machine's counters.
@@ -92,6 +103,20 @@ func RunLoopScenario(sc LoopScenario) (*LoopResult, error) {
 	if sc.Horizon == 0 {
 		sc.Horizon = 2 * time.Minute
 	}
+	// Join ranks start the run absent; every node shares the derived
+	// list (the sender seeds its out-set from it, peers their chain
+	// views), exactly as cluster.RunContext derives it from a fault
+	// schedule.
+	if len(sc.Join) > 0 {
+		sc.Protocol.Absent = nil
+		for rank := range sc.Join {
+			sc.Protocol.Absent = append(sc.Protocol.Absent, rank)
+		}
+		sort.Slice(sc.Protocol.Absent, func(i, j int) bool {
+			return sc.Protocol.Absent[i] < sc.Protocol.Absent[j]
+		})
+	}
+
 	ln := NewLoopNet(sc.Net)
 	res := &LoopResult{Message: loopPattern(sc.MsgSize)}
 
@@ -127,19 +152,31 @@ func RunLoopScenario(sc LoopScenario) (*LoopResult, error) {
 		nodes[r] = n
 	}
 
-	// Schedule crashes in rank order so same-instant crashes fire in a
-	// reproducible sequence.
-	var crashRanks []core.NodeID
-	for rank := range sc.Crash {
-		crashRanks = append(crashRanks, rank)
-	}
-	sort.Slice(crashRanks, func(i, j int) bool { return crashRanks[i] < crashRanks[j] })
-	for _, rank := range crashRanks {
-		if int(rank) < 1 || int(rank) >= len(nodes) {
-			return nil, fmt.Errorf("live: crash rank %d out of range", rank)
+	// Schedule failure and membership events in rank order so
+	// same-instant events fire in a reproducible sequence.
+	schedule := func(what string, m map[core.NodeID]time.Duration, act func(*Node)) error {
+		ranks := make([]core.NodeID, 0, len(m))
+		for rank := range m {
+			ranks = append(ranks, rank)
 		}
-		victim := nodes[rank]
-		ln.At(sc.Crash[rank], func() { victim.Close() })
+		sort.Slice(ranks, func(i, j int) bool { return ranks[i] < ranks[j] })
+		for _, rank := range ranks {
+			if int(rank) < 1 || int(rank) >= len(nodes) {
+				return fmt.Errorf("live: %s rank %d out of range", what, rank)
+			}
+			nd := nodes[rank]
+			ln.At(m[rank], func() { act(nd) })
+		}
+		return nil
+	}
+	if err := schedule("crash", sc.Crash, func(nd *Node) { nd.Close() }); err != nil {
+		return nil, err
+	}
+	if err := schedule("join", sc.Join, func(nd *Node) { nd.Join() }); err != nil {
+		return nil, err
+	}
+	if err := schedule("leave", sc.Leave, func(nd *Node) { nd.Leave() }); err != nil {
+		return nil, err
 	}
 
 	sender := nodes[0]
@@ -173,6 +210,8 @@ func RunLoopScenario(sc LoopScenario) (*LoopResult, error) {
 	if sender.snd != nil {
 		res.SenderStats = sender.snd.Stats()
 		res.Failed = append(res.Failed, sender.snd.Failed()...)
+		res.Left = append(res.Left, sender.snd.Left()...)
+		res.NeverJoined = append(res.NeverJoined, sender.snd.NeverJoined()...)
 	}
 	okDelivered := make(map[core.NodeID]bool)
 	for _, d := range res.Deliveries {

@@ -11,7 +11,7 @@ import (
 )
 
 // numTypes sizes the per-packet-type counter arrays.
-const numTypes = int(packet.TypeEject) + 1
+const numTypes = int(packet.TypeLeft) + 1
 
 // Session aggregates the instruments of one multicast session (one
 // cluster.Run, or the lifetime of a live node). All update methods are

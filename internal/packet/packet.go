@@ -41,10 +41,39 @@ const (
 	// sender has declared dead. Tree receivers splice their chains
 	// around it; the ejected node, if merely stalled, goes quiet.
 	TypeEject
+	// TypeJoinReq asks the sender to admit a late-joining receiver.
+	// Unicast, retried until TypeJoinOK arrives.
+	TypeJoinReq
+	// TypeJoinOK admits a joiner: MsgID names the in-flight session,
+	// Seq carries the join base (the first sequence the joiner will see
+	// live; everything below it arrives as snapshot), and Aux the
+	// message size in bytes. Aux == 0 means no session is active and the
+	// joiner simply waits for the next allocation request.
+	TypeJoinOK
+	// TypeJoined announces an admission to the whole group: Aux carries
+	// the admitted rank and Seq the join base. Receivers splice the
+	// newcomer into their chain views; auditors use Seq to seed shadow
+	// trackers without seeing the unicast TypeJoinOK.
+	TypeJoined
+	// TypeSnap carries catch-up data to a late joiner: Seq, Aux (byte
+	// offset), Flags, and Payload are identical to the original data
+	// packet for that sequence, so acknowledgment duties replay.
+	TypeSnap
+	// TypeSnapDel delegates catch-up to a peer: Aux carries the joiner's
+	// rank and Seq the join base; the delegate serves snapshots for
+	// [0, Seq) from its own buffer.
+	TypeSnapDel
+	// TypeLeave asks the sender for a graceful departure. Unicast,
+	// retried until the leaver sees its own TypeLeft.
+	TypeLeave
+	// TypeLeft announces a graceful departure: Aux carries the departed
+	// rank. Receivers splice their chains exactly as for TypeEject; the
+	// leaver goes silent; auditors record the rank as left, not failed.
+	TypeLeft
 )
 
 var typeNames = [...]string{"invalid", "alloc-req", "alloc-ok", "data", "ack", "nak", "hello",
-	"ping", "pong", "eject"}
+	"ping", "pong", "eject", "join-req", "join-ok", "joined", "snap", "snap-del", "leave", "left"}
 
 func (t Type) String() string {
 	if int(t) < len(typeNames) {
@@ -54,7 +83,7 @@ func (t Type) String() string {
 }
 
 // Valid reports whether t is a known packet type.
-func (t Type) Valid() bool { return t > TypeInvalid && t <= TypeEject }
+func (t Type) Valid() bool { return t > TypeInvalid && t <= TypeLeft }
 
 // Flags annotate data packets.
 type Flags uint8
@@ -65,6 +94,9 @@ const (
 	FlagPoll Flags = 1 << iota
 	// FlagLast marks the final data packet of a message.
 	FlagLast
+	// FlagActive on a TypeJoinOK marks an in-flight session the joiner
+	// must catch up on (Aux alone cannot: a zero-byte message is legal).
+	FlagActive
 )
 
 // Header and size constants.
@@ -89,6 +121,11 @@ const (
 //	Data:     Seq = packet sequence, Aux = byte offset, Payload = data
 //	Ack:      Seq = cumulative acknowledgment (next sequence expected)
 //	Nak:      Seq = first missing sequence
+//	JoinOK:   Seq = join base, Aux = message size (0 = no session)
+//	Joined:   Seq = join base, Aux = admitted rank
+//	Snap:     Seq = packet sequence, Aux = byte offset, Payload = data
+//	SnapDel:  Seq = join base, Aux = joiner rank
+//	Left:     Aux = departed rank
 type Packet struct {
 	Type  Type
 	Flags Flags

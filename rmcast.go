@@ -68,6 +68,20 @@ func ParseProtocol(s string) (Protocol, error) { return core.ParseProtocol(s) }
 // receivers of a session.
 type Config = core.Config
 
+// Catchup selects where a late joiner's catch-up snapshots come from
+// (Config.JoinCatchup): the sender itself, or a delegate peer.
+type Catchup = core.Catchup
+
+// The catch-up sources.
+const (
+	CatchupSender = core.CatchupSender
+	CatchupPeer   = core.CatchupPeer
+)
+
+// ParseCatchup converts a catch-up source name ("sender", "peer") to
+// its Catchup value.
+func ParseCatchup(s string) (Catchup, error) { return core.ParseCatchup(s) }
+
 // NodeID identifies a session participant; 0 is the sender.
 type NodeID = core.NodeID
 
@@ -187,17 +201,22 @@ type FaultSchedule = faults.Schedule
 // FaultEvent is one scheduled fault.
 type FaultEvent = faults.Event
 
-// Fault kinds.
+// Fault kinds. FaultJoin and FaultLeave are membership churn: a join
+// rank starts the run absent (Config.Absent is derived from the
+// schedule) and asks to be admitted at the trigger; a leave rank asks
+// for a graceful departure.
 const (
 	FaultCrash = faults.Crash
 	FaultStall = faults.Stall
 	FaultFlap  = faults.Flap
 	FaultBurst = faults.Burst
+	FaultJoin  = faults.Join
+	FaultLeave = faults.Leave
 )
 
 // ParseFaultSchedule parses a comma-separated fault spec, e.g.
-// "crash:7@0.5,stall:3@20ms+40ms,burst:*@0.5+5ms:0.3". See the
-// internal/faults Parse documentation for the grammar.
+// "crash:7@0.5,stall:3@20ms+40ms,burst:*@0.5+5ms:0.3,join:5@0.3". See
+// the internal/faults Parse documentation for the grammar.
 func ParseFaultSchedule(spec string) (*FaultSchedule, error) { return faults.Parse(spec) }
 
 // TCPConfig parameterizes the TCP-like reliable unicast baseline.
