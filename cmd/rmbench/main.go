@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"rmcast/internal/exp"
+	"rmcast/internal/topo"
 )
 
 func main() { os.Exit(run()) }
@@ -45,6 +46,7 @@ func run() int {
 		csv       = flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
 		jsonOut   = flag.Bool("json", false, "emit reports as JSON (one object per experiment)")
 		parallel  = flag.Int("parallel", 0, "simulation workers per experiment: 0/1 serial, -1 = GOMAXPROCS")
+		topoSpec  = flag.String("topo", "", "replace the paper's two-switch testbed with a declarative fabric spec, e.g. fattree:4x8x32@1g,trunk=100m (-topo list prints the canned specs)")
 		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 		memprof   = flag.String("memprofile", "", "write an allocation profile (taken after the sweep) to this file")
 	)
@@ -98,6 +100,26 @@ func run() int {
 	defer stop()
 
 	opts := exp.Options{Quick: *quick, Receivers: *receivers, Seed: *seed, Parallel: *parallel}
+	if *topoSpec == "list" {
+		for _, c := range topo.Canned() {
+			fmt.Printf("%-24s %s\n", c.Spec, c.Note)
+		}
+		return 0
+	}
+	if *topoSpec != "" {
+		spec, err := topo.Parse(*topoSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rmbench: %v\n", err)
+			return 2
+		}
+		// Validate against the largest group the sweeps will build (the
+		// experiments themselves sweep n up to the receiver override).
+		if err := spec.Validate(opts.ReceiverCap() + 1); err != nil {
+			fmt.Fprintf(os.Stderr, "rmbench: %v\n", err)
+			return 2
+		}
+		opts.Topo = &spec
+	}
 	var targets []exp.Experiment
 	if *id == "all" {
 		targets = exp.All()

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +24,7 @@ import (
 	"rmcast/internal/cluster"
 	"rmcast/internal/core"
 	"rmcast/internal/faults"
+	"rmcast/internal/topo"
 	"rmcast/internal/trace"
 	"rmcast/internal/unicast"
 )
@@ -35,8 +37,10 @@ func main() {
 		pktSize   = flag.Int("packet", 8000, "packet payload size in bytes")
 		window    = flag.Int("window", 0, "window size in packets (0 = protocol-appropriate default)")
 		poll      = flag.Int("poll", 0, "NAK poll interval (0 = 85% of window)")
-		height    = flag.Int("height", 6, "flat-tree height")
+		height    = flag.Int("height", 0, "flat-tree height (0 = derive from the topology's switch domains)")
+		rings     = flag.Int("rings", 0, "ring rotation count (0 = single ring, or one per switch domain at >=256 receivers)")
 		topology  = flag.String("topology", "two-switch", "two-switch | single-switch | bus")
+		topoSpec  = flag.String("topo", "", "declarative fabric spec, e.g. fattree:4x8x32@1g,trunk=100m (overrides -topology; -topo list prints the canned specs)")
 		loss      = flag.Float64("loss", 0, "injected frame loss rate (0..1)")
 		seed      = flag.Uint64("seed", 1, "simulation seed")
 		verbose   = flag.Bool("v", false, "print per-host statistics")
@@ -53,6 +57,12 @@ func main() {
 	)
 	flag.Parse()
 
+	if *topoSpec == "list" {
+		for _, c := range topo.Canned() {
+			fmt.Printf("%-24s %s\n", c.Spec, c.Note)
+		}
+		return
+	}
 	validateFlags(*proto, *loss)
 
 	ccfg := cluster.Default(*receivers)
@@ -83,9 +93,19 @@ func main() {
 	default:
 		fatalf("unknown topology %q", *topology)
 	}
+	if *topoSpec != "" {
+		spec, err := topo.Parse(*topoSpec)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := spec.Validate(*receivers + 1); err != nil {
+			fatalf("%v", err)
+		}
+		ccfg.Topo = &spec
+	}
 
 	if *proto == "tcp" {
-		res, err := cluster.RunTCP(ccfg, unicast.DefaultConfig(), *size)
+		res, err := cluster.Run(context.Background(), ccfg, cluster.TCPSpec(unicast.DefaultConfig()), *size)
 		if err != nil {
 			fatalf("%v", err)
 		}
@@ -102,36 +122,39 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
-	w := *window
-	if w == 0 {
-		switch p {
-		case core.ProtoRing:
-			w = *receivers + 20
-		case core.ProtoACK:
-			w = 2
-		default:
-			w = 20
-		}
-	}
-	pi := *poll
-	if pi == 0 {
-		pi = w * 85 / 100
-		if pi < 1 {
-			pi = 1
-		}
-	}
 	pcfg := core.Config{
 		Protocol:        p,
 		NumReceivers:    *receivers,
 		PacketSize:      *pktSize,
-		WindowSize:      w,
-		PollInterval:    pi,
+		WindowSize:      *window,
 		TreeHeight:      *height,
+		NumRings:        *rings,
 		SelectiveRepeat: *selective,
 		NakSuppression:  *naksupp,
 		PaceInterval:    *pace,
 		MaxRetries:      *maxRetry,
 		SessionDeadline: *sessionDl,
+	}
+	// Topology-derived scaling (tree chain height and layout, multi-ring
+	// partitioning, the ring window) fills the knobs still at zero...
+	pcfg = cluster.ScaleForTopology(pcfg, ccfg)
+	// ...and protocol-appropriate defaults cover the rest.
+	if pcfg.WindowSize == 0 {
+		switch p {
+		case core.ProtoRing:
+			pcfg.WindowSize = *receivers + 20
+		case core.ProtoACK:
+			pcfg.WindowSize = 2
+		default:
+			pcfg.WindowSize = 20
+		}
+	}
+	pcfg.PollInterval = *poll
+	if pcfg.PollInterval == 0 {
+		pcfg.PollInterval = pcfg.WindowSize * 85 / 100
+		if pcfg.PollInterval < 1 {
+			pcfg.PollInterval = 1
+		}
 	}
 	if pcfg.JoinCatchup, err = core.ParseCatchup(*catchupF); err != nil {
 		fatalf("%v", err)
@@ -141,7 +164,7 @@ func main() {
 		traceBuf = trace.New(*traceN)
 		ccfg.Trace = traceBuf
 	}
-	res, err := cluster.Run(ccfg, pcfg, *size)
+	res, err := cluster.Run(context.Background(), ccfg, cluster.ProtoSpec(pcfg), *size)
 	if err != nil {
 		if pr, ok := err.(*core.PartialResult); ok {
 			fmt.Printf("partial: delivered=%v failed=%v\n", pr.Delivered, pr.Failed)
@@ -193,6 +216,12 @@ func validateFlags(proto string, loss float64) {
 	}
 	if set["height"] && proto != "tree" {
 		usageError("-height only applies to -proto tree (got -proto %s)", proto)
+	}
+	if set["rings"] && proto != "ring" {
+		usageError("-rings only applies to -proto ring (got -proto %s)", proto)
+	}
+	if set["topo"] && set["topology"] {
+		usageError("-topo and -topology are mutually exclusive (the spec string subsumes the enum)")
 	}
 	if proto != "nak" {
 		for _, f := range []string{"poll", "selective", "naksupp"} {

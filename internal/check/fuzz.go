@@ -9,9 +9,11 @@ import (
 
 	"rmcast/internal/cluster"
 	"rmcast/internal/core"
+	"rmcast/internal/ethernet"
 	"rmcast/internal/exp"
 	"rmcast/internal/faults"
 	"rmcast/internal/rng"
+	"rmcast/internal/topo"
 )
 
 // Case is one point of the chaos harness's configuration space,
@@ -50,14 +52,24 @@ func ParseRepro(s string) (seed uint64, index int, err error) {
 // String is a one-line summary of the scenario for reports.
 func (c Case) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%v n=%d %v pkt=%d msg=%d W=%d",
-		c.Proto.Protocol, c.Cluster.NumReceivers, c.Cluster.Topology,
+	topoStr := c.Cluster.Topology.String()
+	if c.Cluster.Topo != nil {
+		topoStr = c.Cluster.Topo.String()
+	}
+	fmt.Fprintf(&b, "%v n=%d %s pkt=%d msg=%d W=%d",
+		c.Proto.Protocol, c.Cluster.NumReceivers, topoStr,
 		c.Proto.PacketSize, c.MsgSize, c.Proto.WindowSize)
 	if c.Proto.Protocol == core.ProtoNAK {
 		fmt.Fprintf(&b, " poll=%d", c.Proto.PollInterval)
 	}
 	if c.Proto.Protocol == core.ProtoTree {
 		fmt.Fprintf(&b, " H=%d", c.Proto.TreeHeight)
+		if c.Proto.TreeLayout == core.TreeBlocked {
+			b.WriteString(" blocked")
+		}
+	}
+	if c.Proto.NumRings > 1 {
+		fmt.Fprintf(&b, " rings=%d", c.Proto.NumRings)
 	}
 	if c.Proto.JoinCatchup == core.CatchupPeer {
 		b.WriteString(" catchup=peer")
@@ -127,6 +139,14 @@ func DeriveCase(seed uint64, index int) Case {
 		ccfg.Topology = cluster.SingleSwitch
 	}
 
+	// Fabric and protocol-scaling draws come from their own rng stream,
+	// so the classic draws above and below stay on the stream positions
+	// the pinned sweep seeds were tuned against.
+	tr := rng.New(rng.Mix(seed, uint64(index), 0x70B0FA6C))
+	if ccfg.Topology != cluster.SharedBus && tr.Bool(0.35) {
+		ccfg.Topo = deriveTopo(tr, n+1)
+	}
+
 	packetSize := []int{512, 1024, 2048, 4096, 8192, 16384}[r.Intn(6)]
 	var msgSize int
 	switch r.Intn(4) {
@@ -161,6 +181,15 @@ func DeriveCase(seed uint64, index int) Case {
 			pcfg.PaceInterval = time.Duration(20+r.Intn(180)) * time.Microsecond
 		}
 	}
+	// Scaled protocol structure (again on the fabric stream): a
+	// partitioned ring — the ring window draw above already guarantees
+	// w > n ≥ span — or blocked tree chains.
+	if proto == core.ProtoRing && n >= 2 && tr.Bool(0.3) {
+		pcfg.NumRings = 2 + tr.Intn(min(3, n-1))
+	}
+	if proto == core.ProtoTree && tr.Bool(0.3) {
+		pcfg.TreeLayout = core.TreeBlocked
+	}
 
 	if r.Bool(0.45) {
 		ccfg.LossRate = 0.002 + r.Float64()*0.028
@@ -191,6 +220,40 @@ func DeriveCase(seed uint64, index int) Case {
 	}
 
 	return Case{Seed: seed, Index: index, Cluster: ccfg, Proto: pcfg, MsgSize: msgSize}
+}
+
+// deriveTopo draws a small declarative fabric (1-4 switches) with mixed
+// link speeds: gigabit or 100 Mbps edges, trunks sometimes slowed by an
+// explicit rate or an oversubscription ratio. Capacity-bounded shapes
+// size their leaves to fit the drawn host count.
+func deriveTopo(r *rng.Rand, hosts int) *topo.Spec {
+	var s topo.Spec
+	switch r.Intn(4) {
+	case 0:
+		s = topo.SingleSpec()
+	case 1:
+		s = topo.Spec{Kind: topo.Star, Leaves: 2}
+	case 2:
+		s = topo.Spec{Kind: topo.Star, Leaves: 3}
+	default:
+		s = topo.Spec{Kind: topo.FatTree, Spines: 2, Leaves: 2, HostsPerLeaf: (hosts + 1) / 2}
+	}
+	if r.Bool(0.4) {
+		s.EdgeRate = ethernet.Rate1Gbps
+	}
+	if s.Kind != topo.Single {
+		switch r.Intn(3) {
+		case 1:
+			s.Oversub = 2 + r.Intn(3)
+		case 2:
+			if s.EdgeRate == ethernet.Rate1Gbps {
+				s.TrunkRate = ethernet.Rate100Mbps
+			} else {
+				s.TrunkRate = ethernet.Rate10Mbps
+			}
+		}
+	}
+	return &s
 }
 
 // deriveFaults builds a small schedule honoring the runner's

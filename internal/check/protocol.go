@@ -9,14 +9,17 @@ import (
 )
 
 // ringChecker verifies the ring protocol's rotating-responsibility rule:
-// receiver k acknowledges only because its rotation slot (k-1 mod N) is
-// inside its acknowledged prefix, or because it holds the last packet
-// (which everyone acknowledges). Since ring acks are cumulative — cum
-// equals the in-order prefix, enforced by the window checker — a
-// receiver's slot packet is in its prefix exactly when cum >= k.
+// a receiver acknowledges only because one of its rotation slots (its
+// position within its ring, every ring-span packets — the whole group
+// with a single ring) is inside its acknowledged prefix, or because it
+// holds the last packet (which everyone acknowledges). Since ring acks
+// are cumulative — cum equals the in-order prefix, enforced by the
+// window checker — a receiver's first slot is in its prefix exactly
+// when cum >= RingFirstSlot+1.
 type ringChecker struct {
 	violations
 	recvs *recvShadows
+	cfg   core.Config
 }
 
 func newRingChecker() *ringChecker {
@@ -25,6 +28,7 @@ func newRingChecker() *ringChecker {
 
 func (c *ringChecker) Begin(info *RunInfo) {
 	c.recvs = newRecvShadows(info)
+	c.cfg = info.Proto
 }
 
 func (c *ringChecker) Observe(e trace.Event) {
@@ -38,9 +42,9 @@ func (c *ringChecker) Observe(e trace.Event) {
 			e.Node, e.Peer)
 		return
 	}
-	if e.Seq < uint32(e.Node) && !c.recvs.at(e.Node).gotLast {
-		c.addf("receiver %d acknowledged %d out of turn: its rotation slot %d is not covered and it does not hold the last packet",
-			e.Node, e.Seq, e.Node-1)
+	if first := c.cfg.RingFirstSlot(core.NodeID(e.Node)); e.Seq < first+1 && !c.recvs.at(e.Node).gotLast {
+		c.addf("receiver %d acknowledged %d out of turn: its first rotation slot %d is not covered and it does not hold the last packet",
+			e.Node, e.Seq, first)
 	}
 }
 
@@ -92,7 +96,7 @@ func newTreeChecker() *treeChecker {
 }
 
 func (c *treeChecker) Begin(info *RunInfo) {
-	c.tree = core.NewFlatTree(info.Proto.NumReceivers, info.Proto.TreeHeight)
+	c.tree = info.Proto.Tree()
 	c.m = make(map[int]*treeShadow, info.Proto.NumReceivers)
 	c.absent = info.Proto.Absent
 	c.count = info.Count

@@ -1,0 +1,102 @@
+package check
+
+import (
+	"context"
+	"testing"
+
+	"rmcast/internal/cluster"
+	"rmcast/internal/core"
+	"rmcast/internal/topo"
+)
+
+// scaleCase builds one topology-scaled protocol run on a fat-tree
+// fabric: n receivers, every scaling knob (tree height/layout, ring
+// partitioning, ring window) derived from the fabric's switch domains.
+func scaleCase(t *testing.T, spec string, p core.Protocol, n int) (cluster.Config, core.Config) {
+	t.Helper()
+	s, err := topo.Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(n + 1); err != nil {
+		t.Fatal(err)
+	}
+	ccfg := cluster.Default(n)
+	ccfg.Topo = &s
+	pcfg := core.Config{Protocol: p, NumReceivers: n, PacketSize: 4096}
+	if p == core.ProtoTree {
+		pcfg.WindowSize = 20
+	}
+	pcfg = cluster.ScaleForTopology(pcfg, ccfg)
+	return ccfg, pcfg
+}
+
+// runScaleCase executes the case under every invariant checker and
+// requires a clean, complete, verified run.
+func runScaleCase(t *testing.T, ccfg cluster.Config, pcfg core.Config, size int) {
+	t.Helper()
+	out, err := Execute(context.Background(), ccfg, pcfg, size)
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if out.Info.RunErr != nil {
+		t.Fatalf("run error: %v", out.Info.RunErr)
+	}
+	noViolations(t, out.Violations)
+	res := out.Info.Result
+	if res == nil || !res.Completed || !res.Verified {
+		t.Fatalf("result = %+v, want completed and verified", res)
+	}
+	if got := len(out.Info.Deliveries); got != ccfg.NumReceivers {
+		t.Fatalf("%d deliveries, want %d", got, ccfg.NumReceivers)
+	}
+}
+
+// TestScaleSmoke is CI's scale gate: a 256-receiver fat-tree for the
+// topology-scaled tree (blocked chains, height from the leaf domains)
+// and ring (one rotation per leaf, window bounded by the ring span),
+// both under every applicable invariant checker.
+func TestScaleSmoke(t *testing.T) {
+	const spec = "fattree:2x8x33@1g"
+	for _, p := range []core.Protocol{core.ProtoTree, core.ProtoRing} {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			t.Parallel()
+			ccfg, pcfg := scaleCase(t, spec, p, 256)
+			if p == core.ProtoRing && pcfg.NumRings < 2 {
+				t.Fatalf("NumRings = %d at 256 receivers, want a multi-ring derivation", pcfg.NumRings)
+			}
+			if p == core.ProtoTree && pcfg.TreeLayout != core.TreeBlocked {
+				t.Fatalf("TreeLayout = %v, want blocked chains on a fat-tree", pcfg.TreeLayout)
+			}
+			runScaleCase(t, ccfg, pcfg, 64*1024)
+		})
+	}
+}
+
+// TestScaleOneThousand is the headline acceptance case: 1024 receivers
+// on a four-spine fat-tree, tree and multi-ring both completing with
+// all checkers clean. Skipped in -short runs; it simulates ~2100
+// protocol endpoints' full packet streams.
+func TestScaleOneThousand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1k-receiver matrix skipped in -short mode")
+	}
+	const spec = "fattree:4x32x33@1g"
+	for _, p := range []core.Protocol{core.ProtoTree, core.ProtoRing} {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			t.Parallel()
+			ccfg, pcfg := scaleCase(t, spec, p, 1024)
+			if p == core.ProtoRing {
+				if pcfg.NumRings != 32 {
+					t.Fatalf("NumRings = %d, want 32 (one per leaf)", pcfg.NumRings)
+				}
+				if pcfg.WindowSize >= 1024 {
+					t.Fatalf("WindowSize = %d still scales with N; the span bound is broken", pcfg.WindowSize)
+				}
+			}
+			runScaleCase(t, ccfg, pcfg, 64*1024)
+		})
+	}
+}

@@ -147,7 +147,7 @@ func newSenderShadow(info *RunInfo) *senderShadow {
 	var peers []int
 	if info.Proto.Protocol == core.ProtoTree {
 		s.isTree = true
-		s.tree = core.NewFlatTree(info.Proto.NumReceivers, info.Proto.TreeHeight)
+		s.tree = info.Proto.Tree()
 		for _, h := range s.tree.Heads() {
 			if nh, ok := s.tree.HeadAlive(s.tree.Chain(h), out); ok {
 				peers = append(peers, int(nh))

@@ -24,12 +24,12 @@ func TestCalibrationReport(t *testing.T) {
 	report("fig8 TCP 1 receiver", tcp1.Elapsed, 40*time.Millisecond)
 
 	ack := core.Config{Protocol: core.ProtoACK, PacketSize: 50000, WindowSize: 2}
-	m1, err := Run(Default(1), ack, 426502)
+	m1, err := run(Default(1), ack, 426502)
 	if err != nil {
 		t.Fatal(err)
 	}
 	report("fig8 ACK multicast 1 receiver", m1.Elapsed, 60*time.Millisecond)
-	m30, err := Run(Default(30), ack, 426502)
+	m30, err := run(Default(30), ack, 426502)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +55,7 @@ func TestCalibrationReport(t *testing.T) {
 	}
 	report("fig9 raw UDP 32KB", udp.Elapsed, 3*time.Millisecond)
 	ackSmall := core.Config{Protocol: core.ProtoACK, PacketSize: 32768, WindowSize: 2}
-	a32, err := Run(Default(30), ackSmall, 32768)
+	a32, err := run(Default(30), ackSmall, 32768)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,12 +66,12 @@ func TestCalibrationReport(t *testing.T) {
 
 	// Figure 11a anchor: 1-byte message.
 	tiny := core.Config{Protocol: core.ProtoACK, PacketSize: 50000, WindowSize: 2}
-	b1, err := Run(Default(1), tiny, 1)
+	b1, err := run(Default(1), tiny, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	report("fig11a 1B 1 receiver", b1.Elapsed, 400*time.Microsecond)
-	b30, err := Run(Default(30), tiny, 1)
+	b30, err := run(Default(30), tiny, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +93,7 @@ func TestCalibrationReport(t *testing.T) {
 	}
 	var mbps []float64
 	for _, cd := range cands {
-		res, err := Run(Default(30), cd.cfg, twoMB)
+		res, err := run(Default(30), cd.cfg, twoMB)
 		if err != nil {
 			t.Fatalf("%s: %v", cd.name, err)
 		}

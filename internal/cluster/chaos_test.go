@@ -59,7 +59,7 @@ func TestChaosMatrix(t *testing.T) {
 					ccfg.Seed = seed
 					ccfg.Deadline = 10 * time.Second
 					ccfg.Faults = sched
-					res, err := Run(ccfg, chaosConfig(p, n), 1000*1000)
+					res, err := run(ccfg, chaosConfig(p, n), 1000*1000)
 					if err != nil {
 						t.Fatalf("run: %v", err)
 					}
@@ -87,7 +87,7 @@ func TestChaosMatrix(t *testing.T) {
 // TestChaosDeterminism re-runs one crash scenario and demands an
 // identical outcome: same elapsed virtual time, same ejection.
 func TestChaosDeterminism(t *testing.T) {
-	run := func() *Result {
+	once := func() *Result {
 		sched, err := faults.Parse("crash:5@0.5")
 		if err != nil {
 			t.Fatal(err)
@@ -95,13 +95,13 @@ func TestChaosDeterminism(t *testing.T) {
 		ccfg := Default(8)
 		ccfg.Deadline = 10 * time.Second
 		ccfg.Faults = sched
-		res, err := Run(ccfg, chaosConfig(core.ProtoNAK, 8), 300*1000)
+		res, err := run(ccfg, chaosConfig(core.ProtoNAK, 8), 300*1000)
 		if err != nil {
 			t.Fatal(err)
 		}
 		return res
 	}
-	a, b := run(), run()
+	a, b := once(), once()
 	if a.Elapsed != b.Elapsed {
 		t.Errorf("elapsed differs across identical runs: %v vs %v", a.Elapsed, b.Elapsed)
 	}
@@ -127,7 +127,7 @@ func TestStallIsNotDeath(t *testing.T) {
 	cfg := chaosConfig(core.ProtoACK, 8)
 	// A stall of 12 ms against a 10 ms RTO and MaxRetries 3 (plus three
 	// probe rounds) is comfortably inside the detection horizon.
-	res, err := Run(ccfg, cfg, 200*1000)
+	res, err := run(ccfg, cfg, 200*1000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +160,7 @@ func TestSessionDeadline(t *testing.T) {
 	cfg := chaosConfig(core.ProtoACK, 4)
 	cfg.MaxRetries = 0
 	cfg.SessionDeadline = 500 * time.Millisecond
-	res, err := Run(ccfg, cfg, 100*1000)
+	res, err := run(ccfg, cfg, 100*1000)
 	if err != nil {
 		t.Fatalf("session deadline should complete the run, got %v", err)
 	}
@@ -192,7 +192,7 @@ func TestCrashWithoutDetectionTimesOut(t *testing.T) {
 	ccfg.Faults = sched
 	cfg := chaosConfig(core.ProtoACK, 4)
 	cfg.MaxRetries = 0
-	res, err := Run(ccfg, cfg, 100*1000)
+	res, err := run(ccfg, cfg, 100*1000)
 	if err == nil {
 		t.Fatal("want a deadline error")
 	}

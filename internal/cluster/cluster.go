@@ -19,6 +19,7 @@ import (
 	"rmcast/internal/metrics"
 	"rmcast/internal/rng"
 	"rmcast/internal/sim"
+	"rmcast/internal/topo"
 	"rmcast/internal/trace"
 )
 
@@ -55,8 +56,15 @@ func (t Topology) String() string {
 type Config struct {
 	// NumReceivers is the group size; the cluster has NumReceivers+1 hosts.
 	NumReceivers int
-	// Topology is the physical layout.
+	// Topology is the physical layout (legacy enum). Ignored when Topo
+	// is set, except that SharedBus conflicts with it.
 	Topology Topology
+	// Topo, when non-nil, is the declarative switch fabric to build
+	// (see internal/topo): single switch, the paper's two-switch
+	// testbed, star-of-stars, or fat-tree, with per-link speeds and
+	// trunk oversubscription. The canned topo.TwoSwitchSpec and
+	// topo.SingleSpec reproduce the legacy enum layouts wire-for-wire.
+	Topo *topo.Spec
 	// Costs is the per-host CPU cost model.
 	Costs ipnet.CostModel
 	// ReceiverCosts, when non-nil, overrides Costs on the receiver
@@ -208,13 +216,28 @@ func New(cfg Config) (*Cluster, error) {
 		h.JoinGroup(c.group)
 		c.Hosts = append(c.Hosts, h)
 	}
-	switch cfg.Topology {
-	case SharedBus:
-		c.buildBus()
-	case SingleSwitch:
-		c.buildSwitches(1)
-	default:
-		c.buildSwitches(2)
+	spec := cfg.Topo
+	if spec != nil && cfg.Topology == SharedBus {
+		return nil, fmt.Errorf("cluster: Topo and the shared-bus topology are mutually exclusive")
+	}
+	if spec == nil {
+		switch cfg.Topology {
+		case SharedBus:
+			c.buildBus()
+		case SingleSwitch:
+			s := topo.SingleSpec()
+			spec = &s
+		default:
+			s := topo.TwoSwitchSpec()
+			spec = &s
+		}
+	}
+	if spec != nil {
+		layout, err := spec.Layout(len(c.Hosts), cfg.LinkRate)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: %w", err)
+		}
+		c.buildFabric(layout)
 	}
 	if c.inj != nil {
 		c.inj.arm(cfg.Faults)
@@ -232,31 +255,51 @@ func (c *Cluster) switchConfig(name string) ethernet.SwitchConfig {
 	}
 }
 
-// buildSwitches wires hosts to one or two switches per Figure 7: with
-// two switches, hosts 0..15 land on A and 16.. on B.
-func (c *Cluster) buildSwitches(count int) {
-	swA := ethernet.NewSwitch(c.Sim, c.switchConfig("A"))
-	c.Switches = append(c.Switches, swA)
-	swB := swA
-	split := len(c.Hosts) // all on A by default
-	if count == 2 && len(c.Hosts) > 16 {
-		swB = ethernet.NewSwitch(c.Sim, c.switchConfig("B"))
-		c.Switches = append(c.Switches, swB)
-		split = 16
+// buildFabric walks a topo.Layout over the ethernet primitives in the
+// layout's deterministic order: switches, then host ports in rank
+// order, then trunks, then forwarding tables and loss injection. The
+// canned two-switch/single-switch layouts reproduce the legacy builder
+// object-for-object, which is what keeps the golden digests stable.
+func (c *Cluster) buildFabric(l *topo.Layout) {
+	sws := make([]*ethernet.Switch, len(l.Switches))
+	for i, ss := range l.Switches {
+		scfg := c.switchConfig(ss.Name)
+		scfg.PortRate = ss.Rate
+		sws[i] = ethernet.NewSwitch(c.Sim, scfg)
+		c.Switches = append(c.Switches, sws[i])
 	}
-	var aAddrs, bAddrs []ethernet.Addr
 	for i, h := range c.Hosts {
-		sw := swA
-		if i >= split {
-			sw = swB
-			bAddrs = append(bAddrs, h.EthernetAddr())
-		} else {
-			aAddrs = append(aAddrs, h.EthernetAddr())
-		}
+		sw := sws[l.HostSwitch[i]]
 		h.SetTx(c.attachTx(i, sw.ConnectPort(h.EthernetAddr(), c.attachRecv(i, h))))
 	}
-	if swB != swA {
-		swA.ConnectSwitch(swB, aAddrs, bAddrs)
+	trunkPorts := make([][2]*ethernet.SwitchPort, len(l.Trunks))
+	for t, tr := range l.Trunks {
+		tcfg := ethernet.TxConfig{
+			Rate:        tr.Rate,
+			Propagation: c.Cfg.Propagation,
+			QueueCap:    c.Cfg.SwitchQueueCap,
+		}
+		pa, pb := sws[tr.A].ConnectTrunk(sws[tr.B], tcfg, tcfg)
+		if !tr.Flood {
+			// Redundant fat-tree paths: pruned from the flood spanning
+			// tree so multicast cannot loop; unicast still uses them.
+			pa.SetFloodBlock(true)
+			pb.SetFloodBlock(true)
+		}
+		trunkPorts[t] = [2]*ethernet.SwitchPort{pa, pb}
+	}
+	for s := range sws {
+		for i, h := range c.Hosts {
+			t := l.Route(s, i)
+			if t < 0 {
+				continue
+			}
+			p := trunkPorts[t][0]
+			if l.Trunks[t].B == s {
+				p = trunkPorts[t][1]
+			}
+			sws[s].Learn(h.EthernetAddr(), p)
+		}
 	}
 	if c.Cfg.LossRate > 0 {
 		for _, sw := range c.Switches {

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -8,6 +9,12 @@ import (
 	"rmcast/internal/core"
 	"rmcast/internal/unicast"
 )
+
+// run is the 3-argument shape most of these tests were written
+// against, now a shim over the unified context-first Run API.
+func run(ccfg Config, pcfg core.Config, size int) (*Result, error) {
+	return Run(context.Background(), ccfg, ProtoSpec(pcfg), size)
+}
 
 // protoConfig builds a reasonable protocol config for the given protocol
 // on n receivers.
@@ -33,7 +40,7 @@ func TestAllProtocolsDeliverOnTestbed(t *testing.T) {
 	for _, p := range []core.Protocol{core.ProtoACK, core.ProtoNAK, core.ProtoRing, core.ProtoTree} {
 		for _, size := range []int{1, 500, 8000, 100000} {
 			t.Run(fmt.Sprintf("%v/size=%d", p, size), func(t *testing.T) {
-				res, err := Run(Default(6), protoConfig(p, 6), size)
+				res, err := run(Default(6), protoConfig(p, 6), size)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -50,7 +57,7 @@ func TestAllProtocolsDeliverOnTestbed(t *testing.T) {
 
 func TestPaperScaleThirtyReceivers(t *testing.T) {
 	// The full Figure 7 testbed: 30 receivers across two switches.
-	res, err := Run(Default(30), protoConfig(core.ProtoNAK, 30), 500*1024)
+	res, err := run(Default(30), protoConfig(core.ProtoNAK, 30), 500*1024)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +77,7 @@ func TestPaperScaleThirtyReceivers(t *testing.T) {
 
 func TestErrorFreeRunHasNoRetransmissions(t *testing.T) {
 	for _, p := range []core.Protocol{core.ProtoACK, core.ProtoNAK, core.ProtoRing, core.ProtoTree} {
-		res, err := Run(Default(10), protoConfig(p, 10), 200000)
+		res, err := run(Default(10), protoConfig(p, 10), 200000)
 		if err != nil {
 			t.Fatalf("%v: %v", p, err)
 		}
@@ -95,7 +102,7 @@ func TestTable2ControlPacketCounts(t *testing.T) {
 		{core.ProtoNAK, float64(n) / 17, 0.5}, // poll interval 17
 		{core.ProtoRing, 1, 0.25},             // +N on the last packet amortized
 	} {
-		res, err := Run(Default(n), protoConfig(tc.proto, n), size)
+		res, err := run(Default(n), protoConfig(tc.proto, n), size)
 		if err != nil {
 			t.Fatalf("%v: %v", tc.proto, err)
 		}
@@ -109,7 +116,7 @@ func TestTable2ControlPacketCounts(t *testing.T) {
 	// Tree: the sender hears only chain heads — about N/H ack streams.
 	cfg := protoConfig(core.ProtoTree, n)
 	cfg.TreeHeight = 5
-	res, err := Run(Default(n), cfg, size)
+	res, err := run(Default(n), cfg, size)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +131,7 @@ func TestLossInjectionRecovers(t *testing.T) {
 		ccfg := Default(5)
 		ccfg.LossRate = 0.01
 		ccfg.Seed = 77
-		res, err := Run(ccfg, protoConfig(p, 5), 300000)
+		res, err := run(ccfg, protoConfig(p, 5), 300000)
 		if err != nil {
 			t.Fatalf("%v under loss: %v", p, err)
 		}
@@ -161,7 +168,7 @@ func TestMulticastBeatsTCPForManyReceivers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mc, err := Run(Default(10), protoConfig(core.ProtoACK, 10), size)
+	mc, err := run(Default(10), protoConfig(core.ProtoACK, 10), size)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,7 +191,7 @@ func TestRawUDPBaseline(t *testing.T) {
 func TestSharedBusTopology(t *testing.T) {
 	ccfg := Default(5)
 	ccfg.Topology = SharedBus
-	res, err := Run(ccfg, protoConfig(core.ProtoNAK, 5), 100000)
+	res, err := run(ccfg, protoConfig(core.ProtoNAK, 5), 100000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,7 +203,7 @@ func TestSharedBusTopology(t *testing.T) {
 func TestSingleSwitchTopology(t *testing.T) {
 	ccfg := Default(5)
 	ccfg.Topology = SingleSwitch
-	res, err := Run(ccfg, protoConfig(core.ProtoACK, 5), 100000)
+	res, err := run(ccfg, protoConfig(core.ProtoACK, 5), 100000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,7 +215,7 @@ func TestSingleSwitchTopology(t *testing.T) {
 func TestDeadlineAborts(t *testing.T) {
 	ccfg := Default(3)
 	ccfg.Deadline = time.Millisecond // absurdly short
-	_, err := Run(ccfg, protoConfig(core.ProtoACK, 3), 5_000_000)
+	_, err := run(ccfg, protoConfig(core.ProtoACK, 3), 5_000_000)
 	if err == nil {
 		t.Fatal("5 MB in 1 ms of virtual time should have hit the deadline")
 	}

@@ -36,11 +36,11 @@ func TestRunDeterministicAcrossRepeats(t *testing.T) {
 		c := c
 		t.Run(c.name, func(t *testing.T) {
 			t.Parallel()
-			a, err := Run(c.mk(), c.pcfg, c.size)
+			a, err := run(c.mk(), c.pcfg, c.size)
 			if err != nil {
 				t.Fatalf("first run: %v", err)
 			}
-			b, err := Run(c.mk(), c.pcfg, c.size)
+			b, err := run(c.mk(), c.pcfg, c.size)
 			if err != nil {
 				t.Fatalf("second run: %v", err)
 			}

@@ -65,7 +65,7 @@ func digestRun(t *testing.T, ccfg Config, pcfg core.Config, size int) string {
 	t.Helper()
 	tb := trace.New(1 << 20)
 	ccfg.Trace = tb
-	res, err := Run(ccfg, pcfg, size)
+	res, err := run(ccfg, pcfg, size)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}

@@ -179,7 +179,7 @@ func TestChurnDeterministic(t *testing.T) {
 	run := func() *cluster.Result {
 		sc := churnScenarios(t)["mixed-join-leave-crash"]
 		ccfg, pcfg, size := sc.mk()
-		res, err := cluster.Run(ccfg, pcfg, size)
+		res, err := cluster.Run(context.Background(), ccfg, cluster.ProtoSpec(pcfg), size)
 		if err != nil {
 			t.Fatalf("run: %v", err)
 		}

@@ -66,16 +66,83 @@ func MakeMessage(n int) []byte {
 	return b
 }
 
-// Run builds a fresh testbed from ccfg and transfers one msgSize-byte
-// message under pcfg. pcfg.NumReceivers is forced to the cluster size.
-func Run(ccfg Config, pcfg core.Config, msgSize int) (*Result, error) {
-	return RunContext(context.Background(), ccfg, pcfg, msgSize)
+// Spec selects what Run executes: one of the reliable multicast
+// protocols, the sequential-TCP baseline, or the raw-UDP baseline.
+// Build one with ProtoSpec, TCPSpec, or RawUDPSpec.
+type Spec struct {
+	kind   specKind
+	proto  core.Config
+	tcp    unicast.Config
+	rawPkt int
 }
 
-// RunContext is Run with cancellation: the simulation loop aborts at the
-// next checkpoint once ctx is done, returning the partial Result and the
-// context's error.
+type specKind int
+
+const (
+	specZero specKind = iota
+	specProto
+	specTCP
+	specRawUDP
+)
+
+// ProtoSpec runs one of the studied reliable multicast protocols (or
+// ProtoRawUDP) under cfg.
+func ProtoSpec(cfg core.Config) Spec { return Spec{kind: specProto, proto: cfg} }
+
+// TCPSpec runs the Figure 8 baseline: one TCP-like unicast stream per
+// receiver, sequentially. The cluster's cost model is replaced by
+// TCPCosts.
+func TCPSpec(tcp unicast.Config) Spec { return Spec{kind: specTCP, tcp: tcp} }
+
+// RawUDPSpec runs the Figure 9 baseline: unreliable UDP multicast in
+// packetSize-byte datagrams.
+func RawUDPSpec(packetSize int) Spec { return Spec{kind: specRawUDP, rawPkt: packetSize} }
+
+// String names the transfer the spec describes.
+func (s Spec) String() string {
+	switch s.kind {
+	case specProto:
+		return s.proto.Protocol.String()
+	case specTCP:
+		return "tcp"
+	case specRawUDP:
+		return "rawudp"
+	default:
+		return "unset"
+	}
+}
+
+// Run is the single entry point for simulated transfers: it builds a
+// fresh testbed from ccfg and transfers one msgSize-byte message as
+// spec directs. The protocol config's NumReceivers is forced to the
+// cluster size. The simulation loop aborts at the next checkpoint once
+// ctx is done, returning the partial Result and the context's error.
+func Run(ctx context.Context, ccfg Config, spec Spec, msgSize int) (*Result, error) {
+	switch spec.kind {
+	case specProto:
+		return runProtocol(ctx, ccfg, spec.proto, msgSize)
+	case specTCP:
+		return runTCP(ctx, ccfg, spec.tcp, msgSize)
+	case specRawUDP:
+		return runProtocol(ctx, ccfg, core.Config{
+			Protocol:     core.ProtoRawUDP,
+			NumReceivers: ccfg.NumReceivers,
+			PacketSize:   spec.rawPkt,
+		}, msgSize)
+	default:
+		return nil, fmt.Errorf("cluster: Run called with a zero Spec; use ProtoSpec, TCPSpec, or RawUDPSpec")
+	}
+}
+
+// RunContext runs one reliable multicast transfer.
+//
+// Deprecated: use Run with ProtoSpec.
 func RunContext(ctx context.Context, ccfg Config, pcfg core.Config, msgSize int) (*Result, error) {
+	return Run(ctx, ccfg, ProtoSpec(pcfg), msgSize)
+}
+
+// runProtocol executes a reliable multicast (or raw UDP) session.
+func runProtocol(ctx context.Context, ccfg Config, pcfg core.Config, msgSize int) (*Result, error) {
 	pcfg.NumReceivers = ccfg.NumReceivers
 	if ccfg.Faults != nil && ccfg.Faults.HasChurn() {
 		if pcfg.Protocol == core.ProtoRawUDP {
@@ -304,12 +371,21 @@ func RunContext(ctx context.Context, ccfg Config, pcfg core.Config, msgSize int)
 // to each receiver in turn over a TCP-like reliable unicast stream (what
 // a TCP-based broadcast in an MPI library amounts to). The returned
 // Result's Elapsed covers all transfers end to end.
+//
+// Deprecated: use Run with TCPSpec.
 func RunTCP(ccfg Config, ucfg unicast.Config, msgSize int) (*Result, error) {
-	return RunTCPContext(context.Background(), ccfg, ucfg, msgSize)
+	return Run(context.Background(), ccfg, TCPSpec(ucfg), msgSize)
 }
 
-// RunTCPContext is RunTCP with cancellation.
+// RunTCPContext runs the TCP baseline with cancellation.
+//
+// Deprecated: use Run with TCPSpec.
 func RunTCPContext(ctx context.Context, ccfg Config, ucfg unicast.Config, msgSize int) (*Result, error) {
+	return Run(ctx, ccfg, TCPSpec(ucfg), msgSize)
+}
+
+// runTCP executes the sequential-unicast baseline.
+func runTCP(ctx context.Context, ccfg Config, ucfg unicast.Config, msgSize int) (*Result, error) {
 	ccfg.Costs = TCPCosts()
 	if ccfg.Metrics == nil {
 		ccfg.Metrics = metrics.NewSession()
@@ -392,16 +468,16 @@ func RunTCPContext(ctx context.Context, ccfg Config, ucfg unicast.Config, msgSiz
 	return res, nil
 }
 
-// RunRawUDP is a convenience wrapper running the unreliable baseline.
+// RunRawUDP runs the unreliable baseline.
+//
+// Deprecated: use Run with RawUDPSpec.
 func RunRawUDP(ccfg Config, packetSize, msgSize int) (*Result, error) {
-	return RunRawUDPContext(context.Background(), ccfg, packetSize, msgSize)
+	return Run(context.Background(), ccfg, RawUDPSpec(packetSize), msgSize)
 }
 
-// RunRawUDPContext is RunRawUDP with cancellation.
+// RunRawUDPContext runs the unreliable baseline with cancellation.
+//
+// Deprecated: use Run with RawUDPSpec.
 func RunRawUDPContext(ctx context.Context, ccfg Config, packetSize, msgSize int) (*Result, error) {
-	return RunContext(ctx, ccfg, core.Config{
-		Protocol:     core.ProtoRawUDP,
-		NumReceivers: ccfg.NumReceivers,
-		PacketSize:   packetSize,
-	}, msgSize)
+	return Run(ctx, ccfg, RawUDPSpec(packetSize), msgSize)
 }

@@ -1,0 +1,304 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"rmcast/internal/core"
+	"rmcast/internal/ethernet"
+	"rmcast/internal/topo"
+)
+
+// TestCannedSpecsMatchLegacyEnums is the API-redesign contract: building
+// the fabric from the canned declarative specs produces byte-identical
+// simulations to the legacy Topology enums, digest for digest.
+func TestCannedSpecsMatchLegacyEnums(t *testing.T) {
+	cases := goldenCases()
+	for name, enum := range map[string]struct {
+		golden string
+		spec   topo.Spec
+	}{
+		"two-switch/ack":  {"ack", topo.TwoSwitchSpec()},
+		"two-switch/ring": {"ring", topo.TwoSwitchSpec()},
+		"two-switch/tree": {"tree", topo.TwoSwitchSpec()},
+	} {
+		name, enum := name, enum
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			ccfg, pcfg, size := cases[enum.golden]()
+			spec := enum.spec
+			ccfg.Topo = &spec
+			got := digestRun(t, ccfg, pcfg, size)
+			if want := goldenDigests[enum.golden]; got != want {
+				t.Errorf("spec %v digest diverges from the %q golden:\n got  %s\n want %s",
+					spec, enum.golden, got, want)
+			}
+		})
+	}
+	// Single switch: no pinned golden, so compare enum against spec
+	// directly.
+	t.Run("single-switch/nak", func(t *testing.T) {
+		mk := func() (Config, core.Config, int) {
+			ccfg := Default(12)
+			ccfg.LossRate = 0.005
+			return ccfg, core.Config{Protocol: core.ProtoNAK, PacketSize: 8000, WindowSize: 20, PollInterval: 17}, 150000
+		}
+		ccfg, pcfg, size := mk()
+		ccfg.Topology = SingleSwitch
+		wantDigest := digestRun(t, ccfg, pcfg, size)
+		ccfg, pcfg, size = mk()
+		spec := topo.SingleSpec()
+		ccfg.Topo = &spec
+		if got := digestRun(t, ccfg, pcfg, size); got != wantDigest {
+			t.Errorf("single spec digest diverges from the enum:\n got  %s\n want %s", got, wantDigest)
+		}
+	})
+}
+
+// TestFabricDeterminism re-runs one fat-tree transfer and demands a
+// byte-identical digest: spec expansion and fabric construction are
+// fully deterministic.
+func TestFabricDeterminism(t *testing.T) {
+	mk := func() (Config, core.Config, int) {
+		ccfg := Default(30)
+		ccfg.LossRate = 0.01
+		spec, err := topo.Parse("fattree:2x4x16@100m")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ccfg.Topo = &spec
+		return ccfg, core.Config{Protocol: core.ProtoNAK, PacketSize: 8000, WindowSize: 50, PollInterval: 43}, 200000
+	}
+	ccfg, pcfg, size := mk()
+	a := digestRun(t, ccfg, pcfg, size)
+	ccfg, pcfg, size = mk()
+	b := digestRun(t, ccfg, pcfg, size)
+	if a != b {
+		t.Fatalf("identical fat-tree runs hashed differently: %s vs %s", a, b)
+	}
+}
+
+// TestFabricsDeliverAllProtocols drives every protocol family over the
+// star-of-stars and fat-tree fabrics, with the scaling helper deriving
+// the protocol structure from the switch domains.
+func TestFabricsDeliverAllProtocols(t *testing.T) {
+	for _, specStr := range []string{
+		"star:4x16@100m",
+		"fattree:2x4x16@100m",
+		"fattree:2x4x16@100m,trunk=1g",
+	} {
+		for _, p := range []core.Protocol{core.ProtoACK, core.ProtoNAK, core.ProtoRing, core.ProtoTree} {
+			specStr, p := specStr, p
+			t.Run(fmt.Sprintf("%s/%v", specStr, p), func(t *testing.T) {
+				t.Parallel()
+				spec, err := topo.Parse(specStr)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ccfg := Default(40)
+				ccfg.Topo = &spec
+				pcfg := protoConfig(p, 40)
+				pcfg.TreeHeight = 0 // let the topology derive chain height
+				pcfg = ScaleForTopology(pcfg, ccfg)
+				if pcfg.WindowSize == 0 {
+					pcfg.WindowSize = 20
+				}
+				res, err := run(ccfg, pcfg, 200000)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !res.Completed || !res.Verified {
+					t.Fatalf("completed=%v verified=%v", res.Completed, res.Verified)
+				}
+			})
+		}
+	}
+}
+
+// TestOversubscribedTrunkSlows pins the physical meaning of the oversub
+// knob: squeezing the star's trunks by 10x makes the same transfer
+// measurably slower, and an explicit trunk= rate does the same.
+func TestOversubscribedTrunkSlows(t *testing.T) {
+	elapsed := func(specStr string) time.Duration {
+		spec, err := topo.Parse(specStr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ccfg := Default(20)
+		ccfg.Topo = &spec
+		res, err := run(ccfg, protoConfig(core.ProtoNAK, 20), 400000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Verified {
+			t.Fatalf("%s: delivery corrupted", specStr)
+		}
+		return res.Elapsed
+	}
+	full := elapsed("star:4x8@100m")
+	squeezed := elapsed("star:4x8@100m,over=10")
+	if squeezed <= full {
+		t.Errorf("10x oversubscribed trunks (%v) not slower than full-rate trunks (%v)", squeezed, full)
+	}
+	explicit := elapsed("star:4x8@100m,trunk=10m")
+	if explicit != squeezed {
+		t.Errorf("trunk=10m (%v) and over=10 (%v) should build identical fabrics", explicit, squeezed)
+	}
+}
+
+// TestTrunkRouteSpreading checks that fat-tree unicast actually crosses
+// more than one spine: both spines forward traffic in a 2-spine fabric.
+func TestTrunkRouteSpreading(t *testing.T) {
+	spec, err := topo.Parse("fattree:2x4x8@100m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccfg := Default(30)
+	ccfg.Topo = &spec
+	res, err := run(ccfg, protoConfig(core.ProtoACK, 30), 200000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verified {
+		t.Fatal("delivery corrupted")
+	}
+	if len(res.SwitchStats) != 6 {
+		t.Fatalf("switch count = %d, want 6 (4 leaves + 2 spines)", len(res.SwitchStats))
+	}
+	for sp := 4; sp < 6; sp++ {
+		if res.SwitchStats[sp].Forwarded == 0 {
+			t.Errorf("spine %d forwarded no unicast frames; equal-cost spreading is broken", sp)
+		}
+	}
+}
+
+// TestTopoConflictsWithSharedBus: the declarative spec describes switch
+// fabrics; combining it with the shared-bus enum must fail loudly.
+func TestTopoConflictsWithSharedBus(t *testing.T) {
+	spec := topo.SingleSpec()
+	ccfg := Default(4)
+	ccfg.Topology = SharedBus
+	ccfg.Topo = &spec
+	if _, err := New(ccfg); err == nil {
+		t.Fatal("New accepted Topo together with SharedBus")
+	}
+}
+
+// TestScaleForTopology pins the derivation rules: structure follows the
+// switch domains, and caller-set knobs are never overridden.
+func TestScaleForTopology(t *testing.T) {
+	star, err := topo.Parse("star:4x16@100m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bigFT, err := topo.Parse("fattree:4x32x33@1g")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("tree-height-from-domains", func(t *testing.T) {
+		ccfg := Default(40)
+		ccfg.Topo = &star
+		pcfg := ScaleForTopology(core.Config{Protocol: core.ProtoTree, NumReceivers: 40}, ccfg)
+		// 41 hosts sequentially filled at 16/leaf: domains 16,16,9.
+		if pcfg.TreeHeight != 16 {
+			t.Errorf("TreeHeight = %d, want 16 (largest domain)", pcfg.TreeHeight)
+		}
+		if pcfg.TreeLayout != core.TreeBlocked {
+			t.Errorf("TreeLayout = %v, want blocked on a multi-switch fabric", pcfg.TreeLayout)
+		}
+	})
+	t.Run("tree-caller-wins", func(t *testing.T) {
+		ccfg := Default(40)
+		ccfg.Topo = &star
+		pcfg := ScaleForTopology(core.Config{Protocol: core.ProtoTree, NumReceivers: 40, TreeHeight: 3}, ccfg)
+		if pcfg.TreeHeight != 3 || pcfg.TreeLayout != core.TreeInterleave {
+			t.Errorf("caller's TreeHeight/TreeLayout overridden: H=%d layout=%v", pcfg.TreeHeight, pcfg.TreeLayout)
+		}
+	})
+	t.Run("multi-ring-at-scale", func(t *testing.T) {
+		ccfg := Default(1024)
+		ccfg.Topo = &bigFT
+		pcfg := ScaleForTopology(core.Config{Protocol: core.ProtoRing, NumReceivers: 1024}, ccfg)
+		if pcfg.NumRings != 32 {
+			t.Errorf("NumRings = %d, want 32 (one per leaf)", pcfg.NumRings)
+		}
+		if span := pcfg.RingSpan(); pcfg.WindowSize != span+20 {
+			t.Errorf("WindowSize = %d, want span+20 = %d", pcfg.WindowSize, span+20)
+		}
+	})
+	t.Run("small-ring-stays-single", func(t *testing.T) {
+		ccfg := Default(40)
+		ccfg.Topo = &star
+		pcfg := ScaleForTopology(core.Config{Protocol: core.ProtoRing, NumReceivers: 40}, ccfg)
+		if pcfg.NumRings != 0 {
+			t.Errorf("NumRings = %d below the multi-ring threshold, want 0", pcfg.NumRings)
+		}
+	})
+	t.Run("shared-bus-untouched", func(t *testing.T) {
+		ccfg := Default(8)
+		ccfg.Topology = SharedBus
+		in := core.Config{Protocol: core.ProtoTree, NumReceivers: 8}
+		got := ScaleForTopology(in, ccfg)
+		if got.TreeHeight != 0 || got.TreeLayout != core.TreeInterleave || got.NumRings != 0 {
+			t.Errorf("shared-bus config mutated: %+v", got)
+		}
+	})
+}
+
+// TestMultiRingDelivers runs the partitioned ring on a fabric where the
+// rings align with the leaves, under loss, and checks every ring
+// geometry invariant holds at delivery.
+func TestMultiRingDelivers(t *testing.T) {
+	spec, err := topo.Parse("fattree:2x4x16@100m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccfg := Default(40)
+	ccfg.Topo = &spec
+	ccfg.LossRate = 0.005
+	pcfg := core.Config{
+		Protocol:     core.ProtoRing,
+		NumReceivers: 40,
+		PacketSize:   8000,
+		NumRings:     4,
+		WindowSize:   12, // span is ceil(40/4) = 10; 12 > 10 satisfies the bound
+	}
+	res, err := run(ccfg, pcfg, 300000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed || !res.Verified {
+		t.Fatalf("multi-ring under loss: completed=%v verified=%v", res.Completed, res.Verified)
+	}
+}
+
+// TestMixedRateFabric runs gigabit edges over 100 Mbps trunks — the
+// "fast leaves, slow core" shape — and expects both completion and a
+// faster transfer than the all-100m fabric (local receivers are served
+// at edge rate).
+func TestMixedRateFabric(t *testing.T) {
+	elapsed := func(specStr string) time.Duration {
+		spec, err := topo.Parse(specStr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ccfg := Default(24)
+		ccfg.Topo = &spec
+		ccfg.LinkRate = ethernet.Rate100Mbps
+		res, err := run(ccfg, protoConfig(core.ProtoNAK, 24), 400000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Verified {
+			t.Fatalf("%s: corrupted", specStr)
+		}
+		return res.Elapsed
+	}
+	slow := elapsed("star:2x16@100m")
+	fast := elapsed("star:2x16@1g,trunk=100m")
+	if fast >= slow {
+		t.Errorf("gigabit edges (%v) not faster than 100m edges (%v)", fast, slow)
+	}
+}

@@ -115,6 +115,20 @@ type Config struct {
 	// H=1 degenerates to the ACK-based protocol; H=NumReceivers is a
 	// single chain.
 	TreeHeight int
+	// TreeLayout selects the rank-to-chain assignment (tree protocol
+	// only): the paper's interleaved round-robin numbering (the
+	// default), or blocked contiguous ranks, which keeps each chain
+	// inside one switch domain when the runner places consecutive ranks
+	// on the same leaf switch. See FlatTree.
+	TreeLayout TreeLayout
+	// NumRings partitions the ring protocol's rotation into that many
+	// rings of contiguous ranks (ring protocol only). Zero or one is
+	// the paper's single rotation over all N receivers; R>1 rotates
+	// responsibility independently inside each ring, so every packet
+	// draws R acknowledgments instead of one while the window
+	// requirement shrinks from N to the ring span ceil(N/R) — the knob
+	// that lets the ring protocol scale past a few hundred receivers.
+	NumRings int
 	// RetransTimeout is the sender-driven retransmission timeout.
 	RetransTimeout time.Duration
 	// AllocTimeout is the retransmission timeout for the buffer
@@ -188,6 +202,28 @@ type Config struct {
 	Absent []NodeID
 	// JoinCatchup selects who serves a late joiner the prefix it missed.
 	JoinCatchup Catchup
+}
+
+// TreeLayout selects how tree-protocol ranks map onto chains.
+type TreeLayout int
+
+const (
+	// TreeInterleave is the paper's Figure 5 round-robin numbering.
+	TreeInterleave TreeLayout = iota
+	// TreeBlocked assigns contiguous rank blocks to each chain,
+	// aligning chains with switch domains under contiguous placement.
+	TreeBlocked
+)
+
+func (t TreeLayout) String() string {
+	switch t {
+	case TreeInterleave:
+		return "interleave"
+	case TreeBlocked:
+		return "blocked"
+	default:
+		return fmt.Sprintf("treelayout(%d)", int(t))
+	}
 }
 
 // Catchup selects the late-join catch-up source.
@@ -266,14 +302,29 @@ func (c Config) Normalize() (Config, error) {
 				c.PollInterval, c.WindowSize)
 		}
 	case ProtoRing:
-		if c.WindowSize <= c.NumReceivers {
-			return c, fmt.Errorf("core: ring protocol requires WindowSize > NumReceivers (%d <= %d): "+
-				"an ACK for packet X only frees packet X-N", c.WindowSize, c.NumReceivers)
+		if c.NumRings > c.NumReceivers {
+			return c, fmt.Errorf("core: NumRings %d exceeds NumReceivers %d", c.NumRings, c.NumReceivers)
+		}
+		if c.WindowSize <= c.RingSpan() {
+			return c, fmt.Errorf("core: ring protocol requires WindowSize > ring span (%d <= %d): "+
+				"an ACK for packet X only frees packet X-span", c.WindowSize, c.RingSpan())
 		}
 	case ProtoTree:
 		if c.TreeHeight < 1 || c.TreeHeight > c.NumReceivers {
 			return c, fmt.Errorf("core: TreeHeight %d out of range [1,%d]", c.TreeHeight, c.NumReceivers)
 		}
+	}
+	if c.NumRings < 0 {
+		return c, errors.New("core: NumRings must be >= 0")
+	}
+	if c.NumRings > 0 && c.Protocol != ProtoRing {
+		return c, fmt.Errorf("core: NumRings only applies to the ring protocol (got %v)", c.Protocol)
+	}
+	if c.TreeLayout < TreeInterleave || c.TreeLayout > TreeBlocked {
+		return c, fmt.Errorf("core: invalid TreeLayout %d", int(c.TreeLayout))
+	}
+	if c.TreeLayout != TreeInterleave && c.Protocol != ProtoTree {
+		return c, fmt.Errorf("core: TreeLayout only applies to the tree protocol (got %v)", c.Protocol)
 	}
 	if c.RetransTimeout == 0 {
 		c.RetransTimeout = DefaultRetransTimeout
@@ -368,13 +419,62 @@ func (p *PartialResult) Error() string {
 // Unwrap exposes the underlying cause to errors.Is/As.
 func (p *PartialResult) Unwrap() error { return p.Err }
 
+// RingCount returns the effective number of rings (at least 1).
+func (c Config) RingCount() int {
+	if c.NumRings > 1 {
+		return c.NumRings
+	}
+	return 1
+}
+
+// RingSpan returns the rotation period: the size of the largest ring,
+// ceil(N/R). The Go-Back-N window must exceed it, since a member's
+// acknowledgment for packet X only frees packet X-span.
+func (c Config) RingSpan() int {
+	r := c.RingCount()
+	return (c.NumReceivers + r - 1) / r
+}
+
+// ringGeom returns rank's ring geometry: its 0-based position within
+// its ring and the ring's size. Rings are contiguous rank blocks of
+// RingSpan members (the last ring may be smaller).
+func (c Config) ringGeom(rank NodeID) (pos, size int) {
+	k := c.RingSpan()
+	first := (int(rank) - 1) / k * k
+	size = c.NumReceivers - first
+	if size > k {
+		size = k
+	}
+	return (int(rank) - 1) - first, size
+}
+
 // RingResponsible reports whether receiver rank's rotation slot covers
-// sequence seq under the ring protocol: receiver k acknowledges packets
-// k-1, k-1+N, k-1+2N, ... This is the single definition shared by the
-// receiver state machine and the ring invariant checker, so the checker
-// can never drift from the protocol.
+// sequence seq under the ring protocol. With a single ring, receiver k
+// acknowledges packets k-1, k-1+N, k-1+2N, ...; with R>1 rings the
+// same rotation runs independently inside each contiguous rank block,
+// so each packet is acknowledged by one member of every ring. This is
+// the single definition shared by the receiver state machine and the
+// ring invariant checker, so the checker can never drift from the
+// protocol.
 func (c Config) RingResponsible(rank NodeID, seq uint32) bool {
-	return int(seq)%c.NumReceivers == int(rank)-1
+	pos, size := c.ringGeom(rank)
+	return int(seq)%size == pos
+}
+
+// RingFirstSlot returns the lowest sequence rank's rotation slot
+// covers — its position within its ring. The ring checker uses it: a
+// rotation acknowledgment from rank for a sequence below this could
+// not have been produced by the responsibility rule.
+func (c Config) RingFirstSlot(rank NodeID) uint32 {
+	pos, _ := c.ringGeom(rank)
+	return uint32(pos)
+}
+
+// Tree returns the flat-tree structure the configuration describes —
+// the single definition shared by the sender, the receivers, and the
+// tree invariant checker's shadows.
+func (c Config) Tree() FlatTree {
+	return FlatTree{N: c.NumReceivers, H: c.TreeHeight, Blocked: c.TreeLayout == TreeBlocked}
 }
 
 // PacketCount returns the number of data packets for a message of size

@@ -8,19 +8,28 @@ package core
 // transmission in flight — the maximum number of simultaneous
 // transmissions is N/H.
 //
-// Receivers rank 1..N are assigned round-robin: chain c (0-based)
-// contains ranks c+1, c+1+numChains, c+1+2·numChains, ...
+// Two rank-to-chain assignments exist. The paper's interleaved
+// numbering (the default) assigns round-robin: chain c (0-based)
+// contains ranks c+1, c+1+numChains, c+1+2·numChains, ... The blocked
+// layout assigns contiguous ranks: chain c contains c·H+1 .. c·H+H.
+// Blocked chains align with physical switch domains when the runner
+// places consecutive ranks on the same leaf switch, so each chain's
+// hop-by-hop ack relay stays inside one switch and only the chain
+// heads' reports cross the fabric — the topology-aware aggregation the
+// scale experiments use.
 //
 // H=1 yields N single-node chains: every receiver reports directly to
 // the sender, which is exactly the ACK-based protocol. H=N yields one
-// chain through every receiver.
+// chain through every receiver. (The two layouts coincide at both
+// extremes.)
 type FlatTree struct {
-	N int // number of receivers
-	H int // chain height
+	N       int  // number of receivers
+	H       int  // chain height
+	Blocked bool // contiguous-rank chains instead of round-robin
 }
 
-// NewFlatTree builds the structure, panicking on invalid shapes (the
-// Config.Normalize path reports them as errors first).
+// NewFlatTree builds the interleaved structure, panicking on invalid
+// shapes (the Config.Normalize path reports them as errors first).
 func NewFlatTree(n, h int) FlatTree {
 	if n < 1 || h < 1 || h > n {
 		panic("core: invalid flat tree shape")
@@ -33,11 +42,21 @@ func NewFlatTree(n, h int) FlatTree {
 func (t FlatTree) NumChains() int { return (t.N + t.H - 1) / t.H }
 
 // Chain returns the 0-based chain index of receiver rank.
-func (t FlatTree) Chain(rank NodeID) int { return (int(rank) - 1) % t.NumChains() }
+func (t FlatTree) Chain(rank NodeID) int {
+	if t.Blocked {
+		return (int(rank) - 1) / t.H
+	}
+	return (int(rank) - 1) % t.NumChains()
+}
 
 // Depth returns the 0-based position of rank within its chain (0 is the
 // chain head, reporting directly to the sender).
-func (t FlatTree) Depth(rank NodeID) int { return (int(rank) - 1) / t.NumChains() }
+func (t FlatTree) Depth(rank NodeID) int {
+	if t.Blocked {
+		return (int(rank) - 1) % t.H
+	}
+	return (int(rank) - 1) / t.NumChains()
+}
 
 // Pred returns the node rank acknowledges to: the sender for chain
 // heads, otherwise the previous node in the chain.
@@ -45,12 +64,22 @@ func (t FlatTree) Pred(rank NodeID) NodeID {
 	if t.Depth(rank) == 0 {
 		return SenderID
 	}
+	if t.Blocked {
+		return rank - 1
+	}
 	return rank - NodeID(t.NumChains())
 }
 
 // Succ returns the chain successor of rank, or false if rank is the
 // chain tail.
 func (t FlatTree) Succ(rank NodeID) (NodeID, bool) {
+	if t.Blocked {
+		s := rank + 1
+		if int(s) > t.N || t.Depth(s) == 0 {
+			return 0, false
+		}
+		return s, true
+	}
 	s := rank + NodeID(t.NumChains())
 	if int(s) > t.N {
 		return 0, false
@@ -64,22 +93,38 @@ func (t FlatTree) Heads() []NodeID {
 	nc := t.NumChains()
 	heads := make([]NodeID, nc)
 	for c := 0; c < nc; c++ {
-		heads[c] = NodeID(c + 1)
+		if t.Blocked {
+			heads[c] = NodeID(c*t.H + 1)
+		} else {
+			heads[c] = NodeID(c + 1)
+		}
 	}
 	return heads
 }
 
-// ChainLen returns the length of chain c. Members are the ranks
-// c+1, c+1+nc, c+1+2·nc, ... up to N.
+// ChainLen returns the length of chain c.
 func (t FlatTree) ChainLen(c int) int {
+	if t.Blocked {
+		n := t.N - c*t.H
+		if n > t.H {
+			n = t.H
+		}
+		return n
+	}
 	nc := t.NumChains()
 	return (t.N-(c+1))/nc + 1
 }
 
 // Members returns the ranks of chain c in depth order (head first).
 func (t FlatTree) Members(c int) []NodeID {
-	nc := t.NumChains()
 	out := make([]NodeID, 0, t.ChainLen(c))
+	if t.Blocked {
+		for m := NodeID(c*t.H + 1); len(out) < t.ChainLen(c); m++ {
+			out = append(out, m)
+		}
+		return out
+	}
+	nc := t.NumChains()
 	for m := NodeID(c + 1); int(m) <= t.N; m += NodeID(nc) {
 		out = append(out, m)
 	}

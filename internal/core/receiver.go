@@ -131,7 +131,7 @@ func NewReceiver(env Env, cfg Config, rank NodeID, onDeliver func([]byte)) (*Rec
 		}
 	}
 	if cfg.Protocol == ProtoTree {
-		r.tree = NewFlatTree(cfg.NumReceivers, cfg.TreeHeight)
+		r.tree = cfg.Tree()
 		r.isTree = true
 		r.pred = r.tree.PredAlive(rank, r.deadPeers)
 		r.succ, r.hasSucc = r.tree.SuccAlive(rank, r.deadPeers)

@@ -1,0 +1,250 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestBlockedFlatTree pins the contiguous-rank layout: chain c holds
+// ranks c·H+1 .. c·H+H, heads report to the sender, and the structural
+// invariants of the interleaved layout carry over.
+func TestBlockedFlatTree(t *testing.T) {
+	tr := FlatTree{N: 10, H: 4, Blocked: true}
+	if tr.NumChains() != 3 {
+		t.Fatalf("NumChains = %d, want 3", tr.NumChains())
+	}
+	wantChains := [][]NodeID{{1, 2, 3, 4}, {5, 6, 7, 8}, {9, 10}}
+	for c, want := range wantChains {
+		got := tr.Members(c)
+		if len(got) != len(want) {
+			t.Fatalf("chain %d = %v, want %v", c, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("chain %d = %v, want %v", c, got, want)
+			}
+		}
+		if tr.ChainLen(c) != len(want) {
+			t.Errorf("ChainLen(%d) = %d, want %d", c, tr.ChainLen(c), len(want))
+		}
+	}
+	for _, h := range tr.Heads() {
+		if tr.Depth(h) != 0 || tr.Pred(h) != SenderID {
+			t.Errorf("head %d: depth %d pred %d", h, tr.Depth(h), tr.Pred(h))
+		}
+	}
+	// Mid-chain links are rank±1.
+	if tr.Pred(7) != 6 {
+		t.Errorf("Pred(7) = %d, want 6", tr.Pred(7))
+	}
+	if s, ok := tr.Succ(7); !ok || s != 8 {
+		t.Errorf("Succ(7) = %d,%v, want 8,true", s, ok)
+	}
+	// Chain tails: end of a full chain and end of the short last chain.
+	if _, ok := tr.Succ(4); ok {
+		t.Error("rank 4 is a chain tail but has a successor")
+	}
+	if _, ok := tr.Succ(10); ok {
+		t.Error("rank 10 is the last rank but has a successor")
+	}
+}
+
+// TestBlockedFlatTreeStructureQuick mirrors the interleaved quick-check
+// for the blocked layout.
+func TestBlockedFlatTreeStructureQuick(t *testing.T) {
+	f := func(nRaw, hRaw uint8) bool {
+		n := int(nRaw%40) + 1
+		h := int(hRaw)%n + 1
+		tr := FlatTree{N: n, H: h, Blocked: true}
+		nc := tr.NumChains()
+		if nc != (n+h-1)/h {
+			return false
+		}
+		total := 0
+		for c := 0; c < nc; c++ {
+			l := tr.ChainLen(c)
+			if l < 1 || l > h {
+				return false
+			}
+			total += l
+			// Members are contiguous and agree with Chain/Depth.
+			for i, m := range tr.Members(c) {
+				if tr.Chain(m) != c || tr.Depth(m) != i {
+					return false
+				}
+				if i > 0 && m != tr.Members(c)[i-1]+1 {
+					return false
+				}
+			}
+		}
+		if total != n {
+			return false
+		}
+		for r := NodeID(1); int(r) <= n; r++ {
+			if s, ok := tr.Succ(r); ok {
+				if tr.Pred(s) != r || tr.Chain(s) != tr.Chain(r) {
+					return false
+				}
+			}
+			hops := 0
+			for node := r; node != SenderID; node = tr.Pred(node) {
+				hops++
+				if hops > h {
+					return false
+				}
+			}
+			if tr.Depth(r) != hops-1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBlockedAliveSplicing checks chain splicing over dead members in
+// the blocked layout.
+func TestBlockedAliveSplicing(t *testing.T) {
+	tr := FlatTree{N: 8, H: 4, Blocked: true}
+	dead := map[NodeID]bool{2: true, 3: true, 5: true}
+	if p := tr.PredAlive(4, dead); p != 1 {
+		t.Errorf("PredAlive(4) = %d, want 1", p)
+	}
+	if s, ok := tr.SuccAlive(1, dead); !ok || s != 4 {
+		t.Errorf("SuccAlive(1) = %d,%v, want 4,true", s, ok)
+	}
+	if h, ok := tr.HeadAlive(1, dead); !ok || h != 6 {
+		t.Errorf("HeadAlive(1) = %d,%v, want 6,true", h, ok)
+	}
+}
+
+// TestSingleRingMatchesLegacy: with NumRings unset (or 1), the rotation
+// must be exactly the paper's seq % N == rank-1 rule.
+func TestSingleRingMatchesLegacy(t *testing.T) {
+	for _, rings := range []int{0, 1} {
+		cfg := Config{Protocol: ProtoRing, NumReceivers: 7, NumRings: rings}
+		if cfg.RingCount() != 1 {
+			t.Fatalf("NumRings=%d: RingCount = %d, want 1", rings, cfg.RingCount())
+		}
+		if cfg.RingSpan() != 7 {
+			t.Fatalf("NumRings=%d: RingSpan = %d, want 7", rings, cfg.RingSpan())
+		}
+		for rank := NodeID(1); rank <= 7; rank++ {
+			for seq := uint32(0); seq < 21; seq++ {
+				legacy := int(seq)%7 == int(rank)-1
+				if got := cfg.RingResponsible(rank, seq); got != legacy {
+					t.Fatalf("RingResponsible(%d, %d) = %v, legacy rule says %v", rank, seq, got, legacy)
+				}
+			}
+			if first := cfg.RingFirstSlot(rank); first != uint32(rank-1) {
+				t.Fatalf("RingFirstSlot(%d) = %d, want %d", rank, first, rank-1)
+			}
+		}
+	}
+}
+
+// TestMultiRingPartition pins the partitioned rotation: contiguous rank
+// blocks of span ceil(N/R), each rotating independently, so every
+// sequence collects exactly R acknowledgments.
+func TestMultiRingPartition(t *testing.T) {
+	cfg := Config{Protocol: ProtoRing, NumReceivers: 10, NumRings: 3}
+	if cfg.RingSpan() != 4 {
+		t.Fatalf("RingSpan = %d, want ceil(10/3) = 4", cfg.RingSpan())
+	}
+	// Rings: {1..4}, {5..8}, {9,10}. Within each, responsibility
+	// rotates by position mod ring size.
+	for seq := uint32(0); seq < 24; seq++ {
+		responsible := 0
+		for rank := NodeID(1); rank <= 10; rank++ {
+			if cfg.RingResponsible(rank, seq) {
+				responsible++
+			}
+		}
+		if responsible != 3 {
+			t.Fatalf("seq %d: %d responsible ranks, want one per ring (3)", seq, responsible)
+		}
+	}
+	// The short last ring rotates mod 2.
+	if !cfg.RingResponsible(9, 0) || !cfg.RingResponsible(9, 2) || cfg.RingResponsible(9, 1) {
+		t.Error("rank 9 should own even sequences of its 2-member ring")
+	}
+	if !cfg.RingResponsible(10, 1) || cfg.RingResponsible(10, 0) {
+		t.Error("rank 10 should own odd sequences of its 2-member ring")
+	}
+	// First slots restart per ring.
+	for rank, want := range map[NodeID]uint32{1: 0, 4: 3, 5: 0, 8: 3, 9: 0, 10: 1} {
+		if got := cfg.RingFirstSlot(rank); got != want {
+			t.Errorf("RingFirstSlot(%d) = %d, want %d", rank, got, want)
+		}
+	}
+}
+
+// TestMultiRingQuick: for arbitrary (N, R), every sequence has exactly
+// one responsible member per ring and positions cover each ring.
+func TestMultiRingQuick(t *testing.T) {
+	f := func(nRaw, rRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		r := int(rRaw)%n + 1
+		cfg := Config{Protocol: ProtoRing, NumReceivers: n, NumRings: r}
+		span := cfg.RingSpan()
+		if span != (n+cfg.RingCount()-1)/cfg.RingCount() {
+			return false
+		}
+		for seq := uint32(0); seq < uint32(2*span); seq++ {
+			count := 0
+			for rank := NodeID(1); int(rank) <= n; rank++ {
+				if cfg.RingResponsible(rank, seq) {
+					count++
+				}
+			}
+			// One responsible member per ring; the number of rings
+			// actually populated is ceil(n/span).
+			if count != (n+span-1)/span {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNormalizeScaleKnobs covers the new validation: ring windows must
+// exceed the ring span (not N) and the knobs only apply to their
+// protocol.
+func TestNormalizeScaleKnobs(t *testing.T) {
+	base := Config{Protocol: ProtoRing, NumReceivers: 100, PacketSize: 8000, NumRings: 10, WindowSize: 15}
+	if _, err := base.Normalize(); err != nil {
+		t.Errorf("window 15 > span 10 should normalize: %v", err)
+	}
+	bad := base
+	bad.WindowSize = 10 // == span
+	if _, err := bad.Normalize(); err == nil {
+		t.Error("window == span must be rejected")
+	}
+	bad = base
+	bad.NumRings = 101
+	if _, err := bad.Normalize(); err == nil {
+		t.Error("more rings than receivers must be rejected")
+	}
+	bad = base
+	bad.NumRings = -1
+	if _, err := bad.Normalize(); err == nil {
+		t.Error("negative NumRings must be rejected")
+	}
+	notRing := Config{Protocol: ProtoACK, NumReceivers: 10, PacketSize: 8000, WindowSize: 2, NumRings: 2}
+	if _, err := notRing.Normalize(); err == nil {
+		t.Error("NumRings on a non-ring protocol must be rejected")
+	}
+	notTree := Config{Protocol: ProtoACK, NumReceivers: 10, PacketSize: 8000, WindowSize: 2, TreeLayout: TreeBlocked}
+	if _, err := notTree.Normalize(); err == nil {
+		t.Error("TreeLayout on a non-tree protocol must be rejected")
+	}
+	tree := Config{Protocol: ProtoTree, NumReceivers: 10, PacketSize: 8000, WindowSize: 4, TreeHeight: 5, TreeLayout: TreeBlocked}
+	if _, err := tree.Normalize(); err != nil {
+		t.Errorf("blocked tree layout should normalize: %v", err)
+	}
+}

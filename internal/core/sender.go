@@ -164,7 +164,7 @@ func NewSender(env Env, cfg Config, onDone func()) (*Sender, error) {
 		s.out[r] = true
 	}
 	if cfg.Protocol == ProtoTree {
-		s.tree = NewFlatTree(cfg.NumReceivers, cfg.TreeHeight)
+		s.tree = cfg.Tree()
 		s.isTree = true
 	}
 	if cfg.AdaptiveRTO {

@@ -43,9 +43,10 @@ type Switch struct {
 // direction; its outbound direction is a Tx created when the port is
 // linked to a device.
 type SwitchPort struct {
-	sw    *Switch
-	index int
-	out   *Tx
+	sw           *Switch
+	index        int
+	out          *Tx
+	floodBlocked bool
 }
 
 // NewSwitch returns a switch with no ports.
@@ -79,6 +80,15 @@ func (p *SwitchPort) Out() *Tx { return p.out }
 
 // Index returns the port's position on the switch.
 func (p *SwitchPort) Index() int { return p.index }
+
+// SetFloodBlock excludes the port from flooding (multicast, broadcast,
+// unknown unicast), the way spanning-tree blocking prunes redundant
+// trunks so floods cannot loop through a multi-path fabric.
+// Table-routed unicast still egresses the port.
+func (p *SwitchPort) SetFloodBlock(blocked bool) { p.floodBlocked = blocked }
+
+// FloodBlocked reports whether the port is excluded from flooding.
+func (p *SwitchPort) FloodBlocked() bool { return p.floodBlocked }
 
 // RecvFrame handles a frame fully received on this port.
 func (p *SwitchPort) RecvFrame(f *Frame) {
@@ -152,6 +162,19 @@ func (sw *Switch) ConnectSwitch(peer *Switch, localAddrs, remoteAddrs []Addr) {
 	}
 }
 
+// ConnectTrunk links sw to peer with one trunk at explicit per-trunk
+// link parameters (cfg carries sw→peer, peerCfg peer→sw) and returns
+// both ports, sw's side first. Unlike ConnectSwitch it learns nothing:
+// multi-hop fabrics need routes beyond the directly attached
+// addresses, so the topology builder owns the forwarding tables.
+func (sw *Switch) ConnectTrunk(peer *Switch, cfg, peerCfg TxConfig) (local, remote *SwitchPort) {
+	pLocal := sw.AddPort()
+	pRemote := peer.AddPort()
+	pLocal.SetOut(NewTx(sw.sim, cfg, pRemote))
+	pRemote.SetOut(NewTx(peer.sim, peerCfg, pLocal))
+	return pLocal, pRemote
+}
+
 // forward routes f that arrived on ingress, consuming the frame
 // reference it was handed. Each egress Send is given its own reference:
 // Send can drop (and release) synchronously, so the switch retains
@@ -171,7 +194,7 @@ func (sw *Switch) forward(ingress *SwitchPort, f *Frame) {
 	}
 	sw.flooded++
 	for _, p := range sw.ports {
-		if p == ingress || p.out == nil {
+		if p == ingress || p.out == nil || p.floodBlocked {
 			continue
 		}
 		f.Retain()

@@ -21,6 +21,7 @@ import (
 	"rmcast/internal/cluster"
 	"rmcast/internal/core"
 	"rmcast/internal/stats"
+	"rmcast/internal/topo"
 	"rmcast/internal/unicast"
 )
 
@@ -34,6 +35,10 @@ type Options struct {
 	// smaller messages, coarser grids. Shapes remain, absolute values
 	// shift.
 	Quick bool
+	// Topo, when non-nil, replaces the paper's two-switch testbed with a
+	// declarative switch fabric for every simulation point (experiments
+	// that sweep their own fabrics, like ext_scale, ignore it).
+	Topo *topo.Spec
 	// Parallel is the worker count for independent simulation points:
 	// 0 or 1 runs serially, negative uses GOMAXPROCS. Output is
 	// byte-identical either way.
@@ -49,6 +54,11 @@ func (o Options) receivers() int {
 	}
 	return 30
 }
+
+// ReceiverCap returns the group size the sweeps will run at — the
+// Receivers override, or the scale default — so CLI front ends can
+// validate a fabric's capacity before any simulation starts.
+func (o Options) ReceiverCap() int { return o.receivers() }
 
 func (o Options) seed() uint64 {
 	if o.Seed == 0 {
@@ -71,6 +81,7 @@ func (o Options) workers() int {
 func (o Options) clusterConfig(n int) cluster.Config {
 	c := cluster.Default(n)
 	c.Seed = o.seed()
+	c.Topo = o.Topo
 	return c
 }
 
@@ -152,7 +163,7 @@ func secs(d time.Duration) float64 { return d.Seconds() }
 // runTime executes one multicast session and returns its elapsed
 // communication time in seconds.
 func runTime(ctx context.Context, ccfg cluster.Config, pcfg core.Config, size int) (float64, error) {
-	res, err := cluster.RunContext(ctx, ccfg, pcfg, size)
+	res, err := cluster.Run(ctx, ccfg, cluster.ProtoSpec(pcfg), size)
 	if err != nil {
 		return 0, err
 	}
@@ -235,18 +246,18 @@ func (r *runner) time(ccfg cluster.Config, pcfg core.Config, size int) *job[floa
 
 // result forks one multicast session, resolving to the full Result.
 func (r *runner) result(ccfg cluster.Config, pcfg core.Config, size int) *job[*cluster.Result] {
-	return fork(r, func() (*cluster.Result, error) { return cluster.RunContext(r.ctx, ccfg, pcfg, size) })
+	return fork(r, func() (*cluster.Result, error) { return cluster.Run(r.ctx, ccfg, cluster.ProtoSpec(pcfg), size) })
 }
 
 // tcp forks one sequential-unicast baseline session.
 func (r *runner) tcp(ccfg cluster.Config, ucfg unicast.Config, size int) *job[*cluster.Result] {
-	return fork(r, func() (*cluster.Result, error) { return cluster.RunTCPContext(r.ctx, ccfg, ucfg, size) })
+	return fork(r, func() (*cluster.Result, error) { return cluster.Run(r.ctx, ccfg, cluster.TCPSpec(ucfg), size) })
 }
 
 // rawUDP forks one unreliable-baseline session.
 func (r *runner) rawUDP(ccfg cluster.Config, packetSize, size int) *job[*cluster.Result] {
 	return fork(r, func() (*cluster.Result, error) {
-		return cluster.RunRawUDPContext(r.ctx, ccfg, packetSize, size)
+		return cluster.Run(r.ctx, ccfg, cluster.RawUDPSpec(packetSize), size)
 	})
 }
 

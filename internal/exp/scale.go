@@ -1,0 +1,172 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"rmcast/internal/cluster"
+	"rmcast/internal/core"
+	"rmcast/internal/ethernet"
+	"rmcast/internal/stats"
+	"rmcast/internal/topo"
+)
+
+func init() {
+	register(Experiment{
+		ID:       "ext_scale",
+		Title:    "Protocol scaling on fat-tree fabrics up to 1k receivers",
+		PaperRef: "Section 6 (outlook: beyond the 30-receiver testbed)",
+		Run:      runExtScale,
+	})
+}
+
+// scaleFabric returns the fat-tree spec the scale matrix uses for a
+// given host count: gigabit edges, two spines (four once the fabric
+// needs more than eight leaves), and leaves sized so switch domains
+// stay near the paper's testbed scale (~32 hosts each).
+func scaleFabric(hosts int) topo.Spec {
+	leaves := (hosts + 32) / 33
+	if leaves < 2 {
+		leaves = 2
+	}
+	spines := 2
+	if leaves > 8 {
+		spines = 4
+	}
+	return topo.Spec{
+		Kind:         topo.FatTree,
+		Spines:       spines,
+		Leaves:       leaves,
+		HostsPerLeaf: 33,
+		EdgeRate:     ethernet.Rate1Gbps,
+	}
+}
+
+// scalePoint is one (group size, protocol) cell of the matrix.
+type scalePoint struct {
+	completed bool
+	elapsed   time.Duration
+	retrans   uint64
+	ackRatio  float64 // sender-received acks per data packet
+}
+
+// scaleDeadline bounds each cell in virtual time. The topology-scaled
+// tree and ring runs finish the 66-packet transfer in under half a
+// second even at 1k receivers; a protocol that cannot finish in four
+// times that budget has hit its implosion wall, which is exactly what the matrix is measuring.
+const scaleDeadline = 2 * time.Second
+
+// runExtScale sweeps group size × protocol on fat-tree fabrics sized to
+// the group: the paper's four families, each given its
+// topology-derived structure (blocked tree chains aligned with the leaf
+// switches, one ring per switch domain at ≥256 receivers) — against
+// flat ACK, whose per-packet implosion grows with N until it cannot
+// complete at all. This is the quantitative version of the paper's
+// Section 6 claim that hierarchical structure is what scales.
+func runExtScale(ctx context.Context, o Options) (*Report, error) {
+	groups := []int{64, 256, 1024}
+	if o.Quick {
+		groups = []int{16, 64}
+	}
+	const size = 64 * KB
+	protocols := []core.Protocol{core.ProtoACK, core.ProtoNAK, core.ProtoRing, core.ProtoTree}
+
+	t := &stats.Table{
+		Title:  fmt.Sprintf("%dB message, fat-tree fabrics, deadline %v (virtual)", size, scaleDeadline),
+		Header: []string{"receivers", "protocol", "completed", "time (s)", "retrans", "acks/pkt at sender"},
+	}
+	r := newRunner(ctx, o)
+	jobs := make(map[int]map[core.Protocol]*job[scalePoint], len(groups))
+	for _, n := range groups {
+		n := n
+		spec := scaleFabric(n + 1)
+		jobs[n] = make(map[core.Protocol]*job[scalePoint], len(protocols))
+		for _, p := range protocols {
+			p := p
+			jobs[n][p] = fork(r, func() (scalePoint, error) {
+				ccfg := cluster.Default(n)
+				ccfg.Seed = o.seed()
+				ccfg.Topo = &spec
+				ccfg.Deadline = scaleDeadline
+				ccfg.WallLimit = 5 * time.Minute
+				pcfg := core.Config{Protocol: p, NumReceivers: n, PacketSize: 1000}
+				switch p {
+				case core.ProtoACK:
+					pcfg.WindowSize = 2
+				case core.ProtoNAK:
+					pcfg.WindowSize = 50
+					pcfg.PollInterval = 43
+				case core.ProtoTree:
+					pcfg.WindowSize = 20
+				}
+				// Ring window and NumRings, tree height and layout: derived
+				// from the fabric's switch domains.
+				pcfg = cluster.ScaleForTopology(pcfg, ccfg)
+				res, err := cluster.Run(r.ctx, ccfg, cluster.ProtoSpec(pcfg), size)
+				if err != nil {
+					if res == nil {
+						// Harness failure, not a protocol timeout.
+						return scalePoint{}, err
+					}
+					// The deadline fired: the cell is a recorded collapse.
+					return scalePoint{completed: false, elapsed: res.Elapsed,
+						retrans: res.SenderStats.Retransmissions}, nil
+				}
+				pt := scalePoint{
+					completed: res.Completed && res.Verified,
+					elapsed:   res.Elapsed,
+					retrans:   res.SenderStats.Retransmissions,
+				}
+				if res.SenderStats.DataSent > 0 {
+					pt.ackRatio = float64(res.SenderStats.AcksReceived) / float64(res.SenderStats.DataSent)
+				}
+				return pt, nil
+			})
+		}
+	}
+
+	var findings []string
+	cells := make(map[int]map[core.Protocol]scalePoint, len(groups))
+	for _, n := range groups {
+		cells[n] = make(map[core.Protocol]scalePoint, len(protocols))
+		for _, p := range protocols {
+			pt, err := jobs[n][p].wait()
+			if err != nil {
+				return nil, fmt.Errorf("exp: scale cell n=%d %v: %w", n, p, err)
+			}
+			cells[n][p] = pt
+			status := "yes"
+			timeCell := fmt.Sprintf("%.3f", secs(pt.elapsed))
+			if !pt.completed {
+				status = "NO"
+				timeCell = ">" + fmt.Sprintf("%.0f", secs(scaleDeadline))
+			}
+			t.AddRow(n, p.String(), status, timeCell, pt.retrans, fmt.Sprintf("%.1f", pt.ackRatio))
+		}
+	}
+
+	last := groups[len(groups)-1]
+	tree, ring, ack := cells[last][core.ProtoTree], cells[last][core.ProtoRing], cells[last][core.ProtoACK]
+	if tree.completed && ring.completed {
+		findings = append(findings, fmt.Sprintf(
+			"at %d receivers the topology-scaled tree (%.0f ms) and partitioned ring (%.0f ms) both complete: their per-node load is bounded by the switch-domain size, not N",
+			last, 1000*secs(tree.elapsed), 1000*secs(ring.elapsed)))
+	}
+	if !ack.completed {
+		findings = append(findings, fmt.Sprintf(
+			"flat ACK does not finish at %d receivers within %v of virtual time (%d retransmissions burned): every data packet triggers N acknowledgments at one socket, and past the buffer's implosion point the sender retransmits into its own ack storm",
+			last, scaleDeadline, ack.retrans))
+	} else {
+		findings = append(findings, fmt.Sprintf(
+			"flat ACK still completes at %d receivers but %.1fx slower than the tree — the implosion wall is past this matrix's largest group",
+			last, secs(ack.elapsed)/secs(tree.elapsed)))
+	}
+	if first := groups[0]; cells[first][core.ProtoACK].completed {
+		findings = append(findings, fmt.Sprintf(
+			"at %d receivers all four families complete — the paper's testbed scale hides the structural difference that dominates at 1k",
+			first))
+	}
+	return &Report{ID: "ext_scale", Title: "Scaling on fat-tree fabrics", PaperRef: "Section 6",
+		Tables: []*stats.Table{t}, Findings: findings}, nil
+}

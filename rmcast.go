@@ -35,7 +35,6 @@ package rmcast
 
 import (
 	"context"
-	"fmt"
 
 	"rmcast/internal/cluster"
 	"rmcast/internal/core"
@@ -44,6 +43,7 @@ import (
 	"rmcast/internal/live"
 	"rmcast/internal/metrics"
 	"rmcast/internal/order"
+	"rmcast/internal/topo"
 	"rmcast/internal/unicast"
 	"rmcast/internal/workload"
 )
@@ -99,6 +99,26 @@ const (
 	TopologySharedBus    = cluster.SharedBus
 )
 
+// TopoSpec is a declarative switch fabric: single switch, the paper's
+// two-switch testbed, a star-of-stars, or a two-level fat-tree, with
+// per-link speeds and trunk oversubscription. Assign one to
+// SimConfig.Topo to replace the legacy Topology enum; parse compact
+// spec strings like "fattree:4x8x32@1g,trunk=100m" with ParseTopo.
+type TopoSpec = topo.Spec
+
+// ParseTopo parses a topology spec string (see internal/topo for the
+// grammar): "single", "two-switch", "star:4x16@100m,trunk=1g",
+// "fattree:4x8x32@1g,trunk=100m".
+func ParseTopo(s string) (TopoSpec, error) { return topo.Parse(s) }
+
+// ScaleForTopology fills cfg's topology-derived scaling knobs (tree
+// chain height/layout from the switch domains, multi-ring partitioning
+// at ≥256 receivers) where the caller left them zero. Call it before
+// Run when simulating large fabrics.
+func ScaleForTopology(cfg Config, sim SimConfig) Config {
+	return cluster.ScaleForTopology(cfg, sim)
+}
+
 // DefaultSim returns the paper's calibrated Figure 7 testbed with n
 // receivers.
 func DefaultSim(n int) SimConfig { return cluster.Default(n) }
@@ -115,47 +135,19 @@ type MetricsHistogram = metrics.HistogramSnapshot
 // Spec selects what a unified Run executes: one of the reliable
 // multicast protocols, the sequential-TCP baseline, or the raw-UDP
 // baseline. Build one with ProtocolSpec, TCPSpec, or RawUDPSpec.
-type Spec struct {
-	kind    specKind
-	proto   Config
-	tcp     TCPConfig
-	rawPkt  int
-}
-
-type specKind int
-
-const (
-	specZero specKind = iota
-	specProtocol
-	specTCP
-	specRawUDP
-)
-
-// String names the transfer the spec describes.
-func (s Spec) String() string {
-	switch s.kind {
-	case specProtocol:
-		return s.proto.Protocol.String()
-	case specTCP:
-		return "tcp"
-	case specRawUDP:
-		return "rawudp"
-	default:
-		return "unset"
-	}
-}
+type Spec = cluster.Spec
 
 // ProtocolSpec runs one of the studied reliable multicast protocols
 // (or ProtoRawUDP) under cfg.
-func ProtocolSpec(cfg Config) Spec { return Spec{kind: specProtocol, proto: cfg} }
+func ProtocolSpec(cfg Config) Spec { return cluster.ProtoSpec(cfg) }
 
 // TCPSpec runs the Figure 8 baseline: one TCP-like unicast stream per
 // receiver, sequentially.
-func TCPSpec(tcp TCPConfig) Spec { return Spec{kind: specTCP, tcp: tcp} }
+func TCPSpec(tcp TCPConfig) Spec { return cluster.TCPSpec(tcp) }
 
 // RawUDPSpec runs the Figure 9 baseline: unreliable UDP multicast in
 // packetSize-byte datagrams.
-func RawUDPSpec(packetSize int) Spec { return Spec{kind: specRawUDP, rawPkt: packetSize} }
+func RawUDPSpec(packetSize int) Spec { return cluster.RawUDPSpec(packetSize) }
 
 // Run transfers one size-byte message on a fresh simulated testbed and
 // reports timing, throughput, per-layer statistics, and Metrics. It is
@@ -163,16 +155,7 @@ func RawUDPSpec(packetSize int) Spec { return Spec{kind: specRawUDP, rawPkt: pac
 // SimulateRawUDP; ctx cancels the simulation at its next checkpoint,
 // returning the partial result alongside ctx's error.
 func Run(ctx context.Context, sim SimConfig, spec Spec, size int) (*SimResult, error) {
-	switch spec.kind {
-	case specProtocol:
-		return cluster.RunContext(ctx, sim, spec.proto, size)
-	case specTCP:
-		return cluster.RunTCPContext(ctx, sim, spec.tcp, size)
-	case specRawUDP:
-		return cluster.RunRawUDPContext(ctx, sim, spec.rawPkt, size)
-	default:
-		return nil, fmt.Errorf("rmcast: Run called with a zero Spec; use ProtocolSpec, TCPSpec, or RawUDPSpec")
-	}
+	return cluster.Run(ctx, sim, spec, size)
 }
 
 // Simulate transfers one size-byte message under cfg on a fresh
