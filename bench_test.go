@@ -9,6 +9,7 @@ package rmcast
 
 import (
 	"context"
+	"fmt"
 	"testing"
 	"time"
 )
@@ -92,6 +93,55 @@ func BenchmarkProtoRing2MB(b *testing.B) {
 func BenchmarkProtoTree2MB(b *testing.B) {
 	benchProtocol(b, Config{Protocol: ProtoTree, PacketSize: 8000, WindowSize: 20, TreeHeight: 15}, benchMB)
 }
+
+// benchScaled runs one 1024-receiver 64KB transfer per iteration on a
+// 32-leaf gigabit fat-tree — the scale where the sharded engine earns
+// its keep — as serial/sharded sub-benchmarks, so `benchstat` can
+// compare the two engines executing the byte-identical session.
+func benchScaled(b *testing.B, proto Protocol) {
+	const (
+		n    = 1024
+		size = 64 * 1024
+	)
+	spec, err := ParseTopo("fattree:4x32x33@1g")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, shards := range []int{0, 4} {
+		name := "serial"
+		if shards > 1 {
+			name = fmt.Sprintf("shards=%d", shards)
+		}
+		b.Run(name, func(b *testing.B) {
+			sim := DefaultSim(n)
+			sim.Topo = &spec
+			sim.Shards = shards
+			cfg := Config{Protocol: proto, NumReceivers: n, PacketSize: 1000}
+			if proto == ProtoTree {
+				cfg.WindowSize = 20
+			}
+			// Ring window and partition count, tree chain height and
+			// layout: derived from the fabric's switch domains.
+			cfg = ScaleForTopology(cfg, sim)
+			var mbps float64
+			for i := 0; i < b.N; i++ {
+				res, err := Simulate(sim, cfg, size)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Verified {
+					b.Fatal("corrupted delivery")
+				}
+				mbps = res.ThroughputMbps
+			}
+			b.ReportMetric(mbps, "sim-Mbps")
+			b.SetBytes(size)
+		})
+	}
+}
+
+func BenchmarkProtoTree1024(b *testing.B) { benchScaled(b, ProtoTree) }
+func BenchmarkProtoRing1024(b *testing.B) { benchScaled(b, ProtoRing) }
 
 func BenchmarkSmallMessage30Receivers(b *testing.B) {
 	benchProtocol(b, Config{Protocol: ProtoACK, PacketSize: 50000, WindowSize: 2}, 1)

@@ -9,6 +9,7 @@
 //	rmbench -exp fig10
 //	rmbench -exp all -quick -parallel -1
 //	rmbench -exp table3 -receivers 16 -seed 7 -json
+//	rmbench -exp ext_speedup -shards auto
 //
 // Independent simulation points fan out across -parallel workers with
 // output byte-identical to a serial run. Ctrl-C cancels cleanly: the
@@ -26,6 +27,7 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"time"
 
 	"rmcast/internal/exp"
@@ -47,8 +49,10 @@ func run() int {
 		jsonOut   = flag.Bool("json", false, "emit reports as JSON (one object per experiment)")
 		parallel  = flag.Int("parallel", 0, "simulation workers per experiment: 0/1 serial, -1 = GOMAXPROCS")
 		topoSpec  = flag.String("topo", "", "replace the paper's two-switch testbed with a declarative fabric spec, e.g. fattree:4x8x32@1g,trunk=100m (-topo list prints the canned specs)")
+		shardsF   = flag.String("shards", "", "shard each simulation point across switch domains: an integer >= 2, or 'auto' (min of the fabric's domains and GOMAXPROCS); clamped per point, output unchanged")
 		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 		memprof   = flag.String("memprofile", "", "write an allocation profile (taken after the sweep) to this file")
+		blockprof = flag.String("blockprofile", "", "write a goroutine blocking profile of the sweep to this file (captures shard-barrier waits)")
 	)
 	flag.Parse()
 
@@ -84,6 +88,23 @@ func run() int {
 			f.Close()
 		}()
 	}
+	if *blockprof != "" {
+		f, err := os.Create(*blockprof)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rmbench: -blockprofile: %v\n", err)
+			return 2
+		}
+		// Sample every blocking event: the interesting waits (shard
+		// start/ack handshakes, worker-pool semaphores) are few and long,
+		// so full sampling stays cheap.
+		runtime.SetBlockProfileRate(1)
+		defer func() {
+			if err := pprof.Lookup("block").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "rmbench: -blockprofile: %v\n", err)
+			}
+			f.Close()
+		}()
+	}
 
 	if *list {
 		for _, e := range exp.All() {
@@ -100,6 +121,18 @@ func run() int {
 	defer stop()
 
 	opts := exp.Options{Quick: *quick, Receivers: *receivers, Seed: *seed, Parallel: *parallel}
+	switch *shardsF {
+	case "":
+	case "auto":
+		opts.Shards = -1
+	default:
+		n, err := strconv.Atoi(*shardsF)
+		if err != nil || n < 2 {
+			fmt.Fprintf(os.Stderr, "rmbench: -shards wants an integer >= 2 or 'auto', got %q\n", *shardsF)
+			return 2
+		}
+		opts.Shards = n
+	}
 	if *topoSpec == "list" {
 		for _, c := range topo.Canned() {
 			fmt.Printf("%-24s %s\n", c.Spec, c.Note)

@@ -11,6 +11,7 @@
 //	rmsim -proto ack -crash 7@0.5 -maxretries 3
 //	rmsim -proto tree -faults "crash:3@0,stall:5@10ms+40ms" -maxretries 3
 //	rmsim -proto nak -metrics
+//	rmsim -proto tree -topo fattree:4x32x33@1g -receivers 1024 -shards auto
 package main
 
 import (
@@ -18,6 +19,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
@@ -54,6 +57,7 @@ func main() {
 		catchupF  = flag.String("join-catchup", "sender", "late-join catch-up source: sender | peer")
 		maxRetry  = flag.Int("maxretries", 0, "no-progress timeout rounds before the sender probes and ejects a receiver (0 = wait forever, as in the paper)")
 		sessionDl = flag.Duration("session-deadline", 0, "protocol-level session deadline; at expiry unfinished receivers are declared failed (0 = none)")
+		shardsF   = flag.String("shards", "", "run the simulation on N conservatively synchronized switch-domain shards: an integer >= 2, or 'auto' (min of the fabric's domains and GOMAXPROCS); results are byte-identical to serial")
 	)
 	flag.Parse()
 
@@ -63,7 +67,7 @@ func main() {
 		}
 		return
 	}
-	validateFlags(*proto, *loss)
+	validateFlags(*proto, *topology, *loss)
 
 	ccfg := cluster.Default(*receivers)
 	ccfg.Seed = *seed
@@ -102,6 +106,9 @@ func main() {
 			fatalf("%v", err)
 		}
 		ccfg.Topo = &spec
+	}
+	if *shardsF != "" {
+		ccfg.Shards = resolveShards(*shardsF, ccfg)
 	}
 
 	if *proto == "tcp" {
@@ -203,13 +210,51 @@ func main() {
 	}
 }
 
+// resolveShards turns the -shards flag value into a Config.Shards
+// count, validated up front against the fabric's parallel
+// decomposition so a bad request fails with the domain arithmetic
+// instead of deep in cluster construction. "auto" asks for as many
+// shards as there are cores, bounded by the fabric's host-bearing
+// switch domains, and falls back to serial when that leaves fewer
+// than two.
+func resolveShards(v string, ccfg cluster.Config) int {
+	max := cluster.MaxShards(ccfg)
+	if v == "auto" {
+		k := runtime.GOMAXPROCS(0)
+		if k > max {
+			k = max
+		}
+		if k < 2 {
+			return 0
+		}
+		return k
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 2 {
+		fatalf("-shards wants an integer >= 2 or 'auto', got %q", v)
+	}
+	if n > max {
+		fatalf("-shards %d exceeds this fabric's %d host-bearing switch domains (each shard needs at least one)", n, max)
+	}
+	return n
+}
+
 // validateFlags rejects flag combinations that would otherwise be
 // silently ignored (or normalized away) before any simulation runs.
 // Only flags the user explicitly set are checked, so defaults never
 // trip the validation.
-func validateFlags(proto string, loss float64) {
+func validateFlags(proto, topology string, loss float64) {
 	set := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+
+	if set["shards"] {
+		if topology == "bus" {
+			usageError("-shards needs a switched fabric; the shared bus is one collision domain and cannot shard")
+		}
+		if proto == "tcp" {
+			usageError("-shards does not apply to the sequential TCP baseline (it runs serially by construction)")
+		}
+	}
 
 	if loss < 0 || loss > 1 {
 		usageError("-loss must be in [0, 1], got %g", loss)

@@ -109,6 +109,15 @@ type Config struct {
 	// are counted into. Run installs a fresh session when nil, so every
 	// Result carries a populated snapshot.
 	Metrics *metrics.Session
+	// Shards, when >= 2, runs the simulation on that many conservatively
+	// synchronized shards (one goroutine each), partitioned along the
+	// fabric's host-bearing switch domains; 0 or 1 is the serial event
+	// loop, unchanged. Sharded runs are byte-identical to serial ones
+	// (same traces, digests, and results) but need a switched topology
+	// with positive Propagation, at most MaxShards shards, and a fault
+	// schedule without progress triggers or burst windows. The TCP
+	// baseline always runs serially.
+	Shards int
 
 	// hostCosts is the per-host override installed by NewWithHostCosts.
 	hostCosts func(host int) *ipnet.CostModel
@@ -157,7 +166,11 @@ type Cluster struct {
 	group    ipnet.Addr
 	rand     *rng.Rand
 	inj      *injector
+	sh       *shardState // nil: serial execution
 }
+
+// Sharded reports whether the cluster executes on multiple shards.
+func (c *Cluster) Sharded() bool { return c.sh != nil }
 
 // Group returns the multicast group address every host joined.
 func (c *Cluster) Group() ipnet.Addr { return c.group }
@@ -182,11 +195,43 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.WallLimit == 0 {
 		cfg.WallLimit = 2 * time.Minute
 	}
+	// Resolve the fabric spec and layout up front: the shard partitioner
+	// needs them before any simulator, host, or switch exists.
+	spec := cfg.Topo
+	if spec != nil && cfg.Topology == SharedBus {
+		return nil, fmt.Errorf("cluster: Topo and the shared-bus topology are mutually exclusive")
+	}
+	if spec == nil {
+		switch cfg.Topology {
+		case SharedBus:
+			// spec stays nil; buildBus below.
+		case SingleSwitch:
+			s := topo.SingleSpec()
+			spec = &s
+		default:
+			s := topo.TwoSwitchSpec()
+			spec = &s
+		}
+	}
+	var layout *topo.Layout
+	if spec != nil {
+		l, err := spec.Layout(cfg.NumReceivers+1, cfg.LinkRate)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: %w", err)
+		}
+		layout = l
+	}
 	c := &Cluster{
-		Sim:   sim.New(),
 		Cfg:   cfg,
 		group: ipnet.Group(1),
 		rand:  rng.New(rng.Mix(cfg.Seed, 0xC1A5)),
+	}
+	if cfg.Shards > 1 {
+		if err := c.initShards(layout); err != nil {
+			return nil, err
+		}
+	} else {
+		c.Sim = sim.New()
 	}
 	if cfg.Faults != nil {
 		inj, err := c.newInjector(cfg.Faults)
@@ -206,7 +251,7 @@ func New(cfg Config) (*Cluster, error) {
 				costs = *override
 			}
 		}
-		h := ipnet.NewHost(c.Sim, ipnet.HostConfig{
+		h := ipnet.NewHost(c.simForHost(i), ipnet.HostConfig{
 			Addr:       ipnet.Addr(i),
 			Costs:      costs,
 			TxQueueCap: cfg.TxQueueCap,
@@ -216,28 +261,10 @@ func New(cfg Config) (*Cluster, error) {
 		h.JoinGroup(c.group)
 		c.Hosts = append(c.Hosts, h)
 	}
-	spec := cfg.Topo
-	if spec != nil && cfg.Topology == SharedBus {
-		return nil, fmt.Errorf("cluster: Topo and the shared-bus topology are mutually exclusive")
-	}
-	if spec == nil {
-		switch cfg.Topology {
-		case SharedBus:
-			c.buildBus()
-		case SingleSwitch:
-			s := topo.SingleSpec()
-			spec = &s
-		default:
-			s := topo.TwoSwitchSpec()
-			spec = &s
-		}
-	}
-	if spec != nil {
-		layout, err := spec.Layout(len(c.Hosts), cfg.LinkRate)
-		if err != nil {
-			return nil, fmt.Errorf("cluster: %w", err)
-		}
+	if layout != nil {
 		c.buildFabric(layout)
+	} else {
+		c.buildBus()
 	}
 	if c.inj != nil {
 		c.inj.arm(cfg.Faults)
@@ -265,7 +292,7 @@ func (c *Cluster) buildFabric(l *topo.Layout) {
 	for i, ss := range l.Switches {
 		scfg := c.switchConfig(ss.Name)
 		scfg.PortRate = ss.Rate
-		sws[i] = ethernet.NewSwitch(c.Sim, scfg)
+		sws[i] = ethernet.NewSwitch(c.simForSwitch(i), scfg)
 		c.Switches = append(c.Switches, sws[i])
 	}
 	for i, h := range c.Hosts {
@@ -279,7 +306,12 @@ func (c *Cluster) buildFabric(l *topo.Layout) {
 			Propagation: c.Cfg.Propagation,
 			QueueCap:    c.Cfg.SwitchQueueCap,
 		}
-		pa, pb := sws[tr.A].ConnectTrunk(sws[tr.B], tcfg, tcfg)
+		var pa, pb *ethernet.SwitchPort
+		if c.sh != nil && c.sh.part.SwitchShard[tr.A] != c.sh.part.SwitchShard[tr.B] {
+			pa, pb = c.connectPortalTrunk(sws, tr.A, tr.B, tcfg)
+		} else {
+			pa, pb = sws[tr.A].ConnectTrunk(sws[tr.B], tcfg, tcfg)
+		}
 		if !tr.Flood {
 			// Redundant fat-tree paths: pruned from the flood spanning
 			// tree so multicast cannot loop; unicast still uses them.

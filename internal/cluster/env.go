@@ -53,14 +53,18 @@ func (e *nodeEnv) onDatagram(dg *ipnet.Datagram) {
 	}
 }
 
-// trace records one protocol event if tracing is enabled.
+// trace records one protocol event if tracing is enabled. Timestamps
+// come from the node's own host clock — identical to the global clock
+// in serial runs — and sharded runs route the event through the node's
+// shard log, from which the coordinator merges the global stream in
+// serial order at the next window barrier.
 func (e *nodeEnv) trace(dir trace.Dir, peer int, p *packet.Packet) {
 	buf := e.c.Cfg.Trace
 	if buf == nil {
 		return
 	}
-	buf.Add(trace.Event{
-		At:    e.c.Sim.Now(),
+	ev := trace.Event{
+		At:    e.host.Now(),
 		Node:  int(e.id),
 		Dir:   dir,
 		Peer:  peer,
@@ -70,10 +74,15 @@ func (e *nodeEnv) trace(dir trace.Dir, peer int, p *packet.Packet) {
 		Seq:   p.Seq,
 		Aux:   p.Aux,
 		Len:   len(p.Payload),
-	})
+	}
+	if sh := e.c.sh; sh != nil {
+		sh.logs[sh.part.HostShard[int(e.id)]].add(shardEntry{at: ev.At, rank: -1, ev: ev})
+		return
+	}
+	buf.Add(ev)
 }
 
-func (e *nodeEnv) Now() time.Duration { return e.c.Sim.Now() }
+func (e *nodeEnv) Now() time.Duration { return e.host.Now() }
 
 func (e *nodeEnv) Send(to core.NodeID, p *packet.Packet) {
 	e.trace(trace.Send, int(to), p)

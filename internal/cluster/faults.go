@@ -96,7 +96,9 @@ func (inj *injector) arm(sched *faults.Schedule) {
 	for _, e := range sched.Events {
 		if !e.ByProgress {
 			e := e
-			inj.c.Sim.At(e.At, func() { inj.apply(e) })
+			// On the afflicted node's own shard, so the gate flip (or
+			// membership hook) executes where the node's frames flow.
+			inj.c.simForHost(e.Node).At(e.At, func() { inj.apply(e) })
 		}
 	}
 	if sched.HasBurst() {
@@ -130,7 +132,7 @@ func (inj *injector) tick(progress float64) {
 }
 
 func (inj *injector) apply(e faults.Event) {
-	sim := inj.c.Sim
+	sim := inj.c.simForHost(e.Node)
 	switch e.Kind {
 	case faults.Crash:
 		inj.gates[e.Node].crashed = true

@@ -10,6 +10,8 @@ import (
 	"rmcast/internal/ethernet"
 	"rmcast/internal/ipnet"
 	"rmcast/internal/metrics"
+	"rmcast/internal/sim"
+	"rmcast/internal/trace"
 	"rmcast/internal/unicast"
 )
 
@@ -173,6 +175,20 @@ func runProtocol(ctx context.Context, ccfg Config, pcfg core.Config, msgSize int
 		envs[id] = c.newNodeEnv(core.NodeID(id))
 	}
 	begin := c.Sim.Now()
+	// deliverEmit records one receiver's completed delivery. Serial runs
+	// call it at delivery time; sharded runs log deliveries per shard and
+	// replay them here, in globally merged order, at window barriers.
+	deliverEmit := func(rank int, at sim.Time, b []byte) {
+		delivered[rank] = b
+		mx.ObserveCompletion(rank, at-begin)
+		if ccfg.OnDeliver != nil {
+			ccfg.OnDeliver(core.NodeID(rank), at-begin, b)
+		}
+	}
+	if c.sh != nil {
+		c.sh.onDeliver = deliverEmit
+		c.sh.onTrace = func(ev trace.Event) { ccfg.Trace.Add(ev) }
+	}
 
 	var start func()
 	var senderStats func() core.SenderStats
@@ -199,14 +215,7 @@ func runProtocol(ctx context.Context, ccfg Config, pcfg core.Config, msgSize int
 		senderStats = snd.Stats
 		start = func() { snd.Start(msg) }
 		for r := 1; r <= ccfg.NumReceivers; r++ {
-			r := r
-			rcv, err := core.NewRawReceiver(envs[r], pcfg, core.NodeID(r), msgSize, func(b []byte) {
-				delivered[r] = b
-				mx.ObserveCompletion(r, c.Sim.Now()-begin)
-				if ccfg.OnDeliver != nil {
-					ccfg.OnDeliver(core.NodeID(r), c.Sim.Now()-begin, b)
-				}
-			})
+			rcv, err := core.NewRawReceiver(envs[r], pcfg, core.NodeID(r), msgSize, c.deliverFn(r, deliverEmit))
 			if err != nil {
 				return nil, err
 			}
@@ -228,14 +237,7 @@ func runProtocol(ctx context.Context, ccfg Config, pcfg core.Config, msgSize int
 		start = func() { snd.Start(msg) }
 		rcvs := make([]*core.Receiver, ccfg.NumReceivers+1)
 		for r := 1; r <= ccfg.NumReceivers; r++ {
-			r := r
-			rcv, err := core.NewReceiver(envs[r], pcfg, core.NodeID(r), func(b []byte) {
-				delivered[r] = b
-				mx.ObserveCompletion(r, c.Sim.Now()-begin)
-				if ccfg.OnDeliver != nil {
-					ccfg.OnDeliver(core.NodeID(r), c.Sim.Now()-begin, b)
-				}
-			})
+			rcv, err := core.NewReceiver(envs[r], pcfg, core.NodeID(r), c.deliverFn(r, deliverEmit))
 			if err != nil {
 				return nil, err
 			}
@@ -254,43 +256,52 @@ func runProtocol(ctx context.Context, ccfg Config, pcfg core.Config, msgSize int
 	wallStart := time.Now()
 	wallExceeded := false
 	canceled := false
-	tick := func() {
-		if c.inj == nil {
-			return
+	endNow := begin
+	if c.sh != nil {
+		// Progress-triggered faults were rejected at construction, so the
+		// sharded drive needs no tick(); time-triggered events are already
+		// armed on their owning shards.
+		endNow, wallExceeded, canceled = c.driveSharded(ctx, &senderDone, begin, wallStart)
+	} else {
+		tick := func() {
+			if c.inj == nil {
+				return
+			}
+			p := 0.0
+			if progress != nil {
+				p = progress()
+			}
+			c.inj.tick(p)
 		}
-		p := 0.0
-		if progress != nil {
-			p = progress()
-		}
-		c.inj.tick(p)
-	}
-	tick() // progress-0 faults fire before the session starts moving
-	for steps := 0; c.Sim.Pending() > 0 && !senderDone; steps++ {
-		c.Sim.Step()
-		tick()
-		if c.Sim.Now()-begin > c.Cfg.Deadline {
-			break
-		}
-		// The wall-clock guard catches livelocked simulations (events
-		// firing forever while virtual time crawls); the syscall is too
-		// expensive for every step. Cancellation shares the checkpoint.
-		if steps&4095 == 4095 {
-			if time.Since(wallStart) > c.Cfg.WallLimit {
-				wallExceeded = true
+		tick() // progress-0 faults fire before the session starts moving
+		for steps := 0; c.Sim.Pending() > 0 && !senderDone; steps++ {
+			c.Sim.Step()
+			tick()
+			if c.Sim.Now()-begin > c.Cfg.Deadline {
 				break
 			}
-			if ctx.Err() != nil {
-				canceled = true
-				break
+			// The wall-clock guard catches livelocked simulations (events
+			// firing forever while virtual time crawls); the syscall is too
+			// expensive for every step. Cancellation shares the checkpoint.
+			if steps&4095 == 4095 {
+				if time.Since(wallStart) > c.Cfg.WallLimit {
+					wallExceeded = true
+					break
+				}
+				if ctx.Err() != nil {
+					canceled = true
+					break
+				}
 			}
 		}
+		endNow = c.Sim.Now()
 	}
 	// The session is over: hand the trace sink its final partial batch so
 	// stream consumers (invariant checkers) see exactly the events the
 	// metrics session counted.
 	ccfg.Trace.Flush()
 	res.Completed = senderDone
-	res.Elapsed = c.Sim.Now() - begin
+	res.Elapsed = endNow - begin
 	if res.Elapsed > 0 {
 		res.ThroughputMbps = float64(msgSize) * 8 / res.Elapsed.Seconds() / 1e6
 	}
@@ -386,6 +397,9 @@ func RunTCPContext(ctx context.Context, ccfg Config, ucfg unicast.Config, msgSiz
 
 // runTCP executes the sequential-unicast baseline.
 func runTCP(ctx context.Context, ccfg Config, ucfg unicast.Config, msgSize int) (*Result, error) {
+	if ccfg.Shards > 1 {
+		return nil, fmt.Errorf("cluster: the sequential TCP baseline runs serially; set Shards to 0")
+	}
 	ccfg.Costs = TCPCosts()
 	if ccfg.Metrics == nil {
 		ccfg.Metrics = metrics.NewSession()

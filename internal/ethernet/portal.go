@@ -1,0 +1,35 @@
+package ethernet
+
+import "rmcast/internal/sim"
+
+// Portal is the near end of a link whose far end lives on another
+// simulation shard. It is installed as the peer of a Tx configured
+// with zero Propagation: the Tx then models serialization, queueing,
+// and drops entirely on the sending shard (byte-identical to a local
+// link) and hands each frame to the Portal synchronously the instant
+// serialization completes. The Portal clones the frame (so pooled
+// frames never leave their owner's shard), releases the original, and
+// posts the clone toward the remote shard with the link's propagation
+// delay re-applied — which is exactly the conservative-sync lookahead
+// that makes the cross-shard window safe.
+type Portal struct {
+	// Sim is the sending shard's simulator (the clock Deliver times are
+	// read from).
+	Sim *sim.Simulator
+	// Delay is the link propagation delay; it must be at least the shard
+	// group's lookahead.
+	Delay sim.Time
+	// Clone deep-copies a frame into an unpooled, shard-independent one.
+	Clone func(*Frame) *Frame
+	// Deliver posts the clone to the remote shard: at is the arrival
+	// time (now + Delay), sent is the serialization-complete time (now).
+	Deliver func(at, sent sim.Time, f *Frame)
+}
+
+// RecvFrame implements Receiver on the sending shard's goroutine.
+func (p *Portal) RecvFrame(f *Frame) {
+	c := p.Clone(f)
+	f.Release()
+	now := p.Sim.Now()
+	p.Deliver(now+p.Delay, now, c)
+}

@@ -20,6 +20,7 @@ import (
 
 	"rmcast/internal/cluster"
 	"rmcast/internal/core"
+	"rmcast/internal/faults"
 	"rmcast/internal/stats"
 	"rmcast/internal/topo"
 	"rmcast/internal/unicast"
@@ -43,6 +44,14 @@ type Options struct {
 	// 0 or 1 runs serially, negative uses GOMAXPROCS. Output is
 	// byte-identical either way.
 	Parallel int
+	// Shards splits each simulation point's event loop across
+	// conservatively synchronized switch-domain shards: 0 or 1 runs the
+	// serial engine, negative resolves to min(domains, GOMAXPROCS) per
+	// point. The count is clamped to the point's fabric, and points the
+	// sharded engine refuses (shared bus, progress-triggered or burst
+	// faults, the TCP baseline) fall back to serial — sharded output is
+	// byte-identical to serial, so reports are unaffected either way.
+	Shards int
 }
 
 func (o Options) receivers() int {
@@ -179,16 +188,46 @@ func runTime(ctx context.Context, ccfg cluster.Config, pcfg core.Config, size in
 // inside wait — same call sites, no goroutines — so experiments are
 // written once and collection order alone fixes the output.
 type runner struct {
-	ctx context.Context
-	sem chan struct{} // nil: serial mode
+	ctx    context.Context
+	sem    chan struct{} // nil: serial mode
+	shards int           // Options.Shards, resolved per point by shardize
 }
 
 func newRunner(ctx context.Context, o Options) *runner {
-	r := &runner{ctx: ctx}
+	r := &runner{ctx: ctx, shards: o.Shards}
 	if w := o.workers(); w > 1 {
 		r.sem = make(chan struct{}, w)
 	}
 	return r
+}
+
+// shardize resolves the runner's shard request against one point's
+// final configuration (fabric and fault schedule included), setting
+// Shards only when the sharded engine would accept it. Experiments
+// therefore never fail from a shard/topology mismatch: incompatible
+// points simply run serially, producing the same bytes.
+func (r *runner) shardize(c *cluster.Config) {
+	want := r.shards
+	if want == 0 || want == 1 || c.Propagation <= 0 {
+		return
+	}
+	if want < 0 {
+		want = runtime.GOMAXPROCS(0)
+	}
+	if max := cluster.MaxShards(*c); max < want {
+		want = max
+	}
+	if want < 2 {
+		return
+	}
+	if c.Faults != nil {
+		for _, e := range c.Faults.Events {
+			if e.ByProgress || e.Kind == faults.Burst {
+				return
+			}
+		}
+	}
+	c.Shards = want
 }
 
 // job is one forked simulation point.
@@ -241,11 +280,13 @@ func (j *job[T]) wait() (T, error) {
 
 // time forks one multicast session, resolving to elapsed seconds.
 func (r *runner) time(ccfg cluster.Config, pcfg core.Config, size int) *job[float64] {
+	r.shardize(&ccfg)
 	return fork(r, func() (float64, error) { return runTime(r.ctx, ccfg, pcfg, size) })
 }
 
 // result forks one multicast session, resolving to the full Result.
 func (r *runner) result(ccfg cluster.Config, pcfg core.Config, size int) *job[*cluster.Result] {
+	r.shardize(&ccfg)
 	return fork(r, func() (*cluster.Result, error) { return cluster.Run(r.ctx, ccfg, cluster.ProtoSpec(pcfg), size) })
 }
 

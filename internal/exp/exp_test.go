@@ -154,6 +154,42 @@ func TestParallelReportsDeeplyIdentical(t *testing.T) {
 	}
 }
 
+// TestShardedPointsMatchSerial is the experiment-level face of the
+// sharded engine's determinism contract: a sweep whose points run on
+// conservatively synchronized shards must produce a byte-identical
+// report to the serial sweep, including when the shard request must be
+// clamped (-1 auto) or dropped (incompatible points fall back to
+// serial rather than failing the experiment).
+func TestShardedPointsMatchSerial(t *testing.T) {
+	for _, id := range []string{"fig10", "table3"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			e, err := ByID(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			encode := func(shards int) string {
+				rep, err := e.Run(context.Background(), Options{Quick: true, Shards: shards})
+				if err != nil {
+					t.Fatalf("shards=%d: %v", shards, err)
+				}
+				b, err := json.Marshal(rep)
+				if err != nil {
+					t.Fatalf("shards=%d: marshal: %v", shards, err)
+				}
+				return string(b)
+			}
+			serial := encode(0)
+			for _, k := range []int{2, 16, -1} {
+				if got := encode(k); got != serial {
+					t.Errorf("report for shards=%d differs from serial run", k)
+				}
+			}
+		})
+	}
+}
+
 // TestRunCanceled verifies a canceled context aborts an experiment with
 // the context's error rather than a corrupted report.
 func TestRunCanceled(t *testing.T) {

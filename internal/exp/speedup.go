@@ -1,0 +1,134 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+
+	"rmcast/internal/cluster"
+	"rmcast/internal/core"
+	"rmcast/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:       "ext_speedup",
+		Title:    "Sharded simulator wall-time speedup at 1k-4k receivers",
+		PaperRef: "Section 6 (simulator engineering)",
+		Run:      runExtSpeedup,
+	})
+}
+
+// speedupCell is one (receivers, shards) measurement: the host
+// wall-clock time of the whole cluster.Run, plus the virtual session
+// time as a cross-check that the sharded run simulated the same thing.
+type speedupCell struct {
+	wall    time.Duration
+	virtual time.Duration
+}
+
+// runExtSpeedup measures the simulator itself rather than a protocol:
+// the same topology-scaled tree session, executed serially and then on
+// 2 and 4 conservatively synchronized switch-domain shards, timed by
+// the host clock. Cells run strictly one at a time (ignoring
+// Options.Parallel) so each measurement owns every core; the virtual
+// session time is printed alongside to show the sharded runs simulated
+// the identical session. Speedup is relative to the serial engine at
+// the same group size. On fewer cores than shards the conservative
+// windows serialize and the table measures synchronization overhead
+// instead — the findings report the core count so the numbers read
+// honestly.
+func runExtSpeedup(ctx context.Context, o Options) (*Report, error) {
+	groups := []int{1024, 4096}
+	shardCounts := []int{0, 2, 4}
+	if o.Quick {
+		groups = []int{256}
+		shardCounts = []int{0, 2}
+	}
+	const size = 64 * KB
+
+	cores := runtime.GOMAXPROCS(0)
+	t := &stats.Table{
+		Title: fmt.Sprintf("%dB message, tree protocol, fat-tree fabrics, host wall time on %d core(s)",
+			size, cores),
+		Header: []string{"receivers", "shards", "wall (s)", "speedup", "virtual (s)"},
+	}
+
+	cells := make(map[int]map[int]speedupCell, len(groups))
+	for _, n := range groups {
+		spec := scaleFabric(n + 1)
+		cells[n] = make(map[int]speedupCell, len(shardCounts))
+		for _, k := range shardCounts {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			ccfg := cluster.Default(n)
+			ccfg.Seed = o.seed()
+			ccfg.Topo = &spec
+			ccfg.Deadline = 2 * time.Minute
+			ccfg.WallLimit = 10 * time.Minute
+			ccfg.Shards = k
+			if n >= 2048 {
+				// The allocation roll call unicasts one alloc-ok per
+				// receiver at the sender's socket; past ~3600 receivers
+				// the 64 KiB default receive buffer drops the same tail
+				// every retry round and the handshake livelocks.
+				// Provision the sender like a real 4k-client server.
+				ccfg.RecvBuf = 1 << 20
+			}
+			pcfg := core.Config{Protocol: core.ProtoTree, NumReceivers: n, PacketSize: 1000, WindowSize: 20}
+			pcfg = cluster.ScaleForTopology(pcfg, ccfg)
+			start := time.Now()
+			res, err := cluster.Run(ctx, ccfg, cluster.ProtoSpec(pcfg), size)
+			if err != nil {
+				return nil, fmt.Errorf("exp: speedup cell n=%d shards=%d: %w", n, k, err)
+			}
+			if !res.Verified {
+				return nil, fmt.Errorf("exp: speedup cell n=%d shards=%d delivered corrupted data", n, k)
+			}
+			cells[n][k] = speedupCell{wall: time.Since(start), virtual: res.Elapsed}
+		}
+	}
+
+	for _, n := range groups {
+		serial := cells[n][shardCounts[0]]
+		for _, k := range shardCounts {
+			c := cells[n][k]
+			label := "serial"
+			if k > 1 {
+				label = fmt.Sprintf("%d", k)
+			}
+			t.AddRow(n, label, fmt.Sprintf("%.2f", secs(c.wall)),
+				fmt.Sprintf("%.2fx", secs(serial.wall)/secs(c.wall)),
+				fmt.Sprintf("%.3f", secs(c.virtual)))
+		}
+	}
+
+	last := groups[len(groups)-1]
+	maxK, best := shardCounts[1], cells[last][shardCounts[1]]
+	for _, k := range shardCounts[2:] {
+		if c := cells[last][k]; c.wall < best.wall {
+			maxK, best = k, c
+		}
+	}
+	findings := []string{fmt.Sprintf(
+		"measured on %d core(s): every sharded run simulated the identical session (virtual times match the serial column)", cores)}
+	speedup := secs(cells[last][0].wall) / secs(best.wall)
+	switch {
+	case cores < 2:
+		findings = append(findings, fmt.Sprintf(
+			"with a single core the conservative windows serialize; the table bounds the synchronization overhead (best sharded run %.2fx serial at %d receivers) rather than demonstrating speedup — rerun with GOMAXPROCS >= shards for the parallel numbers",
+			speedup, last))
+	case speedup >= 1.2:
+		findings = append(findings, fmt.Sprintf(
+			"%d shards complete the %d-receiver session %.2fx faster than the serial engine on %d cores",
+			maxK, last, speedup, cores))
+	default:
+		findings = append(findings, fmt.Sprintf(
+			"best sharded run is %.2fx serial at %d receivers on %d cores — lookahead windows (one propagation delay) are too fine for this fabric to amortize the barriers",
+			speedup, last, cores))
+	}
+	return &Report{ID: "ext_speedup", Title: "Sharded simulator speedup", PaperRef: "Section 6",
+		Tables: []*stats.Table{t}, Findings: findings}, nil
+}

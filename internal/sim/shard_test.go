@@ -1,0 +1,137 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// shardRecorder logs (time, shard, tag) tuples from whichever goroutine
+// executes them; entries are compared after Run, when the workers have
+// been joined.
+type shardRecorder struct {
+	mu  sync.Mutex
+	log []string
+}
+
+func (r *shardRecorder) add(s *Shard, tag string) {
+	r.mu.Lock()
+	r.log = append(r.log, fmt.Sprintf("%v/s%d/%s", s.Sim().Now(), s.ID(), tag))
+	r.mu.Unlock()
+}
+
+// TestGroupPingPong bounces an event between two shards through the
+// mailbox protocol and checks the exact execution schedule: each hop
+// lands one lookahead later, alternating shards.
+func TestGroupPingPong(t *testing.T) {
+	const L = 10 * time.Microsecond
+	g := NewGroup(2, L)
+	rec := &shardRecorder{}
+	hops := 0
+	var hop func(s *Shard)
+	hop = func(s *Shard) {
+		rec.add(s, "hop")
+		hops++
+		if hops >= 6 {
+			return
+		}
+		dst := 1 - s.ID()
+		now := s.Sim().Now()
+		peer := g.Shard(dst)
+		s.Post(dst, now+L, now, func() { hop(peer) })
+	}
+	g.Shard(0).Sim().At(0, func() { hop(g.Shard(0)) })
+
+	if _, done, err := g.Run(RunConfig{}); err != nil || done {
+		t.Fatalf("Run = done=%v err=%v", done, err)
+	}
+	want := []string{
+		"0s/s0/hop", "10µs/s1/hop", "20µs/s0/hop",
+		"30µs/s1/hop", "40µs/s0/hop", "50µs/s1/hop",
+	}
+	if len(rec.log) != len(want) {
+		t.Fatalf("executed %d events, want %d: %v", len(rec.log), len(want), rec.log)
+	}
+	for i := range want {
+		if rec.log[i] != want[i] {
+			t.Fatalf("event %d = %q, want %q (full: %v)", i, rec.log[i], want[i], rec.log)
+		}
+	}
+	// hops counter is mutated from both goroutines but only inside the
+	// windowed protocol; its final value proves no event ran twice.
+	if hops != 6 {
+		t.Fatalf("hops = %d, want 6", hops)
+	}
+}
+
+// TestGroupDeadlineOverstep pins the one-past-the-edge semantics: with
+// the deadline between two events, the earlier executes normally and
+// exactly one event past the edge executes before Run returns.
+func TestGroupDeadlineOverstep(t *testing.T) {
+	const L = time.Microsecond
+	g := NewGroup(2, L)
+	var fired []string
+	g.Shard(0).Sim().At(5*time.Millisecond, func() { fired = append(fired, "early") })
+	g.Shard(1).Sim().At(7*time.Millisecond, func() { fired = append(fired, "over-1") })
+	g.Shard(0).Sim().At(8*time.Millisecond, func() { fired = append(fired, "over-0") })
+	now, done, err := g.Run(RunConfig{Deadline: 6 * time.Millisecond})
+	if err != nil || done {
+		t.Fatalf("Run = done=%v err=%v", done, err)
+	}
+	if len(fired) != 2 || fired[0] != "early" || fired[1] != "over-1" {
+		t.Fatalf("fired = %v, want [early over-1]", fired)
+	}
+	if now != 7*time.Millisecond {
+		t.Fatalf("now = %v, want 7ms (the overstep event's time)", now)
+	}
+}
+
+// TestGroupDoneClampsWorkers checks completion semantics: once Done
+// reports true on the primary, other shards execute nothing at or after
+// the completion instant.
+func TestGroupDoneClampsWorkers(t *testing.T) {
+	const L = time.Microsecond
+	g := NewGroup(2, L)
+	doneFlag := false
+	ranLate := false
+	g.Shard(0).Sim().At(100*time.Nanosecond, func() { doneFlag = true })
+	// Same instant as completion on the other shard: a serial loop that
+	// breaks after the completing step would never run it.
+	g.Shard(1).Sim().At(100*time.Nanosecond, func() { ranLate = true })
+	g.Shard(1).Sim().At(50*time.Nanosecond, func() {})
+	now, done, err := g.Run(RunConfig{Done: func() bool { return doneFlag }})
+	if err != nil || !done {
+		t.Fatalf("Run = done=%v err=%v", done, err)
+	}
+	if ranLate {
+		t.Fatal("worker shard executed an event at the completion instant")
+	}
+	if now != 100*time.Nanosecond {
+		t.Fatalf("now = %v, want 100ns", now)
+	}
+}
+
+// TestGroupBarrierAbort checks that a barrier error stops the run and
+// propagates.
+func TestGroupBarrierAbort(t *testing.T) {
+	g := NewGroup(2, time.Microsecond)
+	for i := 0; i < 1000; i++ {
+		g.Shard(0).Sim().At(Time(i)*time.Microsecond, func() {})
+	}
+	calls := 0
+	wantErr := fmt.Errorf("abort")
+	_, _, err := g.Run(RunConfig{Barrier: func() error {
+		calls++
+		if calls == 3 {
+			return wantErr
+		}
+		return nil
+	}})
+	if err != wantErr {
+		t.Fatalf("err = %v, want %v", err, wantErr)
+	}
+	if calls != 3 {
+		t.Fatalf("barrier ran %d times after abort, want 3", calls)
+	}
+}

@@ -1,0 +1,111 @@
+package topo
+
+import "fmt"
+
+// Partition maps a Layout's switches (and therefore its hosts) onto
+// simulation shards for the sharded event loop.
+//
+// The assignment rule is chosen for determinism, not just balance.
+// Sharded runs must reproduce the serial event order byte-for-byte,
+// and the merge that interleaves per-shard logs breaks same-instant
+// ties by shard index. In a serial run, same-instant ties execute in
+// event-creation order, which for the common case — a multicast
+// fan-out cascading through the flood spanning tree — is the fabric's
+// construction order: ascending switch index, hence ascending host
+// rank. Keeping the shard index monotone in the host-bearing switch
+// index makes the merge's tie-break agree with that order.
+//
+// Concretely: shard 0 holds only the sender's leaf switch (the sender
+// is host 0, and the primary shard should carry as little foreign load
+// as possible, since it executes serially before the workers in every
+// window); the remaining host-bearing switches are split, in ascending
+// index order, into contiguous blocks over shards 1..n-1. Switches
+// without hosts (spines, a star core) emit no trace or delivery
+// entries, so their placement cannot affect the merged stream; they
+// are dealt round-robin over shards 1..n-1 purely for load.
+type Partition struct {
+	// Shards is the shard count.
+	Shards int
+	// SwitchShard maps switch index -> shard.
+	SwitchShard []int
+	// HostShard maps host index -> shard (the shard of its switch).
+	HostShard []int
+}
+
+// MaxShards returns the maximum usable shard count for the layout: the
+// number of host-bearing switches. (Shard 0 holds exactly one of them;
+// every other shard needs at least one to be worth scheduling.)
+func (l *Layout) MaxShards() int { return len(l.hostBearing()) }
+
+// hostBearing returns the ascending switch indices that hold at least
+// one host.
+func (l *Layout) hostBearing() []int {
+	counts := make([]int, len(l.Switches))
+	for _, s := range l.HostSwitch {
+		counts[s]++
+	}
+	var hb []int
+	for s, c := range counts {
+		if c > 0 {
+			hb = append(hb, s)
+		}
+	}
+	return hb
+}
+
+// Partition assigns the layout's switches to shards shards. shards
+// must be at least 2 (a single shard is just the serial path) and at
+// most MaxShards.
+func (l *Layout) Partition(shards int) (*Partition, error) {
+	if shards < 2 {
+		return nil, fmt.Errorf("topo: partition needs at least 2 shards, got %d", shards)
+	}
+	hb := l.hostBearing()
+	if shards > len(hb) {
+		return nil, fmt.Errorf("topo: %d shards exceed the %d host-bearing switch domains of %s",
+			shards, len(hb), l.Spec.String())
+	}
+	p := &Partition{
+		Shards:      shards,
+		SwitchShard: make([]int, len(l.Switches)),
+		HostShard:   make([]int, len(l.HostSwitch)),
+	}
+	for i := range p.SwitchShard {
+		p.SwitchShard[i] = -1
+	}
+	// Shard 0: the sender's switch alone.
+	p.SwitchShard[l.HostSwitch[0]] = 0
+	// Remaining host-bearing switches: contiguous ascending blocks over
+	// shards 1..n-1, larger blocks first when uneven.
+	var rest []int
+	for _, s := range hb {
+		if s != l.HostSwitch[0] {
+			rest = append(rest, s)
+		}
+	}
+	blocks := shards - 1
+	base, extra := len(rest)/blocks, len(rest)%blocks
+	idx := 0
+	for b := 0; b < blocks; b++ {
+		n := base
+		if b < extra {
+			n++
+		}
+		for i := 0; i < n; i++ {
+			p.SwitchShard[rest[idx]] = 1 + b
+			idx++
+		}
+	}
+	// Hostless switches: round-robin over shards 1..n-1.
+	rr := 0
+	for s := range p.SwitchShard {
+		if p.SwitchShard[s] < 0 {
+			p.SwitchShard[s] = 1 + rr%blocks
+			rr++
+		}
+	}
+	for h, s := range l.HostSwitch {
+		p.HostShard[h] = p.SwitchShard[s]
+	}
+	return p, nil
+}

@@ -1,0 +1,89 @@
+package topo
+
+import (
+	"testing"
+
+	"rmcast/internal/ethernet"
+)
+
+func mustLayout(t *testing.T, spec Spec, hosts int) *Layout {
+	t.Helper()
+	l, err := spec.Layout(hosts, ethernet.Rate100Mbps)
+	if err != nil {
+		t.Fatalf("layout %s: %v", spec.String(), err)
+	}
+	return l
+}
+
+// TestPartitionInvariants checks the properties the sharded merge
+// relies on, across the canned fabrics and all usable shard counts:
+// the sender's switch is alone on shard 0, host-bearing switches get
+// monotonically nondecreasing shards in switch-index order, every
+// shard is nonempty, and hosts inherit their switch's shard.
+func TestPartitionInvariants(t *testing.T) {
+	for _, c := range Canned() {
+		spec := c.Spec
+		hosts := 31
+		if cap := spec.Capacity(); cap > 0 && cap < hosts {
+			hosts = cap
+		}
+		l := mustLayout(t, spec, hosts)
+		max := l.MaxShards()
+		if _, err := l.Partition(max + 1); err == nil {
+			t.Errorf("%s: %d shards on %d domains was not rejected", spec.String(), max+1, max)
+		}
+		if _, err := l.Partition(1); err == nil {
+			t.Errorf("%s: 1 shard was not rejected (serial is not a partition)", spec.String())
+		}
+		for k := 2; k <= max; k++ {
+			p, err := l.Partition(k)
+			if err != nil {
+				t.Fatalf("%s shards=%d: %v", spec.String(), k, err)
+			}
+			if got := p.SwitchShard[l.HostSwitch[0]]; got != 0 {
+				t.Errorf("%s shards=%d: sender switch on shard %d, want 0", spec.String(), k, got)
+			}
+			used := make([]int, k)
+			for s, sh := range p.SwitchShard {
+				if sh < 0 || sh >= k {
+					t.Fatalf("%s shards=%d: switch %d on shard %d out of range", spec.String(), k, s, sh)
+				}
+				used[sh]++
+			}
+			for sh, n := range used {
+				if n == 0 {
+					t.Errorf("%s shards=%d: shard %d owns no switch", spec.String(), k, sh)
+				}
+			}
+			// Monotone over host-bearing switches in index order: the
+			// stable merge tie-break (shard order) must agree with the
+			// serial tie order (switch/host construction order).
+			hb := l.hostBearing()
+			prev := -1
+			for _, s := range hb {
+				sh := p.SwitchShard[s]
+				if sh < prev {
+					t.Errorf("%s shards=%d: host-bearing shard sequence not monotone at switch %d (%d after %d)",
+						spec.String(), k, s, sh, prev)
+				}
+				prev = sh
+			}
+			// Shard 0 holds exactly one host-bearing switch: the sender's.
+			zero := 0
+			for _, s := range hb {
+				if p.SwitchShard[s] == 0 {
+					zero++
+				}
+			}
+			if zero != 1 {
+				t.Errorf("%s shards=%d: %d host-bearing switches on shard 0, want 1", spec.String(), k, zero)
+			}
+			for h, s := range l.HostSwitch {
+				if p.HostShard[h] != p.SwitchShard[s] {
+					t.Fatalf("%s shards=%d: host %d shard %d != its switch's shard %d",
+						spec.String(), k, h, p.HostShard[h], p.SwitchShard[s])
+				}
+			}
+		}
+	}
+}

@@ -23,23 +23,12 @@ micro=$(go test -run '^$' -bench 'BenchmarkSim(Schedule|ScheduleDepth1k|Cancel)$
 	-benchmem -benchtime 200000x ./internal/sim)
 frag=$(go test -run '^$' -bench 'BenchmarkFragmentation' \
 	-benchmem -benchtime 200x ./internal/ipnet)
+sharded=$(go test -run '^$' -bench 'BenchmarkProto(Tree|Ring)1024' \
+	-benchmem -benchtime "$BENCHTIME" .)
 
-{
-	printf '{\n'
-	printf '  "generated_by": "scripts/bench.sh",\n'
-	printf '  "go": "%s",\n' "$(go env GOVERSION)"
-	printf '  "benchtime": "%s",\n' "$BENCHTIME"
-	printf '  "cpu": "%s",\n' "$(printf '%s\n' "$proto" | awk -F': ' '/^cpu:/{print $2; exit}')"
-	# Pre-optimization baseline, recorded at commit b58cdc9 (pointer-heap
-	# events, map-tracked cancellation, unpooled frames), benchtime=3x.
-	printf '  "baseline_pre_slab_engine": {\n'
-	printf '    "BenchmarkProtoACK2MB":  {"ns_per_op": 104600000, "allocs_per_op": 410064, "bytes_per_op": 82900000, "sim_mbps": 78.01},\n'
-	printf '    "BenchmarkProtoNAK2MB":  {"ns_per_op": 110700000, "allocs_per_op": 472428, "sim_mbps": 93.26},\n'
-	printf '    "BenchmarkProtoRing2MB": {"ns_per_op": 123800000, "allocs_per_op": 475468, "sim_mbps": 93.23},\n'
-	printf '    "BenchmarkProtoTree2MB": {"ns_per_op": 147900000, "allocs_per_op": 675151, "sim_mbps": 91.77}\n'
-	printf '  },\n'
-	printf '  "benchmarks": {\n'
-	printf '%s\n%s\n%s\n' "$proto" "$micro" "$frag" | awk '
+# parse_bench turns `go test -bench` output lines into JSON map entries.
+parse_bench() {
+	awk '
 		/^Benchmark/ {
 			name = $1
 			sub(/-[0-9]+$/, "", name)
@@ -60,6 +49,36 @@ frag=$(go test -run '^$' -bench 'BenchmarkFragmentation' \
 		}
 		END { printf("\n") }
 	'
+}
+
+{
+	printf '{\n'
+	printf '  "generated_by": "scripts/bench.sh",\n'
+	printf '  "go": "%s",\n' "$(go env GOVERSION)"
+	printf '  "benchtime": "%s",\n' "$BENCHTIME"
+	printf '  "cpu": "%s",\n' "$(printf '%s\n' "$proto" | awk -F': ' '/^cpu:/{print $2; exit}')"
+	# Pre-optimization baseline, recorded at commit b58cdc9 (pointer-heap
+	# events, map-tracked cancellation, unpooled frames), benchtime=3x.
+	printf '  "baseline_pre_slab_engine": {\n'
+	printf '    "BenchmarkProtoACK2MB":  {"ns_per_op": 104600000, "allocs_per_op": 410064, "bytes_per_op": 82900000, "sim_mbps": 78.01},\n'
+	printf '    "BenchmarkProtoNAK2MB":  {"ns_per_op": 110700000, "allocs_per_op": 472428, "sim_mbps": 93.26},\n'
+	printf '    "BenchmarkProtoRing2MB": {"ns_per_op": 123800000, "allocs_per_op": 475468, "sim_mbps": 93.23},\n'
+	printf '    "BenchmarkProtoTree2MB": {"ns_per_op": 147900000, "allocs_per_op": 675151, "sim_mbps": 91.77}\n'
+	printf '  },\n'
+	printf '  "benchmarks": {\n'
+	printf '%s\n%s\n%s\n' "$proto" "$micro" "$frag" | parse_bench
+	printf '  },\n'
+	# 1024-receiver fat-tree sessions, serial engine vs the sharded one.
+	# The sharded engine reproduces the serial run byte-for-byte (the
+	# identical sim_mbps is the cross-check); its wall-clock numbers only
+	# demonstrate speedup when cores >= shards — on fewer cores the
+	# conservative sync windows serialize and the comparison measures
+	# barrier overhead instead, which is why the core count is recorded.
+	printf '  "sharded": {\n'
+	printf '    "cores": %s,\n' "$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN)"
+	printf '    "benchmarks": {\n'
+	printf '%s\n' "$sharded" | parse_bench
+	printf '    }\n'
 	printf '  }\n'
 	printf '}\n'
 } >"$OUT"
