@@ -12,6 +12,8 @@
 //	rmsim -proto tree -faults "crash:3@0,stall:5@10ms+40ms" -maxretries 3
 //	rmsim -proto nak -metrics
 //	rmsim -proto tree -topo fattree:4x32x33@1g -receivers 1024 -shards auto
+//	rmsim -proto nak -packet 1400 -sessions 4 -overlap 0.5 -rate -leader
+//	rmsim -proto ring -sessions 2 -cross 2 -cross-size 65536
 package main
 
 import (
@@ -27,6 +29,7 @@ import (
 	"rmcast/internal/cluster"
 	"rmcast/internal/core"
 	"rmcast/internal/faults"
+	"rmcast/internal/session"
 	"rmcast/internal/topo"
 	"rmcast/internal/trace"
 	"rmcast/internal/unicast"
@@ -58,6 +61,15 @@ func main() {
 		maxRetry  = flag.Int("maxretries", 0, "no-progress timeout rounds before the sender probes and ejects a receiver (0 = wait forever, as in the paper)")
 		sessionDl = flag.Duration("session-deadline", 0, "protocol-level session deadline; at expiry unfinished receivers are declared failed (0 = none)")
 		shardsF   = flag.String("shards", "", "run the simulation on N conservatively synchronized switch-domain shards: an integer >= 2, or 'auto' (min of the fabric's domains and GOMAXPROCS); results are byte-identical to serial")
+		sessions  = flag.Int("sessions", 1, "concurrent multicast sessions sharing the fabric (each with its own sender and -receivers receivers)")
+		overlap   = flag.Float64("overlap", 0.5, "fraction of each session's receivers drawn from a pool shared by every session (0..1)")
+		stagger   = flag.Duration("stagger", 0, "start-time offset between consecutive sessions (e.g. 500us)")
+		crossN    = flag.Int("cross", 0, "background unicast cross-traffic flows between receiver hosts")
+		crossSize = flag.Int("cross-size", 64*1024, "bytes per cross-traffic transfer")
+		crossRep  = flag.Int("cross-repeat", 1, "transfers per cross-traffic flow")
+		rateCtl   = flag.Bool("rate", false, "enable the AIMD congestion window on each sender")
+		leader    = flag.Bool("leader", false, "pace first transmissions at SRTT/cwnd of the worst (leader) receiver; requires -rate")
+		maxCwnd   = flag.Int("maxcwnd", 0, "AIMD congestion-window ceiling in packets (0 = the protocol window); requires -rate")
 	)
 	flag.Parse()
 
@@ -67,7 +79,7 @@ func main() {
 		}
 		return
 	}
-	validateFlags(*proto, *topology, *loss)
+	validateFlags(*proto, *topology, *loss, *sessions, *crossN, *overlap, *rateCtl)
 
 	ccfg := cluster.Default(*receivers)
 	ccfg.Seed = *seed
@@ -166,6 +178,26 @@ func main() {
 	if pcfg.JoinCatchup, err = core.ParseCatchup(*catchupF); err != nil {
 		fatalf("%v", err)
 	}
+	if *rateCtl {
+		pcfg.Rate = core.RateControl{Enabled: true, LeaderPacing: *leader, MaxWindow: *maxCwnd}
+	}
+
+	if *sessions > 1 || *crossN > 0 {
+		runMulti(session.Config{
+			Sessions:     *sessions,
+			ReceiversPer: *receivers,
+			Overlap:      *overlap,
+			Stagger:      *stagger,
+			Proto:        pcfg,
+			MsgSize:      *size,
+			Cluster:      ccfg,
+			CrossFlows:   *crossN,
+			CrossSize:    *crossSize,
+			CrossRepeat:  *crossRep,
+		})
+		return
+	}
+
 	var traceBuf *trace.Buffer
 	if *traceN > 0 {
 		traceBuf = trace.New(*traceN)
@@ -210,6 +242,29 @@ func main() {
 	}
 }
 
+// runMulti executes a multi-session contention scenario and prints the
+// per-session results plus the contention reduction (aggregate goodput,
+// Jain fairness).
+func runMulti(scfg session.Config) {
+	res, rep, err := session.Run(context.Background(), scfg)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	for i := range res.Sessions {
+		sr := &res.Sessions[i]
+		fmt.Printf("session %d: %d bytes to %d receivers in %v (%.1f Mbps) verified=%v\n",
+			i, scfg.MsgSize, scfg.ReceiversPer, sr.Elapsed.Round(time.Microsecond), sr.ThroughputMbps, sr.Verified)
+	}
+	if rep.CrossCompleted > 0 || scfg.CrossFlows > 0 {
+		fmt.Printf("cross-traffic: %d transfers completed across %d flows\n", rep.CrossCompleted, scfg.CrossFlows)
+	}
+	fmt.Printf("aggregate: %.1f Mbps over %d sessions in %v (Jain fairness %.3f)\n",
+		rep.AggregateMbps, rep.Sessions, rep.Elapsed.Round(time.Microsecond), rep.Fairness)
+	for i, sw := range res.SwitchStats {
+		fmt.Printf("switch%d: forwarded=%d flooded=%d queueDrops=%d\n", i, sw.Forwarded, sw.Flooded, sw.QueueDrops)
+	}
+}
+
 // resolveShards turns the -shards flag value into a Config.Shards
 // count, validated up front against the fabric's parallel
 // decomposition so a bad request fails with the domain arithmetic
@@ -243,9 +298,49 @@ func resolveShards(v string, ccfg cluster.Config) int {
 // silently ignored (or normalized away) before any simulation runs.
 // Only flags the user explicitly set are checked, so defaults never
 // trip the validation.
-func validateFlags(proto, topology string, loss float64) {
+func validateFlags(proto, topology string, loss float64, sessions, cross int, overlap float64, rate bool) {
 	set := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+
+	if sessions < 1 {
+		usageError("-sessions must be >= 1, got %d", sessions)
+	}
+	if overlap < 0 || overlap > 1 {
+		usageError("-overlap must be in [0, 1], got %g", overlap)
+	}
+	if sessions > 1 || cross > 0 {
+		if proto == "tcp" || proto == "rawudp" {
+			usageError("-sessions/-cross need a reliable multicast protocol (got -proto %s)", proto)
+		}
+		if topology == "bus" {
+			usageError("-sessions/-cross need a switched fabric; the shared bus saturates hopelessly under concurrent senders")
+		}
+		for _, f := range []string{"faults", "crash", "metrics", "trace"} {
+			if set[f] {
+				usageError("-%s is not supported in multi-session runs", f)
+			}
+		}
+	}
+	for _, f := range []string{"overlap", "stagger"} {
+		if set[f] && sessions <= 1 {
+			usageError("-%s only applies with -sessions > 1", f)
+		}
+	}
+	for _, f := range []string{"cross-size", "cross-repeat"} {
+		if set[f] && cross == 0 {
+			usageError("-%s only applies with -cross > 0", f)
+		}
+	}
+	if !rate {
+		for _, f := range []string{"leader", "maxcwnd"} {
+			if set[f] {
+				usageError("-%s requires -rate", f)
+			}
+		}
+	}
+	if rate && (proto == "tcp" || proto == "rawudp") {
+		usageError("-rate only applies to the reliable multicast protocols (got -proto %s)", proto)
+	}
 
 	if set["shards"] {
 		if topology == "bus" {

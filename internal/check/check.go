@@ -166,6 +166,17 @@ func Registry() []Registration {
 			New:     func() Checker { return newMembershipChecker() },
 		},
 		{
+			// Multi-session isolation and rate control: every packet in
+			// the session's stream carries the session's own tag (no
+			// cross-session bleed), and with AIMD on, first transmissions
+			// respect the congestion ceiling.
+			Name: "session",
+			Applies: func(info *RunInfo) bool {
+				return reliable(info) && (info.Proto.SessionTag != 0 || info.Proto.Rate.Enabled)
+			},
+			New: func() Checker { return newSessionChecker() },
+		},
+		{
 			// The metrics session's counters equal the counts derived
 			// independently from the trace stream.
 			Name:    "metrics",

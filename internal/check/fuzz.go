@@ -13,6 +13,7 @@ import (
 	"rmcast/internal/exp"
 	"rmcast/internal/faults"
 	"rmcast/internal/rng"
+	"rmcast/internal/session"
 	"rmcast/internal/topo"
 )
 
@@ -26,6 +27,32 @@ type Case struct {
 	Cluster cluster.Config
 	Proto   core.Config
 	MsgSize int
+
+	// Contention block — zero for classic single-session cases. Drawn
+	// from its own rng stream (see DeriveCase), so adding it moved no
+	// classic draw off its stream position: the single-session view of
+	// every (seed, index) is byte-identical to what it always was.
+	// Sessions > 1 runs the case as that many concurrent sessions
+	// (each with the classic receiver count) through the session layer.
+	Sessions int
+	Overlap  float64
+	Stagger  time.Duration
+	// CrossFlows background unicast flows of CrossSize bytes, repeated
+	// CrossRepeat times each, ride alongside the sessions.
+	CrossFlows  int
+	CrossSize   int
+	CrossRepeat int
+}
+
+// classic returns the case's single-session view: the contention block
+// and the rate controller (both drawn from the contention stream)
+// removed. The pinned sweep digests hash this view, proving the classic
+// scenario space never moves when contention draws change.
+func (c Case) classic() Case {
+	c.Sessions, c.Overlap, c.Stagger = 0, 0, 0
+	c.CrossFlows, c.CrossSize, c.CrossRepeat = 0, 0, 0
+	c.Proto.Rate = core.RateControl{}
+	return c
 }
 
 // Repro is the case's reproduction handle, accepted by ParseRepro and
@@ -97,6 +124,21 @@ func (c Case) String() string {
 	}
 	if c.Cluster.Faults != nil {
 		fmt.Fprintf(&b, " faults=%v", c.Cluster.Faults)
+	}
+	if c.Proto.Rate.Enabled {
+		b.WriteString(" rate")
+		if c.Proto.Rate.LeaderPacing {
+			b.WriteString("+lp")
+		}
+	}
+	if c.Sessions > 1 {
+		fmt.Fprintf(&b, " sessions=%d ov=%.2f", c.Sessions, c.Overlap)
+		if c.Stagger > 0 {
+			fmt.Fprintf(&b, " stagger=%v", c.Stagger)
+		}
+		if c.CrossFlows > 0 {
+			fmt.Fprintf(&b, " cross=%dx%d*%d", c.CrossFlows, c.CrossSize, c.CrossRepeat)
+		}
 	}
 	return b.String()
 }
@@ -219,7 +261,38 @@ func DeriveCase(seed uint64, index int) Case {
 		pcfg.SessionDeadline = 1500*time.Millisecond + time.Duration(r.Intn(2000))*time.Millisecond
 	}
 
-	return Case{Seed: seed, Index: index, Cluster: ccfg, Proto: pcfg, MsgSize: msgSize}
+	c := Case{Seed: seed, Index: index, Cluster: ccfg, Proto: pcfg, MsgSize: msgSize}
+
+	// Contention draws come from their own stream — like the fabric
+	// stream above, so every classic draw keeps its position and the
+	// pinned sweep digests over the classic view stay byte-identical.
+	// Eligibility is conservative: multi-session runs need a reliable
+	// protocol, a nonempty message, static membership (no faults), a
+	// switched stock topology (custom fabrics are sized for the classic
+	// host count), and no session deadline (which would race the other
+	// sessions' contention rather than its own receivers).
+	mr := rng.New(rng.Mix(seed, uint64(index), 0x5E551D4B))
+	eligible := proto != core.ProtoRawUDP && msgSize > 0 &&
+		ccfg.Faults == nil && ccfg.Topo == nil &&
+		ccfg.Topology != cluster.SharedBus &&
+		pcfg.SessionDeadline == 0 && pcfg.MaxRetries == 0
+	if eligible && mr.Bool(0.2) {
+		c.Sessions = 2 + mr.Intn(3)
+		if n > 10 {
+			c.Sessions = 2 // bound the fabric: each session re-uses the full receiver count
+		}
+		c.Overlap = []float64{0, 0.25, 0.5, 1}[mr.Intn(4)]
+		c.Stagger = time.Duration(mr.Intn(5)) * time.Millisecond
+		if n >= 2 && mr.Bool(0.5) {
+			c.CrossFlows = 1 + mr.Intn(2)
+			c.CrossSize = 16<<10 + mr.Intn(48<<10)
+			c.CrossRepeat = 1 + mr.Intn(2)
+		}
+		if mr.Bool(0.5) {
+			c.Proto.Rate = core.RateControl{Enabled: true, LeaderPacing: mr.Bool(0.5)}
+		}
+	}
+	return c
 }
 
 // deriveTopo draws a small declarative fabric (1-4 switches) with mixed
@@ -321,9 +394,50 @@ func churnEvent(r *rng.Rand, kind faults.Kind, node int) faults.Event {
 	return e
 }
 
-// RunCase executes one derived case under full invariant checking.
+// RunCase executes one derived case under full invariant checking:
+// single-session cases through Execute, contention cases through the
+// session planner and ExecuteMulti.
 func RunCase(ctx context.Context, c Case) (*Outcome, error) {
+	if c.Sessions > 1 {
+		return runMultiCase(ctx, c)
+	}
 	return Execute(ctx, c.Cluster, c.Proto, c.MsgSize)
+}
+
+// runMultiCase plans and executes a contention case and folds the
+// per-session outcomes into one report, each violation prefixed with
+// its session index.
+func runMultiCase(ctx context.Context, c Case) (*Outcome, error) {
+	ccfg, specs, flows, err := session.Plan(session.Config{
+		Sessions:     c.Sessions,
+		ReceiversPer: c.Cluster.NumReceivers,
+		Overlap:      c.Overlap,
+		Stagger:      c.Stagger,
+		Proto:        c.Proto,
+		MsgSize:      c.MsgSize,
+		Cluster:      c.Cluster,
+		CrossFlows:   c.CrossFlows,
+		CrossSize:    c.CrossSize,
+		CrossRepeat:  c.CrossRepeat,
+	})
+	if err != nil {
+		return nil, err
+	}
+	outs, _, err := ExecuteMulti(ctx, ccfg, specs, flows)
+	if err != nil {
+		return nil, err
+	}
+	agg := &Outcome{Info: outs[0].Info, Tail: outs[0].Tail}
+	for si, o := range outs {
+		for _, v := range o.Violations {
+			v.Detail = fmt.Sprintf("session %d: %s", si, v.Detail)
+			agg.Violations = append(agg.Violations, v)
+		}
+		if len(o.Violations) > 0 {
+			agg.Info, agg.Tail = o.Info, o.Tail
+		}
+	}
+	return agg, nil
 }
 
 // CaseResult is one finished case of a Fuzz sweep. Err is a harness

@@ -1,0 +1,80 @@
+package check
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"testing"
+
+	"rmcast/internal/core"
+)
+
+// sweepDigest hashes the one-line summaries of cases 0..n-1 from seed,
+// rendered by render.
+func sweepDigest(seed uint64, n int, render func(Case) string) string {
+	h := sha256.New()
+	for i := 0; i < n; i++ {
+		fmt.Fprintln(h, render(DeriveCase(seed, i)))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// TestDeriveCaseClassicPinned pins the single-session view of the
+// chaos configuration space: the first 200 cases of seeds 1 and 13,
+// with the contention block stripped, hash to the exact digests the
+// space had before multi-session draws existed. The contention stream
+// is separate, so these can only change if a classic draw moves — which
+// would silently retarget every pinned reproduction handle.
+func TestDeriveCaseClassicPinned(t *testing.T) {
+	want := map[uint64]string{
+		1:  "af23a5214a743284d24cd3af3d2370a1df685b372c09ae8be80b1b3d1dfd8c3c",
+		13: "8dc4b61278d83d08ce9237206113e6243cfa185e9acf4ced90c32149edf14709",
+	}
+	for seed, w := range want {
+		if got := sweepDigest(seed, 200, func(c Case) string { return c.classic().String() }); got != w {
+			t.Errorf("seed %d classic sweep digest moved:\n got  %s\n want %s\nthe single-session case space changed", seed, got, w)
+		}
+	}
+}
+
+// TestDeriveCaseContentionPinned pins the full space including the
+// contention draws, and sanity-checks the draw itself: some (not all)
+// cases of the pinned sweep become multi-session, every contention case
+// is well-formed, and ineligible cases never gain the block.
+func TestDeriveCaseContentionPinned(t *testing.T) {
+	const want = "f82515d2cda23092675cdbf81636a2b0bb2acdeabfe10b3ed7d3b923c3e099b2"
+	if got := sweepDigest(1, 200, Case.String); got != want {
+		t.Errorf("seed 1 full sweep digest moved:\n got  %s\n want %s", got, want)
+	}
+
+	multi := 0
+	for i := 0; i < 200; i++ {
+		c := DeriveCase(1, i)
+		if c.Sessions <= 1 {
+			if c.Sessions != 0 || c.CrossFlows != 0 || c.Proto.Rate.Enabled {
+				t.Fatalf("case %d: partial contention block: %+v", i, c)
+			}
+			continue
+		}
+		multi++
+		if c.Sessions > 4 {
+			t.Errorf("case %d: %d sessions out of range", i, c.Sessions)
+		}
+		if c.Overlap < 0 || c.Overlap > 1 {
+			t.Errorf("case %d: overlap %v out of range", i, c.Overlap)
+		}
+		if c.Cluster.Faults != nil || c.Proto.Protocol == core.ProtoRawUDP || c.MsgSize == 0 {
+			t.Errorf("case %d: ineligible case drew contention: %s", i, c)
+		}
+		if c.CrossFlows > 0 && (c.CrossSize <= 0 || c.CrossRepeat <= 0) {
+			t.Errorf("case %d: cross flows without size/repeat: %s", i, c)
+		}
+	}
+	if multi == 0 {
+		t.Fatal("no contention cases in 200 draws; the stream is dead")
+	}
+	if multi > 100 {
+		t.Fatalf("%d/200 contention cases; the draw probability is broken", multi)
+	}
+	t.Logf("%d/200 contention cases", multi)
+}

@@ -1,0 +1,107 @@
+package check
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"time"
+
+	"rmcast/internal/cluster"
+	"rmcast/internal/core"
+	"rmcast/internal/trace"
+)
+
+// ExecuteMulti runs one multi-session contention scenario under full
+// invariant checking. Each session's trace is recorded in its own
+// session-rank space (node 0 is that session's sender), so every
+// single-session checker applies to it unchanged; each session
+// therefore gets its own fresh checker set — including the session
+// checker, which holds tag isolation and the rate-control window bound —
+// plus its own delivery hook comparing payloads against that session's
+// message. Violations come back per session, alongside the run result.
+//
+// The specs' Trace and OnDeliver hooks are overridden (the checkers
+// need the complete streams); callers wanting both should wrap this
+// function rather than RunMulti.
+func ExecuteMulti(ctx context.Context, ccfg cluster.Config, specs []cluster.SessionSpec, flows []cluster.CrossFlow) ([]*Outcome, *cluster.MultiResult, error) {
+	infos := make([]*RunInfo, len(specs))
+	sets := make([][]Checker, len(specs))
+	for si := range specs {
+		sp := &specs[si]
+		// Mirror RunMulti's per-session normalization exactly, so the
+		// checkers judge the stream against the configuration the
+		// endpoints were actually built with.
+		pcfg := sp.Proto
+		pcfg.NumReceivers = len(sp.Receivers)
+		pcfg.SessionTag = uint32(si + 1)
+		norm, err := pcfg.Normalize()
+		if err != nil {
+			return nil, nil, fmt.Errorf("check: session %d: bad protocol config: %w", si, err)
+		}
+		info := &RunInfo{
+			Cluster: ccfg,
+			Proto:   norm,
+			MsgSize: sp.MsgSize,
+			Count:   norm.PacketCount(sp.MsgSize),
+		}
+		infos[si] = info
+		for _, reg := range Registry() {
+			if reg.Applies(info) {
+				sets[si] = append(sets[si], reg.New())
+			}
+		}
+		for _, c := range sets[si] {
+			c.Begin(info)
+		}
+
+		buf := trace.New(tailCap)
+		checkers := sets[si]
+		buf.SetSink(0, func(batch []trace.Event) {
+			for _, e := range batch {
+				for _, c := range checkers {
+					c.Observe(e)
+				}
+			}
+		})
+		sp.Trace = buf
+
+		expected := cluster.MakeSessionMessage(sp.MsgSize, si)
+		start := sp.Start
+		sp.OnDeliver = func(rank core.NodeID, at time.Duration, payload []byte) {
+			info.Deliveries = append(info.Deliveries, Delivery{
+				// RunMulti reports delivery times relative to the
+				// session's start; trace events are on the absolute sim
+				// clock the checkers compare against.
+				Rank: rank,
+				At:   at + start,
+				Len:  len(payload),
+				OK:   bytes.Equal(payload, expected),
+			})
+		}
+	}
+
+	res, runErr := cluster.RunMulti(ctx, ccfg, specs, flows)
+	if res == nil {
+		return nil, nil, runErr
+	}
+	if ctx.Err() != nil {
+		return nil, nil, ctx.Err()
+	}
+
+	outs := make([]*Outcome, len(specs))
+	for si := range specs {
+		info := infos[si]
+		info.Result = &res.Sessions[si].Result
+		if !res.Sessions[si].Completed {
+			// The run-level error (deadline, wall limit) is what explains
+			// an incomplete session; completed sessions are judged clean.
+			info.RunErr = runErr
+		}
+		out := &Outcome{Info: *info, Tail: specs[si].Trace.Events()}
+		for _, c := range sets[si] {
+			out.Violations = append(out.Violations, c.Finish(info)...)
+		}
+		outs[si] = out
+	}
+	return outs, res, nil
+}

@@ -1,0 +1,90 @@
+package check
+
+import (
+	"rmcast/internal/packet"
+	"rmcast/internal/trace"
+)
+
+// sessionChecker verifies the contracts the multi-session layer adds on
+// top of a single transfer's trace:
+//
+//   - tag isolation: every protocol packet the session's endpoints send
+//     or receive carries the session's own tag in the high half of its
+//     message id (MsgID >> 16 == SessionTag) and a nonzero message
+//     ordinal in the low half — a packet tagged for another session
+//     appearing in this session's stream is cross-session bleed, the
+//     demultiplexing failure concurrent sessions must never exhibit;
+//   - rate-control window bound: with the AIMD controller on, the
+//     sender's first transmissions never overrun base + Rate.MaxWindow.
+//     The congestion window lives in [MinWindow, MaxWindow], and the
+//     pump only opens new sequences while the outstanding span is below
+//     it, so a first transmission past that bound means the controller's
+//     clamp failed.
+//
+// Exactly-once delivery per session needs no new machinery: each
+// session's stream runs through its own full checker set (see
+// ExecuteMulti), so the delivery checker already enforces it per
+// session.
+type sessionChecker struct {
+	violations
+	tag       uint32
+	rateOn    bool
+	maxWin    uint64
+	count     uint32
+	sender    *senderShadow
+	nextFirst uint32
+}
+
+func newSessionChecker() *sessionChecker {
+	return &sessionChecker{violations: violations{name: "session"}}
+}
+
+// taggedTypes are the packet types that always carry the session's
+// message id. Join requests (sent before the joiner knows the session)
+// and leave announcements (echoing whatever message the receiver last
+// saw, possibly none) are exempt; hellos belong to the transport.
+func tagged(t packet.Type) bool {
+	switch t {
+	case packet.TypeAllocReq, packet.TypeAllocOK, packet.TypeData,
+		packet.TypeAck, packet.TypeNak, packet.TypePong:
+		return true
+	}
+	return false
+}
+
+func (c *sessionChecker) Begin(info *RunInfo) {
+	c.tag = info.Proto.SessionTag
+	c.rateOn = info.Proto.Rate.Enabled
+	c.maxWin = uint64(info.Proto.Rate.MaxWindow)
+	c.count = info.Count
+	c.sender = newSenderShadow(info)
+}
+
+func (c *sessionChecker) Observe(e trace.Event) {
+	if tagged(e.Type) {
+		if e.MsgID>>16 != c.tag {
+			c.addf("cross-session bleed: node %d saw %s msg=%d tagged %d, want session tag %d",
+				e.Node, e.Type, e.MsgID, e.MsgID>>16, c.tag)
+		} else if e.MsgID&0xFFFF == 0 {
+			c.addf("node %d saw %s with zero message ordinal (msg=%d)", e.Node, e.Type, e.MsgID)
+		}
+	}
+	if e.Node != 0 {
+		return
+	}
+	if c.rateOn && e.Dir == trace.SendMC && e.Type == packet.TypeData && e.Seq < c.count {
+		// Bound first transmissions by the rate ceiling, against the
+		// acknowledgment-derived base — same shadow discipline as the
+		// window checker, tighter limit.
+		if e.Seq >= c.nextFirst {
+			if uint64(e.Seq) >= uint64(c.sender.base)+c.maxWin {
+				c.addf("rate window overrun: first transmission of seq %d with base %d and Rate.MaxWindow %d",
+					e.Seq, c.sender.base, c.maxWin)
+			}
+			c.nextFirst = e.Seq + 1
+		}
+	}
+	c.sender.observe(e)
+}
+
+func (c *sessionChecker) Finish(*RunInfo) []Violation { return c.take() }

@@ -1,0 +1,132 @@
+package check
+
+import (
+	"context"
+	"testing"
+
+	"rmcast/internal/core"
+	"rmcast/internal/packet"
+	"rmcast/internal/trace"
+)
+
+// evm is ev with an explicit message id.
+func evm(at int, node int, dir trace.Dir, peer int, typ packet.Type, msgID, seq uint32) trace.Event {
+	e := ev(at, node, dir, peer, typ, seq)
+	e.MsgID = msgID
+	return e
+}
+
+// runSessionChecker drives the session checker alone over a synthetic
+// stream (Analyze would also wake the window/delivery checkers, whose
+// invariants these deliberately minimal streams don't maintain).
+func runSessionChecker(info *RunInfo, events []trace.Event) []Violation {
+	c := newSessionChecker()
+	c.Begin(info)
+	for _, e := range events {
+		c.Observe(e)
+	}
+	return c.Finish(info)
+}
+
+func TestSessionCheckerApplies(t *testing.T) {
+	var reg *Registration
+	for i, r := range Registry() {
+		if r.Name == "session" {
+			reg = &Registry()[i]
+			break
+		}
+	}
+	if reg == nil {
+		t.Fatal("session checker not registered")
+	}
+	plain := testInfo(t, ackConfig(2), 1000)
+	if reg.Applies(plain) {
+		t.Error("applies to an untagged, uncontrolled run")
+	}
+	tagged := ackConfig(2)
+	tagged.SessionTag = 3
+	if !reg.Applies(testInfo(t, tagged, 1000)) {
+		t.Error("does not apply to a tagged run")
+	}
+	rated := ackConfig(2)
+	rated.Rate = core.RateControl{Enabled: true}
+	if !reg.Applies(testInfo(t, rated, 1000)) {
+		t.Error("does not apply to a rate-controlled run")
+	}
+}
+
+func TestSessionCheckerCatchesBleed(t *testing.T) {
+	pcfg := ackConfig(1)
+	pcfg.SessionTag = 2
+	info := testInfo(t, pcfg, 1024)
+	base := uint32(2<<16 + 1)
+
+	clean := []trace.Event{
+		evm(1, 1, trace.Recv, 0, packet.TypeAllocReq, base, 0),
+		evm(2, 0, trace.SendMC, trace.Multicast, packet.TypeData, base, 0),
+		evm(3, 1, trace.Recv, 0, packet.TypeData, base, 0),
+		evm(4, 0, trace.Recv, 1, packet.TypeAck, base, 1),
+	}
+	noViolations(t, runSessionChecker(info, clean))
+
+	bleed := append(clean[:len(clean):len(clean)],
+		evm(5, 1, trace.Recv, 0, packet.TypeData, 1<<16+1, 0)) // session 1's packet in session 2's stream
+	hasViolation(t, runSessionChecker(info, bleed), "session", "cross-session bleed")
+
+	zeroOrd := append(clean[:len(clean):len(clean)],
+		evm(5, 0, trace.SendMC, trace.Multicast, packet.TypeData, 2<<16, 0))
+	hasViolation(t, runSessionChecker(info, zeroOrd), "session", "zero message ordinal")
+}
+
+func TestSessionCheckerCatchesRateOverrun(t *testing.T) {
+	pcfg := ackConfig(1) // WindowSize 4
+	pcfg.Rate = core.RateControl{Enabled: true, MaxWindow: 2}
+	info := testInfo(t, pcfg, 5*1024) // count 5
+
+	// Two outstanding first transmissions, an acknowledgment advancing
+	// the base, then two more: always within the rate ceiling.
+	clean := []trace.Event{
+		evm(1, 0, trace.SendMC, trace.Multicast, packet.TypeData, 1, 0),
+		evm(2, 0, trace.SendMC, trace.Multicast, packet.TypeData, 1, 1),
+		evm(3, 0, trace.Recv, 1, packet.TypeAck, 1, 2),
+		evm(4, 0, trace.SendMC, trace.Multicast, packet.TypeData, 1, 2),
+		evm(5, 0, trace.SendMC, trace.Multicast, packet.TypeData, 1, 3),
+	}
+	noViolations(t, runSessionChecker(info, clean))
+
+	// Three outstanding with no acknowledgment: the configured window
+	// (4) allows it, the rate ceiling (2) does not.
+	overrun := []trace.Event{
+		evm(1, 0, trace.SendMC, trace.Multicast, packet.TypeData, 1, 0),
+		evm(2, 0, trace.SendMC, trace.Multicast, packet.TypeData, 1, 1),
+		evm(3, 0, trace.SendMC, trace.Multicast, packet.TypeData, 1, 2),
+	}
+	hasViolation(t, runSessionChecker(info, overrun), "session", "rate window overrun")
+}
+
+// TestContentionCasesChecked runs the first few derived contention
+// cases end to end under full invariant checking: the multi-session
+// engine must produce violation-free traffic for every session.
+func TestContentionCasesChecked(t *testing.T) {
+	if testing.Short() {
+		t.Skip("contention cases are full simulations")
+	}
+	ran := 0
+	for i := 0; i < 200 && ran < 3; i++ {
+		c := DeriveCase(1, i)
+		if c.Sessions <= 1 {
+			continue
+		}
+		ran++
+		out, err := RunCase(context.Background(), c)
+		if err != nil {
+			t.Fatalf("case %s (%s): %v", c.Repro(), c, err)
+		}
+		if len(out.Violations) > 0 {
+			t.Errorf("case %s (%s): %d violations, e.g. %v", c.Repro(), c, len(out.Violations), out.Violations[0])
+		}
+	}
+	if ran == 0 {
+		t.Fatal("no contention cases found")
+	}
+}

@@ -186,8 +186,8 @@ func runProtocol(ctx context.Context, ccfg Config, pcfg core.Config, msgSize int
 		}
 	}
 	if c.sh != nil {
-		c.sh.onDeliver = deliverEmit
-		c.sh.onTrace = func(ev trace.Event) { ccfg.Trace.Add(ev) }
+		c.sh.onDeliver = func(_, rank int, at sim.Time, b []byte) { deliverEmit(rank, at, b) }
+		c.sh.onTrace = func(_ int, ev trace.Event) { ccfg.Trace.Add(ev) }
 	}
 
 	var start func()
@@ -261,7 +261,7 @@ func runProtocol(ctx context.Context, ccfg Config, pcfg core.Config, msgSize int
 		// Progress-triggered faults were rejected at construction, so the
 		// sharded drive needs no tick(); time-triggered events are already
 		// armed on their owning shards.
-		endNow, wallExceeded, canceled = c.driveSharded(ctx, &senderDone, begin, wallStart)
+		endNow, wallExceeded, canceled = c.driveSharded(ctx, func() bool { return senderDone }, begin, wallStart)
 	} else {
 		tick := func() {
 			if c.inj == nil {

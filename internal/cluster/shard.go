@@ -20,6 +20,7 @@ import (
 // merged into the global stream at the next window barrier.
 type shardEntry struct {
 	at   sim.Time
+	sess int // session index (0 for single-session runs)
 	rank int // < 0: trace event; >= 1: delivery by this receiver
 	ev   trace.Event
 	data []byte
@@ -41,9 +42,10 @@ type shardState struct {
 	part  *topo.Partition
 	logs  []*shardLog // indexed by shard
 
-	// Emission hooks, wired by the run loop before driving.
-	onTrace   func(trace.Event)
-	onDeliver func(rank int, at sim.Time, b []byte)
+	// Emission hooks, wired by the run loop before driving. sess is the
+	// session index (always 0 for single-session runs).
+	onTrace   func(sess int, ev trace.Event)
+	onDeliver func(sess, rank int, at sim.Time, b []byte)
 
 	scratch []shardEntry
 }
@@ -164,9 +166,9 @@ func (sh *shardState) merge() {
 	for i := range buf {
 		e := &buf[i]
 		if e.rank < 0 {
-			sh.onTrace(e.ev)
+			sh.onTrace(e.sess, e.ev)
 		} else {
-			sh.onDeliver(e.rank, e.at, e.data)
+			sh.onDeliver(e.sess, e.rank, e.at, e.data)
 		}
 		*e = shardEntry{} // drop payload references
 	}
@@ -181,11 +183,13 @@ var (
 )
 
 // driveSharded runs the event loop across the shard group, replicating
-// the serial loop's semantics: stop at sender completion, one event
-// past the virtual deadline, wall-clock and cancellation checkpoints
-// (here at window barriers instead of every 4096 steps). It returns
-// the final global clock and the abort flags.
-func (c *Cluster) driveSharded(ctx context.Context, senderDone *bool, begin sim.Time, wallStart time.Time) (now sim.Time, wallExceeded, canceled bool) {
+// the serial loop's semantics: stop at completion (done, polled on the
+// primary shard; nil runs to drain — the multi-session mode, where
+// senders live on several shards and no single shard can observe them
+// all), one event past the virtual deadline, wall-clock and
+// cancellation checkpoints (here at window barriers instead of every
+// 4096 steps). It returns the final global clock and the abort flags.
+func (c *Cluster) driveSharded(ctx context.Context, done func() bool, begin sim.Time, wallStart time.Time) (now sim.Time, wallExceeded, canceled bool) {
 	sh := c.sh
 	barrier := func() error {
 		sh.merge()
@@ -199,7 +203,7 @@ func (c *Cluster) driveSharded(ctx context.Context, senderDone *bool, begin sim.
 	}
 	now, _, err := sh.group.Run(sim.RunConfig{
 		Primary:  0,
-		Done:     func() bool { return *senderDone },
+		Done:     done,
 		Deadline: begin + c.Cfg.Deadline,
 		Barrier:  barrier,
 	})

@@ -202,6 +202,16 @@ type Config struct {
 	Absent []NodeID
 	// JoinCatchup selects who serves a late joiner the prefix it missed.
 	JoinCatchup Catchup
+	// SessionTag distinguishes concurrent sessions sharing one fabric:
+	// the sender seeds its message identifiers at SessionTag<<16, so a
+	// misdelivered packet from another session can never alias a live
+	// message id. Zero (the default) keeps the single-session numbering
+	// (message ids 1, 2, ...) byte-identical. Must fit in 16 bits.
+	SessionTag uint32
+	// Rate configures the opt-in AIMD window/pacing controller driven by
+	// per-round loss and the smoothed RTT signal. The zero value
+	// disables it and preserves the fixed-window behavior exactly.
+	Rate RateControl
 }
 
 // TreeLayout selects how tree-protocol ranks map onto chains.
@@ -351,6 +361,13 @@ func (c Config) Normalize() (Config, error) {
 		if c.MaxRTO < c.MinRTO {
 			return c, fmt.Errorf("core: MaxRTO %v below MinRTO %v", c.MaxRTO, c.MinRTO)
 		}
+	}
+	if c.SessionTag > 0xFFFF {
+		return c, fmt.Errorf("core: SessionTag %d does not fit in 16 bits", c.SessionTag)
+	}
+	var err error
+	if c.Rate, err = c.Rate.normalize(c); err != nil {
+		return c, err
 	}
 	if c.MaxRetries < 0 {
 		return c, errors.New("core: MaxRetries must be >= 0")

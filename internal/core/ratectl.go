@@ -1,0 +1,172 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// RateControl configures the sender's opt-in AIMD congestion controller.
+// The controller shrinks the effective Go-Back-N window multiplicatively
+// on each loss round (a NAK or retransmission timeout) and grows it
+// additively once per window's worth of cleanly acknowledged packets —
+// classic AIMD, driven by the same signals the paper's sender already
+// sees. With LeaderPacing the sender additionally spaces first
+// transmissions SRTT/cwnd apart, so the send rate tracks the slowest
+// (worst) receiver's measured round trip, as in the rate-adaptive
+// 802.11 multicast scheme: the leader's round trip is exactly the
+// multicast retransmission horizon.
+//
+// The zero value disables the controller entirely; every golden trace
+// pins that behavior.
+type RateControl struct {
+	// Enabled turns the controller on. All other fields require it.
+	Enabled bool
+	// MinWindow floors the congestion window. Defaults to the protocol's
+	// minimum usable window: ring span+1 for the ring protocol (an
+	// acknowledgment for packet X only frees X-span), PollInterval for
+	// the NAK protocol (a smaller window could never carry a poll), 1
+	// otherwise.
+	MinWindow int
+	// MaxWindow caps the congestion window; defaults to WindowSize and
+	// may not exceed it (the receivers only allocated WindowSize
+	// buffers).
+	MaxWindow int
+	// Increase is the additive increment applied once per congestion
+	// window of acknowledged packets. Default 1.
+	Increase float64
+	// Beta is the multiplicative-decrease factor in (0,1). Default 0.5.
+	Beta float64
+	// LeaderPacing spaces first transmissions SRTT/cwnd apart once a
+	// round-trip sample exists (worst-receiver-driven pacing).
+	LeaderPacing bool
+}
+
+// normalize validates the rate-control block against the surrounding
+// session config and fills defaults. Idempotent: a normalized block
+// passes through unchanged.
+func (r RateControl) normalize(c Config) (RateControl, error) {
+	if !r.Enabled {
+		if r.MinWindow != 0 || r.MaxWindow != 0 || r.Increase != 0 || r.Beta != 0 || r.LeaderPacing {
+			return r, errors.New("core: Rate fields set without Rate.Enabled")
+		}
+		return r, nil
+	}
+	if c.Protocol == ProtoRawUDP {
+		return r, errors.New("core: rate control requires a reliable protocol (rawudp has no loss signal)")
+	}
+	if r.MaxWindow == 0 {
+		r.MaxWindow = c.WindowSize
+	}
+	if r.MaxWindow < 1 || r.MaxWindow > c.WindowSize {
+		return r, fmt.Errorf("core: Rate.MaxWindow %d out of range [1,%d]", r.MaxWindow, c.WindowSize)
+	}
+	floor := 1
+	switch c.Protocol {
+	case ProtoRing:
+		floor = c.RingSpan() + 1
+	case ProtoNAK:
+		floor = c.PollInterval
+	}
+	if r.MaxWindow < floor {
+		return r, fmt.Errorf("core: Rate.MaxWindow %d below the protocol's minimum usable window %d", r.MaxWindow, floor)
+	}
+	if r.MinWindow == 0 {
+		r.MinWindow = floor
+	}
+	if r.MinWindow < floor {
+		return r, fmt.Errorf("core: Rate.MinWindow %d below the protocol's minimum usable window %d", r.MinWindow, floor)
+	}
+	if r.MinWindow > r.MaxWindow {
+		return r, fmt.Errorf("core: Rate.MinWindow %d exceeds Rate.MaxWindow %d", r.MinWindow, r.MaxWindow)
+	}
+	if r.Increase == 0 {
+		r.Increase = 1
+	}
+	if r.Increase < 0 {
+		return r, errors.New("core: Rate.Increase must be > 0")
+	}
+	if r.Beta == 0 {
+		r.Beta = 0.5
+	}
+	if r.Beta <= 0 || r.Beta >= 1 {
+		return r, fmt.Errorf("core: Rate.Beta %v out of range (0,1)", r.Beta)
+	}
+	return r, nil
+}
+
+// rateState is the sender's live AIMD controller. All arithmetic is
+// plain IEEE float64 on deterministic inputs, so equal runs stay
+// byte-identical.
+type rateState struct {
+	cfg RateControl
+	// cwnd is the congestion window in packets, always within
+	// [MinWindow, MaxWindow]. It starts at the ceiling: the first loss
+	// round, not a slow start, discovers the fair share — on an idle
+	// fabric the controller then never throttles anything.
+	cwnd float64
+	// credit accumulates cleanly acknowledged packets toward the next
+	// additive increase (one full cwnd of progress per increment).
+	credit float64
+	// recoverUntil implements one-decrease-per-round: losses reported
+	// while the window base is still below it belong to the congestion
+	// event already acted on.
+	recoverUntil uint32
+}
+
+func newRateState(cfg RateControl) *rateState {
+	return &rateState{cfg: cfg, cwnd: float64(cfg.MaxWindow)}
+}
+
+// OnAdvance credits acked newly acknowledged packets and applies the
+// additive increase for each full congestion window of progress.
+func (r *rateState) OnAdvance(acked uint32) {
+	max := float64(r.cfg.MaxWindow)
+	if r.cwnd >= max {
+		return // at the ceiling; don't bank credit
+	}
+	r.credit += float64(acked)
+	for r.credit >= r.cwnd {
+		r.credit -= r.cwnd
+		r.cwnd += r.cfg.Increase
+		if r.cwnd >= max {
+			r.cwnd = max
+			r.credit = 0
+			return
+		}
+	}
+}
+
+// OnLoss applies one multiplicative decrease per window round: base is
+// the current window base, next the highest sequence sent so far plus
+// one. A loss with base still below the previous round's horizon is the
+// same congestion event and is ignored.
+func (r *rateState) OnLoss(base, next uint32) {
+	if base < r.recoverUntil {
+		return
+	}
+	r.cwnd *= r.cfg.Beta
+	if r.cwnd < float64(r.cfg.MinWindow) {
+		r.cwnd = float64(r.cfg.MinWindow)
+	}
+	r.recoverUntil = next
+	r.credit = 0
+}
+
+// Window returns the integer congestion window, at least MinWindow.
+func (r *rateState) Window() int {
+	w := int(r.cwnd)
+	if w < r.cfg.MinWindow {
+		w = r.cfg.MinWindow
+	}
+	return w
+}
+
+// PaceGap returns the leader-driven inter-packet gap SRTT/cwnd, or zero
+// when leader pacing is off or no round-trip sample exists yet.
+func (r *rateState) PaceGap(srtt time.Duration) time.Duration {
+	if !r.cfg.LeaderPacing || srtt <= 0 {
+		return 0
+	}
+	return srtt / time.Duration(r.Window())
+}

@@ -101,6 +101,15 @@ type Sender struct {
 	allocSample bool
 	allocSends  int
 
+	// est is the estimator that round-trip samples feed. With
+	// AdaptiveRTO it aliases rto; with rate control alone it is a
+	// sampling-only estimator (the SRTT input to leader pacing) and the
+	// timer policy stays fixed. nil disables sampling entirely.
+	est *RTTEstimator
+	// rc is the live AIMD controller (Config.Rate.Enabled); nil keeps
+	// the fixed window.
+	rc *rateState
+
 	// Failure-detection state (Config.MaxRetries > 0). dead and failed
 	// persist across messages: an ejected receiver stays out of the
 	// membership for the sender's lifetime.
@@ -172,7 +181,19 @@ func NewSender(env Env, cfg Config, onDone func()) (*Sender, error) {
 		// initial RTO. The jitter seed is fixed: one sender per session,
 		// and determinism under equal configs is the point.
 		s.rto = NewRTTEstimator(cfg.RetransTimeout, cfg.MinRTO, cfg.MaxRTO, 1)
+		s.est = s.rto
+	} else if cfg.Rate.Enabled {
+		// Rate control needs the SRTT signal even under the fixed timer
+		// policy; this estimator only ever feeds the pacer.
+		s.est = NewRTTEstimator(cfg.RetransTimeout, DefaultMinRTO, DefaultMaxRTO, 1)
 	}
+	if cfg.Rate.Enabled {
+		s.rc = newRateState(cfg.Rate)
+	}
+	// Message ids are seeded per session tag so concurrent sessions on
+	// one fabric can never alias; tag 0 numbers messages 1, 2, ... as
+	// before.
+	s.msgID = cfg.SessionTag << 16
 	return s, nil
 }
 
@@ -201,8 +222,17 @@ func (s *Sender) allocRTO(legacy time.Duration) time.Duration {
 // observeRTT feeds one Karn-clean round-trip sample to the estimator
 // and mirrors it into the metrics session.
 func (s *Sender) observeRTT(d time.Duration) {
-	s.rto.Observe(d)
-	s.mx.ObserveRTT(d, s.rto.SRTT())
+	s.est.Observe(d)
+	s.mx.ObserveRTT(d, s.est.SRTT())
+}
+
+// srtt returns the smoothed round-trip estimate, or zero before the
+// first sample (or when sampling is off entirely).
+func (s *Sender) srtt() time.Duration {
+	if s.est == nil || !s.est.HasSample() {
+		return 0
+	}
+	return s.est.SRTT()
 }
 
 // resetBackoff clears the timeout backoff on session progress.
@@ -258,6 +288,33 @@ func (s *Sender) Progress() float64 {
 		return 0
 	}
 	return float64(s.win.Base) / float64(s.count)
+}
+
+// Leader returns the worst receiver — the lowest rank whose tracked
+// cumulative acknowledgment holds the minimum (for the tree protocol,
+// tracked entries are the acting chain heads). Ties break to the lowest
+// rank so the choice is deterministic. Zero when no tracker is live
+// (idle, done, or an empty membership).
+func (s *Sender) Leader() NodeID {
+	if s.acks == nil || s.acks.Peers() == 0 {
+		return 0
+	}
+	min := s.acks.Min()
+	for r := 1; r <= s.cfg.NumReceivers; r++ {
+		if v, tracked := s.acks.Value(r); tracked && v == min {
+			return NodeID(r)
+		}
+	}
+	return 0
+}
+
+// RateWindow returns the effective send window: the AIMD congestion
+// window when rate control is on, else the configured WindowSize.
+func (s *Sender) RateWindow() int {
+	if s.rc != nil {
+		return s.rc.Window()
+	}
+	return s.cfg.WindowSize
 }
 
 // Start begins transferring msg. It panics if a transfer is already in
@@ -339,7 +396,7 @@ func (s *Sender) armDeadline() {
 func (s *Sender) sendAlloc() {
 	s.stats.AllocSent++
 	s.allocSends++
-	if s.rto != nil {
+	if s.est != nil {
 		// Karn's rule: only a request transmitted exactly once yields an
 		// unambiguous round trip; any retransmission spoils the sample.
 		if s.allocSends == 1 {
@@ -458,7 +515,11 @@ func (s *Sender) onAck(from NodeID, cum uint32) {
 	if !changed {
 		return
 	}
+	prevBase := s.win.Base
 	if s.win.Ack(s.acks.Min()) {
+		if s.rc != nil {
+			s.rc.OnAdvance(s.win.Base - prevBase)
+		}
 		if s.sampleLive && s.win.Base > s.sampleSeq {
 			// The cumulative minimum moved past the sampled sequence:
 			// every receiver has acknowledged the once-transmitted packet,
@@ -501,6 +562,10 @@ func (s *Sender) onNak(from NodeID, seq uint32) {
 	if seq < s.win.Base || seq >= s.win.Next {
 		return // already acknowledged everywhere, or never sent
 	}
+	if s.rc != nil {
+		// A NAK for an outstanding packet is this round's loss signal.
+		s.rc.OnLoss(s.win.Base, s.win.Next)
+	}
 	if s.cfg.SelectiveRepeat {
 		// Resend exactly the missing packet, with per-packet suppression
 		// so a burst of NAKs for one loss triggers one resend.
@@ -519,16 +584,21 @@ func (s *Sender) onNak(from NodeID, seq uint32) {
 }
 
 // pump transmits new packets while the window (and, if configured, the
-// rate pacer) allow.
+// rate controller and pacer) allow.
 func (s *Sender) pump() {
 	for s.win.CanSend() {
-		if s.cfg.PaceInterval > 0 {
+		if s.rc != nil && s.win.Outstanding() >= s.rc.Window() {
+			// The congestion window is full; acknowledgments (or a
+			// timeout) resume the pump.
+			break
+		}
+		if gap := s.paceGap(); gap > 0 {
 			now := s.env.Now()
 			if now < s.nextSendAt {
 				s.schedulePump(s.nextSendAt - now)
 				break
 			}
-			s.nextSendAt = now + s.cfg.PaceInterval
+			s.nextSendAt = now + gap
 		}
 		seq := s.win.Sent()
 		s.sendData(seq, false)
@@ -536,6 +606,19 @@ func (s *Sender) pump() {
 	if s.win.Outstanding() > 0 && s.timer == 0 {
 		s.armTimer(s.dataRTO(s.cfg.RetransTimeout))
 	}
+}
+
+// paceGap returns the inter-packet gap for first transmissions: the
+// larger of the configured fixed pace and the leader-driven SRTT/cwnd
+// gap (worst-receiver pacing). Zero disables pacing.
+func (s *Sender) paceGap() time.Duration {
+	gap := s.cfg.PaceInterval
+	if s.rc != nil {
+		if g := s.rc.PaceGap(s.srtt()); g > gap {
+			gap = g
+		}
+	}
+	return gap
 }
 
 // schedulePump resumes pump after the pacing gap.
@@ -575,7 +658,7 @@ func (s *Sender) sendData(seq uint32, retrans bool) {
 	if s.cfg.Protocol == ProtoNAK && (int(seq+1)%s.cfg.PollInterval == 0 || seq == s.count-1) {
 		flags |= packet.FlagPoll
 	}
-	if s.rto != nil {
+	if s.est != nil {
 		if retrans {
 			if s.sampleLive && seq == s.sampleSeq {
 				// Karn's rule: the sampled packet was retransmitted, so
@@ -699,6 +782,11 @@ func (s *Sender) onTimeout() {
 	case phaseAlloc:
 		s.sendAlloc()
 	case phaseData:
+		if s.rc != nil {
+			// A retransmission timeout is a loss round even when no NAK
+			// arrived (e.g. every acknowledgment was lost).
+			s.rc.OnLoss(s.win.Base, s.win.Next)
+		}
 		s.retransmit()
 		if s.timer == 0 {
 			// retransmit was suppressed; keep the timer alive.

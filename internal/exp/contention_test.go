@@ -1,0 +1,43 @@
+package exp
+
+import (
+	"context"
+	"testing"
+)
+
+// TestExtContentionShape verifies the contention experiment's headline
+// claim end to end in quick mode: at the 4-session level of every
+// switched fabric, the AIMD-controlled sweep beats the uncontrolled one
+// on aggregate goodput for every protocol, and its Jain fairness stays
+// at or above 0.8 — the controller is not buying throughput by starving
+// a session.
+func TestExtContentionShape(t *testing.T) {
+	rep, err := runExtContention(context.Background(), Options{Quick: true, Parallel: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Tables) != 2 {
+		t.Fatalf("expected one table per fabric, got %d", len(rep.Tables))
+	}
+	// Columns: protocol, rate ctl, agg@1, agg@2, agg@4, agg@8, fair@4,
+	// fair@8, collapse. Rows alternate off/aimd per protocol.
+	const aggAt4, fairAt4 = 4, 6
+	for _, tab := range rep.Tables {
+		if len(tab.Rows)%2 != 0 {
+			t.Fatalf("table %q: odd row count %d", tab.Title, len(tab.Rows))
+		}
+		for i := 0; i < len(tab.Rows); i += 2 {
+			off, aimd := tab.Rows[i], tab.Rows[i+1]
+			if off[1] != "off" || aimd[1] != "aimd" {
+				t.Fatalf("table %q row %d: expected off/aimd pair, got %q/%q", tab.Title, i, off[1], aimd[1])
+			}
+			proto := off[0]
+			if got, want := atof(t, aimd[aggAt4]), atof(t, off[aggAt4]); got < want {
+				t.Errorf("%q %s: AIMD aggregate at 4 sessions %.2f < uncontrolled %.2f", tab.Title, proto, got, want)
+			}
+			if got := atof(t, aimd[fairAt4]); got < 0.8 {
+				t.Errorf("%q %s: AIMD fairness at 4 sessions %.3f < 0.8", tab.Title, proto, got)
+			}
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package metrics
+
+// Jain returns the Jain fairness index of an allocation vector:
+// (Σx)² / (n·Σx²). It is 1 when every share is equal, and approaches
+// 1/n as one participant starves the rest. By convention here an empty
+// or all-zero vector scores 0 — nothing was allocated, so no claim of
+// fairness can be made.
+func Jain(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum, sq float64
+	for _, x := range xs {
+		sum += x
+		sq += x * x
+	}
+	if sq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(xs)) * sq)
+}
+
+// CollapsePoint scans aggregate goodput across ascending offered-load
+// levels and reports the first level whose aggregate falls below frac
+// of the best level seen so far — the congestion-collapse knee. It
+// returns (-1, false) when no level collapses.
+func CollapsePoint(aggregate []float64, frac float64) (int, bool) {
+	best := 0.0
+	for i, g := range aggregate {
+		if g > best {
+			best = g
+		}
+		if best > 0 && g < best*frac {
+			return i, true
+		}
+	}
+	return -1, false
+}

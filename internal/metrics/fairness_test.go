@@ -1,0 +1,58 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestJain(t *testing.T) {
+	cases := []struct {
+		name string
+		xs   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"all-zero", []float64{0, 0, 0}, 0},
+		{"single", []float64{7}, 1},
+		{"equal", []float64{3, 3, 3, 3}, 1},
+		{"scaled-equal", []float64{0.5, 0.5}, 1},
+		{"one-hot", []float64{10, 0, 0, 0}, 0.25}, // 1/n when one starves the rest
+		{"skewed", []float64{4, 2}, 0.9},          // (6)²/(2·20)
+	}
+	for _, c := range cases {
+		if got := Jain(c.xs); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Jain(%v) = %v, want %v", c.xs, got, c.want)
+		}
+	}
+	// Scale invariance: multiplying every share by a constant changes
+	// nothing.
+	a := Jain([]float64{1, 2, 3})
+	b := Jain([]float64{10, 20, 30})
+	if math.Abs(a-b) > 1e-12 {
+		t.Errorf("Jain not scale-invariant: %v vs %v", a, b)
+	}
+}
+
+func TestCollapsePoint(t *testing.T) {
+	cases := []struct {
+		name string
+		agg  []float64
+		frac float64
+		want int
+		ok   bool
+	}{
+		{"empty", nil, 0.8, -1, false},
+		{"monotone-rise", []float64{1, 2, 3, 4}, 0.8, -1, false},
+		{"gentle-decline", []float64{10, 9.5, 9}, 0.8, -1, false},
+		{"collapse", []float64{10, 11, 12, 5, 4}, 0.8, 3, true},
+		{"immediate-recovery-still-flagged", []float64{10, 7, 10}, 0.8, 1, true},
+		{"threshold-exact", []float64{10, 8}, 0.8, -1, false}, // 8 is not < 8
+		{"all-zero", []float64{0, 0}, 0.8, -1, false},
+	}
+	for _, c := range cases {
+		got, ok := CollapsePoint(c.agg, c.frac)
+		if got != c.want || ok != c.ok {
+			t.Errorf("%s: CollapsePoint(%v, %v) = (%d,%v), want (%d,%v)", c.name, c.agg, c.frac, got, ok, c.want, c.ok)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package session
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	"rmcast/internal/cluster"
+	"rmcast/internal/core"
+	"rmcast/internal/topo"
+	"rmcast/internal/trace"
+)
+
+// contentionScenario is the canonical 3-session contention run the
+// determinism tests pin: three NAK senders with half-overlapping
+// receiver sets spanning both switch domains of the two-switch fabric,
+// plus background unicast cross-traffic.
+func contentionScenario(shards int) Config {
+	spec := topo.TwoSwitchSpec()
+	cfg := Config{
+		Sessions:     3,
+		ReceiversPer: 12,
+		Overlap:      0.5,
+		Stagger:      2 * time.Millisecond,
+		Proto:        core.Config{Protocol: core.ProtoNAK, PacketSize: 1024, WindowSize: 16, PollInterval: 8},
+		MsgSize:      200 * 1024,
+		Cluster:      cluster.Default(1),
+		CrossFlows:   2,
+		CrossSize:    64 * 1024,
+		CrossRepeat:  3,
+	}
+	cfg.Cluster.Topo = &spec
+	cfg.Cluster.Shards = shards
+	return cfg
+}
+
+// runContention executes the scenario with per-session tracing and
+// returns the session results, the per-session event strings, and the
+// cross-traffic completion counts.
+func runContention(t *testing.T, shards int) ([]cluster.SessionResult, [][]string, []int) {
+	t.Helper()
+	ccfg, specs, flows, err := Plan(contentionScenario(shards))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bufs := make([]*trace.Buffer, len(specs))
+	for i := range specs {
+		bufs[i] = trace.New(1 << 20)
+		specs[i].Trace = bufs[i]
+	}
+	res, err := cluster.RunMulti(context.Background(), ccfg, specs, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := make([][]string, len(bufs))
+	for i, b := range bufs {
+		if total := b.Total(); total > uint64(len(b.Events())) {
+			t.Fatalf("session %d trace overflowed (%d events)", i, total)
+		}
+		for _, e := range b.Events() {
+			evs[i] = append(evs[i], e.String())
+		}
+	}
+	return res.Sessions, evs, res.CrossCompleted
+}
+
+// diffTraces reports the first divergence between two per-session event
+// streams, for readable failures.
+func diffTraces(t *testing.T, e1, e2 [][]string, labelA, labelB string) {
+	t.Helper()
+	for i := range e1 {
+		if len(e1[i]) != len(e2[i]) {
+			t.Errorf("session %d: %d vs %d events", i, len(e1[i]), len(e2[i]))
+			continue
+		}
+		for j := range e1[i] {
+			if e1[i][j] != e2[i][j] {
+				t.Errorf("session %d event %d:\n %s: %s\n %s: %s", i, j, labelA, e1[i][j], labelB, e2[i][j])
+				break
+			}
+		}
+	}
+}
+
+// TestContentionRerunIdentical proves the multi-session engine is
+// deterministic: two serial executions of the 3-session contention
+// scenario produce byte-identical per-session traces and deeply equal
+// results.
+func TestContentionRerunIdentical(t *testing.T) {
+	s1, e1, x1 := runContention(t, 0)
+	s2, e2, x2 := runContention(t, 0)
+	if !reflect.DeepEqual(e1, e2) {
+		diffTraces(t, e1, e2, "run1", "run2")
+		t.Fatal("reruns traced differently")
+	}
+	if !reflect.DeepEqual(s1, s2) {
+		t.Fatalf("rerun results differ:\n%+v\n%+v", s1, s2)
+	}
+	if !reflect.DeepEqual(x1, x2) {
+		t.Fatalf("rerun cross-traffic counts differ: %v vs %v", x1, x2)
+	}
+}
+
+// TestContentionSerialShardedEqual proves the sharded engine replays the
+// multi-session scenario exactly: serial and 2-shard executions agree on
+// every trace event, every session result, and the cross-traffic counts.
+func TestContentionSerialShardedEqual(t *testing.T) {
+	s1, e1, x1 := runContention(t, 0)
+	s2, e2, x2 := runContention(t, 2)
+	if !reflect.DeepEqual(e1, e2) {
+		diffTraces(t, e1, e2, "serial", "sharded")
+		t.Fatal("serial and sharded traces differ")
+	}
+	if !reflect.DeepEqual(s1, s2) {
+		t.Fatalf("serial and sharded results differ:\n%+v\n%+v", s1, s2)
+	}
+	if !reflect.DeepEqual(x1, x2) {
+		t.Fatalf("serial and sharded cross-traffic counts differ: %v vs %v", x1, x2)
+	}
+}
+
+// TestContentionOutcome sanity-checks the scenario itself: every session
+// completes and verifies, cross flows all finish, and the goodput split
+// is reasonably fair (three identical NAK sessions on one fabric).
+func TestContentionOutcome(t *testing.T) {
+	res, rep, err := Run(context.Background(), contentionScenario(0))
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !rep.Completed || !rep.Verified {
+		t.Fatalf("contention run not completed/verified: %+v", rep)
+	}
+	if rep.Sessions != 3 || len(rep.PerSessionMbps) != 3 {
+		t.Fatalf("expected 3 sessions, got %+v", rep)
+	}
+	for i, s := range res.Sessions {
+		if !s.Completed || !s.Verified {
+			t.Errorf("session %d not completed/verified", i)
+		}
+		if s.ThroughputMbps <= 0 {
+			t.Errorf("session %d reported no goodput", i)
+		}
+	}
+	for i, n := range res.CrossCompleted {
+		if n != 3 {
+			t.Errorf("cross flow %d completed %d of 3 transfers", i, n)
+		}
+	}
+	if rep.Fairness < 0.8 {
+		t.Errorf("fairness %0.3f below 0.8 for identical sessions: %v", rep.Fairness, rep.PerSessionMbps)
+	}
+}

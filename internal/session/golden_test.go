@@ -1,0 +1,123 @@
+package session
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"rmcast/internal/cluster"
+	"rmcast/internal/core"
+	"rmcast/internal/trace"
+)
+
+// sessionGoldenDigests are the same five digests pinned by
+// internal/cluster's golden tests — every observable outcome of the
+// canned single-session transfers. The session layer must reproduce
+// them exactly at Sessions=1 with rate control off: the multi-session
+// machinery is provably invisible to every existing scenario.
+var sessionGoldenDigests = map[string]string{
+	"ack":      "965a0774ad85d1d0ab6b56e029ad06045b151edd9de4b9e6cdd76be2b1a8b6ee",
+	"nak-loss": "16d63797d4399da31b94d4f2657d5f964ab2dfa2374865b37a169a932e20ab7a",
+	"ring":     "2d0a12e8438b1156ddc54072f3cf7179eca13435c2954245a99a372e8bb09042",
+	"tree":     "3e605192852c78cad0d69372efd0063c038290b8bda9d820dc675a652ea71e6f",
+	"nak-bus":  "ffdf291a9381f1d5e99167d1cedfb792f3b690b52491d2b6a0fdf12094d1ad73",
+}
+
+// sessionGoldenCases mirrors the cluster package's golden scenarios,
+// phrased as session configs: one session whose receiver count and
+// fabric match each canned case.
+func sessionGoldenCases() map[string]func() Config {
+	base := func(ccfg cluster.Config, pcfg core.Config, size int) Config {
+		return Config{
+			Sessions:     1,
+			ReceiversPer: ccfg.NumReceivers,
+			Proto:        pcfg,
+			MsgSize:      size,
+			Cluster:      ccfg,
+		}
+	}
+	return map[string]func() Config{
+		"ack": func() Config {
+			return base(cluster.Default(30), core.Config{Protocol: core.ProtoACK, PacketSize: 50000, WindowSize: 5}, 200000)
+		},
+		"nak-loss": func() Config {
+			ccfg := cluster.Default(30)
+			ccfg.LossRate = 0.01
+			return base(ccfg, core.Config{Protocol: core.ProtoNAK, PacketSize: 8000, WindowSize: 50, PollInterval: 43}, 200000)
+		},
+		"ring": func() Config {
+			return base(cluster.Default(30), core.Config{Protocol: core.ProtoRing, PacketSize: 8000, WindowSize: 50}, 200000)
+		},
+		"tree": func() Config {
+			return base(cluster.Default(30), core.Config{Protocol: core.ProtoTree, PacketSize: 8000, WindowSize: 20, TreeHeight: 15}, 200000)
+		},
+		"nak-bus": func() Config {
+			ccfg := cluster.Default(8)
+			ccfg.Topology = cluster.SharedBus
+			return base(ccfg, core.Config{Protocol: core.ProtoNAK, PacketSize: 8000, WindowSize: 20, PollInterval: 17}, 60000)
+		},
+	}
+}
+
+// digestSessionRun runs one single-session config through the session
+// layer and condenses the trace and result into the cluster golden hash
+// (event strings, then the JSON-encoded single-session Result).
+func digestSessionRun(t *testing.T, cfg Config) string {
+	t.Helper()
+	tb := trace.New(1 << 20)
+	cfg.Cluster.Trace = tb
+	res, rep, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !rep.Verified {
+		t.Fatal("delivery not verified")
+	}
+	if total := tb.Total(); total > uint64(len(tb.Events())) {
+		t.Fatalf("trace ring overflowed (%d events); raise its capacity", total)
+	}
+	h := sha256.New()
+	for _, e := range tb.Events() {
+		fmt.Fprintln(h, e.String())
+	}
+	single := res.Sessions[0].Result
+	enc, err := json.Marshal(&single)
+	if err != nil {
+		t.Fatalf("marshal result: %v", err)
+	}
+	h.Write(enc)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// TestSessionGoldenEquivalence is the backward-compatibility guarantee
+// for the contention layer: every canned fabric and protocol, run at
+// Sessions=1 with rate control off, hashes to the exact golden digest
+// the single-session engine pins — serially and (for the switched
+// fabrics) on two shards.
+func TestSessionGoldenEquivalence(t *testing.T) {
+	for name, mk := range sessionGoldenCases() {
+		name, mk := name, mk
+		t.Run(name+"/serial", func(t *testing.T) {
+			t.Parallel()
+			got := digestSessionRun(t, mk())
+			if want := sessionGoldenDigests[name]; got != want {
+				t.Errorf("session-layer digest diverged for %q:\n got  %s\n want %s", name, got, want)
+			}
+		})
+		if name == "nak-bus" {
+			continue // one collision domain cannot shard
+		}
+		t.Run(name+"/sharded", func(t *testing.T) {
+			t.Parallel()
+			cfg := mk()
+			cfg.Cluster.Shards = 2
+			got := digestSessionRun(t, cfg)
+			if want := sessionGoldenDigests[name]; got != want {
+				t.Errorf("sharded session-layer digest diverged for %q:\n got  %s\n want %s", name, got, want)
+			}
+		})
+	}
+}

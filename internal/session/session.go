@@ -1,0 +1,229 @@
+// Package session orchestrates multi-session contention runs: N
+// concurrent reliable multicast sessions with distinct senders and
+// (optionally overlapping) receiver sets, plus background unicast
+// cross-traffic, all sharing one simulated fabric. It lays the sessions
+// out on hosts deterministically, delegates the simulation to
+// cluster.RunMulti, and reduces the outcome to the contention metrics
+// the experiments report: per-session goodput, the Jain fairness index,
+// and aggregate goodput (whose decline across session counts locates
+// the collapse point).
+//
+// A single session with no cross traffic runs through the unchanged
+// single-session cluster.Run path — byte-identical to every golden
+// digest.
+package session
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"rmcast/internal/cluster"
+	"rmcast/internal/core"
+	"rmcast/internal/metrics"
+)
+
+// Config describes one contention scenario.
+type Config struct {
+	// Sessions is the number of concurrent multicast sessions.
+	Sessions int
+	// ReceiversPer is each session's receiver-set size.
+	ReceiversPer int
+	// Overlap is the fraction of each session's receivers drawn from a
+	// pool shared by every session, in [0,1]. The rest are private to
+	// the session. Overlapping hosts run one protocol endpoint per
+	// session they belong to.
+	Overlap float64
+	// Stagger offsets consecutive sessions' start times.
+	Stagger time.Duration
+	// Proto is the per-session protocol template. NumReceivers and
+	// SessionTag are managed by the planner; set Rate here to enable
+	// the AIMD controller.
+	Proto core.Config
+	// MsgSize is each session's transfer size in bytes.
+	MsgSize int
+	// Cluster is the fabric configuration. NumReceivers is overridden
+	// with the planned host count minus one.
+	Cluster cluster.Config
+	// CrossFlows adds that many background unicast flows between
+	// receiver hosts; each moves CrossSize bytes CrossRepeat times.
+	CrossFlows  int
+	CrossSize   int
+	CrossRepeat int
+}
+
+// Plan lays cfg out on hosts and returns the cluster configuration
+// (with NumReceivers set), the session specs, and the cross flows,
+// without running anything — callers can decorate the specs (attach
+// traces, delivery hooks) before handing them to cluster.RunMulti.
+//
+// The layout is deterministic in cfg alone: hosts 0..S-1 are the
+// senders (host 0 sends session 0, matching the single-session
+// convention), followed by the shared receiver pool, followed by each
+// session's private receiver block.
+func Plan(cfg Config) (cluster.Config, []cluster.SessionSpec, []cluster.CrossFlow, error) {
+	if cfg.Sessions < 1 {
+		return cluster.Config{}, nil, nil, fmt.Errorf("session: Sessions must be >= 1")
+	}
+	if cfg.ReceiversPer < 1 {
+		return cluster.Config{}, nil, nil, fmt.Errorf("session: ReceiversPer must be >= 1")
+	}
+	if cfg.Overlap < 0 || cfg.Overlap > 1 {
+		return cluster.Config{}, nil, nil, fmt.Errorf("session: Overlap %v out of range [0,1]", cfg.Overlap)
+	}
+	if cfg.MsgSize <= 0 {
+		return cluster.Config{}, nil, nil, fmt.Errorf("session: MsgSize must be > 0")
+	}
+	if cfg.Stagger < 0 {
+		return cluster.Config{}, nil, nil, fmt.Errorf("session: negative Stagger")
+	}
+	if cfg.CrossFlows < 0 {
+		return cluster.Config{}, nil, nil, fmt.Errorf("session: negative CrossFlows")
+	}
+	if cfg.CrossFlows > 0 && (cfg.CrossSize <= 0 || cfg.CrossRepeat <= 0) {
+		return cluster.Config{}, nil, nil, fmt.Errorf("session: cross flows need CrossSize and CrossRepeat > 0")
+	}
+
+	s := cfg.Sessions
+	shared := int(float64(cfg.ReceiversPer)*cfg.Overlap + 0.5)
+	if shared > cfg.ReceiversPer {
+		shared = cfg.ReceiversPer
+	}
+	if s == 1 {
+		shared = 0 // one session has nothing to share with
+	}
+	priv := cfg.ReceiversPer - shared
+
+	// Hosts: senders 0..s-1, shared pool, then per-session private
+	// blocks.
+	poolBase := s
+	privBase := poolBase + shared
+	totalHosts := privBase + s*priv
+	ccfg := cfg.Cluster
+	ccfg.NumReceivers = totalHosts - 1
+
+	var allReceivers []int
+	specs := make([]cluster.SessionSpec, s)
+	for i := 0; i < s; i++ {
+		var recv []int
+		for p := 0; p < shared; p++ {
+			recv = append(recv, poolBase+p)
+		}
+		for p := 0; p < priv; p++ {
+			h := privBase + i*priv + p
+			recv = append(recv, h)
+			allReceivers = append(allReceivers, h)
+		}
+		specs[i] = cluster.SessionSpec{
+			Proto:     cfg.Proto,
+			Sender:    i,
+			Receivers: recv,
+			MsgSize:   cfg.MsgSize,
+			Start:     time.Duration(i) * cfg.Stagger,
+		}
+	}
+	for p := 0; p < shared; p++ {
+		allReceivers = append(allReceivers, poolBase+p)
+	}
+
+	var flows []cluster.CrossFlow
+	if cfg.CrossFlows > 0 {
+		if len(allReceivers) < 2 {
+			return cluster.Config{}, nil, nil, fmt.Errorf("session: cross flows need at least 2 receiver hosts")
+		}
+		n := len(allReceivers)
+		for f := 0; f < cfg.CrossFlows; f++ {
+			from := allReceivers[f%n]
+			to := allReceivers[(f+n/2)%n]
+			if to == from {
+				to = allReceivers[(f+1)%n]
+			}
+			flows = append(flows, cluster.CrossFlow{
+				From:   from,
+				To:     to,
+				Size:   cfg.CrossSize,
+				Repeat: cfg.CrossRepeat,
+			})
+		}
+	}
+	return ccfg, specs, flows, nil
+}
+
+// Report reduces a contention run to the metrics the experiments
+// tabulate.
+type Report struct {
+	Sessions int
+	// PerSessionMbps is each session's payload goodput.
+	PerSessionMbps []float64
+	// AggregateMbps is the sum of per-session goodputs.
+	AggregateMbps float64
+	// Fairness is the Jain index over per-session goodput.
+	Fairness float64
+	// Completed and Verified hold for every session.
+	Completed bool
+	Verified  bool
+	// CrossCompleted is the total cross-traffic transfers finished.
+	CrossCompleted int
+	// Elapsed is the whole run, start to drain.
+	Elapsed time.Duration
+}
+
+// Reduce builds a Report from a multi-session result.
+func Reduce(res *cluster.MultiResult) Report {
+	rep := Report{
+		Sessions:  len(res.Sessions),
+		Completed: res.Completed,
+		Verified:  true,
+		Elapsed:   res.Elapsed,
+	}
+	for i := range res.Sessions {
+		g := res.Sessions[i].ThroughputMbps
+		rep.PerSessionMbps = append(rep.PerSessionMbps, g)
+		rep.AggregateMbps += g
+		if !res.Sessions[i].Verified {
+			rep.Verified = false
+		}
+	}
+	rep.Fairness = metrics.Jain(rep.PerSessionMbps)
+	for _, n := range res.CrossCompleted {
+		rep.CrossCompleted += n
+	}
+	return rep
+}
+
+// Run plans and executes cfg. Sessions == 1 with no cross traffic runs
+// the unchanged single-session path (cluster.Run), so the new layer
+// provably cannot disturb it; everything else goes through
+// cluster.RunMulti. The returned MultiResult always has one entry per
+// session.
+func Run(ctx context.Context, cfg Config) (*cluster.MultiResult, Report, error) {
+	ccfg, specs, flows, err := Plan(cfg)
+	if err != nil {
+		return nil, Report{}, err
+	}
+	if cfg.Sessions == 1 && len(flows) == 0 {
+		res, runErr := cluster.Run(ctx, ccfg, cluster.ProtoSpec(cfg.Proto), cfg.MsgSize)
+		if res == nil {
+			return nil, Report{}, runErr
+		}
+		mres := wrapSingle(res)
+		return mres, Reduce(mres), runErr
+	}
+	res, runErr := cluster.RunMulti(ctx, ccfg, specs, flows)
+	if res == nil {
+		return nil, Report{}, runErr
+	}
+	return res, Reduce(res), runErr
+}
+
+// wrapSingle adapts a single-session Result into the MultiResult shape
+// so Sessions==1 reports flow through the same reduction.
+func wrapSingle(r *cluster.Result) *cluster.MultiResult {
+	return &cluster.MultiResult{
+		Sessions:    []cluster.SessionResult{{Result: *r}},
+		Elapsed:     r.Elapsed,
+		Completed:   r.Completed,
+		HostStats:   r.HostStats,
+		SwitchStats: r.SwitchStats,
+	}
+}
