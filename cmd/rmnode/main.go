@@ -45,6 +45,7 @@ func main() {
 		rtoMin    = flag.Duration("rto-min", 0, "adaptive RTO floor (0 = 2ms default)")
 		rtoMax    = flag.Duration("rto-max", 0, "adaptive RTO ceiling (0 = 4s default)")
 		metricsF  = flag.Bool("metrics", false, "print the node's metrics snapshot before exiting")
+		wirev2    = flag.Bool("wirev2", false, "use wire format v2: CRC32-C checksummed frames, transparent compression, sub-MTU coalescing; selective repeat becomes the default ARQ (every node in the group must agree)")
 	)
 	flag.Parse()
 
@@ -81,6 +82,7 @@ func main() {
 		AdaptiveRTO:  *adaptive,
 		MinRTO:       *rtoMin,
 		MaxRTO:       *rtoMax,
+		WireV2:       *wirev2,
 	}
 	if cfg.JoinCatchup, err = rmcast.ParseCatchup(*catchupF); err != nil {
 		fatalf("%v", err)

@@ -52,6 +52,7 @@ func main() {
 		verbose   = flag.Bool("v", false, "print per-host statistics")
 		selective = flag.Bool("selective", false, "use selective repeat instead of Go-Back-N")
 		naksupp   = flag.Bool("naksupp", false, "use receiver-side multicast NAK suppression")
+		wirev2    = flag.Bool("wirev2", false, "use wire format v2: CRC32-C checksummed frames, transparent compression, sub-MTU coalescing; selective repeat becomes the default ARQ (an explicit -selective overrides)")
 		pace      = flag.Duration("pace", 0, "rate-pace first transmissions (e.g. 700us; 0 = window only)")
 		traceN    = flag.Int("trace", 0, "print the last N protocol packet events")
 		metricsF  = flag.Bool("metrics", false, "print the session metrics snapshot (packet counts, retransmissions, completion latency)")
@@ -154,6 +155,18 @@ func main() {
 		MaxRetries:      *maxRetry,
 		SessionDeadline: *sessionDl,
 	}
+	if *wirev2 {
+		pcfg.WireV2 = true
+		// Under v2 an explicit -selective choice pins the ARQ mode either
+		// way; untouched, ARQAuto promotes selective repeat.
+		if flagWasSet("selective") {
+			if *selective {
+				pcfg.ARQ = core.ARQSelective
+			} else {
+				pcfg.ARQ = core.ARQGoBackN
+			}
+		}
+	}
 	// Topology-derived scaling (tree chain height and layout, multi-ring
 	// partitioning, the ring window) fills the knobs still at zero...
 	pcfg = cluster.ScaleForTopology(pcfg, ccfg)
@@ -219,6 +232,11 @@ func main() {
 	s := res.SenderStats
 	fmt.Printf("sender: data=%d retrans=%d acksIn=%d naksIn=%d timeouts=%d suppressed=%d probes=%d ejected=%d\n",
 		s.DataSent, s.Retransmissions, s.AcksReceived, s.NaksReceived, s.Timeouts, s.SuppressedNaks, s.ProbesSent, s.Ejected)
+	if m := res.Metrics; *wirev2 && m.WireFrames > 0 {
+		fmt.Printf("wire: frames=%d bytes=%d (%.2fx compression) carriers=%d coalesced=%d corrupt=%d\n",
+			m.WireFrames, m.WireBytes, float64(m.WireRawBytes)/float64(m.WireBytes),
+			m.CarrierFrames, m.CoalescedPackets, m.CorruptFrames)
+	}
 	if ccfg.Topology == cluster.SharedBus {
 		fmt.Printf("bus: delivered=%d collisions=%d aborted=%d\n",
 			res.BusStats.Delivered, res.BusStats.Collisions, res.BusStats.Aborted)
@@ -349,6 +367,9 @@ func validateFlags(proto, topology string, loss float64, sessions, cross int, ov
 		if proto == "tcp" {
 			usageError("-shards does not apply to the sequential TCP baseline (it runs serially by construction)")
 		}
+		if set["wirev2"] {
+			usageError("-wirev2 does not support sharded execution yet")
+		}
 	}
 
 	if loss < 0 || loss > 1 {
@@ -364,10 +385,15 @@ func validateFlags(proto, topology string, loss float64, sessions, cross int, ov
 		usageError("-topo and -topology are mutually exclusive (the spec string subsumes the enum)")
 	}
 	if proto != "nak" {
-		for _, f := range []string{"poll", "selective", "naksupp"} {
+		for _, f := range []string{"poll", "naksupp"} {
 			if set[f] {
 				usageError("-%s only applies to -proto nak (got -proto %s)", f, proto)
 			}
+		}
+		// -selective picks the ARQ mode for any protocol under v2; the
+		// v1 flag keeps its historical NAK-only scope.
+		if set["selective"] && !set["wirev2"] {
+			usageError("-selective only applies to -proto nak (got -proto %s); with -wirev2 it applies to every protocol", proto)
 		}
 	}
 	if set["poll"] {
@@ -376,12 +402,24 @@ func validateFlags(proto, topology string, loss float64, sessions, cross int, ov
 		}
 	}
 	if proto == "tcp" || proto == "rawudp" {
-		for _, f := range []string{"window", "maxretries", "session-deadline", "pace", "join-catchup"} {
+		for _, f := range []string{"window", "maxretries", "session-deadline", "pace", "join-catchup", "wirev2"} {
 			if set[f] {
 				usageError("-%s only applies to the reliable multicast protocols (got -proto %s)", f, proto)
 			}
 		}
 	}
+}
+
+// flagWasSet reports whether the named flag was given on the command
+// line (as opposed to holding its default).
+func flagWasSet(name string) bool {
+	found := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			found = true
+		}
+	})
+	return found
 }
 
 // flagInt reads a set integer flag back out of the flag set.

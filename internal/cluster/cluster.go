@@ -109,6 +109,22 @@ type Config struct {
 	// are counted into. Run installs a fresh session when nil, so every
 	// Result carries a populated snapshot.
 	Metrics *metrics.Session
+	// Message, when non-nil, replaces the MakeMessage(msgSize) payload
+	// (msgSize is then ignored in favor of len(Message)). Workload
+	// generators use it to transfer compressible or structured content.
+	Message []byte
+	// RxMangle, when non-nil, intercepts every frame arriving at a node
+	// before decoding: it receives the destination rank and the wire
+	// bytes and returns the frame to decode instead, or nil to drop it.
+	// The input slice may be shared with other receivers of the same
+	// multicast, so the hook must not mutate it in place — corruption
+	// injectors return a modified copy.
+	RxMangle func(rank int, frame []byte) []byte
+	// CountWire opts a v1 session into per-frame wire accounting
+	// (metrics wire_frames/wire_bytes), the baseline side of v1-vs-v2
+	// bytes-on-wire comparisons. v2 sessions always count; the default
+	// v1 path skips counting so golden snapshots stay byte-identical.
+	CountWire bool
 	// Shards, when >= 2, runs the simulation on that many conservatively
 	// synchronized shards (one goroutine each), partitioned along the
 	// fabric's host-bearing switch domains; 0 or 1 is the serial event

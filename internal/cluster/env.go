@@ -8,6 +8,7 @@ import (
 	"rmcast/internal/packet"
 	"rmcast/internal/sim"
 	"rmcast/internal/trace"
+	"rmcast/internal/wire"
 )
 
 // nodeEnv implements core.Env for one simulated host: protocol sends
@@ -20,6 +21,10 @@ type nodeEnv struct {
 	host *ipnet.Host
 	sock *ipnet.Socket
 	ep   core.Endpoint
+
+	// codec frames this node's traffic in wire format v2; nil leaves
+	// the v1 path below byte-identical to the golden traces.
+	codec *wire.Codec
 
 	decodeErrors uint64
 	unknownFrom  uint64
@@ -35,8 +40,42 @@ func (c *Cluster) newNodeEnv(id core.NodeID) *nodeEnv {
 
 func (e *nodeEnv) setEndpoint(ep core.Endpoint) { e.ep = ep }
 
+// enableWireV2 switches the node to v2 framing: coalescible data
+// packets queue in the codec's batcher and leave as carrier frames on a
+// zero-delay timer (after the current event, same virtual time), and
+// arriving frames decode strictly — any damaged frame is counted and
+// dropped whole.
+func (e *nodeEnv) enableWireV2(minCompress, mtu int) {
+	e.codec = wire.NewCodec(minCompress, mtu, e.c.Cfg.Metrics,
+		func() { e.host.SetTimer(0, func() { e.codec.FlushBatch() }) },
+		func(frame []byte) { e.sock.SendTo(e.c.Group(), Port, frame) })
+}
+
 func (e *nodeEnv) onDatagram(dg *ipnet.Datagram) {
-	p, err := packet.Decode(dg.Payload)
+	frame := dg.Payload
+	if mangle := e.c.Cfg.RxMangle; mangle != nil {
+		if frame = mangle(int(e.id), frame); frame == nil {
+			return
+		}
+	}
+	if e.codec != nil {
+		from := core.NodeID(dg.Src)
+		if int(from) < 0 || int(from) >= len(e.c.Hosts) {
+			e.unknownFrom++
+			return
+		}
+		if err := e.codec.Decode(frame, func(p *packet.Packet) {
+			e.trace(trace.Recv, int(from), p)
+			e.c.Cfg.Metrics.CountRecv(p.Type)
+			if e.ep != nil {
+				e.ep.OnPacket(from, p)
+			}
+		}); err != nil {
+			e.decodeErrors++
+		}
+		return
+	}
+	p, err := packet.Decode(frame)
 	if err != nil {
 		e.decodeErrors++
 		return
@@ -87,13 +126,29 @@ func (e *nodeEnv) Now() time.Duration { return e.host.Now() }
 func (e *nodeEnv) Send(to core.NodeID, p *packet.Packet) {
 	e.trace(trace.Send, int(to), p)
 	e.c.Cfg.Metrics.CountSend(p.Type)
-	e.sock.SendTo(e.c.HostAddr(to), Port, p.Encode())
+	if e.codec != nil {
+		e.sock.SendTo(e.c.HostAddr(to), Port, e.codec.EncodeUnicast(p))
+		return
+	}
+	enc := p.Encode()
+	if e.c.Cfg.CountWire {
+		e.c.Cfg.Metrics.CountWireFrame(len(enc), len(enc), 1, false)
+	}
+	e.sock.SendTo(e.c.HostAddr(to), Port, enc)
 }
 
 func (e *nodeEnv) Multicast(p *packet.Packet) {
 	e.trace(trace.SendMC, trace.Multicast, p)
 	e.c.Cfg.Metrics.CountSend(p.Type)
-	e.sock.SendTo(e.c.Group(), Port, p.Encode())
+	if e.codec != nil {
+		e.codec.Multicast(p)
+		return
+	}
+	enc := p.Encode()
+	if e.c.Cfg.CountWire {
+		e.c.Cfg.Metrics.CountWireFrame(len(enc), len(enc), 1, false)
+	}
+	e.sock.SendTo(e.c.Group(), Port, enc)
 }
 
 func (e *nodeEnv) SetTimer(d time.Duration, fn func()) core.TimerID {

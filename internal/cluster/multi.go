@@ -14,6 +14,7 @@ import (
 	"rmcast/internal/sim"
 	"rmcast/internal/trace"
 	"rmcast/internal/unicast"
+	"rmcast/internal/wire"
 )
 
 // Multi-session runs put N concurrent reliable multicast sessions — and
@@ -136,6 +137,15 @@ type msEnv struct {
 	rankOf map[ipnet.Addr]core.NodeID
 	mx     *metrics.Session
 	tr     *trace.Buffer
+
+	codec *wire.Codec // non-nil when the session runs WireV2
+}
+
+// enableWireV2 switches the endpoint to v2 framing (see nodeEnv).
+func (e *msEnv) enableWireV2(minCompress, mtu int) {
+	e.codec = wire.NewCodec(minCompress, mtu, e.mx,
+		func() { e.host.SetTimer(0, func() { e.codec.FlushBatch() }) },
+		func(frame []byte) { e.sock.SendTo(e.group, e.port, frame) })
 }
 
 func (c *Cluster) newSessEnv(sess int, rank core.NodeID, port int, group ipnet.Addr,
@@ -152,13 +162,23 @@ func (c *Cluster) newSessEnv(sess int, rank core.NodeID, port int, group ipnet.A
 func (e *msEnv) setEndpoint(ep core.Endpoint) { e.ep = ep }
 
 func (e *msEnv) onDatagram(dg *ipnet.Datagram) {
-	p, err := packet.Decode(dg.Payload)
-	if err != nil {
-		return
-	}
 	from, ok := e.rankOf[dg.Src]
 	if !ok {
 		return // not a member of this session
+	}
+	if e.codec != nil {
+		_ = e.codec.Decode(dg.Payload, func(p *packet.Packet) {
+			e.trace(trace.Recv, int(from), p)
+			e.mx.CountRecv(p.Type)
+			if e.ep != nil {
+				e.ep.OnPacket(from, p)
+			}
+		})
+		return
+	}
+	p, err := packet.Decode(dg.Payload)
+	if err != nil {
+		return
 	}
 	e.trace(trace.Recv, int(from), p)
 	e.mx.CountRecv(p.Type)
@@ -195,12 +215,20 @@ func (e *msEnv) Now() time.Duration { return e.host.Now() }
 func (e *msEnv) Send(to core.NodeID, p *packet.Packet) {
 	e.trace(trace.Send, int(to), p)
 	e.mx.CountSend(p.Type)
+	if e.codec != nil {
+		e.sock.SendTo(ipnet.Addr(e.hosts[to]), e.port, e.codec.EncodeUnicast(p))
+		return
+	}
 	e.sock.SendTo(ipnet.Addr(e.hosts[to]), e.port, p.Encode())
 }
 
 func (e *msEnv) Multicast(p *packet.Packet) {
 	e.trace(trace.SendMC, trace.Multicast, p)
 	e.mx.CountSend(p.Type)
+	if e.codec != nil {
+		e.codec.Multicast(p)
+		return
+	}
 	e.sock.SendTo(e.group, e.port, p.Encode())
 }
 
@@ -348,6 +376,18 @@ func RunMulti(ctx context.Context, ccfg Config, specs []SessionSpec, flows []Cro
 		envs := make([]*msEnv, len(hosts))
 		for r := range hosts {
 			envs[r] = c.newSessEnv(si, core.NodeID(r), port, group, hosts, rankOf, mx, sp.Trace)
+		}
+		if pcfg.WireV2 {
+			npc, err := pcfg.Normalize()
+			if err != nil {
+				return nil, fmt.Errorf("cluster: session %d: %w", si, err)
+			}
+			if ccfg.Shards > 1 {
+				return nil, fmt.Errorf("cluster: WireV2 does not support sharded execution yet; set Shards to 0")
+			}
+			for _, e := range envs {
+				e.enableWireV2(npc.CompressThreshold, npc.CoalesceMTU)
+			}
 		}
 		emit := func(rank int, at sim.Time, b []byte) {
 			sr.delivered[rank] = b

@@ -164,7 +164,12 @@ func runProtocol(ctx context.Context, ccfg Config, pcfg core.Config, msgSize int
 	if err != nil {
 		return nil, err
 	}
-	msg := MakeMessage(msgSize)
+	msg := ccfg.Message
+	if msg == nil {
+		msg = MakeMessage(msgSize)
+	} else {
+		msgSize = len(msg)
+	}
 
 	res := &Result{Protocol: pcfg.Protocol, MsgSize: msgSize}
 	senderDone := false
@@ -173,6 +178,20 @@ func runProtocol(ctx context.Context, ccfg Config, pcfg core.Config, msgSize int
 	envs := make([]*nodeEnv, ccfg.NumReceivers+1)
 	for id := 0; id <= ccfg.NumReceivers; id++ {
 		envs[id] = c.newNodeEnv(core.NodeID(id))
+	}
+	if pcfg.WireV2 {
+		// Normalize resolves the compression threshold and carrier MTU
+		// (the endpoints will normalize again; Normalize is idempotent).
+		npc, err := pcfg.Normalize()
+		if err != nil {
+			return nil, err
+		}
+		if ccfg.Shards > 1 {
+			return nil, fmt.Errorf("cluster: WireV2 does not support sharded execution yet; set Shards to 0")
+		}
+		for _, e := range envs {
+			e.enableWireV2(npc.CompressThreshold, npc.CoalesceMTU)
+		}
 	}
 	begin := c.Sim.Now()
 	// deliverEmit records one receiver's completed delivery. Serial runs

@@ -7,6 +7,7 @@ import (
 	"rmcast/internal/ipnet"
 	"rmcast/internal/packet"
 	"rmcast/internal/sim"
+	"rmcast/internal/wire"
 	"time"
 )
 
@@ -68,15 +69,25 @@ type sessEnv struct {
 	host *ipnet.Host
 	sock *ipnet.Socket
 	ep   core.Endpoint
+
+	codec *wire.Codec // non-nil under WireV2
 }
 
 func (e *sessEnv) Now() time.Duration { return e.s.c.Sim.Now() }
 
 func (e *sessEnv) Send(to core.NodeID, p *packet.Packet) {
+	if e.codec != nil {
+		e.sock.SendTo(ipnet.Addr(e.s.hostForProto(to)), e.s.port, e.codec.EncodeUnicast(p))
+		return
+	}
 	e.sock.SendTo(ipnet.Addr(e.s.hostForProto(to)), e.s.port, p.Encode())
 }
 
 func (e *sessEnv) Multicast(p *packet.Packet) {
+	if e.codec != nil {
+		e.codec.Multicast(p)
+		return
+	}
 	e.sock.SendTo(e.s.c.Group(), e.s.port, p.Encode())
 }
 
@@ -89,6 +100,14 @@ func (e *sessEnv) CancelTimer(id core.TimerID) { e.host.CancelTimer(sim.EventID(
 func (e *sessEnv) UserCopy(n int) { e.host.UserCopy(n, func() {}) }
 
 func (e *sessEnv) onDatagram(dg *ipnet.Datagram) {
+	if e.codec != nil {
+		_ = e.codec.Decode(dg.Payload, func(p *packet.Packet) {
+			if e.ep != nil {
+				e.ep.OnPacket(e.s.protoForHost(core.NodeID(dg.Src)), p)
+			}
+		})
+		return
+	}
 	p, err := packet.Decode(dg.Payload)
 	if err != nil {
 		return
@@ -112,10 +131,23 @@ func NewSession(c *Cluster, root core.NodeID, port int, pcfg core.Config, msg []
 		pcfg:      pcfg,
 		Delivered: make([][]byte, len(c.Hosts)),
 	}
+	npc := pcfg
+	if pcfg.WireV2 {
+		var err error
+		if npc, err = pcfg.Normalize(); err != nil {
+			return nil, err
+		}
+	}
 	for h := range c.Hosts {
 		h := core.NodeID(h)
 		env := &sessEnv{s: s, host: c.Hosts[h]}
 		env.sock = c.Hosts[h].Bind(port, env.onDatagram)
+		if pcfg.WireV2 {
+			env := env
+			env.codec = wire.NewCodec(npc.CompressThreshold, npc.CoalesceMTU, c.Cfg.Metrics,
+				func() { env.host.SetTimer(0, func() { env.codec.FlushBatch() }) },
+				func(frame []byte) { env.sock.SendTo(c.Group(), port, frame) })
+		}
 		s.socks = append(s.socks, env.sock)
 		if h == root {
 			snd, err := core.NewSender(env, pcfg, func() { s.done = true })

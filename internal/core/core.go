@@ -212,6 +212,57 @@ type Config struct {
 	// per-round loss and the smoothed RTT signal. The zero value
 	// disables it and preserves the fixed-window behavior exactly.
 	Rate RateControl
+	// WireV2 opts the session into wire format v2: every frame carries a
+	// CRC32-C trailer verified on decode (corrupt frames are counted and
+	// dropped, never delivered), payloads at or above CompressThreshold
+	// ship flate-compressed when that actually shrinks them, and queued
+	// sub-MTU data packets coalesce into MTU-sized carrier frames. All
+	// peers of a session must agree on the format: v2 receivers decode
+	// strictly and reject v1 frames. Off (the default) keeps the v1 wire
+	// format byte-identical.
+	WireV2 bool
+	// ARQ selects the retransmission scheme under WireV2: ARQAuto (the
+	// default) resolves to selective repeat when WireV2 is set — the v2
+	// default, since coalesced small-message streams make Go-Back-N's
+	// full-window rewinds expensive — and to Go-Back-N otherwise.
+	// ARQGoBackN / ARQSelective force a scheme explicitly (the ablation
+	// knob). Normalize folds this into SelectiveRepeat; code past
+	// Normalize reads only that field.
+	ARQ ARQMode
+	// CompressThreshold is the smallest payload WireV2 attempts to
+	// compress (default packet.DefaultCompressThreshold; negative
+	// disables compression). Ignored without WireV2.
+	CompressThreshold int
+	// CoalesceMTU is the carrier-frame budget in bytes for WireV2
+	// small-message coalescing (default packet.DefaultCoalesceMTU).
+	// Ignored without WireV2.
+	CoalesceMTU int
+}
+
+// ARQMode selects the retransmission scheme (see Config.ARQ).
+type ARQMode int
+
+const (
+	// ARQAuto follows the wire format: selective repeat under WireV2,
+	// Go-Back-N otherwise (unless SelectiveRepeat is set directly).
+	ARQAuto ARQMode = iota
+	// ARQGoBackN forces Go-Back-N.
+	ARQGoBackN
+	// ARQSelective forces selective repeat.
+	ARQSelective
+)
+
+func (a ARQMode) String() string {
+	switch a {
+	case ARQAuto:
+		return "auto"
+	case ARQGoBackN:
+		return "gobackn"
+	case ARQSelective:
+		return "selective"
+	default:
+		return fmt.Sprintf("arq(%d)", int(a))
+	}
 }
 
 // TreeLayout selects how tree-protocol ranks map onto chains.
@@ -364,6 +415,35 @@ func (c Config) Normalize() (Config, error) {
 	}
 	if c.SessionTag > 0xFFFF {
 		return c, fmt.Errorf("core: SessionTag %d does not fit in 16 bits", c.SessionTag)
+	}
+	switch c.ARQ {
+	case ARQAuto:
+		if c.WireV2 {
+			c.SelectiveRepeat = true
+		}
+	case ARQGoBackN:
+		c.SelectiveRepeat = false
+	case ARQSelective:
+		c.SelectiveRepeat = true
+	default:
+		return c, fmt.Errorf("core: invalid ARQ mode %d", int(c.ARQ))
+	}
+	if c.WireV2 {
+		if c.CompressThreshold == 0 {
+			c.CompressThreshold = packet.DefaultCompressThreshold
+		}
+		if c.CoalesceMTU == 0 {
+			c.CoalesceMTU = packet.DefaultCoalesceMTU
+		}
+		if c.CoalesceMTU < packet.HeaderLenV2+2+packet.HeaderLen+packet.TrailerLen {
+			return c, fmt.Errorf("core: CoalesceMTU %d cannot fit a single coalesced header", c.CoalesceMTU)
+		}
+		if c.PacketSize > MaxPacketSize-packet.OverheadV2 {
+			return c, fmt.Errorf("core: PacketSize %d exceeds the v2 maximum %d",
+				c.PacketSize, MaxPacketSize-packet.OverheadV2)
+		}
+	} else if c.CompressThreshold != 0 || c.CoalesceMTU != 0 {
+		return c, errors.New("core: CompressThreshold/CoalesceMTU require WireV2")
 	}
 	var err error
 	if c.Rate, err = c.Rate.normalize(c); err != nil {

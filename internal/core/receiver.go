@@ -311,6 +311,16 @@ func (r *Receiver) onData(p *packet.Packet) {
 		// allocation retransmission will repair this; drop meanwhile.
 		return
 	}
+	if p.Seq >= r.count {
+		// No valid sender emits a sequence at or past the packet count.
+		// Without this guard a corrupt sequence panics selective repeat:
+		// once delivery completes next == count, so Seq == count passes
+		// the == next test into accept, whose store indexes have[count]
+		// out of range. (The offset check in store cannot catch it: a
+		// zero-payload packet with Aux == len(buf) passes.)
+		r.stats.Duplicates++
+		return
+	}
 	switch {
 	case p.Seq == r.next:
 		r.accept(p)

@@ -30,6 +30,7 @@ import (
 	"rmcast/internal/metrics"
 	"rmcast/internal/packet"
 	"rmcast/internal/trace"
+	"rmcast/internal/wire"
 )
 
 // Config describes one live node.
@@ -97,6 +98,11 @@ type Node struct {
 	// atomic, so Metrics() snapshots are safe from any goroutine.
 	mx *metrics.Session
 
+	// codec frames this node's traffic in wire format v2
+	// (Protocol.WireV2); nil keeps the v1 wire format. Owned by the
+	// event loop, like the endpoints that feed it.
+	codec *wire.Codec
+
 	// Everything below is owned by the event loop — the runLoop
 	// goroutine on a UDP node, the loopback driver in driven mode.
 	addrs     map[core.NodeID]*net.UDPAddr
@@ -158,6 +164,17 @@ func newNode(cfg Config, group *net.UDPAddr, clk nodeClock, driven *LoopNet) (*N
 		timers:   make(map[core.TimerID]canceler),
 		recvQ:    make(chan []byte, 16),
 	}
+	if cfg.Protocol.WireV2 {
+		npc, err := cfg.Protocol.Normalize()
+		if err != nil {
+			return nil, err
+		}
+		// The send closure reads n.tr at flush time: the transport is
+		// attached after newNode returns but before any packet moves.
+		n.codec = wire.NewCodec(npc.CompressThreshold, npc.CoalesceMTU, n.mx,
+			func() { n.post(func() { n.codec.FlushBatch() }) },
+			func(frame []byte) { n.tr.WriteTo(frame, n.group) })
+	}
 	if cfg.Rank != core.SenderID {
 		rcv, err := core.NewReceiver(n.env(), cfg.Protocol, cfg.Rank, n.onDeliver)
 		if err != nil {
@@ -204,8 +221,8 @@ func NewNode(cfg Config) (*Node, error) {
 
 // deliverWire trampolines one inbound datagram onto the event loop
 // (called from transport reader goroutines, or the loopback driver).
-func (n *Node) deliverWire(wire []byte, src *net.UDPAddr) {
-	n.post(func() { n.onWire(wire, src) })
+func (n *Node) deliverWire(frame []byte, src *net.UDPAddr) {
+	n.post(func() { n.onWire(frame, src) })
 }
 
 // onDeliver handles one fully reassembled message (event loop).
@@ -337,11 +354,25 @@ func (n *Node) trace(dir trace.Dir, peer int, p *packet.Packet) {
 }
 
 // onWire decodes and dispatches one received datagram (event loop).
-func (n *Node) onWire(wire []byte, src *net.UDPAddr) {
-	p, err := packet.Decode(wire)
+func (n *Node) onWire(frame []byte, src *net.UDPAddr) {
+	if n.codec != nil {
+		// Strict v2: every peer of a v2 session seals every frame, so a
+		// frame failing any decode guard was damaged in flight (or is
+		// stray traffic); the codec counts it and it is dropped whole —
+		// no inner packet of a corrupt carrier reaches the endpoint.
+		_ = n.codec.Decode(frame, func(p *packet.Packet) { n.onPacket(p, src) })
+		return
+	}
+	p, err := packet.Decode(frame)
 	if err != nil {
 		return // stray traffic on the port
 	}
+	n.onPacket(p, src)
+}
+
+// onPacket dispatches one decoded logical packet (event loop). A v2
+// carrier frame lands here once per inner packet.
+func (n *Node) onPacket(p *packet.Packet, src *net.UDPAddr) {
 	from := core.NodeID(p.Src)
 	if from == n.cfg.Rank {
 		return // our own multicast looped back
@@ -451,6 +482,10 @@ func (n *Node) sendHello(wantReply bool) {
 	p := &packet.Packet{Type: packet.TypeHello, Src: uint16(n.cfg.Rank), Aux: aux}
 	n.mx.CountSend(p.Type)
 	n.trace(trace.SendMC, trace.Multicast, p)
+	if n.codec != nil {
+		n.codec.Multicast(p)
+		return
+	}
 	n.tr.WriteTo(p.Encode(), n.group)
 }
 

@@ -1,0 +1,114 @@
+package live
+
+import (
+	"testing"
+	"time"
+
+	"rmcast/internal/core"
+)
+
+// loopV2Scenario is the shared loopback shape for wire-format-v2 tests:
+// sub-MTU packets so data coalesces into carrier frames, mild loss so
+// repair runs over v2 framing too (selective repeat, the v2 default).
+func loopV2Scenario(proto core.Protocol) LoopScenario {
+	pcfg := core.Config{
+		Protocol:     proto,
+		NumReceivers: 5,
+		PacketSize:   600,
+		WindowSize:   16,
+		WireV2:       true,
+	}
+	switch proto {
+	case core.ProtoNAK:
+		pcfg.PollInterval = 13
+	case core.ProtoTree:
+		pcfg.TreeHeight = 3
+	}
+	return LoopScenario{
+		Net: LoopConfig{Seed: 7, Delay: 200 * time.Microsecond,
+			Jitter: 50 * time.Microsecond, LossRate: 0.01},
+		Protocol: pcfg,
+		MsgSize:  60000,
+	}
+}
+
+// TestLoopbackWireV2EachProtocol runs the full live stack — discovery,
+// allocation, data, repair, heartbeats — over v2 framing for every
+// protocol family: all receivers must deliver byte-identical copies,
+// coalescing must actually engage, and a clean network must count zero
+// corrupt frames.
+func TestLoopbackWireV2EachProtocol(t *testing.T) {
+	for _, proto := range []core.Protocol{core.ProtoACK, core.ProtoNAK, core.ProtoRing, core.ProtoTree} {
+		proto := proto
+		t.Run(proto.String(), func(t *testing.T) {
+			t.Parallel()
+			res, err := RunLoopScenario(loopV2Scenario(proto))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.SendDone || res.SendErr != nil {
+				t.Fatalf("transfer incomplete: done=%v err=%v", res.SendDone, res.SendErr)
+			}
+			if len(res.Delivered) != 5 {
+				t.Fatalf("delivered to %v, want all 5 receivers", res.Delivered)
+			}
+			m := res.Metrics
+			if m.WireFrames == 0 || m.CarrierFrames == 0 {
+				t.Errorf("coalescing idle: frames=%d carriers=%d", m.WireFrames, m.CarrierFrames)
+			}
+			if m.CorruptFrames != 0 {
+				t.Errorf("clean loopback counted %d corrupt frames", m.CorruptFrames)
+			}
+		})
+	}
+}
+
+// TestLoopbackWireV2DeterministicDigest extends the loopback
+// determinism contract to v2 framing: batching flushes ride the node
+// event loop, so two identical scenarios must still produce identical
+// traces.
+func TestLoopbackWireV2DeterministicDigest(t *testing.T) {
+	run := func() *LoopResult {
+		res, err := RunLoopScenario(loopV2Scenario(core.ProtoNAK))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if da, db := digestLoopResult(a), digestLoopResult(b); da != db {
+		t.Fatalf("identical v2 scenarios diverged:\n  run1 %s (%d events)\n  run2 %s (%d events)",
+			da, len(a.Trace), db, len(b.Trace))
+	}
+}
+
+// TestLoopbackWireV2Churn crosses v2 framing (and its selective-repeat
+// default) with live membership churn: a late joiner and a graceful
+// leaver during the transfer, on a lossy network.
+func TestLoopbackWireV2Churn(t *testing.T) {
+	sc := loopV2Scenario(core.ProtoACK)
+	sc.Join = map[core.NodeID]time.Duration{3: 30 * time.Millisecond}
+	sc.Leave = map[core.NodeID]time.Duration{5: 60 * time.Millisecond}
+	res, err := RunLoopScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.SendDone {
+		t.Fatal("transfer incomplete")
+	}
+	delivered := make(map[core.NodeID]bool)
+	for _, r := range res.Delivered {
+		delivered[r] = true
+	}
+	if !delivered[3] {
+		t.Errorf("joiner 3 did not deliver; Delivered = %v", res.Delivered)
+	}
+	for _, r := range []core.NodeID{1, 2, 4} {
+		if !delivered[r] {
+			t.Errorf("receiver %d did not deliver; Delivered = %v", r, res.Delivered)
+		}
+	}
+	if res.Metrics.CorruptFrames != 0 {
+		t.Errorf("clean loopback counted %d corrupt frames", res.Metrics.CorruptFrames)
+	}
+}

@@ -46,6 +46,14 @@ type Session struct {
 	senderBusy      *Gauge // nanoseconds
 	srtt            *Gauge // nanoseconds
 
+	wireFrames       *Counter
+	wireBytes        *Counter
+	wireRawBytes     *Counter
+	corruptFrames    *Counter
+	compressedFrames *Counter
+	carrierFrames    *Counter
+	coalescedPackets *Counter
+
 	completion *Histogram
 	rtt        *Histogram
 
@@ -69,6 +77,13 @@ func NewSession() *Session {
 	s.naksSent = s.reg.Counter("naks_sent")
 	s.ejections = s.reg.Counter("ejections")
 	s.overflowDrops = s.reg.Counter("buffer_overflow_drops")
+	s.wireFrames = s.reg.Counter("wire_frames")
+	s.wireBytes = s.reg.Counter("wire_bytes")
+	s.wireRawBytes = s.reg.Counter("wire_raw_bytes")
+	s.corruptFrames = s.reg.Counter("corrupt_frames")
+	s.compressedFrames = s.reg.Counter("compressed_frames")
+	s.carrierFrames = s.reg.Counter("carrier_frames")
+	s.coalescedPackets = s.reg.Counter("coalesced_packets")
 	s.senderBusy = s.reg.Gauge("sender_busy_ns")
 	s.srtt = s.reg.Gauge("srtt_ns")
 	s.completion = s.reg.Histogram("completion_latency")
@@ -119,6 +134,36 @@ func (s *Session) CountNak() {
 func (s *Session) CountEjection() {
 	if s != nil {
 		s.ejections.Inc()
+	}
+}
+
+// CountWireFrame records one frame leaving a node: its on-wire size,
+// its raw (uncompressed v2-framed) size, the number of logical packets
+// it carries, and whether its payload shipped compressed. The v1 path
+// never calls it, so every wire counter stays zero (and out of the
+// serialized snapshot) unless a session opts into wire accounting.
+func (s *Session) CountWireFrame(wireLen, rawLen, inner int, compressed bool) {
+	if s == nil {
+		return
+	}
+	s.wireFrames.Inc()
+	s.wireBytes.Add(uint64(wireLen))
+	s.wireRawBytes.Add(uint64(rawLen))
+	if compressed {
+		s.compressedFrames.Inc()
+	}
+	if inner > 1 {
+		s.carrierFrames.Inc()
+		s.coalescedPackets.Add(uint64(inner))
+	}
+}
+
+// CountCorruptFrame records one arriving frame rejected by the v2
+// decoder (CRC mismatch, malformed carrier or compression) and dropped
+// before delivery.
+func (s *Session) CountCorruptFrame() {
+	if s != nil {
+		s.corruptFrames.Inc()
 	}
 }
 
@@ -178,6 +223,20 @@ type Metrics struct {
 	Ejections           uint64 `json:"ejections"`
 	BufferOverflowDrops uint64 `json:"buffer_overflow_drops"`
 
+	// Wire accounting (wire format v2, or v1 sessions that opt into
+	// frame counting). All zero — and absent from the JSON form, keeping
+	// v1 golden digests byte-identical — unless a transport counts
+	// frames. WireBytes is what actually went on the wire; WireRawBytes
+	// is what the same frames would have cost uncompressed, so
+	// WireBytes/WireRawBytes is the session's compression ratio.
+	WireFrames       uint64 `json:"wire_frames,omitempty"`
+	WireBytes        uint64 `json:"wire_bytes,omitempty"`
+	WireRawBytes     uint64 `json:"wire_raw_bytes,omitempty"`
+	CorruptFrames    uint64 `json:"corrupt_frames,omitempty"`
+	CompressedFrames uint64 `json:"compressed_frames,omitempty"`
+	CarrierFrames    uint64 `json:"carrier_frames,omitempty"`
+	CoalescedPackets uint64 `json:"coalesced_packets,omitempty"`
+
 	// SenderBusy is the sender host's serial CPU occupancy over the
 	// session — the resource ACK implosion exhausts first.
 	SenderBusy time.Duration `json:"sender_busy_ns"`
@@ -208,6 +267,13 @@ func (s *Session) Snapshot() Metrics {
 	m.NaksSent = s.naksSent.Load()
 	m.Ejections = s.ejections.Load()
 	m.BufferOverflowDrops = s.overflowDrops.Load()
+	m.WireFrames = s.wireFrames.Load()
+	m.WireBytes = s.wireBytes.Load()
+	m.WireRawBytes = s.wireRawBytes.Load()
+	m.CorruptFrames = s.corruptFrames.Load()
+	m.CompressedFrames = s.compressedFrames.Load()
+	m.CarrierFrames = s.carrierFrames.Load()
+	m.CoalescedPackets = s.coalescedPackets.Load()
 	m.SenderBusy = time.Duration(s.senderBusy.Load())
 	m.SRTT = time.Duration(s.srtt.Load())
 	if h := s.rtt.Snapshot(); h.Count > 0 {
@@ -266,6 +332,14 @@ func (m Metrics) Fprint(w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if m.WireFrames > 0 || m.CorruptFrames > 0 {
+		if _, err := fmt.Fprintf(w,
+			"wire_frames                      %d\nwire_bytes                       %d (raw %d)\ncorrupt_frames                   %d\ncompressed_frames                %d\ncarrier_frames                   %d (coalesced %d)\n",
+			m.WireFrames, m.WireBytes, m.WireRawBytes, m.CorruptFrames,
+			m.CompressedFrames, m.CarrierFrames, m.CoalescedPackets); err != nil {
+			return err
+		}
+	}
 	if h := m.RTTHist; h != nil && h.Count > 0 {
 		if _, err := fmt.Fprintf(w, "rtt                              count=%d mean=%v max=%v srtt=%v\n",
 			h.Count, h.Mean(), h.Max, m.SRTT); err != nil {
@@ -297,6 +371,13 @@ func Merge(ms ...Metrics) Metrics {
 		out.NaksSent += m.NaksSent
 		out.Ejections += m.Ejections
 		out.BufferOverflowDrops += m.BufferOverflowDrops
+		out.WireFrames += m.WireFrames
+		out.WireBytes += m.WireBytes
+		out.WireRawBytes += m.WireRawBytes
+		out.CorruptFrames += m.CorruptFrames
+		out.CompressedFrames += m.CompressedFrames
+		out.CarrierFrames += m.CarrierFrames
+		out.CoalescedPackets += m.CoalescedPackets
 		out.SenderBusy += m.SenderBusy
 		if m.SRTT > out.SRTT {
 			out.SRTT = m.SRTT

@@ -176,8 +176,17 @@ var (
 	ErrBadType    = errors.New("packet: unknown packet type")
 )
 
-// Decode parses an encoded packet. The returned packet's Payload aliases
-// b's storage.
+// Decode parses an encoded v1 packet.
+//
+// Ownership: the returned packet's Payload is a borrow — it aliases
+// b's storage and is valid only for as long as the caller owns b.
+// Transports that recycle receive buffers (the simulator's pooled
+// frames, a future recvmmsg ring) may overwrite b the moment the
+// packet handler returns, so a handler that retains payload bytes
+// beyond its own invocation MUST copy them first (Clone does, as does
+// DecodeCopy). Every endpoint in internal/core honors this: payloads
+// are copied into the preallocated message buffer (Receiver.store) or
+// read to completion (membership views) before the handler returns.
 func Decode(b []byte) (*Packet, error) {
 	if len(b) < HeaderLen {
 		return nil, ErrTruncated
@@ -203,6 +212,18 @@ func Decode(b []byte) (*Packet, error) {
 		p.Payload = b[HeaderLen:]
 	}
 	return p, nil
+}
+
+// DecodeCopy parses an encoded v1 packet into storage of its own: the
+// returned packet's Payload shares nothing with b, so it may be
+// retained after the caller releases b. The copy costs an allocation;
+// the hot paths use Decode's borrow and copy selectively instead.
+func DecodeCopy(b []byte) (*Packet, error) {
+	p, err := Decode(b)
+	if err != nil {
+		return nil, err
+	}
+	return p.Clone(), nil
 }
 
 func (p *Packet) String() string {

@@ -1,0 +1,288 @@
+// Wire format v2: the v1 header plus a wire-flags byte, an optional
+// flate-compressed payload, optional small-message coalescing into
+// carrier frames, and a CRC32-C trailer over the whole frame.
+//
+// Layout:
+//
+//	offset  size  field
+//	0       1     Magic (0xA7)
+//	1       1     Version (2)
+//	2       1     Type
+//	3       1     Flags
+//	4       4     MsgID (big endian)
+//	8       4     Seq
+//	12      4     Aux
+//	16      2     Src
+//	18      1     WireFlags
+//	19      n     payload (flate-compressed when WireCompressed)
+//	19+n    4     CRC32-C over bytes [0, 19+n) (big endian)
+//
+// A WireCarrier frame's (decompressed) payload is a sequence of inner
+// packets, each a complete v1 encoding prefixed by its big-endian
+// uint16 length. Inner packets are always version 1 — carriers do not
+// nest — and the outer header echoes the first inner packet's fields
+// with Aux carrying the inner count.
+//
+// The decode order is magic, version, CRC, then everything else, so
+// any single corrupted bit in a v2 frame fails one of the first three
+// guards: CRC32-C detects all single- and double-bit errors at these
+// frame sizes, and the two bytes it cannot vouch for (a flipped magic
+// or version byte) change the frame class and are rejected by the
+// strict decoder before any field is trusted.
+package packet
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"io"
+)
+
+// Version2 marks a checksummed v2 frame.
+const Version2 = 2
+
+// V2 frame size constants.
+const (
+	// HeaderLenV2 is the v1 header plus the wire-flags byte.
+	HeaderLenV2 = HeaderLen + 1
+	// TrailerLen is the CRC32-C trailer size.
+	TrailerLen = 4
+	// OverheadV2 is the per-frame cost of v2 over v1.
+	OverheadV2 = HeaderLenV2 - HeaderLen + TrailerLen
+	// DefaultCompressThreshold is the smallest payload EncodeV2
+	// attempts to compress: below it the flate header overhead wins.
+	DefaultCompressThreshold = 128
+	// DefaultCoalesceMTU is the default carrier-frame budget: an
+	// Ethernet payload minus the IP and UDP headers.
+	DefaultCoalesceMTU = 1500 - 20 - 8
+	// maxInflate bounds decompression output (the UDP maximum): any
+	// frame claiming more is corrupt or hostile, not ours.
+	maxInflate = 65507
+)
+
+// WireFlags annotate a v2 frame (as opposed to Flags, which annotate
+// the protocol packet and ride through carriers and snapshots).
+type WireFlags uint8
+
+const (
+	// WireCompressed marks a flate-compressed payload.
+	WireCompressed WireFlags = 1 << iota
+	// WireCarrier marks a coalesced frame of length-prefixed inner
+	// packets.
+	WireCarrier
+
+	wireFlagsKnown = WireCompressed | WireCarrier
+)
+
+// V2 decoding errors.
+var (
+	ErrBadCRC         = errors.New("packet: CRC mismatch")
+	ErrBadWireFlags   = errors.New("packet: unknown wire flags")
+	ErrBadCarrier     = errors.New("packet: malformed carrier frame")
+	ErrBadCompression = errors.New("packet: malformed compressed payload")
+)
+
+// castagnoli is the CRC32-C polynomial table (hardware-accelerated on
+// amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// EncodeV2 serializes p as a v2 frame, compressing the payload when it
+// is at least minCompress bytes and flate actually shrinks it
+// (minCompress <= 0 disables compression). It returns the frame and
+// its uncompressed wire length — equal to len(frame) when compression
+// did not apply, so callers can account savings without re-deriving
+// them.
+func EncodeV2(p *Packet, minCompress int) (frame []byte, rawLen int) {
+	rawLen = HeaderLenV2 + len(p.Payload) + TrailerLen
+	payload := p.Payload
+	var wf WireFlags
+	if minCompress > 0 && len(payload) >= minCompress {
+		if c := deflate(payload); len(c) < len(payload) {
+			payload = c
+			wf |= WireCompressed
+		}
+	}
+	return sealV2(p, wf, payload), rawLen
+}
+
+// sealV2 assembles a v2 frame around an already-prepared payload.
+func sealV2(p *Packet, wf WireFlags, payload []byte) []byte {
+	n := HeaderLenV2 + len(payload) + TrailerLen
+	b := make([]byte, n)
+	b[0] = Magic
+	b[1] = Version2
+	b[2] = byte(p.Type)
+	b[3] = byte(p.Flags)
+	binary.BigEndian.PutUint32(b[4:8], p.MsgID)
+	binary.BigEndian.PutUint32(b[8:12], p.Seq)
+	binary.BigEndian.PutUint32(b[12:16], p.Aux)
+	binary.BigEndian.PutUint16(b[16:18], p.Src)
+	b[18] = byte(wf)
+	copy(b[HeaderLenV2:], payload)
+	binary.BigEndian.PutUint32(b[n-TrailerLen:], crc32.Checksum(b[:n-TrailerLen], castagnoli))
+	return b
+}
+
+// DecodeFrame parses one wire frame of either version and calls emit
+// for each logical packet it carries: once for a plain frame, once per
+// inner packet for a carrier. Emitted packets and their payloads are
+// borrows — valid only during the emit call, possibly aliasing b or a
+// transient decompression buffer — so handlers that retain data must
+// copy it (see Clone). Returns without calling emit on any error.
+func DecodeFrame(b []byte, emit func(*Packet)) error {
+	if len(b) >= 2 && b[0] == Magic && b[1] == Version2 {
+		return decodeV2(b, emit)
+	}
+	p, err := Decode(b)
+	if err != nil {
+		return err
+	}
+	emit(p)
+	return nil
+}
+
+// DecodeFrameV2 is the strict decoder for v2 sessions: it accepts only
+// v2 frames, so a corrupted version byte cannot demote a frame to the
+// checksum-less v1 path. Emit semantics match DecodeFrame.
+func DecodeFrameV2(b []byte, emit func(*Packet)) error {
+	if len(b) < HeaderLenV2+TrailerLen {
+		return ErrTruncated
+	}
+	if b[0] != Magic {
+		return ErrBadMagic
+	}
+	if b[1] != Version2 {
+		return ErrBadVersion
+	}
+	return decodeV2(b, emit)
+}
+
+func decodeV2(b []byte, emit func(*Packet)) error {
+	if len(b) < HeaderLenV2+TrailerLen {
+		return ErrTruncated
+	}
+	body := b[:len(b)-TrailerLen]
+	if crc32.Checksum(body, castagnoli) != binary.BigEndian.Uint32(b[len(b)-TrailerLen:]) {
+		return ErrBadCRC
+	}
+	p := Packet{
+		Type:  Type(b[2]),
+		Flags: Flags(b[3]),
+		MsgID: binary.BigEndian.Uint32(b[4:8]),
+		Seq:   binary.BigEndian.Uint32(b[8:12]),
+		Aux:   binary.BigEndian.Uint32(b[12:16]),
+		Src:   binary.BigEndian.Uint16(b[16:18]),
+	}
+	if !p.Type.Valid() {
+		return ErrBadType
+	}
+	wf := WireFlags(b[18])
+	if wf&^wireFlagsKnown != 0 {
+		return ErrBadWireFlags
+	}
+	payload := body[HeaderLenV2:]
+	if wf&WireCompressed != 0 {
+		var err error
+		if payload, err = inflate(payload); err != nil {
+			return err
+		}
+	}
+	if wf&WireCarrier != 0 {
+		return decodeCarrier(payload, emit)
+	}
+	if len(payload) > 0 {
+		p.Payload = payload
+	}
+	emit(&p)
+	return nil
+}
+
+// decodeCarrier walks a carrier payload, emitting each inner packet.
+// The whole carrier is validated before the first emit so a malformed
+// tail cannot deliver a prefix.
+func decodeCarrier(payload []byte, emit func(*Packet)) error {
+	var inner []*Packet
+	for off := 0; off < len(payload); {
+		if off+2 > len(payload) {
+			return ErrBadCarrier
+		}
+		l := int(binary.BigEndian.Uint16(payload[off:]))
+		off += 2
+		if l < HeaderLen || off+l > len(payload) {
+			return ErrBadCarrier
+		}
+		p, err := Decode(payload[off : off+l])
+		if err != nil {
+			return ErrBadCarrier
+		}
+		inner = append(inner, p)
+		off += l
+	}
+	if len(inner) == 0 {
+		return ErrBadCarrier
+	}
+	for _, p := range inner {
+		emit(p)
+	}
+	return nil
+}
+
+// Clone returns a deep copy of p: the copy's Payload shares no storage
+// with the original, so it outlives the decode buffer. This is how a
+// handler retains a packet emitted by DecodeFrame (or returned by
+// Decode) past its borrow window.
+func (p *Packet) Clone() *Packet {
+	q := *p
+	if len(p.Payload) > 0 {
+		q.Payload = append([]byte(nil), p.Payload...)
+	}
+	return &q
+}
+
+func deflate(src []byte) []byte {
+	var buf bytes.Buffer
+	w, err := flate.NewWriter(&buf, flate.BestSpeed)
+	if err != nil {
+		return src // cannot happen with a valid level; fail open to raw
+	}
+	if _, err := w.Write(src); err != nil {
+		return src
+	}
+	if err := w.Close(); err != nil {
+		return src
+	}
+	return buf.Bytes()
+}
+
+func inflate(src []byte) ([]byte, error) {
+	r := flate.NewReader(bytes.NewReader(src))
+	defer r.Close()
+	var buf bytes.Buffer
+	n, err := io.Copy(&buf, io.LimitReader(r, maxInflate+1))
+	if err != nil {
+		return nil, ErrBadCompression
+	}
+	if n > maxInflate {
+		return nil, ErrBadCompression
+	}
+	return buf.Bytes(), nil
+}
+
+// IsCorrupt reports whether a decode error indicates a damaged frame
+// (as opposed to a frame this code never speaks). Under a strict v2
+// session every frame on the wire was sealed by a peer, so any decode
+// failure is corruption; callers use this to decide what to count.
+func IsCorrupt(err error) bool {
+	switch {
+	case err == nil:
+		return false
+	case errors.Is(err, ErrBadCRC),
+		errors.Is(err, ErrBadWireFlags),
+		errors.Is(err, ErrBadCarrier),
+		errors.Is(err, ErrBadCompression):
+		return true
+	}
+	return false
+}

@@ -1,0 +1,107 @@
+// Package wire adapts the v2 frame codec (internal/packet) to a
+// transport endpoint: one Codec per node owns the small-message
+// batcher, the strict decoder, and the wire-level metrics accounting,
+// so the simulated and live transports share one implementation of
+// coalescing, compression, and corrupt-frame handling.
+//
+// internal/packet cannot count into internal/metrics (metrics depends
+// on packet for its per-type counters); this package sits above both.
+package wire
+
+import (
+	"rmcast/internal/metrics"
+	"rmcast/internal/packet"
+)
+
+// Codec frames one node's traffic in wire format v2.
+//
+// Multicast data packets that fit the carrier budget are queued in the
+// batcher; Arm is invoked on the empty→nonempty transition and must
+// schedule FlushBatch to run after the transport finishes its current
+// event (a zero-delay timer in the simulator, a posted closure on the
+// live event loop), so every data packet a protocol action produces
+// back to back shares carrier frames. Anything else — unicast sends,
+// control multicasts, oversized data — first flushes the queue, keeping
+// frame order consistent with protocol send order.
+//
+// Codec is not concurrency-safe; confine it to the transport's event
+// loop, as both transports confine their sockets.
+type Codec struct {
+	mx    *metrics.Session
+	arm   func()
+	send  func(frame []byte)
+	batch packet.Batcher
+	armed bool
+}
+
+// NewCodec builds a codec. minCompress and mtu follow Batcher semantics
+// (<=0 disables compression; 0 MTU means packet.DefaultCoalesceMTU).
+// arm schedules a future FlushBatch call; send transmits one finished
+// multicast frame. mx may be nil (accounting becomes a no-op).
+func NewCodec(minCompress, mtu int, mx *metrics.Session, arm func(), send func(frame []byte)) *Codec {
+	c := &Codec{mx: mx, arm: arm, send: send}
+	c.batch = packet.Batcher{MTU: mtu, MinCompress: minCompress, Emit: c.emit}
+	return c
+}
+
+func (c *Codec) emit(frame []byte, inner, rawLen int) {
+	c.account(frame, inner, rawLen)
+	c.send(frame)
+}
+
+func (c *Codec) account(frame []byte, inner, rawLen int) {
+	compressed := packet.WireFlags(frame[packet.HeaderLenV2-1])&packet.WireCompressed != 0
+	c.mx.CountWireFrame(len(frame), rawLen, inner, compressed)
+}
+
+// Multicast frames p for the group: coalescible data packets queue for
+// the next flush, everything else flushes the queue and goes out now.
+func (c *Codec) Multicast(p *packet.Packet) {
+	if p.Type == packet.TypeData && c.batch.Fits(p) {
+		c.batch.Add(p)
+		if !c.armed {
+			c.armed = true
+			c.arm()
+		}
+		return
+	}
+	c.FlushNow()
+	frame, raw := packet.EncodeV2(p, c.batch.MinCompress)
+	c.emit(frame, 1, raw)
+}
+
+// EncodeUnicast flushes queued multicast frames (a unicast reply must
+// not overtake the data it reacts to) and returns p's encoded, already
+// accounted frame for the caller to address.
+func (c *Codec) EncodeUnicast(p *packet.Packet) []byte {
+	c.FlushNow()
+	frame, raw := packet.EncodeV2(p, c.batch.MinCompress)
+	c.account(frame, 1, raw)
+	return frame
+}
+
+// FlushNow drains the batcher inline. The armed flag stays set: an
+// already-scheduled FlushBatch still fires and clears it, collecting
+// anything queued in between.
+func (c *Codec) FlushNow() { c.batch.Flush() }
+
+// FlushBatch is the callback Arm schedules: it re-enables arming and
+// drains the batcher.
+func (c *Codec) FlushBatch() {
+	c.armed = false
+	c.batch.Flush()
+}
+
+// Decode strictly decodes one v2 frame, calling emit per logical packet
+// (see packet.DecodeFrameV2 for the borrow semantics). Every failure
+// counts as a corrupt frame: under a v2 session each peer seals every
+// frame it sends, so a frame that fails any guard — including a
+// truncation or a magic/version byte flipped by corruption — was
+// damaged in flight. The caller drops it; nothing was emitted.
+func (c *Codec) Decode(frame []byte, emit func(*packet.Packet)) error {
+	err := packet.DecodeFrameV2(frame, emit)
+	if err != nil {
+		c.mx.CountCorruptFrame()
+	}
+	return err
+}

@@ -1,0 +1,133 @@
+package workload
+
+import (
+	"fmt"
+
+	"rmcast/internal/rng"
+)
+
+// Payload generators for the wire-format experiments. The protocols
+// themselves are payload-agnostic, but wire format v2's compression is
+// not: its value depends entirely on what applications actually send.
+// These generators produce the three shapes the ext_wirev2 experiment
+// sweeps — highly redundant log streams, structured JSON fan-out, and
+// incompressible binary — each fully deterministic from (seed, n) so
+// simulator runs stay reproducible.
+
+// Generator names one deterministic payload builder.
+type Generator struct {
+	// Name identifies the workload in experiment output ("logs",
+	// "json", "mixed", "random").
+	Name string
+	// Build returns exactly n bytes, deterministic in (seed, n).
+	Build func(seed uint64, n int) []byte
+}
+
+// Generators returns the payload generators in sweep order.
+func Generators() []Generator {
+	return []Generator{
+		{Name: "logs", Build: Logs},
+		{Name: "json", Build: JSONRecords},
+		{Name: "mixed", Build: Mixed},
+		{Name: "random", Build: Random},
+	}
+}
+
+// take trims or pads b to exactly n bytes (padding repeats the buffer,
+// preserving its statistics).
+func take(b []byte, n int) []byte {
+	if len(b) >= n {
+		return b[:n]
+	}
+	out := make([]byte, 0, n)
+	for len(out) < n {
+		r := n - len(out)
+		if r > len(b) {
+			r = len(b)
+		}
+		out = append(out, b[:r]...)
+	}
+	return out
+}
+
+var (
+	logLevels     = []string{"DEBUG", "INFO", "INFO", "INFO", "WARN", "ERROR"}
+	logComponents = []string{"netmap", "scheduler", "rpc", "storage", "auth", "gc"}
+	logMessages   = []string{
+		"request completed",
+		"connection established to peer",
+		"retrying after transient failure",
+		"cache miss, falling back to origin",
+		"lease renewed",
+		"queue depth above threshold",
+	}
+)
+
+// Logs generates a stream of timestamped log lines — the most redundant
+// realistic payload: shared prefixes, a small vocabulary, monotonic
+// timestamps. Flate typically shrinks it by 5x or more.
+func Logs(seed uint64, n int) []byte {
+	r := rng.New(seed)
+	b := make([]byte, 0, n+128)
+	ts := uint64(1700000000000) + r.Uint64()%1000000
+	for len(b) < n {
+		ts += uint64(1 + r.Intn(900))
+		b = append(b, fmt.Sprintf("%d %s %s: %s (req=%08x worker=%d)\n",
+			ts, logLevels[r.Intn(len(logLevels))],
+			logComponents[r.Intn(len(logComponents))],
+			logMessages[r.Intn(len(logMessages))],
+			r.Uint64()&0xffffffff, r.Intn(64))...)
+	}
+	return take(b, n)
+}
+
+// JSONRecords generates newline-delimited JSON telemetry records — the
+// fan-out shape: fixed keys, varying small values. Compresses well, but
+// less than raw logs (more high-entropy value bytes per line).
+func JSONRecords(seed uint64, n int) []byte {
+	r := rng.New(seed)
+	b := make([]byte, 0, n+192)
+	for len(b) < n {
+		b = append(b, fmt.Sprintf(
+			`{"host":"node-%02d","metric":"%s.%s","value":%d.%03d,"unit":"ms","ok":%v}`+"\n",
+			r.Intn(48), logComponents[r.Intn(len(logComponents))],
+			[]string{"p50", "p99", "rate", "errors"}[r.Intn(4)],
+			r.Intn(2000), r.Intn(1000), r.Intn(10) != 0)...)
+	}
+	return take(b, n)
+}
+
+// Mixed interleaves compressible blocks with incompressible ones in a
+// 3:1 ratio — the realistic middle ground where compression must pay
+// on some frames and correctly back off on others.
+func Mixed(seed uint64, n int) []byte {
+	r := rng.New(seed)
+	b := make([]byte, 0, n+1024)
+	for len(b) < n {
+		switch r.Intn(4) {
+		case 0:
+			chunk := make([]byte, 512)
+			for i := range chunk {
+				chunk[i] = byte(r.Uint64())
+			}
+			b = append(b, chunk...)
+		case 1:
+			b = append(b, JSONRecords(r.Uint64(), 512)...)
+		default:
+			b = append(b, Logs(r.Uint64(), 512)...)
+		}
+	}
+	return take(b, n)
+}
+
+// Random generates incompressible bytes — the baseline that shows the
+// cost of v2's framing overhead when compression cannot help and the
+// per-frame skip heuristic must keep payloads raw.
+func Random(seed uint64, n int) []byte {
+	r := rng.New(seed)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(r.Uint64())
+	}
+	return b
+}

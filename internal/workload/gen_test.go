@@ -1,0 +1,75 @@
+package workload
+
+import (
+	"bytes"
+	"compress/flate"
+	"testing"
+)
+
+// deflatedSize measures how small flate (the v2 wire codec's
+// compressor) can make b.
+func deflatedSize(t *testing.T, b []byte) int {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := flate.NewWriter(&buf, flate.BestSpeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Len()
+}
+
+func TestGeneratorsDeterministicAndSized(t *testing.T) {
+	for _, g := range Generators() {
+		g := g
+		t.Run(g.Name, func(t *testing.T) {
+			for _, n := range []int{1, 100, 4096, 65536} {
+				a, b := g.Build(9, n), g.Build(9, n)
+				if len(a) != n {
+					t.Fatalf("Build(9, %d) returned %d bytes", n, len(a))
+				}
+				if !bytes.Equal(a, b) {
+					t.Fatalf("Build(9, %d) is not deterministic", n)
+				}
+			}
+			if bytes.Equal(g.Build(9, 4096), g.Build(10, 4096)) {
+				t.Error("different seeds produced identical payloads")
+			}
+		})
+	}
+}
+
+// TestGeneratorCompressibility pins the property the generators exist
+// for: logs and JSON must compress hard, random must not, and mixed
+// must land in between.
+func TestGeneratorCompressibility(t *testing.T) {
+	const n = 32768
+	ratio := func(name string) float64 {
+		for _, g := range Generators() {
+			if g.Name == name {
+				return float64(deflatedSize(t, g.Build(3, n))) / float64(n)
+			}
+		}
+		t.Fatalf("no generator %q", name)
+		return 0
+	}
+	logs, js, mixed, random := ratio("logs"), ratio("json"), ratio("mixed"), ratio("random")
+	t.Logf("flate ratios: logs=%.2f json=%.2f mixed=%.2f random=%.2f", logs, js, mixed, random)
+	if logs > 0.4 {
+		t.Errorf("logs barely compress: ratio %.2f", logs)
+	}
+	if js > 0.5 {
+		t.Errorf("json barely compresses: ratio %.2f", js)
+	}
+	if random < 0.99 {
+		t.Errorf("random compresses: ratio %.2f", random)
+	}
+	if mixed <= logs || mixed >= random {
+		t.Errorf("mixed ratio %.2f not between logs %.2f and random %.2f", mixed, logs, random)
+	}
+}
